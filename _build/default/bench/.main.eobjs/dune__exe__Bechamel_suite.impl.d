@@ -1,0 +1,1 @@
+bench/bechamel_suite.ml: Analyze Bechamel Benchmark Hashtbl Instance Int64 List Measure Msnap_objstore Msnap_util Printf Staged Test Time Toolkit

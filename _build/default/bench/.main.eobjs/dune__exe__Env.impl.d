@@ -1,0 +1,1 @@
+bench/env.ml: Bytes Hashtbl List Msnap_aurora Msnap_blockdev Msnap_core Msnap_fs Msnap_objstore Msnap_sim Msnap_util Msnap_vm Printf

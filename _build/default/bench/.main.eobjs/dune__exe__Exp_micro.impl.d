@@ -1,0 +1,1 @@
+bench/exp_micro.ml: Addr Aspace Aurora Bytes Env Fs Hashtbl List Metrics Msnap Msnap_vm Phys Rng Sched Size Stripe Tbl

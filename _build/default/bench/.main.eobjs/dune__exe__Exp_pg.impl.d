@@ -1,0 +1,1 @@
+bench/exp_pg.ml: Aspace Disk Env Fs List Metrics Msnap_pg Msnap_workloads Phys Printf Rng Sched String Stripe Tbl

@@ -1,0 +1,1 @@
+bench/exp_rocks.ml: Aurora Bytes Env Fs Histogram List Metrics Msnap_rocks Msnap_util Msnap_workloads Printf Rng Sched Size Tbl

@@ -1,0 +1,1 @@
+bench/exp_sqlite.ml: Env Fs Histogram List Metrics Msnap_sqlite Msnap_workloads Printf Rng Sched Size String Tbl

@@ -1,0 +1,1 @@
+bench/main.ml: Arg Bechamel_suite Cmd Cmdliner Exp_micro Exp_pg Exp_rocks Exp_sqlite List Printf String Term

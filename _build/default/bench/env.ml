@@ -1,0 +1,91 @@
+(* Shared machine builders and reporting helpers for the experiment
+   harness. Every experiment runs on a fresh simulated machine: two
+   striped NVMe devices (the paper's testbed layout), physical memory, one
+   or more address spaces, and whichever persistence stack it measures. *)
+
+module Sched = Msnap_sim.Sched
+module Sync = Msnap_sim.Sync
+module Costs = Msnap_sim.Costs
+module Metrics = Msnap_sim.Metrics
+module Rng = Msnap_util.Rng
+module Size = Msnap_util.Size
+module Tbl = Msnap_util.Tbl
+module Histogram = Msnap_util.Histogram
+module Disk = Msnap_blockdev.Disk
+module Stripe = Msnap_blockdev.Stripe
+module Store = Msnap_objstore.Store
+module Phys = Msnap_vm.Phys
+module Aspace = Msnap_vm.Aspace
+module Addr = Msnap_vm.Addr
+module Fs = Msnap_fs.Fs
+module Msnap = Msnap_core.Msnap
+module Aurora = Msnap_aurora.Aurora
+
+let dev_mib = 512
+
+let mk_dev ?(mib = dev_mib) () =
+  Stripe.create
+    [ Disk.create ~name:"nvme0" ~size:(Size.mib mib) ();
+      Disk.create ~name:"nvme1" ~size:(Size.mib mib) () ]
+
+let mk_fs ?mib kind =
+  let dev = mk_dev ?mib () in
+  (dev, Fs.mkfs dev ~kind)
+
+(* A machine with a MemSnap kernel: (device, kernel, aspace, phys). *)
+let mk_msnap ?mib () =
+  let dev = mk_dev ?mib () in
+  let phys = Phys.create () in
+  let aspace = Aspace.create phys in
+  Store.format dev;
+  let store = Store.mount dev in
+  let k = Msnap.init ~store in
+  Msnap.attach k aspace;
+  (dev, k, aspace, phys)
+
+let mk_aurora ?mib ?other_mapped_pages () =
+  let dev = mk_dev ?mib () in
+  let phys = Phys.create () in
+  let aspace = Aspace.create phys in
+  Store.format dev;
+  let store = Store.mount dev in
+  (dev, Aurora.Kernel.create ~aspace ~store ?other_mapped_pages (), aspace)
+
+(* Dirty [pages] distinct random 4 KiB pages of a MemSnap region. *)
+let dirty_random_pages k md rng ~region_pages ~pages =
+  let chosen = Hashtbl.create pages in
+  while Hashtbl.length chosen < pages do
+    Hashtbl.replace chosen (Rng.int rng region_pages) ()
+  done;
+  Hashtbl.iter
+    (fun p () -> Msnap.write k md ~off:(p * 4096) (Bytes.make 64 'd'))
+    chosen
+
+(* Mean of [iters] timed runs of [f]. *)
+let time_mean ~iters f =
+  let total = ref 0 in
+  for _ = 1 to iters do
+    let t0 = Sched.now () in
+    f ();
+    total := !total + (Sched.now () - t0)
+  done;
+  !total / iters
+
+let sim_seconds () = float_of_int (Sched.now ()) /. 1e9
+
+let throughput_kops ~ops =
+  float_of_int ops /. 1e3 /. sim_seconds ()
+
+(* Report CPU buckets as percentages of total charged CPU. *)
+let cpu_percent report =
+  let total = List.fold_left (fun a (_, v) -> a + v) 0 report in
+  List.map
+    (fun (name, v) ->
+      (name, 100.0 *. float_of_int v /. float_of_int (max 1 total)))
+    report
+
+let metric_row name =
+  (name, Metrics.mean_ns name, Metrics.samples name)
+
+let section title =
+  Printf.printf "\n=== %s ===\n%!" title

@@ -1,0 +1,241 @@
+(* SQLite case study (§7.1): Table 7 (syscall counts/latency), Table 8
+   (CPU breakdown + wall clock), Fig. 4 (txn latency vs size), Fig. 5
+   (TATP throughput vs database size). *)
+
+open Env
+module Db = Msnap_sqlite.Db
+module Backend_wal = Msnap_sqlite.Backend_wal
+module Backend_msnap = Msnap_sqlite.Backend_msnap
+module Dbbench = Msnap_workloads.Workloads.Dbbench
+module Tatp = Msnap_workloads.Workloads.Tatp
+
+type backend = Wal | Ms
+
+let backend_name = function Wal -> "memsnap" | Ms -> "" (* unused *)
+let _ = backend_name
+
+let open_db backend =
+  match backend with
+  | Wal ->
+    let _, fs = mk_fs Fs.Ffs in
+    (* The paper's database (1M keys) dwarfs the OS buffer cache; keep the
+       same relationship at our scaled size so checkpoint IO stays cold. *)
+    Fs.set_cache_capacity fs 128;
+    Db.open_db (Backend_wal.backend (Backend_wal.create fs ~db_name:"bench.db" ()))
+  | Ms ->
+    let _, k, _, _ = mk_msnap () in
+    Db.open_db
+      (Backend_msnap.backend
+         (Backend_msnap.create k ~db_name:"bench.db" ~max_pages:65536))
+
+type dbbench_result = {
+  wall_ns : int;
+  txn_hist : Histogram.t;
+  calls : (string * float * int) list; (* name, mean ns, count *)
+  cpu : (string * float) list;
+}
+
+let run_dbbench ~backend ~pattern ~txn_bytes ~total_writes () =
+  Sched.run (fun () ->
+      Metrics.reset ();
+      let db = open_db backend in
+      let tbl = Db.create_table db "kv" in
+      let wl =
+        Dbbench.create ~nkeys:100_000 ~txn_bytes ~pattern ()
+      in
+      let rng = Rng.create 11 in
+      let hist = Histogram.create () in
+      let written = ref 0 in
+      let t0 = Sched.now () in
+      while !written < total_writes do
+        let pairs = Dbbench.next_txn wl rng in
+        let s = Sched.now () in
+        Db.with_write_txn db (fun () ->
+            List.iter
+              (fun (k, v) -> Db.put tbl ~key:(Db.key_of_int k) ~value:v)
+              pairs);
+        Histogram.add hist (Sched.now () - s);
+        written := !written + List.length pairs
+      done;
+      {
+        wall_ns = Sched.now () - t0;
+        txn_hist = hist;
+        calls =
+          List.map metric_row [ "memsnap"; "fsync"; "write"; "read" ];
+        cpu = cpu_percent (Sched.account_report ());
+      })
+
+let total_writes = 30_000
+
+let table7 () =
+  section "Table 7: persistence-related calls, dbbench (SQLite)";
+  let t =
+    Tbl.create
+      ~title:(Printf.sprintf "per-call latency / total calls (%d KV writes)" total_writes)
+      ~headers:
+        [ "Txn size"; "memsnap us"; "ops"; "fsync us"; "ops"; "write us";
+          "ops"; "read us"; "ops" ]
+  in
+  let emit ~pattern label =
+    Tbl.rule t;
+    Tbl.row t [ label ];
+    List.iter
+      (fun txn_kib ->
+        let ms = run_dbbench ~backend:Ms ~pattern ~txn_bytes:(Size.kib txn_kib) ~total_writes () in
+        let wal = run_dbbench ~backend:Wal ~pattern ~txn_bytes:(Size.kib txn_kib) ~total_writes () in
+        let find r name =
+          match List.find_opt (fun (n, _, _) -> n = name) r.calls with
+          | Some (_, mean, count) -> (mean, count)
+          | None -> (0.0, 0)
+        in
+        let m_mean, m_count = find ms "memsnap" in
+        let f_mean, f_count = find wal "fsync" in
+        let w_mean, w_count = find wal "write" in
+        let r_mean, r_count = find wal "read" in
+        Tbl.row t
+          [
+            Size.pp (Size.kib txn_kib);
+            Tbl.us (int_of_float m_mean); Tbl.kcount m_count;
+            Tbl.us (int_of_float f_mean); Tbl.kcount f_count;
+            Tbl.us (int_of_float w_mean); Tbl.kcount w_count;
+            Tbl.us (int_of_float r_mean); Tbl.kcount r_count;
+          ])
+      [ 4; 64; 1024 ]
+  in
+  emit ~pattern:`Random "Random IO";
+  emit ~pattern:`Seq "Sequential IO";
+  Tbl.note t "paper 4K random: memsnap 152us/63K, fsync 1137us/67K, write 6.7us/7584K, read 2.9us/2847K";
+  Tbl.print t
+
+let table8 () =
+  section "Table 8: CPU usage and dbbench wall time (SQLite)";
+  let t =
+    Tbl.create ~title:"CPU breakdown (4 KiB transactions)"
+      ~headers:[ "Bucket"; "baseline %"; "memsnap %" ]
+  in
+  let emit pattern label =
+    let wal = run_dbbench ~backend:Wal ~pattern ~txn_bytes:(Size.kib 4) ~total_writes () in
+    let ms = run_dbbench ~backend:Ms ~pattern ~txn_bytes:(Size.kib 4) ~total_writes () in
+    let pct r name =
+      match List.assoc_opt name r.cpu with Some v -> Tbl.pct v | None -> "-"
+    in
+    Tbl.rule t;
+    Tbl.row t [ label ];
+    Tbl.row t [ "userspace"; pct wal "user"; pct ms "user" ];
+    Tbl.row t [ "fsync"; pct wal "fsync"; pct ms "fsync" ];
+    Tbl.row t [ "write"; pct wal "write"; pct ms "write" ];
+    Tbl.row t [ "read"; pct wal "read"; pct ms "read" ];
+    Tbl.row t [ "memsnap"; pct wal "memsnap"; pct ms "memsnap" ];
+    Tbl.row t [ "memsnap flush"; pct wal "memsnap flush"; pct ms "memsnap flush" ];
+    Tbl.row t [ "page faults"; pct wal "page faults"; pct ms "page faults" ];
+    Tbl.row t
+      [ "wall clock";
+        Printf.sprintf "%.2f s" (float_of_int wal.wall_ns /. 1e9);
+        Printf.sprintf "%.2f s" (float_of_int ms.wall_ns /. 1e9) ]
+  in
+  emit `Random "Random IO";
+  emit `Seq "Sequential IO";
+  Tbl.note t "paper: memsnap 2x-5x faster wall clock; baseline CPU dominated by write+fsync";
+  Tbl.print t
+
+let fig4 () =
+  section "Figure 4: transaction latency vs size (SQLite dbbench)";
+  let t =
+    Tbl.create ~title:"per-transaction latency (us)"
+      ~headers:
+        [ "Txn size"; "pattern"; "baseline avg"; "baseline p99";
+          "memsnap avg"; "memsnap p99" ]
+  in
+  List.iter
+    (fun pattern ->
+      List.iter
+        (fun txn_kib ->
+          let wal = run_dbbench ~backend:Wal ~pattern ~txn_bytes:(Size.kib txn_kib) ~total_writes () in
+          let ms = run_dbbench ~backend:Ms ~pattern ~txn_bytes:(Size.kib txn_kib) ~total_writes () in
+          Tbl.row t
+            [
+              Size.pp (Size.kib txn_kib);
+              (match pattern with `Random -> "random" | `Seq -> "seq");
+              Tbl.us_short (int_of_float (Histogram.mean wal.txn_hist));
+              Tbl.us_short (Histogram.percentile wal.txn_hist 99.0);
+              Tbl.us_short (int_of_float (Histogram.mean ms.txn_hist));
+              Tbl.us_short (Histogram.percentile ms.txn_hist 99.0);
+            ])
+        [ 4; 16; 64; 256; 1024 ])
+    [ `Random; `Seq ];
+  Tbl.note t "paper: memsnap ~4x lower latency, low variance; baseline skewed by checkpoints";
+  Tbl.print t
+
+(* --- TATP (Fig. 5) --- *)
+
+let subscriber_row s = Printf.sprintf "sub%08d:%s" s (String.make 80 's')
+
+let tatp_setup db ~subscribers =
+  let sub = Db.create_table db "subscriber" in
+  let ai = Db.create_table db "access_info" in
+  let sf = Db.create_table db "special_facility" in
+  let cf = Db.create_table db "call_forwarding" in
+  let batch = 256 in
+  let i = ref 0 in
+  while !i < subscribers do
+    let hi = min (subscribers - 1) (!i + batch - 1) in
+    Db.with_write_txn db (fun () ->
+        for s = !i to hi do
+          Db.put sub ~key:(Db.key_of_int s) ~value:(subscriber_row s);
+          Db.put ai ~key:(Db.key_of_int s) ~value:(String.make 40 'a');
+          Db.put sf ~key:(Db.key_of_int s) ~value:(String.make 40 'f')
+        done);
+    i := hi + 1
+  done;
+  (sub, ai, sf, cf)
+
+let tatp_run db (sub, ai, sf, cf) ~subscribers ~ops =
+  let rng = Rng.create 13 in
+  let t0 = Sched.now () in
+  for _ = 1 to ops do
+    match Tatp.next ~subscribers rng with
+    | Tatp.Get_subscriber_data s -> ignore (Db.get sub (Db.key_of_int s))
+    | Tatp.Get_new_destination s -> ignore (Db.get cf (Db.key_of_int s))
+    | Tatp.Get_access_data s -> ignore (Db.get ai (Db.key_of_int s))
+    | Tatp.Update_subscriber_data s ->
+      Db.with_write_txn db (fun () ->
+          Db.put sf ~key:(Db.key_of_int s) ~value:(String.make 40 'F'))
+    | Tatp.Update_location s ->
+      Db.with_write_txn db (fun () ->
+          Db.put sub ~key:(Db.key_of_int s) ~value:(subscriber_row s))
+    | Tatp.Insert_call_forwarding s ->
+      Db.with_write_txn db (fun () ->
+          Db.put cf ~key:(Db.key_of_int s) ~value:(String.make 24 'c'))
+    | Tatp.Delete_call_forwarding s ->
+      Db.with_write_txn db (fun () -> ignore (Db.delete cf (Db.key_of_int s)))
+  done;
+  float_of_int ops /. (float_of_int (Sched.now () - t0) /. 1e9)
+
+let fig5 () =
+  section "Figure 5: TATP throughput vs database size (SQLite)";
+  let t =
+    Tbl.create ~title:"TATP transactions/second"
+      ~headers:[ "Records"; "baseline tps"; "memsnap tps"; "memsnap/baseline" ]
+  in
+  let ops = 8_000 in
+  List.iter
+    (fun subscribers ->
+      let run backend =
+        Sched.run (fun () ->
+            let db = open_db backend in
+            let tables = tatp_setup db ~subscribers in
+            tatp_run db tables ~subscribers ~ops)
+      in
+      let base = run Wal in
+      let ms = run Ms in
+      Tbl.row t
+        [
+          string_of_int subscribers;
+          Printf.sprintf "%.0f" base;
+          Printf.sprintf "%.0f" ms;
+          Printf.sprintf "%.2fx" (ms /. base);
+        ])
+    [ 1_000; 10_000; 100_000 ];
+  Tbl.note t "paper: baseline loses 63% of throughput from 1K to 1M records; memsnap only 23%";
+  Tbl.note t "record counts scaled 1K-100K (paper 1K-1M) to fit the simulated machine";
+  Tbl.print t

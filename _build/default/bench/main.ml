@@ -1,0 +1,52 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation. Run everything with `dune exec bench/main.exe`, or one
+   experiment with `-e table6` etc. *)
+
+let experiments =
+  [
+    ("table1", ("RocksDB baseline CPU breakdown", Exp_rocks.table1));
+    ("table2", ("Aurora region checkpoint breakdown", Exp_micro.table2));
+    ("fig1", ("page-protection strategies", Exp_micro.fig1));
+    ("table5", ("msnap_persist breakdown", Exp_micro.table5));
+    ("table6", ("persistence API latency", Exp_micro.table6));
+    ("fig3", ("MemSnap vs Aurora checkpoint latency", Exp_micro.fig3));
+    ("table7", ("SQLite dbbench syscalls", Exp_sqlite.table7));
+    ("table8", ("SQLite dbbench CPU + wall clock", Exp_sqlite.table8));
+    ("fig4", ("SQLite txn latency vs size", Exp_sqlite.fig4));
+    ("fig5", ("SQLite TATP throughput vs DB size", Exp_sqlite.fig5));
+    ("table9", ("RocksDB MixGraph comparison", Exp_rocks.table9));
+    ("table10", ("MemSnap vs Aurora persist cost", Exp_micro.table10));
+    ("fig6", ("PostgreSQL TPC-C variants", Exp_pg.fig6));
+    ("bechamel", ("wall-clock micro-suite", Bechamel_suite.run));
+  ]
+
+let run_one name =
+  match List.assoc_opt name experiments with
+  | Some (_, f) -> f ()
+  | None ->
+    Printf.eprintf "unknown experiment %s; available: %s\n" name
+      (String.concat ", " (List.map fst experiments));
+    exit 1
+
+let run names =
+  (match names with
+  | [] ->
+    print_endline "MemSnap reproduction: regenerating every table and figure";
+    List.iter (fun (_, (_, f)) -> f ()) experiments
+  | names -> List.iter run_one names);
+  print_endline "\ndone."
+
+open Cmdliner
+
+let names =
+  Arg.(value & opt_all string [] & info [ "e"; "experiment" ]
+         ~doc:"Experiment id (table1..table10, fig1..fig6, bechamel). \
+               Repeatable; default runs all.")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "memsnap-bench"
+       ~doc:"Reproduce the MemSnap paper's evaluation tables and figures")
+    Term.(const run $ names)
+
+let () = exit (Cmd.eval cmd)

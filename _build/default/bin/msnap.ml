@@ -1,0 +1,140 @@
+(* msnap: a small CLI for poking at the simulated MemSnap machine.
+
+   Subcommands:
+     costs      print the calibrated hardware cost model
+     persist    time msnap_persist for a dirty-set size sweep
+     torture    crash-inject a region under load and verify recovery
+*)
+
+module Sched = Msnap_sim.Sched
+module Costs = Msnap_sim.Costs
+module Rng = Msnap_util.Rng
+module Size = Msnap_util.Size
+module Tbl = Msnap_util.Tbl
+module Disk = Msnap_blockdev.Disk
+module Stripe = Msnap_blockdev.Stripe
+module Store = Msnap_objstore.Store
+module Phys = Msnap_vm.Phys
+module Aspace = Msnap_vm.Aspace
+module Msnap = Msnap_core.Msnap
+
+let mk_machine ?(format = true) dev =
+  let phys = Phys.create () in
+  let aspace = Aspace.create phys in
+  if format then Store.format dev;
+  let k = Msnap.init ~store:(Store.mount dev) in
+  Msnap.attach k aspace;
+  k
+
+let mk_dev () =
+  Stripe.create
+    [ Disk.create ~size:(Size.mib 256) (); Disk.create ~size:(Size.mib 256) () ]
+
+let costs () =
+  let t = Tbl.create ~title:"calibrated cost model" ~headers:[ "Primitive"; "ns" ] in
+  List.iter
+    (fun (name, v) -> Tbl.row t [ name; string_of_int v ])
+    [
+      ("syscall", Costs.syscall);
+      ("minor write fault", Costs.fault_entry);
+      ("PTE update (isolated)", Costs.pte_update);
+      ("PTE update (range scan)", Costs.pte_update_bulk);
+      ("page-table walk (software)", Costs.pt_walk_sw);
+      ("TLB shootdown (IPI)", Costs.tlb_shootdown);
+      ("TLB full flush", Costs.tlb_flush_all);
+      ("page copy (COW)", Costs.page_copy);
+      ("disk command floor", Costs.disk_base);
+      ("disk transfer / 64 KiB", Costs.disk_xfer (Size.kib 64));
+      ("scatter/gather segment setup", Costs.io_initiate);
+    ];
+  Tbl.print t
+
+let persist_sweep () =
+  let t =
+    Tbl.create ~title:"msnap_persist latency by dirty-set size"
+      ~headers:[ "Dirty"; "sync us"; "async us" ]
+  in
+  List.iter
+    (fun kib ->
+      let run mode =
+        Sched.run (fun () ->
+            let k = mk_machine (mk_dev ()) in
+            let md = Msnap.open_region k ~name:"r" ~len:(Size.mib 64) () in
+            let rng = Rng.create 1 in
+            let total = ref 0 in
+            for _ = 1 to 8 do
+              let pages = max 1 (Size.kib kib / 4096) in
+              let seen = Hashtbl.create pages in
+              while Hashtbl.length seen < pages do
+                Hashtbl.replace seen (Rng.int rng (Size.mib 64 / 4096)) ()
+              done;
+              Hashtbl.iter
+                (fun p () -> Msnap.write k md ~off:(p * 4096) (Bytes.make 32 'x'))
+                seen;
+              let t0 = Sched.now () in
+              ignore (Msnap.persist k ~region:md ~mode ());
+              total := !total + (Sched.now () - t0);
+              Sched.delay 5_000_000
+            done;
+            !total / 8)
+      in
+      Tbl.row t
+        [ Size.pp (Size.kib kib); Tbl.us (run `Sync); Tbl.us (run `Async) ])
+    [ 4; 16; 64; 256; 1024 ];
+  Tbl.print t
+
+let torture () =
+  let survived = ref 0 in
+  for round = 1 to 10 do
+    let ok =
+      Sched.run (fun () ->
+          let dev = mk_dev () in
+          let k = mk_machine dev in
+          let md = Msnap.open_region k ~name:"t" ~len:(Size.mib 1) () in
+          let committed = ref 0 in
+          let w =
+            Sched.spawn (fun () ->
+                try
+                  for i = 0 to 10_000 do
+                    let b = Bytes.create 8 in
+                    Bytes.set_int64_le b 0 (Int64.of_int i);
+                    Msnap.write k md ~off:((i mod 256) * 4096) b;
+                    ignore (Msnap.persist k ~region:md ());
+                    committed := i
+                  done
+                with Disk.Powered_off -> ())
+          in
+          Sched.delay (1_000_000 * round);
+          Stripe.fail_power dev ~torn_seed:round;
+          Sched.join w;
+          Stripe.restore_power dev;
+          let k2 = mk_machine ~format:false dev in
+          let md2 = Msnap.open_region k2 ~name:"t" ~len:(Size.mib 1) () in
+          (* The recovered page for the last committed write must hold it. *)
+          let i = !committed in
+          let v =
+            Int64.to_int
+              (Bytes.get_int64_le (Msnap.read k2 md2 ~off:((i mod 256) * 4096) ~len:8) 0)
+          in
+          v = i || v = i + 1)
+    in
+    Printf.printf "round %2d: %s\n%!" round (if ok then "consistent" else "CORRUPT");
+    if ok then incr survived
+  done;
+  Printf.printf "%d/10 crash rounds recovered consistently\n" !survived;
+  if !survived < 10 then exit 1
+
+open Cmdliner
+
+let cmd =
+  Cmd.group (Cmd.info "msnap" ~doc:"Explore the simulated MemSnap machine")
+    [
+      Cmd.v (Cmd.info "costs" ~doc:"Print the calibrated cost model")
+        Term.(const costs $ const ());
+      Cmd.v (Cmd.info "persist" ~doc:"Sweep msnap_persist latency")
+        Term.(const persist_sweep $ const ());
+      Cmd.v (Cmd.info "torture" ~doc:"Crash-inject and verify recovery")
+        Term.(const torture $ const ());
+    ]
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,1 @@
+examples/bank_ledger.ml: Array Bytes Fun Int64 List Msnap_blockdev Msnap_core Msnap_objstore Msnap_sim Msnap_util Msnap_vm Printf

@@ -1,0 +1,1 @@
+examples/kv_store.ml: List Msnap_blockdev Msnap_core Msnap_objstore Msnap_rocks Msnap_sim Msnap_util Msnap_vm Option Printf

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Bytes Msnap_blockdev Msnap_core Msnap_objstore Msnap_sim Msnap_util Msnap_vm Printf

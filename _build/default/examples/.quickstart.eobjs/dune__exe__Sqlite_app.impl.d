@@ -1,0 +1,1 @@
+examples/sqlite_app.ml: Msnap_blockdev Msnap_core Msnap_fs Msnap_objstore Msnap_sim Msnap_sqlite Msnap_util Msnap_vm Option Printf

@@ -1,0 +1,1 @@
+lib/aurora/aurora.ml: Bytes List Msnap_objstore Msnap_sim Msnap_vm Option

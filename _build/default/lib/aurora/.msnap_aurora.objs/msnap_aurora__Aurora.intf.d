@@ -1,0 +1,1 @@
+lib/aurora/aurora.mli: Bytes Msnap_objstore Msnap_vm

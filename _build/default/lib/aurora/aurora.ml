@@ -1,0 +1,268 @@
+module Sched = Msnap_sim.Sched
+module Sync = Msnap_sim.Sync
+module Costs = Msnap_sim.Costs
+module Aspace = Msnap_vm.Aspace
+module Addr = Msnap_vm.Addr
+module Phys = Msnap_vm.Phys
+module Pte = Msnap_vm.Pte
+module Ptloc = Msnap_vm.Ptloc
+module Ptable = Msnap_vm.Ptable
+module Store = Msnap_objstore.Store
+
+module Kernel = struct
+  type t = {
+    aspace : Aspace.t;
+    store : Store.t;
+    other_mapped_pages : int;
+    mutable threads : int;
+    mutable stopped : bool;
+    world_mutex : Sync.Mutex.t;
+    world_resumed : Sync.Condition.t;
+    fault_lock : Sync.Mutex.t;
+        (* Serializes COW fault handling: two faults on the same shadowed
+           page must not both duplicate it. *)
+    mutable regions : region list;
+  }
+
+  and region = {
+    k : t;
+    r_name : string;
+    r_va : int;
+    r_len : int;
+    mapping : Aspace.mapping;
+    obj : Store.obj;
+    (* Flat combining: one checkpoint runs at a time; callers that arrive
+       meanwhile are satisfied by the next round. *)
+    mutable waiters : unit Sync.Ivar.t list;
+    mutable ckpt_running : bool;
+    mutable shadow_frames : (int * Phys.page) list;
+        (* Snapshot frames of the in-flight checkpoint: (rel page, frame). *)
+    mutable cow_copies : Phys.page list;
+        (* Original frames replaced by COW during the flight; freed at
+           collapse. *)
+    mutable breakdown : (int * int * int * int) option;
+  }
+
+  let create ~aspace ~store ?(other_mapped_pages = 65536) () =
+    {
+      aspace;
+      store;
+      other_mapped_pages;
+      threads = 0;
+      stopped = false;
+      world_mutex = Sync.Mutex.create ();
+      world_resumed = Sync.Condition.create ();
+      fault_lock = Sync.Mutex.create ();
+      regions = [];
+    }
+
+  let register_thread t = t.threads <- t.threads + 1
+  let thread_count t = t.threads
+
+  (* Application threads park here while the world is stopped. *)
+  let wait_world t =
+    if t.stopped then
+      Sync.Mutex.with_lock t.world_mutex (fun () ->
+          while t.stopped do
+            Sync.Condition.wait t.world_resumed t.world_mutex
+          done)
+
+  let stop_world t =
+    (* Threads are parked from the moment the IPIs go out; the stall cost
+       is the wait for the last one to reach its safe point. *)
+    t.stopped <- true;
+    Sched.cpu (max 1 t.threads * Costs.thread_stop_signal)
+
+  let resume_world t =
+    t.stopped <- false;
+    Sync.Mutex.with_lock t.world_mutex (fun () ->
+        Sync.Condition.broadcast t.world_resumed)
+end
+
+module Region = struct
+  open Kernel
+
+  type t = Kernel.region
+
+  type breakdown = { stall : int; shadow : int; io : int; collapse : int }
+
+  (* Write fault during an in-flight checkpoint: redirect the writer to a
+     fresh copy so the shadow frame stays stable ("shadow object"). The
+     faulting frame is re-resolved under the kernel fault lock because a
+     concurrent fault may already have COWed or unprotected the page. *)
+  let on_write_fault k (fault : Aspace.fault) =
+    Sync.Mutex.with_lock k.fault_lock @@ fun () ->
+    let aspace = fault.Aspace.f_aspace in
+    let pte = Ptloc.get fault.Aspace.f_loc in
+    let page = Phys.get (Aspace.phys aspace) (Pte.frame pte) in
+    if Pte.writable pte then ()
+    else if page.Phys.ckpt_in_progress then begin
+      let copy = Phys.copy_page (Aspace.phys aspace) page in
+      Phys.rmap_remove page fault.Aspace.f_loc;
+      Phys.rmap_add copy fault.Aspace.f_loc;
+      let pte = Ptloc.get fault.Aspace.f_loc in
+      Ptloc.set fault.Aspace.f_loc
+        (Pte.set_writable (Pte.set_frame pte copy.Phys.frame) true)
+    end
+    else
+      Ptloc.set fault.Aspace.f_loc
+        (Pte.set_writable (Ptloc.get fault.Aspace.f_loc) true)
+
+  let create k ~name ~va ~len =
+    let obj =
+      match Store.open_obj k.store ~name with
+      | Some o -> o
+      | None -> Store.create k.store ~name ~meta:va ()
+    in
+    let pager =
+      { Aspace.page_in =
+          (fun rel ->
+            match Store.read_block k.store obj rel with
+            | Some b -> `Bytes b
+            | None -> `Zero)
+      }
+    in
+    let mapping =
+      Aspace.map k.aspace ~name:("aurora:" ^ name) ~va ~len ~writable:true
+        ~new_pages_writable:false ~pager ~on_write_fault:(on_write_fault k) ()
+    in
+    let r =
+      { k; r_name = name; r_va = va; r_len = len; mapping; obj; waiters = [];
+        ckpt_running = false; shadow_frames = []; cow_copies = [];
+        breakdown = None }
+    in
+    k.regions <- r :: k.regions;
+    r
+
+  let base r = r.r_va
+  let length r = r.r_len
+
+  let write r ~off data =
+    if off < 0 || off + Bytes.length data > r.r_len then
+      invalid_arg "Aurora.Region.write: out of range";
+    wait_world r.k;
+    Aspace.write r.k.aspace ~va:(r.r_va + off) data
+
+  let read r ~off ~len =
+    if off < 0 || off + len > r.r_len then
+      invalid_arg "Aurora.Region.read: out of range";
+    Aspace.read r.k.aspace ~va:(r.r_va + off) ~len
+
+  (* Shadow one region: collect the dirty set and COW-protect every
+     present page. Returns the dirty (rel, frame) list. Runs with the
+     world stopped. *)
+  let shadow_region r =
+    let aspace = r.k.aspace in
+    let pt = Aspace.page_table aspace in
+    let phys = Aspace.phys aspace in
+    let start_vpn = Addr.vpn_of_va r.r_va in
+    let npages = Addr.pages_spanned ~off:r.r_va ~len:r.r_len in
+    let dirty = ref [] in
+    let present = ref 0 in
+    let visited =
+      Ptable.scan_range pt ~vpn:start_vpn ~n:npages ~f:(fun vpn loc ->
+          incr present;
+          let pte = Ptloc.get loc in
+          let page = Phys.get phys (Pte.frame pte) in
+          if Pte.writable pte then
+            dirty := (vpn - start_vpn, page) :: !dirty;
+          page.Phys.ckpt_in_progress <- true;
+          Ptloc.set loc (Pte.set_cow (Pte.set_writable pte false) true))
+    in
+    Sched.cpu ((visited * Costs.pte_visit) + (!present * Costs.pte_update_bulk));
+    Msnap_vm.Tlb.flush (Aspace.tlb aspace);
+    Sched.cpu Costs.tlb_flush_all;
+    r.shadow_frames <- List.rev !dirty;
+    r.shadow_frames
+
+  (* Collapse the shadow object back into the base: another pass over the
+     whole mapping merging page lists, plus freeing COW copies. *)
+  let collapse_region r =
+    let aspace = r.k.aspace in
+    let pt = Aspace.page_table aspace in
+    let phys = Aspace.phys aspace in
+    let start_vpn = Addr.vpn_of_va r.r_va in
+    let npages = Addr.pages_spanned ~off:r.r_va ~len:r.r_len in
+    let present = ref 0 in
+    let visited =
+      Ptable.scan_range pt ~vpn:start_vpn ~n:npages ~f:(fun _ loc ->
+          incr present;
+          let pte = Ptloc.get loc in
+          let page = Phys.get phys (Pte.frame pte) in
+          page.Phys.ckpt_in_progress <- false;
+          Ptloc.set loc (Pte.set_cow pte false))
+    in
+    (* Merging the shadow's page list into the base costs a visit per
+       page plus the list manipulation. *)
+    Sched.cpu ((visited * Costs.pte_visit) + (!present * Costs.pte_update_bulk));
+    List.iter
+      (fun (_, page) ->
+        page.Phys.ckpt_in_progress <- false;
+        if page.Phys.rmap = [] then Phys.free phys page)
+      r.shadow_frames;
+    List.iter (fun p -> if p.Phys.rmap = [] then Phys.free phys p) r.cow_copies;
+    r.cow_copies <- [];
+    r.shadow_frames <- []
+
+  let flush_dirty r dirty =
+    let pages =
+      List.map (fun (rel, page) -> (rel, Bytes.copy page.Phys.data)) dirty
+    in
+    if pages <> [] then ignore (Store.commit r.k.store r.obj pages)
+
+  (* One full checkpoint round. *)
+  let run_checkpoint r =
+    let t0 = Sched.now () in
+    stop_world r.k;
+    let t_stall = Sched.now () in
+    let dirty = shadow_region r in
+    let t_shadow = Sched.now () in
+    resume_world r.k;
+    flush_dirty r dirty;
+    let t_io = Sched.now () in
+    collapse_region r;
+    let t_collapse = Sched.now () in
+    r.breakdown <-
+      Some (t_stall - t0, t_shadow - t_stall, t_io - t_shadow, t_collapse - t_io)
+
+  let checkpoint r =
+    let iv = Sync.Ivar.create () in
+    r.waiters <- iv :: r.waiters;
+    if not r.ckpt_running then begin
+      r.ckpt_running <- true;
+      let rec rounds () =
+        match r.waiters with
+        | [] -> r.ckpt_running <- false
+        | ws ->
+          r.waiters <- [];
+          run_checkpoint r;
+          List.iter (fun w -> Sync.Ivar.fill w ()) (List.rev ws);
+          rounds ()
+      in
+      rounds ()
+    end;
+    Sync.Ivar.read iv
+
+  let last_breakdown r =
+    Option.map
+      (fun (stall, shadow, io, collapse) -> { stall; shadow; io; collapse })
+      r.breakdown
+end
+
+(* OS state serialization: registers, FDs, kqueues, sysctl state... modeled
+   as a fixed CPU cost plus scanning the non-region address space. *)
+let os_state_cost = 350_000
+
+let checkpoint_app (k : Kernel.t) =
+  Kernel.stop_world k;
+  let dirty_by_region =
+    List.map (fun r -> (r, Region.shadow_region r)) k.Kernel.regions
+  in
+  (* Shadow the rest of the address space (heap, stacks, code). *)
+  Sched.cpu (k.Kernel.other_mapped_pages * Costs.pte_visit);
+  Sched.cpu os_state_cost;
+  Kernel.resume_world k;
+  List.iter (fun (r, dirty) -> Region.flush_dirty r dirty) dirty_by_region;
+  List.iter (fun (r, _) -> Region.collapse_region r) dirty_by_region;
+  (* Collapse pass over the non-region address space as well. *)
+  Sched.cpu (k.Kernel.other_mapped_pages * Costs.pte_visit)

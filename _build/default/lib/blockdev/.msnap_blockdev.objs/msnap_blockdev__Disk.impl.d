@@ -1,0 +1,1 @@
+lib/blockdev/disk.ml: Bytes Float Fun List Msnap_sim Msnap_util Printf

@@ -1,0 +1,1 @@
+lib/blockdev/stripe.ml: Array Bytes Disk List Msnap_sim Msnap_util Printf

@@ -1,0 +1,1 @@
+lib/blockdev/stripe.mli: Bytes Disk

@@ -1,0 +1,31 @@
+(** Generic block allocator shared by the object store and the file
+    systems.
+
+    A bitmap with a rotating cursor that prefers contiguous runs (so
+    sequential allocations land sequentially on disk), plus deferred frees
+    for COW users: blocks superseded by a copy-on-write update must stay
+    allocated until the commit that dereferenced them is durable. *)
+
+type t
+
+exception Out_of_space
+
+val create : total_blocks:int -> reserved:int -> t
+(** Blocks [0, reserved) are permanently allocated (superblocks, journal
+    areas, ...). *)
+
+val alloc_run : t -> int -> int list
+(** Allocate [n] blocks, contiguous if possible, ascending order. *)
+
+val free_now : t -> int list -> unit
+(** Immediately free blocks (in-place file systems). *)
+
+val mark_allocated : t -> int -> unit
+(** Idempotent; used while rebuilding state at mount. *)
+
+val free_deferred : t -> int list -> unit
+val apply_deferred : t -> unit
+
+val is_allocated : t -> int -> bool
+val free_blocks : t -> int
+val total_blocks : t -> int

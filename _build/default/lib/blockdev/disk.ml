@@ -1,0 +1,166 @@
+module Costs = Msnap_sim.Costs
+module Sched = Msnap_sim.Sched
+module Sync = Msnap_sim.Sync
+module Rng = Msnap_util.Rng
+
+exception Powered_off
+
+type stats = {
+  reads : int;
+  writes : int;
+  bytes_read : int;
+  bytes_written : int;
+  busy_ns : int;
+}
+
+type inflight = {
+  segs : (int * Bytes.t) list; (* (offset, data), commit order *)
+  t0 : int;
+  dur : int;
+  mutable torn : bool;
+}
+
+type t = {
+  dname : string;
+  medium : Bytes.t;
+  channels : Sync.Semaphore.t;
+  mutable powered : bool;
+  mutable inflight : inflight list;
+  mutable s_reads : int;
+  mutable s_writes : int;
+  mutable s_bytes_read : int;
+  mutable s_bytes_written : int;
+  mutable s_busy : int;
+}
+
+let create ?(name = "nvme") ~size () =
+  let size = Msnap_util.Bits.round_up size Costs.sector in
+  {
+    dname = name;
+    medium = Bytes.make size '\000';
+    channels = Sync.Semaphore.create Costs.disk_channels;
+    powered = true;
+    inflight = [];
+    s_reads = 0;
+    s_writes = 0;
+    s_bytes_read = 0;
+    s_bytes_written = 0;
+    s_busy = 0;
+  }
+
+let size t = Bytes.length t.medium
+let name t = t.dname
+
+let check_power t = if not t.powered then raise Powered_off
+
+let check_range t off len =
+  if off < 0 || len < 0 || off + len > Bytes.length t.medium then
+    invalid_arg
+      (Printf.sprintf "%s: IO out of range (off=%d len=%d size=%d)" t.dname off
+         len (Bytes.length t.medium))
+
+let commit_seg t (off, data) =
+  Bytes.blit data 0 t.medium off (Bytes.length data)
+
+let service t ~dur ~io =
+  check_power t;
+  Sync.Semaphore.acquire t.channels;
+  let finally () = Sync.Semaphore.release t.channels in
+  Fun.protect ~finally (fun () ->
+      check_power t;
+      t.s_busy <- t.s_busy + dur;
+      io dur)
+
+let do_writev t segs =
+  List.iter (fun (off, data) -> check_range t off (Bytes.length data)) segs;
+  let total = List.fold_left (fun a (_, d) -> a + Bytes.length d) 0 segs in
+  let dur = Costs.disk_base + Costs.disk_xfer total in
+  service t ~dur ~io:(fun dur ->
+      let fl = { segs; t0 = Sched.now (); dur; torn = false } in
+      t.inflight <- fl :: t.inflight;
+      Sched.delay dur;
+      t.inflight <- List.filter (fun f -> f != fl) t.inflight;
+      if fl.torn then raise Powered_off;
+      List.iter (commit_seg t) segs;
+      t.s_writes <- t.s_writes + 1;
+      t.s_bytes_written <- t.s_bytes_written + total)
+
+let write t ~off data = do_writev t [ (off, Bytes.copy data) ]
+
+let writev t segs = do_writev t (List.map (fun (o, d) -> (o, Bytes.copy d)) segs)
+
+let read t ~off ~len =
+  check_range t off len;
+  let dur = Costs.disk_base + Costs.disk_xfer len in
+  service t ~dur ~io:(fun dur ->
+      Sched.delay dur;
+      t.s_reads <- t.s_reads + 1;
+      t.s_bytes_read <- t.s_bytes_read + len;
+      Bytes.sub t.medium off len)
+
+let flush t =
+  (* Draining the queue = acquiring every channel once. *)
+  check_power t;
+  let n = Costs.disk_channels in
+  for _ = 1 to n do
+    Sync.Semaphore.acquire t.channels
+  done;
+  for _ = 1 to n do
+    Sync.Semaphore.release t.channels
+  done
+
+(* Tear each in-flight command: commit whole sectors of a prefix whose
+   length reflects how far the transfer had progressed, perturbed
+   deterministically by the seed. *)
+let fail_power t ~torn_seed =
+  t.powered <- false;
+  let rng = Rng.create (torn_seed lxor 0x5EED) in
+  let tear fl =
+    fl.torn <- true;
+    let elapsed = Sched.now () - fl.t0 in
+    let frac =
+      if fl.dur <= 0 then 1.0
+      else Float.min 1.0 (float_of_int elapsed /. float_of_int fl.dur)
+    in
+    let total_sectors =
+      List.fold_left
+        (fun a (_, d) -> a + ((Bytes.length d + Costs.sector - 1) / Costs.sector))
+        0 fl.segs
+    in
+    let base = int_of_float (frac *. float_of_int total_sectors) in
+    let jitter = if total_sectors > 0 then Rng.int rng (total_sectors + 1) else 0 in
+    let committed = min total_sectors (min base jitter + (max base jitter - min base jitter) / 2) in
+    (* Commit the first [committed] sectors across segments in order. *)
+    let remaining = ref committed in
+    List.iter
+      (fun (off, data) ->
+        let len = Bytes.length data in
+        let sectors = (len + Costs.sector - 1) / Costs.sector in
+        let take = min sectors !remaining in
+        remaining := !remaining - take;
+        if take > 0 then begin
+          let nbytes = min len (take * Costs.sector) in
+          Bytes.blit data 0 t.medium off nbytes
+        end)
+      fl.segs
+  in
+  List.iter tear t.inflight;
+  t.inflight <- []
+
+let restore_power t = t.powered <- true
+
+let stats t =
+  {
+    reads = t.s_reads;
+    writes = t.s_writes;
+    bytes_read = t.s_bytes_read;
+    bytes_written = t.s_bytes_written;
+    busy_ns = t.s_busy;
+  }
+
+let reset_stats t =
+  t.s_reads <- 0;
+  t.s_writes <- 0;
+  t.s_bytes_read <- 0;
+  t.s_bytes_written <- 0;
+  t.s_busy <- 0

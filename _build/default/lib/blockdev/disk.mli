@@ -1,0 +1,59 @@
+(** Simulated NVMe solid-state disk.
+
+    The device stores real bytes, enforces sector-granularity write
+    atomicity, models command latency ([Costs.disk_base] + transfer time)
+    and limited internal parallelism ([Costs.disk_channels] concurrent
+    commands; further commands queue). A power-failure hook tears writes
+    that are in flight when the crash fires: a prefix of the command's
+    sectors (chosen deterministically from the crash seed) reaches the
+    medium, the rest keep their old contents — exactly the failure model
+    the paper's crash-consistency argument relies on ("disks provide
+    atomicity at the level of individual sectors"). *)
+
+type t
+
+val create : ?name:string -> size:int -> unit -> t
+(** [size] in bytes, rounded up to a whole sector. Contents start zeroed. *)
+
+val size : t -> int
+val name : t -> string
+
+(** {2 IO — block until the command completes (in virtual time)} *)
+
+val write : t -> off:int -> Bytes.t -> unit
+val read : t -> off:int -> len:int -> Bytes.t
+
+val writev : t -> (int * Bytes.t) list -> unit
+(** Scatter/gather write: all segments are issued as one command; latency
+    is one [disk_base] plus the summed transfer time, which is the benefit
+    vectored IO exists to provide. Atomicity is still per-sector, and
+    sectors reach the medium *in segment order* (an ordered SGL): a crash
+    tears the command to a strict prefix. The object store relies on this
+    to append its commit record as the final segment of one command. *)
+
+val flush : t -> unit
+(** Drain the device queue (used by fsync paths). *)
+
+(** {2 Crash injection} *)
+
+val fail_power : t -> torn_seed:int -> unit
+(** Simulate power loss: every in-flight or queued command is torn at a
+    sector boundary chosen from [torn_seed]; subsequent IO raises
+    [Powered_off] until {!restore_power}. *)
+
+val restore_power : t -> unit
+
+exception Powered_off
+
+(** {2 Statistics} *)
+
+type stats = {
+  reads : int;
+  writes : int;
+  bytes_read : int;
+  bytes_written : int;
+  busy_ns : int;  (** Total device-busy time across channels. *)
+}
+
+val stats : t -> stats
+val reset_stats : t -> unit

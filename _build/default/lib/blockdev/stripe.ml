@@ -1,0 +1,121 @@
+module Sched = Msnap_sim.Sched
+module Sync = Msnap_sim.Sync
+module Size = Msnap_util.Size
+
+type t = { disks : Disk.t array; unit_size : int }
+
+let create ?(unit_size = Size.kib 64) disks =
+  if disks = [] then invalid_arg "Stripe.create: no disks";
+  let disks = Array.of_list disks in
+  let sz = Disk.size disks.(0) in
+  Array.iter
+    (fun d ->
+      if Disk.size d <> sz then invalid_arg "Stripe.create: unequal disk sizes")
+    disks;
+  if sz mod unit_size <> 0 then
+    invalid_arg "Stripe.create: disk size not a multiple of the stripe unit";
+  { disks; unit_size }
+
+let size t = Array.fold_left (fun a d -> a + Disk.size d) 0 t.disks
+let unit_size t = t.unit_size
+
+let ndisks t = Array.length t.disks
+
+(* Split [off, len) into (dev, dev_off, seg_off, seg_len) chunks. *)
+let chunks t off len =
+  let rec go acc off len seg_off =
+    if len = 0 then List.rev acc
+    else begin
+      let stripe = off / t.unit_size in
+      let within = off mod t.unit_size in
+      let dev = stripe mod ndisks t in
+      let dev_off = (stripe / ndisks t * t.unit_size) + within in
+      let n = min len (t.unit_size - within) in
+      go ((dev, dev_off, seg_off, n) :: acc) (off + n) (len - n) (seg_off + n)
+    end
+  in
+  go [] off len 0
+
+let check_range t off len =
+  if off < 0 || len < 0 || off + len > size t then
+    invalid_arg
+      (Printf.sprintf "Stripe: IO out of range (off=%d len=%d size=%d)" off len
+         (size t))
+
+(* Run one job per device concurrently; propagate the first failure. *)
+let fanout t per_dev jobs =
+  let launch (dev, job) =
+    if job = [] then None
+    else begin
+      let iv = Sync.Ivar.create () in
+      let run () =
+        let r = try Ok (per_dev t.disks.(dev) job) with e -> Error e in
+        Sync.Ivar.fill iv r
+      in
+      ignore (Sched.spawn ~name:"stripe-io" run);
+      Some iv
+    end
+  in
+  let ivs = List.filter_map launch jobs in
+  let results = List.map Sync.Ivar.read ivs in
+  List.iter (function Error e -> raise e | Ok () -> ()) results
+
+let writev t segs =
+  List.iter (fun (off, d) -> check_range t off (Bytes.length d)) segs;
+  (* Group all chunks by device, preserving order. *)
+  let per_dev = Array.make (ndisks t) [] in
+  List.iter
+    (fun (off, data) ->
+      List.iter
+        (fun (dev, dev_off, seg_off, n) ->
+          per_dev.(dev) <- (dev_off, Bytes.sub data seg_off n) :: per_dev.(dev))
+        (chunks t off (Bytes.length data)))
+    segs;
+  let jobs =
+    List.init (ndisks t) (fun dev -> (dev, List.rev per_dev.(dev)))
+  in
+  fanout t (fun disk segs -> Disk.writev disk segs) jobs
+
+let write t ~off data = writev t [ (off, data) ]
+
+let read t ~off ~len =
+  check_range t off len;
+  let out = Bytes.create len in
+  let per_dev = Array.make (ndisks t) [] in
+  List.iter
+    (fun (dev, dev_off, seg_off, n) ->
+      per_dev.(dev) <- (dev_off, seg_off, n) :: per_dev.(dev))
+    (chunks t off len);
+  let jobs = List.init (ndisks t) (fun dev -> (dev, List.rev per_dev.(dev))) in
+  fanout t
+    (fun disk pieces ->
+      List.iter
+        (fun (dev_off, seg_off, n) ->
+          let b = Disk.read disk ~off:dev_off ~len:n in
+          Bytes.blit b 0 out seg_off n)
+        pieces)
+    jobs;
+  out
+
+let flush t = Array.iter Disk.flush t.disks
+
+let fail_power t ~torn_seed =
+  Array.iteri (fun i d -> Disk.fail_power d ~torn_seed:(torn_seed + i)) t.disks
+
+let restore_power t = Array.iter Disk.restore_power t.disks
+
+let stats t =
+  Array.fold_left
+    (fun (acc : Disk.stats) d ->
+      let s = Disk.stats d in
+      {
+        Disk.reads = acc.reads + s.reads;
+        writes = acc.writes + s.writes;
+        bytes_read = acc.bytes_read + s.bytes_read;
+        bytes_written = acc.bytes_written + s.bytes_written;
+        busy_ns = acc.busy_ns + s.busy_ns;
+      })
+    { Disk.reads = 0; writes = 0; bytes_read = 0; bytes_written = 0; busy_ns = 0 }
+    t.disks
+
+let reset_stats t = Array.iter Disk.reset_stats t.disks

@@ -1,0 +1,33 @@
+(** Striped volume over several disks (RAID-0).
+
+    The paper's testbed stripes two Intel 900P SSDs in 64 KiB blocks; this
+    module reproduces that layout. IO that spans stripe units is split into
+    per-device commands issued concurrently, so large sequential writes see
+    the aggregate bandwidth of the member devices — the effect behind
+    MemSnap beating single-outstanding-IO direct writes at large sizes in
+    Table 6. *)
+
+type t
+
+val create : ?unit_size:int -> Disk.t list -> t
+(** [unit_size] defaults to 64 KiB. Requires at least one disk; all disks
+    must have equal size. *)
+
+val size : t -> int
+val unit_size : t -> int
+
+val write : t -> off:int -> Bytes.t -> unit
+val read : t -> off:int -> len:int -> Bytes.t
+
+val writev : t -> (int * Bytes.t) list -> unit
+(** One vectored command per member device; completes when all devices do. *)
+
+val flush : t -> unit
+
+val fail_power : t -> torn_seed:int -> unit
+val restore_power : t -> unit
+
+val stats : t -> Disk.stats
+(** Aggregated across members. *)
+
+val reset_stats : t -> unit

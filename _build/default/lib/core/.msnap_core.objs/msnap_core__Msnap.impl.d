@@ -1,0 +1,1 @@
+lib/core/msnap.ml: Bytes Hashtbl List Msnap_objstore Msnap_sim Msnap_util Msnap_vm Printf

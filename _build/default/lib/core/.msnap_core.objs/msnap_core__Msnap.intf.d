@@ -1,0 +1,1 @@
+lib/core/msnap.mli: Bytes Msnap_objstore Msnap_vm

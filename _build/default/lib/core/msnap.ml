@@ -1,0 +1,437 @@
+module Sched = Msnap_sim.Sched
+module Sync = Msnap_sim.Sync
+module Costs = Msnap_sim.Costs
+module Metrics = Msnap_sim.Metrics
+module Aspace = Msnap_vm.Aspace
+module Addr = Msnap_vm.Addr
+module Phys = Msnap_vm.Phys
+module Pte = Msnap_vm.Pte
+module Ptloc = Msnap_vm.Ptloc
+module Tlb = Msnap_vm.Tlb
+module Store = Msnap_objstore.Store
+
+exception Property_violation of string
+
+type epoch = int
+
+type entry = {
+  e_vpn : int;
+  e_rel : int;
+  e_page : Phys.page;
+  e_region : region;
+}
+
+and region = {
+  r_name : string;
+  r_va : int;
+  r_len : int;
+  r_obj : Store.obj;
+  r_kernel : t;
+  frames : (int, Phys.page) Hashtbl.t; (* rel page -> shared frame *)
+  populating : (int, Phys.page Sync.Ivar.t) Hashtbl.t;
+      (* busy-page lock: concurrent faults on the same missing page wait
+         for the first to materialize the frame *)
+  mutable r_aspaces : Aspace.t list;
+  tickets : (int, Store.ticket) Hashtbl.t; (* epoch -> in-flight commit *)
+}
+
+and t = {
+  store : Store.t;
+  mutable phys : Phys.t option;
+  mutable aspaces : Aspace.t list;
+  regions : (string, region) Hashtbl.t;
+  dirty : (int, entry list ref) Hashtbl.t; (* thread id -> dirty set *)
+  mutable strict : bool;
+  mutable arena_cursor : int;
+  fault_lock : Sync.Mutex.t;
+      (* Serializes write-fault handling: the COW path blocks (page copy),
+         and two concurrent faults on the same in-flight page must not
+         both duplicate it. Real kernels hold the page busy lock here. *)
+}
+
+type md = region
+
+let init ~store =
+  {
+    store;
+    phys = None;
+    aspaces = [];
+    regions = Hashtbl.create 8;
+    dirty = Hashtbl.create 16;
+    strict = true;
+    arena_cursor = Addr.msnap_base;
+    fault_lock = Sync.Mutex.create ();
+  }
+
+let set_strict t v = t.strict <- v
+
+let kernel_phys t =
+  match t.phys with
+  | Some p -> p
+  | None -> invalid_arg "Msnap: no process attached"
+
+let attach t aspace =
+  (match t.phys with
+  | None -> t.phys <- Some (Aspace.phys aspace)
+  | Some p ->
+    if not (p == Aspace.phys aspace) then
+      invalid_arg "Msnap.attach: address spaces must share physical memory");
+  t.aspaces <- t.aspaces @ [ aspace ]
+
+let default_aspace t =
+  match t.aspaces with
+  | a :: _ -> a
+  | [] -> invalid_arg "Msnap: no process attached"
+
+(* --- dirty set tracking --- *)
+
+let dirty_list t tid =
+  match Hashtbl.find_opt t.dirty tid with
+  | Some l -> l
+  | None ->
+    let l = ref [] in
+    Hashtbl.add t.dirty tid l;
+    l
+
+let track t r ~vpn ~rel page =
+  let tid = Sched.tid_int (Sched.self ()) in
+  if t.strict && page.Phys.owner >= 0 && page.Phys.owner <> tid then
+    raise
+      (Property_violation
+         (Printf.sprintf
+            "region %s page %d: dirtied by thread %d while thread %d's write \
+             is unpersisted"
+            r.r_name rel tid page.Phys.owner));
+  page.Phys.owner <- tid;
+  let l = dirty_list t tid in
+  l := { e_vpn = vpn; e_rel = rel; e_page = page; e_region = r } :: !l
+
+(* The MemSnap write-fault handler: dirty tracking, plus the unified COW
+   path for pages whose μCheckpoint is in flight (§3). Runs under the
+   kernel fault lock; the faulting frame is re-resolved there because a
+   concurrent fault may already have COWed or unprotected the page. *)
+let on_write_fault t r (fault : Aspace.fault) =
+  Sync.Mutex.with_lock t.fault_lock @@ fun () ->
+  let pte = Ptloc.get fault.Aspace.f_loc in
+  let page = Phys.get (kernel_phys t) (Pte.frame pte) in
+  let rel = Aspace.mapping_of_fault_rel_page fault in
+  if Pte.writable pte then
+    (* A concurrent fault already handled this page. *)
+    ()
+  else if page.Phys.ckpt_in_progress then begin
+    (* Redirect the writer (and every other mapping of this frame) to a
+       fresh copy; the original keeps feeding the in-flight IO. *)
+    let copy = Phys.copy_page (kernel_phys t) page in
+    List.iter
+      (fun loc ->
+        Sched.cpu Costs.pte_update;
+        let pte = Ptloc.get loc in
+        Ptloc.set loc (Pte.set_frame pte copy.Phys.frame);
+        Phys.rmap_add copy loc)
+      page.Phys.rmap;
+    page.Phys.rmap <- [];
+    Hashtbl.replace r.frames rel copy;
+    (* Make the faulting PTE writable; other processes keep read-only
+       PTEs so their first store still takes a tracking fault. *)
+    Ptloc.set fault.Aspace.f_loc
+      (Pte.set_writable (Ptloc.get fault.Aspace.f_loc) true);
+    track t r ~vpn:fault.Aspace.f_vpn ~rel copy
+  end
+  else begin
+    (* Plain tracking fault. A page already writable in another process's
+       page table but read-only here means cross-process sharing; track it
+       for this thread unless it is already in an unpersisted set. *)
+    if page.Phys.owner >= 0 && page.Phys.owner <> Sched.tid_int (Sched.self ())
+    then begin
+      if t.strict then
+        raise
+          (Property_violation
+             (Printf.sprintf
+                "region %s page %d: concurrent unpersisted writers" r.r_name rel));
+      (* Relaxed mode (MVCC databases): ride along with the existing
+         owner's dirty entry. *)
+      Ptloc.set fault.Aspace.f_loc
+        (Pte.set_writable (Ptloc.get fault.Aspace.f_loc) true)
+    end
+    else begin
+      Ptloc.set fault.Aspace.f_loc
+        (Pte.set_writable (Ptloc.get fault.Aspace.f_loc) true);
+      track t r ~vpn:fault.Aspace.f_vpn ~rel page
+    end
+  end
+
+(* --- regions --- *)
+
+let region_pager t r =
+  { Aspace.page_in =
+      (fun rel ->
+        match Hashtbl.find_opt r.frames rel with
+        | Some p -> `Page p
+        | None -> (
+          match Hashtbl.find_opt r.populating rel with
+          | Some iv -> `Page (Sync.Ivar.read iv)
+          | None ->
+            let iv = Sync.Ivar.create () in
+            Hashtbl.replace r.populating rel iv;
+            let p = Phys.alloc (kernel_phys t) in
+            (match Store.read_block t.store r.r_obj rel with
+            | Some b ->
+              Sched.cpu (Costs.memcpy Addr.page_size);
+              Bytes.blit b 0 p.Phys.data 0 Addr.page_size
+            | None -> ());
+            Hashtbl.replace r.frames rel p;
+            Hashtbl.remove r.populating rel;
+            Sync.Ivar.fill iv p;
+            `Page p))
+  }
+
+let map_region_into t r aspace =
+  let m =
+    Aspace.map aspace ~name:("msnap:" ^ r.r_name) ~va:r.r_va ~len:r.r_len
+      ~writable:true ~new_pages_writable:false ~pager:(region_pager t r)
+      ~on_write_fault:(on_write_fault t r) ()
+  in
+  ignore m;
+  r.r_aspaces <- r.r_aspaces @ [ aspace ]
+
+let arena_align = 1 lsl 21 (* regions start on 2 MiB boundaries *)
+
+let open_region t ?aspace ~name ~len () =
+  if Hashtbl.mem t.regions name then
+    invalid_arg (Printf.sprintf "Msnap.open_region: %s already open" name);
+  let aspace = match aspace with Some a -> a | None -> default_aspace t in
+  Sched.cpu Costs.syscall;
+  let obj, va, len =
+    match Store.open_obj t.store ~name with
+    | Some obj ->
+      (* Recover: same fixed address, at least the persisted size. *)
+      let va = Store.meta obj in
+      (obj, va, max len (Store.size_bytes obj))
+    | None ->
+      let va = Msnap_util.Bits.round_up t.arena_cursor arena_align in
+      let obj = Store.create t.store ~name ~meta:va () in
+      Store.grow t.store obj ~size_bytes:len;
+      (obj, va, len)
+  in
+  let end_va = Msnap_util.Bits.round_up (va + len) arena_align in
+  if end_va > t.arena_cursor then t.arena_cursor <- end_va;
+  let r =
+    { r_name = name; r_va = va; r_len = Addr.page_align_up len; r_obj = obj;
+      r_kernel = t; frames = Hashtbl.create 256; populating = Hashtbl.create 8;
+      r_aspaces = []; tickets = Hashtbl.create 8 }
+  in
+  Hashtbl.replace t.regions name r;
+  map_region_into t r aspace;
+  r
+
+let map_into t r aspace = map_region_into t r aspace
+
+let addr r = r.r_va
+let length r = r.r_len
+let name r = r.r_name
+let durable_epoch r = Store.epoch r.r_obj
+
+let write t r ~off data =
+  if off < 0 || off + Bytes.length data > r.r_len then
+    invalid_arg "Msnap.write: out of range";
+  ignore t;
+  match r.r_aspaces with
+  | a :: _ -> Aspace.write a ~va:(r.r_va + off) data
+  | [] -> invalid_arg "Msnap.write: region not mapped"
+
+let write_string t r ~off s = write t r ~off (Bytes.of_string s)
+
+let read t r ~off ~len =
+  if off < 0 || off + len > r.r_len then invalid_arg "Msnap.read: out of range";
+  ignore t;
+  match r.r_aspaces with
+  | a :: _ -> Aspace.read a ~va:(r.r_va + off) ~len
+  | [] -> invalid_arg "Msnap.read: region not mapped"
+
+(* --- persist --- *)
+
+(* Reset tracking for the taken entries: flag pages in-progress and flip
+   every PTE mapping them back to read-only, straight from the recorded
+   locations (trace buffer), then one shootdown per address space. *)
+let reset_tracking t entries =
+  ignore t;
+  let by_aspace = Hashtbl.create 4 in
+  List.iter
+    (fun e ->
+      e.e_page.Phys.ckpt_in_progress <- true;
+      e.e_page.Phys.owner <- -1;
+      List.iter
+        (fun loc ->
+          Sched.cpu Costs.pte_update;
+          Ptloc.set loc (Pte.set_writable (Ptloc.get loc) false))
+        e.e_page.Phys.rmap;
+      List.iter
+        (fun a ->
+          let l =
+            match Hashtbl.find_opt by_aspace (Aspace.name a) with
+            | Some l -> l
+            | None ->
+              let l = ref (a, []) in
+              Hashtbl.add by_aspace (Aspace.name a) l;
+              l
+          in
+          let a', vpns = !l in
+          l := (a', e.e_vpn :: vpns))
+        e.e_region.r_aspaces)
+    entries;
+  (* One shootdown round covers all CPUs; invalidate each TLB. *)
+  let charged = ref false in
+  Hashtbl.iter
+    (fun _ l ->
+      let a, vpns = !l in
+      if not !charged then begin
+        charged := true;
+        Aspace.shootdown a vpns
+      end
+      else List.iter (Tlb.invalidate_page (Aspace.tlb a)) vpns)
+    by_aspace
+
+(* Completion: once the μCheckpoint is durable, clear the in-progress
+   flags and free frames that a concurrent COW orphaned. *)
+let complete_entries t entries =
+  let phys = kernel_phys t in
+  List.iter
+    (fun e ->
+      e.e_page.Phys.ckpt_in_progress <- false;
+      if e.e_page.Phys.rmap = [] then begin
+        match Hashtbl.find_opt e.e_region.frames e.e_rel with
+        | Some p when p == e.e_page -> () (* still the live frame *)
+        | _ -> Phys.free phys e.e_page
+      end)
+    entries
+
+let take_entries t ~scope ~region =
+  let in_scope e =
+    match region with None -> true | Some r -> e.e_region == r
+  in
+  let tids =
+    match scope with
+    | `Thread -> [ Sched.tid_int (Sched.self ()) ]
+    | `Global -> Hashtbl.fold (fun tid _ acc -> tid :: acc) t.dirty []
+  in
+  List.concat_map
+    (fun tid ->
+      match Hashtbl.find_opt t.dirty tid with
+      | None -> []
+      | Some l ->
+        let taken, kept = List.partition in_scope !l in
+        l := kept;
+        taken)
+    tids
+
+let persist t ?region ?(mode = `Sync) ?(scope = `Thread) () =
+  Sched.with_bucket "memsnap" (fun () ->
+      Sched.cpu Costs.syscall;
+      Metrics.incr "msnap_persist";
+      let t0 = Sched.now () in
+      let entries = take_entries t ~scope ~region in
+      reset_tracking t entries;
+      Metrics.add_sample "msnap_persist.reset" (Sched.now () - t0);
+      (* Group by region and commit each group as one μCheckpoint. *)
+      let by_region = Hashtbl.create 4 in
+      let regions_in_order = ref [] in
+      List.iter
+        (fun e ->
+          match Hashtbl.find_opt by_region e.e_region.r_name with
+          | Some l -> l := e :: !l
+          | None ->
+            Hashtbl.add by_region e.e_region.r_name (ref [ e ]);
+            regions_in_order := e.e_region :: !regions_in_order)
+        entries;
+      let t1 = Sched.now () in
+      let commits =
+        List.map
+          (fun r ->
+            let es = !(Hashtbl.find by_region r.r_name) in
+            let pages = List.map (fun e -> (e.e_rel, e.e_page.Phys.data)) es in
+            let ep, ticket = Store.commit_async t.store r.r_obj pages in
+            Hashtbl.replace r.tickets ep ticket;
+            (r, ep, ticket, es))
+          (List.rev !regions_in_order)
+      in
+      Metrics.add_sample "msnap_persist.initiate" (Sched.now () - t1);
+      let result_epoch =
+        match region with
+        | Some r -> (
+          match List.find_opt (fun (r', _, _, _) -> r' == r) commits with
+          | Some (_, ep, _, _) -> ep
+          | None -> durable_epoch r)
+        | None ->
+          List.fold_left (fun acc (_, ep, _, _) -> max acc ep) 0 commits
+      in
+      let finish () =
+        List.iter
+          (fun (r, ep, ticket, es) ->
+            (match Store.wait ticket with
+            | () -> Hashtbl.remove r.tickets ep
+            | exception exn ->
+              (* Keep the ticket so msnap_wait observes the failure. *)
+              complete_entries t es;
+              raise exn);
+            complete_entries t es)
+          commits
+      in
+      (match mode with
+      | `Sync ->
+        let t2 = Sched.now () in
+        finish ();
+        Metrics.add_sample "msnap_persist.wait" (Sched.now () - t2)
+      | `Async ->
+        if commits <> [] then
+          ignore
+            (Sched.spawn ~name:"msnap-complete" (fun () ->
+                 try finish () with _ -> ())));
+      Metrics.add_sample "msnap_persist.total" (Sched.now () - t0);
+      result_epoch)
+
+let wait t r epoch =
+  ignore t;
+  Sched.cpu Costs.syscall;
+  Metrics.incr "msnap_wait";
+  let rec loop () =
+    if durable_epoch r < epoch then begin
+      (* Find the smallest in-flight epoch that covers the request. *)
+      let best =
+        Hashtbl.fold
+          (fun ep ticket acc ->
+            if ep >= epoch then
+              match acc with
+              | Some (ep', _) when ep' <= ep -> acc
+              | _ -> Some (ep, ticket)
+            else acc)
+          r.tickets None
+      in
+      match best with
+      | Some (_, ticket) ->
+        Store.wait ticket;
+        loop ()
+      | None ->
+        invalid_arg
+          (Printf.sprintf "Msnap.wait: epoch %d of region %s was never issued"
+             epoch r.r_name)
+    end
+  in
+  loop ()
+
+(* --- introspection --- *)
+
+let dirty_count t =
+  match Hashtbl.find_opt t.dirty (Sched.tid_int (Sched.self ())) with
+  | Some l -> List.length !l
+  | None -> 0
+
+let dirty_count_of_region t r =
+  Hashtbl.fold
+    (fun _ l acc ->
+      acc + List.length (List.filter (fun e -> e.e_region == r) !l))
+    t.dirty 0
+
+let tracked_threads t =
+  Hashtbl.fold (fun _ l acc -> if !l <> [] then acc + 1 else acc) t.dirty 0
+
+let region_by_name t name = Hashtbl.find_opt t.regions name

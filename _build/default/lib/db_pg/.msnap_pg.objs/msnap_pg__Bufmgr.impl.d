@@ -1,0 +1,1 @@
+lib/db_pg/bufmgr.ml: Bytes Hashtbl List Msnap_sim

@@ -1,0 +1,1 @@
+lib/db_pg/bufmgr.mli: Bytes

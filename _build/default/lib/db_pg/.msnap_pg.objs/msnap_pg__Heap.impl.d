@@ -1,0 +1,1 @@
+lib/db_pg/heap.ml: Bufmgr Bytes Int32 Msnap_sim Storage String

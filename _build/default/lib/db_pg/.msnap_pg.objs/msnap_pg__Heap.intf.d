@@ -1,0 +1,1 @@
+lib/db_pg/heap.mli: Storage

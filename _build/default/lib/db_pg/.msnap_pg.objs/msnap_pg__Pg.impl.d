@@ -1,0 +1,1 @@
+lib/db_pg/pg.ml: Hashtbl Heap List Msnap_sim Option Storage

@@ -1,0 +1,1 @@
+lib/db_pg/storage.ml: Bufmgr Bytes Hashtbl Msnap_core Msnap_fs Msnap_sim Msnap_util Msnap_vm

@@ -1,0 +1,1 @@
+lib/db_pg/storage.mli: Bytes Msnap_core Msnap_fs Msnap_vm

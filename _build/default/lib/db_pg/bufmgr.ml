@@ -1,0 +1,96 @@
+module Sched = Msnap_sim.Sched
+module Costs = Msnap_sim.Costs
+
+let block_size = 8192
+
+type smgr = {
+  s_label : string;
+  s_read : rel:string -> blockno:int -> Bytes.t;
+  s_write : rel:string -> blockno:int -> Bytes.t -> unit;
+  s_flush : rel:string -> unit;
+}
+
+type buf = {
+  b_rel : string;
+  b_blockno : int;
+  b_data : Bytes.t;
+  mutable b_dirty : bool;
+  mutable b_usage : int;
+}
+
+type t = {
+  smgr : smgr;
+  buffers : (string * int, buf) Hashtbl.t;
+  capacity : int;
+  mutable clock : (string * int) list; (* crude sweep order: insertion *)
+}
+
+let create ?(nbuffers = 2048) smgr =
+  { smgr; buffers = Hashtbl.create nbuffers; capacity = nbuffers; clock = [] }
+
+let smgr_label t = t.smgr.s_label
+
+let evict_one t =
+  (* Clock sweep: decrement usage along the ring; evict the first zero. *)
+  let rec sweep passes = function
+    | [] -> if passes < 2 then sweep (passes + 1) t.clock else ()
+    | key :: rest -> (
+      match Hashtbl.find_opt t.buffers key with
+      | None ->
+        t.clock <- List.filter (fun k -> k <> key) t.clock;
+        sweep passes rest
+      | Some b ->
+        if b.b_usage > 0 then begin
+          b.b_usage <- b.b_usage - 1;
+          sweep passes rest
+        end
+        else begin
+          if b.b_dirty then begin
+            t.smgr.s_write ~rel:b.b_rel ~blockno:b.b_blockno b.b_data;
+            b.b_dirty <- false
+          end;
+          Hashtbl.remove t.buffers key;
+          t.clock <- List.filter (fun k -> k <> key) t.clock
+        end)
+  in
+  sweep 0 t.clock
+
+let read_buffer t ~rel ~blockno =
+  Sched.cpu Costs.buffer_cache_lookup;
+  let key = (rel, blockno) in
+  match Hashtbl.find_opt t.buffers key with
+  | Some b ->
+    b.b_usage <- min 5 (b.b_usage + 1);
+    b.b_data
+  | None ->
+    if Hashtbl.length t.buffers >= t.capacity then evict_one t;
+    let data = t.smgr.s_read ~rel ~blockno in
+    let b = { b_rel = rel; b_blockno = blockno; b_data = data; b_dirty = false; b_usage = 1 } in
+    Hashtbl.replace t.buffers key b;
+    t.clock <- key :: t.clock;
+    b.b_data
+
+let mark_dirty t ~rel ~blockno =
+  match Hashtbl.find_opt t.buffers (rel, blockno) with
+  | Some b -> b.b_dirty <- true
+  | None -> ()
+
+let flush_rel t ~rel =
+  Hashtbl.iter
+    (fun _ b ->
+      if b.b_dirty && b.b_rel = rel then begin
+        t.smgr.s_write ~rel:b.b_rel ~blockno:b.b_blockno b.b_data;
+        b.b_dirty <- false
+      end)
+    t.buffers;
+  t.smgr.s_flush ~rel
+
+let flush_all t =
+  let rels = Hashtbl.create 8 in
+  Hashtbl.iter (fun (rel, _) _ -> Hashtbl.replace rels rel ()) t.buffers;
+  Hashtbl.iter (fun rel () -> flush_rel t ~rel) rels
+
+let dirty_count t =
+  Hashtbl.fold (fun _ b acc -> if b.b_dirty then acc + 1 else acc) t.buffers 0
+
+let resident t = Hashtbl.length t.buffers

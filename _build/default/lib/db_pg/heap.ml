@@ -1,0 +1,116 @@
+let bs = Bufmgr.block_size
+let slot_base = 8
+let tuple_header = 10
+
+module Sync = Msnap_sim.Sync
+
+type t = {
+  st : Storage.t;
+  rel : string;
+  mutable hblocks : int; (* blocks in use; block [hblocks-1] is the tail *)
+  insert_lock : Sync.Mutex.t;
+      (* Slot allocation spans several storage operations (each a
+         scheduling point); inserts into one relation serialize the way
+         PostgreSQL's buffer content locks do. *)
+}
+
+type tid = int * int
+
+let create st ~rel =
+  { st; rel; hblocks = 0; insert_lock = Sync.Mutex.create () }
+
+let read_u16 t ~blockno ~off =
+  Bytes.get_uint16_le (Storage.read t.st ~rel:t.rel ~blockno ~off ~len:2) 0
+
+let read_u32 t ~blockno ~off =
+  Int32.to_int (Bytes.get_int32_le (Storage.read t.st ~rel:t.rel ~blockno ~off ~len:4) 0)
+  land 0xffffffff
+
+let write_u16 t ~blockno ~off v =
+  let b = Bytes.create 2 in
+  Bytes.set_uint16_le b 0 v;
+  Storage.write t.st ~rel:t.rel ~blockno ~off b
+
+let write_u32 t ~blockno ~off v =
+  let b = Bytes.create 4 in
+  Bytes.set_int32_le b 0 (Int32.of_int v);
+  Storage.write t.st ~rel:t.rel ~blockno ~off b
+
+let block_meta t blockno =
+  let nitems = read_u16 t ~blockno ~off:0 in
+  let content = read_u16 t ~blockno ~off:2 in
+  let content = if nitems = 0 && content = 0 then bs else content in
+  (nitems, content)
+
+let free_space ~nitems ~content = content - (slot_base + (2 * nitems))
+
+let insert t ~xmin data =
+  let need = tuple_header + String.length data in
+  if need + 2 > bs - slot_base then invalid_arg "Heap.insert: tuple too large";
+  Sync.Mutex.with_lock t.insert_lock @@ fun () ->
+  let blockno =
+    if t.hblocks = 0 then begin
+      t.hblocks <- 1;
+      0
+    end
+    else begin
+      let tail = t.hblocks - 1 in
+      let nitems, content = block_meta t tail in
+      if free_space ~nitems ~content >= need + 2 then tail
+      else begin
+        t.hblocks <- t.hblocks + 1;
+        t.hblocks - 1
+      end
+    end
+  in
+  let nitems, content = block_meta t blockno in
+  let off = content - need in
+  let slot = nitems in
+  (* Tuple body, then slot pointer, then header — three small writes, the
+     realistic dirtying pattern for WAL and page tracking. *)
+  let tuple = Bytes.create need in
+  Bytes.set_int32_le tuple 0 (Int32.of_int xmin);
+  Bytes.set_int32_le tuple 4 0l;
+  Bytes.set_uint16_le tuple 8 (String.length data);
+  Bytes.blit_string data 0 tuple tuple_header (String.length data);
+  Storage.write t.st ~rel:t.rel ~blockno ~off tuple;
+  write_u16 t ~blockno ~off:(slot_base + (2 * slot)) off;
+  write_u16 t ~blockno ~off:0 (nitems + 1);
+  write_u16 t ~blockno ~off:2 off;
+  (blockno, slot)
+
+let tuple_off t (blockno, slot) =
+  let nitems = read_u16 t ~blockno ~off:0 in
+  if blockno >= t.hblocks || slot >= nitems then None
+  else Some (read_u16 t ~blockno ~off:(slot_base + (2 * slot)))
+
+let fetch t tid =
+  match tuple_off t tid with
+  | None -> None
+  | Some off ->
+    let blockno = fst tid in
+    let xmin = read_u32 t ~blockno ~off in
+    let xmax = read_u32 t ~blockno ~off:(off + 4) in
+    let len = read_u16 t ~blockno ~off:(off + 8) in
+    let data =
+      Bytes.to_string
+        (Storage.read t.st ~rel:t.rel ~blockno ~off:(off + tuple_header) ~len)
+    in
+    Some (xmin, xmax, data)
+
+let set_xmax t tid xmax =
+  match tuple_off t tid with
+  | None -> invalid_arg "Heap.set_xmax: bad tid"
+  | Some off -> write_u32 t ~blockno:(fst tid) ~off:(off + 4) xmax
+
+let nblocks t = t.hblocks
+
+let iter_block t blockno f =
+  if blockno < t.hblocks then begin
+    let nitems = read_u16 t ~blockno ~off:0 in
+    for slot = 0 to nitems - 1 do
+      match fetch t (blockno, slot) with
+      | Some (xmin, xmax, data) -> f (blockno, slot) xmin xmax data
+      | None -> ()
+    done
+  end

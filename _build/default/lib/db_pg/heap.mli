@@ -1,0 +1,32 @@
+(** MVCC heap relations: append-only tuple storage in 8 KiB blocks.
+
+    Tuples carry [xmin]/[xmax] transaction ids, PostgreSQL-style: an update
+    never modifies a version in place — it stamps [xmax] on the old tuple
+    and appends a new one. That append-only discipline is what makes the
+    §7.3 MemSnap integration sound (properties ② and ③): flushing a page
+    that carries another transaction's uncommitted appended tuple cannot
+    corrupt anything.
+
+    Block layout: [u16 nitems | u16 content_start | pad | slot offsets
+    (u16 each from byte 8) | free | tuples growing down from the tail].
+    Tuple: [u32 xmin | u32 xmax | u16 len | data]. *)
+
+type t
+
+type tid = int * int
+(** (block number, slot). *)
+
+val create : Storage.t -> rel:string -> t
+
+val insert : t -> xmin:int -> string -> tid
+
+val fetch : t -> tid -> (int * int * string) option
+(** [(xmin, xmax, data)]; [None] for an invalid tid. [xmax = 0] = live. *)
+
+val set_xmax : t -> tid -> int -> unit
+(** Stamp the deleting/updating transaction id on a version. *)
+
+val nblocks : t -> int
+
+val iter_block : t -> int -> (tid -> int -> int -> string -> unit) -> unit
+(** Visit every tuple of one block as [(tid, xmin, xmax, data)]. *)

@@ -1,0 +1,198 @@
+module Fs = Msnap_fs.Fs
+module Aspace = Msnap_vm.Aspace
+module Msnap = Msnap_core.Msnap
+module Sched = Msnap_sim.Sched
+module Costs = Msnap_sim.Costs
+module Metrics = Msnap_sim.Metrics
+module Size = Msnap_util.Size
+
+let rel_block_limit = 4096 (* 32 MiB per relation *)
+let bs = Bufmgr.block_size
+let wal_record_header = 64
+let mmap_arena = 0x6000 lsl 32
+
+type wal = {
+  w_fs : Fs.t;
+  w_file : Fs.file;
+  mutable w_off : int;
+  (* Blocks whose full image was already logged since the last
+     checkpoint: the full_page_writes bookkeeping. *)
+  fpw : (string * int, unit) Hashtbl.t;
+  ckpt_bytes : int;
+}
+
+let wal_create fs ckpt_bytes =
+  { w_fs = fs; w_file = Fs.open_file fs "pg_wal"; w_off = 0;
+    fpw = Hashtbl.create 1024; ckpt_bytes }
+
+let wal_append w ~rel ~blockno ~len =
+  let image =
+    if Hashtbl.mem w.fpw (rel, blockno) then 0
+    else begin
+      Hashtbl.replace w.fpw (rel, blockno) ();
+      bs (* first touch since checkpoint: log the whole block *)
+    end
+  in
+  let rec_len = wal_record_header + len + image in
+  Metrics.timed "write" (fun () ->
+      Fs.write w.w_fs w.w_file ~off:w.w_off (Bytes.create rec_len));
+  w.w_off <- w.w_off + rec_len
+
+let wal_commit w =
+  Metrics.timed "fsync" (fun () -> Fs.fdatasync w.w_fs w.w_file)
+
+let wal_reset_after_checkpoint w =
+  Hashtbl.reset w.fpw;
+  Fs.truncate w.w_fs w.w_file 0;
+  w.w_off <- 0
+
+type mapped_state = {
+  m_fs : Fs.t;
+  m_aspace : Aspace.t;
+  m_wal : wal;
+  m_rels : (string, int * Fs.file) Hashtbl.t; (* rel -> (va, file) *)
+  mutable next_va : int;
+  buffer_copies : bool; (* ffs-mmap pins/copies through buffer pages *)
+}
+
+type variant =
+  | Buffered of { buf : Bufmgr.t; wal : wal }
+  | Mapped of mapped_state
+  | Region of { k : Msnap.t; create_lock : Msnap_sim.Sync.Mutex.t }
+
+type t = { v : variant; vlabel : string }
+
+let label t = t.vlabel
+
+let file_smgr fs =
+  {
+    Bufmgr.s_label = "file";
+    s_read =
+      (fun ~rel ~blockno ->
+        let f = Fs.open_file fs ("pg/" ^ rel) in
+        if (blockno + 1) * bs <= Fs.size fs f then
+          Metrics.timed "read" (fun () -> Fs.read fs f ~off:(blockno * bs) ~len:bs)
+        else Bytes.make bs '\000');
+    s_write =
+      (fun ~rel ~blockno b ->
+        let f = Fs.open_file fs ("pg/" ^ rel) in
+        Metrics.timed "write" (fun () -> Fs.write fs f ~off:(blockno * bs) b));
+    s_flush =
+      (fun ~rel ->
+        let f = Fs.open_file fs ("pg/" ^ rel) in
+        Metrics.timed "fsync" (fun () -> Fs.fsync fs f));
+  }
+
+let ffs fs ?(wal_checkpoint_bytes = Size.mib 2) () =
+  { v = Buffered { buf = Bufmgr.create (file_smgr fs); wal = wal_create fs wal_checkpoint_bytes };
+    vlabel = "ffs" }
+
+let mapped fs aspace ~buffer_copies ~label ~wal_checkpoint_bytes =
+  { v =
+      Mapped
+        { m_fs = fs; m_aspace = aspace; m_wal = wal_create fs wal_checkpoint_bytes;
+          m_rels = Hashtbl.create 8; next_va = mmap_arena; buffer_copies };
+    vlabel = label }
+
+let ffs_mmap fs aspace ?(wal_checkpoint_bytes = Size.mib 2) () =
+  mapped fs aspace ~buffer_copies:true ~label:"ffs-mmap" ~wal_checkpoint_bytes
+
+let ffs_mmap_bufdirect fs aspace ?(wal_checkpoint_bytes = Size.mib 2) () =
+  mapped fs aspace ~buffer_copies:false ~label:"ffs-mmap-bd" ~wal_checkpoint_bytes
+
+let memsnap k =
+  (* PostgreSQL's MVCC lets one transaction flush pages carrying another's
+     uncommitted appended tuples (§7.3 properties ② and ③), so strict
+     per-thread exclusivity checking is off for this integration. *)
+  Msnap.set_strict k false;
+  { v = Region { k; create_lock = Msnap_sim.Sync.Mutex.create () };
+    vlabel = "memsnap" }
+
+(* Fixed mapping address of a relation in the mmap variants; the file is
+   mapped on first touch. *)
+let rel_va m ~rel =
+  match Hashtbl.find_opt m.m_rels rel with
+  | Some (va, _) -> va
+  | None ->
+    let f = Fs.open_file m.m_fs ("pg/" ^ rel) in
+    let va = m.next_va in
+    m.next_va <- va + (rel_block_limit * bs);
+    ignore (Fs.mmap m.m_fs f m.m_aspace ~va ~len:(rel_block_limit * bs));
+    Hashtbl.replace m.m_rels rel (va, f);
+    va
+
+let region_of ~(k : Msnap.t) ~create_lock ~rel =
+  match Msnap.region_by_name k ("pg/" ^ rel) with
+  | Some md -> md
+  | None ->
+    (* Region creation allocates the fixed arena address and runs store
+       IO; serialize concurrent first-touches of the same relation. *)
+    Msnap_sim.Sync.Mutex.with_lock create_lock (fun () ->
+        match Msnap.region_by_name k ("pg/" ^ rel) with
+        | Some md -> md
+        | None ->
+          Msnap.open_region k ~name:("pg/" ^ rel) ~len:(rel_block_limit * bs) ())
+
+let check_block blockno =
+  if blockno < 0 || blockno >= rel_block_limit then
+    invalid_arg "Storage: block out of range"
+
+let read t ~rel ~blockno ~off ~len =
+  check_block blockno;
+  match t.v with
+  | Buffered { buf; _ } ->
+    let b = Bufmgr.read_buffer buf ~rel ~blockno in
+    Sched.cpu (Costs.memcpy len);
+    Bytes.sub b off len
+  | Mapped m ->
+    let va = rel_va m ~rel in
+    Aspace.read m.m_aspace ~va:(va + (blockno * bs) + off) ~len
+  | Region { k; create_lock } ->
+    let md = region_of ~k ~create_lock ~rel in
+    Msnap.read k md ~off:((blockno * bs) + off) ~len
+
+let write t ~rel ~blockno ~off data =
+  check_block blockno;
+  let len = Bytes.length data in
+  match t.v with
+  | Buffered { buf; wal } ->
+    let b = Bufmgr.read_buffer buf ~rel ~blockno in
+    Sched.cpu (Costs.memcpy len);
+    Bytes.blit data 0 b off len;
+    Bufmgr.mark_dirty buf ~rel ~blockno;
+    wal_append wal ~rel ~blockno ~len
+  | Mapped m ->
+    let va = rel_va m ~rel in
+    if m.buffer_copies then
+      (* ffs-mmap: the write is staged through a buffer page first. *)
+      Sched.cpu (Costs.buffer_cache_lookup + Costs.memcpy len);
+    Aspace.write m.m_aspace ~va:(va + (blockno * bs) + off) data;
+    wal_append m.m_wal ~rel ~blockno ~len
+  | Region { k; create_lock } ->
+    let md = region_of ~k ~create_lock ~rel in
+    Msnap.write k md ~off:((blockno * bs) + off) data
+
+let commit t =
+  match t.v with
+  | Buffered { wal; _ } -> wal_commit wal
+  | Mapped m -> wal_commit m.m_wal
+  | Region { k; _ } ->
+    Metrics.timed "memsnap" (fun () -> ignore (Msnap.persist k ()))
+
+let checkpoint_tick t =
+  match t.v with
+  | Buffered { buf; wal } ->
+    if wal.w_off >= wal.ckpt_bytes then begin
+      Metrics.incr "pg_checkpoint";
+      Bufmgr.flush_all buf;
+      wal_commit wal;
+      wal_reset_after_checkpoint wal
+    end
+  | Mapped m ->
+    if m.m_wal.w_off >= m.m_wal.ckpt_bytes then begin
+      Metrics.incr "pg_checkpoint";
+      Hashtbl.iter (fun _ (_, f) -> Fs.msync m.m_fs f) m.m_rels;
+      wal_commit m.m_wal;
+      wal_reset_after_checkpoint m.m_wal
+    end
+  | Region _ -> ()

@@ -1,0 +1,1 @@
+lib/db_rocks/lsm.ml: Hashtbl List Msnap_fs Msnap_sim Option Printf Sstable

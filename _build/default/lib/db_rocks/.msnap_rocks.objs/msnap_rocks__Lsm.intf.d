@@ -1,0 +1,1 @@
+lib/db_rocks/lsm.mli: Msnap_fs

@@ -1,0 +1,1 @@
+lib/db_rocks/pskiplist.ml: Array Bytes Int32 List Map Msnap_sim Msnap_util String

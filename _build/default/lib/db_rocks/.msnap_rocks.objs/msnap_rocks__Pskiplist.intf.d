@@ -1,0 +1,1 @@
+lib/db_rocks/pskiplist.mli: Bytes

@@ -1,0 +1,1 @@
+lib/db_rocks/rocks.ml: Bytes Hashtbl List Lsm Msnap_aurora Msnap_core Msnap_fs Msnap_sim Pskiplist Skiplist String

@@ -1,0 +1,1 @@
+lib/db_rocks/rocks.mli: Msnap_aurora Msnap_core Msnap_fs

@@ -1,0 +1,1 @@
+lib/db_rocks/skiplist.ml: Array Msnap_sim Msnap_util String

@@ -1,0 +1,1 @@
+lib/db_rocks/sstable.ml: Array Buffer Bytes List Msnap_fs String

@@ -1,0 +1,1 @@
+lib/db_rocks/sstable.mli: Msnap_fs

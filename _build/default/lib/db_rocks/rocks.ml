@@ -1,0 +1,275 @@
+module Fs = Msnap_fs.Fs
+module Msnap = Msnap_core.Msnap
+module Aurora = Msnap_aurora.Aurora
+module Sync = Msnap_sim.Sync
+module Metrics = Msnap_sim.Metrics
+
+type backend =
+  | Baseline of Msnap_fs.Fs.t
+  | Memsnap of Msnap_core.Msnap.t
+  | Aurora of Msnap_aurora.Aurora.Kernel.t
+
+type config = {
+  memtable_flush_bytes : int;
+  region_pages : int;
+}
+
+let default_config =
+  { memtable_flush_bytes = 4 * 1024 * 1024; region_pages = 65536 }
+
+let wal_record_header = 24
+let aurora_region_base = 0x5800 lsl 32
+
+(* MemTable entries carry a tag so deletes can flow into SSTable
+   tombstones: 'V' value, 'D' delete. *)
+let enc_value v = "V" ^ v
+let enc_tombstone = "D"
+
+let dec = function
+  | "" -> None
+  | s -> if s.[0] = 'V' then Some (String.sub s 1 (String.length s - 1)) else None
+
+type baseline_state = {
+  fs : Fs.t;
+  wal : Fs.file;
+  mutable wal_size : int;
+  memtable : Skiplist.t;
+  lsm : Lsm.t;
+  lock : Sync.Mutex.t;
+  flush_bytes : int;
+  mutable n_flushes : int;
+  (* RocksDB-style write groups: concurrent committers queue and a leader
+     performs one WAL append + fsync for the whole group. *)
+  mutable wg_queue : ((string * string) list * unit Sync.Ivar.t) list;
+  mutable wg_leader_active : bool;
+}
+
+type region_state = {
+  ps : Pskiplist.t;
+  plabel : string;
+}
+
+type state =
+  | B of baseline_state
+  | R of region_state
+
+type t = { st : state; db_name : string }
+
+let region_ops_of_msnap k md =
+  {
+    Pskiplist.ro_write = (fun ~off b -> Msnap.write k md ~off b);
+    ro_read = (fun ~off ~len -> Msnap.read k md ~off ~len);
+    ro_persist =
+      (fun () ->
+        Metrics.timed "memsnap" (fun () ->
+            ignore (Msnap.persist k ~region:md ())));
+    ro_pages = Msnap.length md / 4096;
+  }
+
+let region_ops_of_aurora r =
+  {
+    Pskiplist.ro_write = (fun ~off b -> Aurora.Region.write r ~off b);
+    ro_read = (fun ~off ~len -> Aurora.Region.read r ~off ~len);
+    ro_persist =
+      (fun () -> Metrics.timed "checkpoint" (fun () -> Aurora.Region.checkpoint r));
+    ro_pages = Aurora.Region.length r / 4096;
+  }
+
+let open_state ~recovering ?(config = default_config) backend ~name =
+  match backend with
+  | Baseline fs ->
+    B
+      {
+        fs;
+        wal = Fs.open_file fs (name ^ ".wal");
+        wal_size = 0;
+        memtable = Skiplist.create ();
+        lsm = Lsm.create fs ~name;
+        lock = Sync.Mutex.create ();
+        flush_bytes = config.memtable_flush_bytes;
+        n_flushes = 0;
+        wg_queue = [];
+        wg_leader_active = false;
+      }
+  | Memsnap k ->
+    let md =
+      Msnap.open_region k ~name:("rocks/" ^ name)
+        ~len:(config.region_pages * 4096) ()
+    in
+    let ops = region_ops_of_msnap k md in
+    let ps = if recovering then Pskiplist.recover ops else Pskiplist.create ops in
+    R { ps; plabel = "memsnap" }
+  | Aurora k ->
+    let r =
+      Aurora.Region.create k ~name:("rocks/" ^ name) ~va:aurora_region_base
+        ~len:(config.region_pages * 4096)
+    in
+    let ops = region_ops_of_aurora r in
+    let ps = if recovering then Pskiplist.recover ops else Pskiplist.create ops in
+    R { ps; plabel = "aurora" }
+
+let open_db ?config backend ~name =
+  { st = open_state ~recovering:false ?config backend ~name; db_name = name }
+
+let recover ?config backend ~name =
+  match backend with
+  | Baseline _ ->
+    invalid_arg "Rocks.recover: baseline recovery (WAL replay) not modelled"
+  | Memsnap _ | Aurora _ ->
+    { st = open_state ~recovering:true ?config backend ~name; db_name = name }
+
+(* --- baseline paths --- *)
+
+let record_serialize_cost = 350
+
+let wal_append b pairs =
+  let module Sched = Msnap_sim.Sched in
+  List.iter
+    (fun (k, v) ->
+      let len = wal_record_header + String.length k + String.length v in
+      (* Serializing the record is userspace "Log" work; the write and the
+         fsync are kernel time (the Table 1 split). *)
+      Sched.with_bucket "log" (fun () -> Sched.cpu record_serialize_cost);
+      Sched.with_bucket "write" (fun () ->
+          Metrics.timed "write" (fun () ->
+              Fs.write b.fs b.wal ~off:b.wal_size (Bytes.create len)));
+      b.wal_size <- b.wal_size + len)
+    pairs;
+  Msnap_sim.Sched.with_bucket "fsync" (fun () ->
+      Metrics.timed "fsync" (fun () -> Fs.fdatasync b.fs b.wal))
+
+let maybe_flush b =
+  if Skiplist.approximate_bytes b.memtable >= b.flush_bytes then begin
+    b.n_flushes <- b.n_flushes + 1;
+    Metrics.incr "memtable_flush";
+    let pairs = ref [] in
+    (* Include tombstones: walk raw entries via iter (live) is not
+       enough, so decode from the tagged values. *)
+    Skiplist.iter b.memtable (fun k tagged ->
+        let v = if tagged = enc_tombstone then None else dec tagged in
+        pairs := (k, v) :: !pairs);
+    Lsm.add_run b.lsm (List.rev !pairs);
+    Skiplist.clear b.memtable;
+    Fs.truncate b.fs b.wal 0;
+    Metrics.timed "fsync" (fun () -> Fs.fdatasync b.fs b.wal);
+    b.wal_size <- 0
+  end
+
+(* Write-group commit: enqueue; the first arrival leads, draining the
+   queue with one WAL append + fsync per round. *)
+let rec wg_drain b =
+  match b.wg_queue with
+  | [] -> b.wg_leader_active <- false
+  | batch ->
+    b.wg_queue <- [];
+    let batch = List.rev batch in
+    let records = List.concat_map (fun (pairs, _) -> pairs) batch in
+    Sync.Mutex.with_lock b.lock (fun () ->
+        wal_append b records;
+        List.iter
+          (fun (k, v) -> Skiplist.insert b.memtable ~key:k ~value:v)
+          records;
+        maybe_flush b);
+    List.iter (fun (_, iv) -> Sync.Ivar.fill iv ()) batch;
+    wg_drain b
+
+let baseline_put_tagged b tagged_pairs =
+  let iv = Sync.Ivar.create () in
+  b.wg_queue <- (tagged_pairs, iv) :: b.wg_queue;
+  if not b.wg_leader_active then begin
+    b.wg_leader_active <- true;
+    wg_drain b
+  end;
+  Sync.Ivar.read iv
+
+let baseline_put_batch b pairs =
+  baseline_put_tagged b (List.map (fun (k, v) -> (k, enc_value v)) pairs)
+
+let baseline_delete b key = baseline_put_tagged b [ (key, enc_tombstone) ]
+
+let baseline_get b key =
+  match Skiplist.find b.memtable key with
+  | Some tagged -> if tagged = enc_tombstone then None else dec tagged
+  | None -> (
+    match Lsm.get b.lsm key with
+    | None -> None
+    | Some None -> None
+    | Some (Some v) -> Some v)
+
+let baseline_seek b key ~n =
+  (* Merge the MemTable window with the LSM window, MemTable winning. *)
+  let tbl = Hashtbl.create 64 in
+  let taken = ref 0 in
+  Skiplist.iter_from b.memtable key (fun k tagged ->
+      if !taken < 2 * n then begin
+        Hashtbl.replace tbl k (if tagged = enc_tombstone then None else dec tagged);
+        incr taken;
+        true
+      end
+      else false);
+  List.iter
+    (fun (k, v) -> if not (Hashtbl.mem tbl k) then Hashtbl.add tbl k (Some v))
+    (Lsm.collect_from b.lsm key ~n:(2 * n));
+  Hashtbl.fold
+    (fun k v acc -> match v with Some v -> (k, v) :: acc | None -> acc)
+    tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+  |> List.filteri (fun i _ -> i < n)
+
+(* --- public API --- *)
+
+let put t ~key ~value =
+  match t.st with
+  | B b -> baseline_put_batch b [ (key, value) ]
+  | R r -> Pskiplist.insert r.ps ~key ~value
+
+let put_batch t pairs =
+  match t.st with
+  | B b -> baseline_put_batch b pairs
+  | R r -> Pskiplist.insert_batch r.ps pairs
+
+let get t key =
+  match t.st with
+  | B b -> baseline_get b key
+  | R r -> Pskiplist.find r.ps key
+
+let delete t key =
+  match t.st with
+  | B b -> baseline_delete b key
+  | R r -> ignore (Pskiplist.delete r.ps key)
+
+let seek t key ~n =
+  match t.st with
+  | B b -> baseline_seek b key ~n
+  | R r ->
+    let acc = ref [] in
+    let taken = ref 0 in
+    Pskiplist.iter_from r.ps key (fun k v ->
+        if !taken < n then begin
+          acc := (k, v) :: !acc;
+          incr taken;
+          true
+        end
+        else false);
+    List.rev !acc
+
+let count t =
+  match t.st with
+  | B b ->
+    (* Test-only: merge everything (small datasets). *)
+    let tbl = Hashtbl.create 1024 in
+    (match b.lsm with
+    | lsm ->
+      List.iter
+        (fun (k, v) -> Hashtbl.replace tbl k (Some v))
+        (Lsm.collect_from lsm "" ~n:max_int));
+    Skiplist.iter b.memtable (fun k tagged ->
+        Hashtbl.replace tbl k (if tagged = enc_tombstone then None else dec tagged));
+    Hashtbl.fold (fun _ v acc -> if v = None then acc else acc + 1) tbl 0
+  | R r -> Pskiplist.count r.ps
+
+let backend_label t =
+  match t.st with B _ -> "wal+lsm" | R r -> r.plabel
+
+let flushes t = match t.st with B b -> b.n_flushes | R _ -> 0
+let compactions t = match t.st with B b -> Lsm.compactions b.lsm | R _ -> 0

@@ -1,0 +1,124 @@
+module Sched = Msnap_sim.Sched
+module Rng = Msnap_util.Rng
+
+let max_level = 12
+
+type node = {
+  key : string;
+  mutable value : string;
+  mutable deleted : bool;
+  next : node option array; (* length = node's level *)
+}
+
+type t = {
+  head : node;
+  rng : Rng.t;
+  mutable level : int;
+  mutable count : int;
+  mutable bytes : int;
+}
+
+(* Userspace cost of one pointer chase + comparison. *)
+let hop_cost = 25
+
+let create ?(seed = 0x5C1B) () =
+  {
+    head = { key = ""; value = ""; deleted = false;
+             next = Array.make max_level None };
+    rng = Rng.create seed;
+    level = 1;
+    count = 0;
+    bytes = 0;
+  }
+
+let random_level t =
+  let rec go l = if l < max_level && Rng.int t.rng 4 = 0 then go (l + 1) else l in
+  go 1
+
+(* Predecessors of [key] at every level. *)
+let find_path t key =
+  let update = Array.make max_level t.head in
+  let x = ref t.head in
+  for lvl = t.level - 1 downto 0 do
+    let continue_ = ref true in
+    while !continue_ do
+      Sched.cpu hop_cost;
+      match !x.next.(lvl) with
+      | Some n when n.key < key -> x := n
+      | Some _ | None -> continue_ := false
+    done;
+    update.(lvl) <- !x
+  done;
+  update
+
+let next_of_path update = update.(0).next.(0)
+
+let insert t ~key ~value =
+  let update = find_path t key in
+  match next_of_path update with
+  | Some n when n.key = key ->
+    t.bytes <- t.bytes + String.length value - String.length n.value;
+    n.value <- value;
+    if n.deleted then begin
+      n.deleted <- false;
+      t.count <- t.count + 1
+    end
+  | Some _ | None ->
+    let lvl = random_level t in
+    if lvl > t.level then begin
+      t.level <- lvl;
+      (* head already covers all levels *)
+    end;
+    let node =
+      { key; value; deleted = false; next = Array.make lvl None }
+    in
+    for i = 0 to lvl - 1 do
+      node.next.(i) <- update.(i).next.(i);
+      update.(i).next.(i) <- Some node
+    done;
+    t.count <- t.count + 1;
+    t.bytes <- t.bytes + String.length key + String.length value + (16 * lvl)
+
+let find t key =
+  let update = find_path t key in
+  match next_of_path update with
+  | Some n when n.key = key && not n.deleted -> Some n.value
+  | Some _ | None -> None
+
+let delete t key =
+  let update = find_path t key in
+  match next_of_path update with
+  | Some n when n.key = key && not n.deleted ->
+    n.deleted <- true;
+    t.count <- t.count - 1;
+    true
+  | Some _ | None -> false
+
+let iter_from t key f =
+  let update = find_path t key in
+  let rec visit = function
+    | None -> ()
+    | Some n ->
+      Sched.cpu hop_cost;
+      if n.deleted then visit n.next.(0)
+      else if f n.key n.value then visit n.next.(0)
+  in
+  visit update.(0).next.(0)
+
+let iter t f =
+  let rec go = function
+    | None -> ()
+    | Some n ->
+      if not n.deleted then f n.key n.value;
+      go n.next.(0)
+  in
+  go t.head.next.(0)
+
+let count t = t.count
+let approximate_bytes t = t.bytes
+
+let clear t =
+  Array.fill t.head.next 0 max_level None;
+  t.level <- 1;
+  t.count <- 0;
+  t.bytes <- 0

@@ -1,0 +1,20 @@
+(** Volatile skip list — RocksDB's baseline MemTable structure. *)
+
+type t
+
+val create : ?seed:int -> unit -> t
+
+val insert : t -> key:string -> value:string -> unit
+(** Insert or replace. *)
+
+val find : t -> string -> string option
+val delete : t -> string -> bool
+
+val iter_from : t -> string -> (string -> string -> bool) -> unit
+(** Visit pairs with key >= the bound, in order, while the callback
+    returns [true]. *)
+
+val iter : t -> (string -> string -> unit) -> unit
+val count : t -> int
+val approximate_bytes : t -> int
+val clear : t -> unit

@@ -1,0 +1,1 @@
+lib/db_sqlite/backend_msnap.ml: List Msnap_core Msnap_sim Page Pager

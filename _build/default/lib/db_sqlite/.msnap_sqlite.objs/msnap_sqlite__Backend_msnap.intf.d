@@ -1,0 +1,1 @@
+lib/db_sqlite/backend_msnap.mli: Msnap_core Pager

@@ -1,0 +1,1 @@
+lib/db_sqlite/backend_wal.ml: Bytes Hashtbl List Msnap_fs Msnap_sim Msnap_util Page Pager

@@ -1,0 +1,1 @@
+lib/db_sqlite/backend_wal.mli: Msnap_fs Pager

@@ -1,0 +1,1 @@
+lib/db_sqlite/btree.ml: Bytes Msnap_sim Page Pager String

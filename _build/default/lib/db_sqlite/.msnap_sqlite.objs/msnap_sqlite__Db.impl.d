@@ -1,0 +1,1 @@
+lib/db_sqlite/db.ml: Btree Bytes Hashtbl Int32 Int64 List Page Pager String

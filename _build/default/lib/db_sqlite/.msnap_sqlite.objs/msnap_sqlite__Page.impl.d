@@ -1,0 +1,1 @@
+lib/db_sqlite/page.ml: Bytes Char Int32 List String

@@ -1,0 +1,1 @@
+lib/db_sqlite/pager.ml: Bytes Hashtbl List Msnap_sim Page

@@ -1,0 +1,1 @@
+lib/db_sqlite/pager.mli: Bytes

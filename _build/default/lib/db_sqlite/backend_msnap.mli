@@ -1,0 +1,16 @@
+(** The MemSnap plugin: the paper's §7.1 integration.
+
+    The database lives in one MemSnap persistent region indexed by page
+    number; the pager's cache plays the volatile "WAL" role. Commit moves
+    the transaction's dirty pages into the region and issues a single
+    [msnap_persist] — no WAL file, no checkpointing, ever.
+
+    Persist calls are recorded under the Metrics name ["memsnap"]. *)
+
+type t
+
+val create : Msnap_core.Msnap.t -> db_name:string -> max_pages:int -> t
+
+val backend : t -> Pager.backend
+
+val region : t -> Msnap_core.Msnap.md

@@ -1,0 +1,19 @@
+(** Baseline persistence: SQLite's WAL-and-checkpoint over the file API.
+
+    Commit appends one frame per dirty page to the WAL file and fsyncs it.
+    When the WAL passes the checkpoint threshold (4 MiB of frames, the
+    SQLite default the paper cites), the latest version of every logged
+    page is copied into the database file, both files are fsynced, and the
+    WAL is truncated — the random-IO storm Table 7 measures.
+
+    System calls are recorded under the Metrics names ["write"], ["read"],
+    ["fsync"] so the harness can print the Table 7 columns. *)
+
+type t
+
+val create : Msnap_fs.Fs.t -> db_name:string -> ?checkpoint_threshold:int -> unit -> t
+
+val backend : t -> Pager.backend
+
+val checkpoints_done : t -> int
+val wal_bytes : t -> int

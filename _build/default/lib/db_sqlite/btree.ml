@@ -1,0 +1,250 @@
+module Sched = Msnap_sim.Sched
+
+type t = { pager : Pager.t; root : int }
+
+(* Userspace cost of examining one node (binary search, comparisons). *)
+let node_visit_cost = 250
+
+let max_pair_size = 1024
+
+let create pager =
+  let root = Pager.alloc_page pager in
+  Page.init (Pager.page_for_write pager root) Page.Leaf;
+  { pager; root }
+
+let open_tree pager ~root = { pager; root }
+
+let root t = t.root
+
+(* Child page that covers [key] in an interior node. *)
+let child_for b key =
+  match Page.search b key with
+  | `Found i -> fst (Page.interior_cell b i)
+  | `Insert_before i ->
+    if i < Page.ncells b then fst (Page.interior_cell b i)
+    else Page.right_child b
+
+let find t key =
+  let rec go pgno =
+    Sched.cpu node_visit_cost;
+    let b = Pager.get_page t.pager pgno in
+    match Page.kind_of b with
+    | Page.Leaf -> (
+      match Page.search b key with
+      | `Found i -> Some (snd (Page.leaf_cell b i))
+      | `Insert_before _ -> None)
+    | Page.Interior -> go (child_for b key)
+  in
+  go t.root
+
+(* Split [pgno] (already full) into itself (low half) and a fresh right
+   page. Returns [(separator, right_pgno)]; keys <= separator stay left. *)
+let split t pgno =
+  let b = Pager.page_for_write t.pager pgno in
+  let right_pg = Pager.alloc_page t.pager in
+  let rb = Pager.page_for_write t.pager right_pg in
+  let n = Page.ncells b in
+  let mid = n / 2 in
+  match Page.kind_of b with
+  | Page.Leaf ->
+    Page.init rb Page.Leaf;
+    (* Move cells [mid..n) to the right page. *)
+    for i = mid to n - 1 do
+      let k, v = Page.leaf_cell b i in
+      assert (Page.leaf_insert_at rb (i - mid) ~key:k ~value:v)
+    done;
+    for _ = mid to n - 1 do
+      Page.delete_at b (Page.ncells b - 1)
+    done;
+    let sep = Page.leaf_key b (Page.ncells b - 1) in
+    (sep, right_pg)
+  | Page.Interior ->
+    Page.init rb Page.Interior;
+    (* The middle separator is promoted; its child becomes the left
+       page's right child. *)
+    let promoted_child, promoted_key = Page.interior_cell b mid in
+    ignore promoted_child;
+    for i = mid + 1 to n - 1 do
+      let c, k = Page.interior_cell b i in
+      assert (Page.interior_insert_at rb (i - mid - 1) ~child:c ~key:k)
+    done;
+    Page.set_right_child rb (Page.right_child b);
+    let mid_child, _ = Page.interior_cell b mid in
+    for _ = mid to n - 1 do
+      Page.delete_at b (Page.ncells b - 1)
+    done;
+    Page.set_right_child b mid_child;
+    (promoted_key, right_pg)
+
+(* Link a freshly split child into an interior node: [child] kept the
+   keys <= sep, [new_right] took the rest. The cell pointing to [child]
+   (or the right-child slot) is rewired to [(child, sep); (new_right,
+   old separator)]. Returns [`Full] (without mutating) when the node
+   lacks space, [`Not_here] when the child is not referenced here. *)
+let try_link b ~child ~sep ~new_right =
+  let n = Page.ncells b in
+  let rec find i =
+    if i >= n then None
+    else if fst (Page.interior_cell b i) = child then Some i
+    else find (i + 1)
+  in
+  match find 0 with
+  | Some i ->
+    let _, old_key = Page.interior_cell b i in
+    (* Net new space: the (child, sep) cell plus slack for re-inserting
+       the old cell after the delete. *)
+    if Page.free_space b
+       < Page.interior_cell_size ~key:sep + Page.interior_cell_size ~key:old_key + 8
+    then `Full
+    else begin
+      Page.delete_at b i;
+      if not (Page.interior_insert_at b i ~child ~key:sep) then
+        failwith "Btree: link lost space";
+      if not (Page.interior_insert_at b (i + 1) ~child:new_right ~key:old_key)
+      then failwith "Btree: link lost space";
+      `Ok
+    end
+  | None ->
+    if Page.right_child b = child then begin
+      if Page.free_space b < Page.interior_cell_size ~key:sep + 8 then `Full
+      else begin
+        if not (Page.interior_insert_at b n ~child ~key:sep) then
+          failwith "Btree: link lost space";
+        Page.set_right_child b new_right;
+        `Ok
+      end
+    end
+    else `Not_here
+
+(* Insert into the subtree; on child split, returns the (separator,
+   new_right_page) the caller must link. *)
+let rec insert_into t pgno key value =
+  Sched.cpu node_visit_cost;
+  let b = Pager.get_page t.pager pgno in
+  match Page.kind_of b with
+  | Page.Leaf -> (
+    let b = Pager.page_for_write t.pager pgno in
+    (match Page.search b key with
+    | `Found i -> Page.delete_at b i
+    | `Insert_before _ -> ());
+    match Page.search b key with
+    | `Found _ -> assert false
+    | `Insert_before i ->
+      if Page.leaf_insert_at b i ~key ~value then None
+      else begin
+        let sep, right_pg = split t pgno in
+        let target_pg = if key <= sep then pgno else right_pg in
+        let tb = Pager.page_for_write t.pager target_pg in
+        (match Page.search tb key with
+        | `Found _ -> assert false
+        | `Insert_before j ->
+          if not (Page.leaf_insert_at tb j ~key ~value) then
+            failwith "Btree.insert: pair exceeds page capacity");
+        Some (sep, right_pg)
+      end)
+  | Page.Interior -> (
+    let child = child_for b key in
+    match insert_into t child key value with
+    | None -> None
+    | Some (sep, new_right) -> (
+      let b = Pager.page_for_write t.pager pgno in
+      match try_link b ~child ~sep ~new_right with
+      | `Ok -> None
+      | `Not_here -> failwith "Btree: child vanished from parent"
+      | `Full ->
+        (* Split this interior node, then link into whichever half now
+           references the child. *)
+        let up_sep, up_right = split t pgno in
+        let lb = Pager.page_for_write t.pager pgno in
+        let result =
+          match try_link lb ~child ~sep ~new_right with
+          | `Ok -> `Ok
+          | `Full -> failwith "Btree: no space after interior split"
+          | `Not_here -> (
+            let rb = Pager.page_for_write t.pager up_right in
+            match try_link rb ~child ~sep ~new_right with
+            | `Ok -> `Ok
+            | `Full -> failwith "Btree: no space after interior split"
+            | `Not_here -> failwith "Btree: child vanished in split")
+        in
+        (match result with `Ok -> ());
+        Some (up_sep, up_right)))
+
+let insert t ~key ~value =
+  if String.length key + String.length value > max_pair_size then
+    invalid_arg "Btree.insert: pair too large";
+  match insert_into t t.root key value with
+  | None -> ()
+  | Some (sep, right_pg) ->
+    (* Root split: keep the root page number stable by moving the root's
+       contents to a fresh left page and re-initializing the root as an
+       interior node over (left, right). *)
+    let rootb = Pager.page_for_write t.pager t.root in
+    let left_pg = Pager.alloc_page t.pager in
+    let leftb = Pager.page_for_write t.pager left_pg in
+    Bytes.blit rootb 0 leftb 0 Page.size;
+    Page.init rootb Page.Interior;
+    assert (Page.interior_insert_at rootb 0 ~child:left_pg ~key:sep);
+    Page.set_right_child rootb right_pg
+
+let delete t key =
+  let rec go pgno =
+    Sched.cpu node_visit_cost;
+    let b = Pager.get_page t.pager pgno in
+    match Page.kind_of b with
+    | Page.Leaf -> (
+      match Page.search b key with
+      | `Found i ->
+        let b = Pager.page_for_write t.pager pgno in
+        Page.delete_at b i;
+        true
+      | `Insert_before _ -> false)
+    | Page.Interior -> go (child_for b key)
+  in
+  go t.root
+
+let iter_range t ?lo ?hi f =
+  let below_hi k = match hi with None -> true | Some h -> k <= h in
+  let above_lo k = match lo with None -> true | Some l -> k >= l in
+  let rec go pgno =
+    Sched.cpu node_visit_cost;
+    let b = Pager.get_page t.pager pgno in
+    match Page.kind_of b with
+    | Page.Leaf ->
+      for i = 0 to Page.ncells b - 1 do
+        let k, v = Page.leaf_cell b i in
+        if above_lo k && below_hi k then f k v
+      done
+    | Page.Interior ->
+      (* Visit children whose key range intersects [lo, hi]. Cell i's
+         subtree holds keys <= key_i (and > key_{i-1}). *)
+      let n = Page.ncells b in
+      let rec visit i =
+        if i < n then begin
+          let child, k = Page.interior_cell b i in
+          let lo_ok = match lo with None -> true | Some l -> l <= k in
+          if lo_ok then go child;
+          let hi_done = match hi with None -> false | Some h -> k >= h in
+          if not hi_done then visit (i + 1)
+        end
+        else go (Page.right_child b)
+      in
+      visit 0
+  in
+  go t.root
+
+let count t =
+  let n = ref 0 in
+  iter_range t (fun _ _ -> incr n);
+  !n
+
+let depth t =
+  let rec go pgno acc =
+    let b = Pager.get_page t.pager pgno in
+    match Page.kind_of b with
+    | Page.Leaf -> acc
+    | Page.Interior ->
+      if Page.ncells b > 0 then go (fst (Page.interior_cell b 0)) (acc + 1)
+      else go (Page.right_child b) (acc + 1)
+  in
+  go t.root 1

@@ -1,0 +1,36 @@
+(** B+tree over pager pages — the SQLite table structure.
+
+    Keys and values are byte strings; keys order by [compare] (encode
+    integers big-endian to sort numerically). One key+value pair must fit
+    comfortably in a page (≤ 1 KiB combined; SQLite would use overflow
+    pages beyond that, which the workloads here never need).
+
+    Deletes do not rebalance (SQLite also leaves pages underfull and
+    reclaims lazily); lookups and scans remain correct. *)
+
+type t
+
+val create : Pager.t -> t
+(** Allocate an empty tree (root is a fresh leaf). Requires an open
+    transaction. *)
+
+val open_tree : Pager.t -> root:int -> t
+
+val root : t -> int
+(** Stable root page number (never changes across splits). *)
+
+val insert : t -> key:string -> value:string -> unit
+(** Insert or replace. Requires an open transaction. *)
+
+val find : t -> string -> string option
+
+val delete : t -> string -> bool
+(** [true] if the key existed. Requires an open transaction. *)
+
+val iter_range : t -> ?lo:string -> ?hi:string -> (string -> string -> unit) -> unit
+(** In-order visit of pairs with [lo <= key <= hi]. *)
+
+val count : t -> int
+(** Number of key/value pairs (full scan). *)
+
+val depth : t -> int

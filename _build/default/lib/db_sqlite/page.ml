@@ -1,0 +1,152 @@
+type kind = Leaf | Interior
+
+let size = 4096
+let header_size = 11
+
+let u8 b off = Char.code (Bytes.get b off)
+let set_u8 b off v = Bytes.set b off (Char.chr (v land 0xff))
+let u16 b off = Bytes.get_uint16_le b off
+let set_u16 b off v = Bytes.set_uint16_le b off v
+let u32 b off = Int32.to_int (Bytes.get_int32_le b off) land 0xffffffff
+let set_u32 b off v = Bytes.set_int32_le b off (Int32.of_int v)
+
+let kind_of b = if u8 b 0 = 1 then Leaf else Interior
+
+let ncells b = u16 b 1
+let set_ncells b v = set_u16 b 1 v
+let content_start b = u16 b 3
+let set_content_start b v = set_u16 b 3 v
+let frag b = u16 b 5
+let set_frag b v = set_u16 b 5 v
+let right_child b = u32 b 7
+let set_right_child b v = set_u32 b 7 v
+
+let init b kind =
+  Bytes.fill b 0 size '\000';
+  set_u8 b 0 (match kind with Leaf -> 1 | Interior -> 2);
+  set_ncells b 0;
+  set_content_start b size;
+  set_frag b 0;
+  set_right_child b 0
+
+let ptr_off i = header_size + (2 * i)
+let cell_ptr b i = u16 b (ptr_off i)
+let set_cell_ptr b i v = set_u16 b (ptr_off i) v
+
+let leaf_cell_size ~key ~value = 4 + String.length key + String.length value
+let interior_cell_size ~key = 6 + String.length key
+
+let cell_span b off =
+  match kind_of b with
+  | Leaf -> 4 + u16 b off + u16 b (off + 2)
+  | Interior -> 6 + u16 b (off + 4)
+
+let leaf_cell b i =
+  let off = cell_ptr b i in
+  let klen = u16 b off and vlen = u16 b (off + 2) in
+  (Bytes.sub_string b (off + 4) klen, Bytes.sub_string b (off + 4 + klen) vlen)
+
+let leaf_key b i =
+  let off = cell_ptr b i in
+  let klen = u16 b off in
+  Bytes.sub_string b (off + 4) klen
+
+let interior_cell b i =
+  let off = cell_ptr b i in
+  let child = u32 b off in
+  let klen = u16 b (off + 4) in
+  (child, Bytes.sub_string b (off + 6) klen)
+
+let key_at b i =
+  match kind_of b with Leaf -> leaf_key b i | Interior -> snd (interior_cell b i)
+
+(* Contiguous free bytes between the pointer array and the cell content. *)
+let gap b = content_start b - (header_size + (2 * ncells b))
+
+let free_space b = gap b + frag b - 2
+
+(* Rewrite the page with cells packed at the tail, dropping fragmentation. *)
+let compact b =
+  let n = ncells b in
+  let cells =
+    List.init n (fun i ->
+        let off = cell_ptr b i in
+        Bytes.sub b off (cell_span b off))
+  in
+  let tail = ref size in
+  List.iteri
+    (fun i cell ->
+      tail := !tail - Bytes.length cell;
+      Bytes.blit cell 0 b !tail (Bytes.length cell);
+      set_cell_ptr b i !tail)
+    cells;
+  set_content_start b !tail;
+  set_frag b 0
+
+let alloc_cell b bytes_needed =
+  if gap b < bytes_needed + 2 then compact b;
+  if gap b < bytes_needed + 2 then None
+  else begin
+    let off = content_start b - bytes_needed in
+    set_content_start b off;
+    Some off
+  end
+
+let shift_ptrs_right b i =
+  let n = ncells b in
+  for j = n downto i + 1 do
+    set_cell_ptr b j (cell_ptr b (j - 1))
+  done
+
+let leaf_insert_at b i ~key ~value =
+  let need = leaf_cell_size ~key ~value in
+  match alloc_cell b need with
+  | None -> false
+  | Some off ->
+    shift_ptrs_right b i;
+    set_cell_ptr b i off;
+    set_ncells b (ncells b + 1);
+    set_u16 b off (String.length key);
+    set_u16 b (off + 2) (String.length value);
+    Bytes.blit_string key 0 b (off + 4) (String.length key);
+    Bytes.blit_string value 0 b (off + 4 + String.length key) (String.length value);
+    true
+
+let interior_insert_at b i ~child ~key =
+  let need = interior_cell_size ~key in
+  match alloc_cell b need with
+  | None -> false
+  | Some off ->
+    shift_ptrs_right b i;
+    set_cell_ptr b i off;
+    set_ncells b (ncells b + 1);
+    set_u32 b off child;
+    set_u16 b (off + 4) (String.length key);
+    Bytes.blit_string key 0 b (off + 6) (String.length key);
+    true
+
+let delete_at b i =
+  let n = ncells b in
+  let off = cell_ptr b i in
+  let span = cell_span b off in
+  set_frag b (frag b + span);
+  for j = i to n - 2 do
+    set_cell_ptr b j (cell_ptr b (j + 1))
+  done;
+  set_ncells b (n - 1);
+  if off = content_start b then set_content_start b (off + span)
+
+let search b key =
+  let n = ncells b in
+  let rec go lo hi =
+    (* Invariant: keys before [lo] are < key, keys from [hi] are > key. *)
+    if lo >= hi then `Insert_before lo
+    else begin
+      let mid = (lo + hi) / 2 in
+      let c = compare (key_at b mid) key in
+      if c = 0 then `Found mid
+      else if c < 0 then go (mid + 1) hi
+      else go lo mid
+    end
+  in
+  go 0 n

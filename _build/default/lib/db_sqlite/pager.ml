@@ -1,0 +1,117 @@
+module Sched = Msnap_sim.Sched
+module Sync = Msnap_sim.Sync
+
+type backend = {
+  b_label : string;
+  b_read_page : int -> Bytes.t option;
+  b_commit : (int * Bytes.t) list -> unit;
+}
+
+type txn = {
+  dirty : (int, unit) Hashtbl.t;
+  undo : (int, Bytes.t) Hashtbl.t; (* pre-images for rollback *)
+  mutable new_pages : int list;
+  hwm_at_begin : int;
+}
+
+type t = {
+  backend : backend;
+  cache : (int, Bytes.t) Hashtbl.t;
+  mutable hwm : int; (* highest allocated page number *)
+  mutable txn : txn option;
+  write_lock : Sync.Mutex.t;
+}
+
+(* Userspace cost of a page-cache probe (hash + pin). *)
+let cache_probe_cost = 120
+
+let create backend =
+  let t =
+    { backend; cache = Hashtbl.create 1024; hwm = 1; txn = None;
+      write_lock = Sync.Mutex.create () }
+  in
+  (* Page 1 always exists (database header / catalog). *)
+  (match backend.b_read_page 1 with
+  | Some b -> Hashtbl.replace t.cache 1 b
+  | None -> Hashtbl.replace t.cache 1 (Bytes.make Page.size '\000'));
+  t
+
+let backend_label t = t.backend.b_label
+
+let begin_write t =
+  Sync.Mutex.lock t.write_lock;
+  assert (t.txn = None);
+  t.txn <-
+    Some
+      { dirty = Hashtbl.create 16; undo = Hashtbl.create 16; new_pages = [];
+        hwm_at_begin = t.hwm }
+
+let the_txn t =
+  match t.txn with
+  | Some txn -> txn
+  | None -> invalid_arg "Pager: no open transaction"
+
+let get_page t pgno =
+  Sched.cpu cache_probe_cost;
+  match Hashtbl.find_opt t.cache pgno with
+  | Some b -> b
+  | None ->
+    let b =
+      match t.backend.b_read_page pgno with
+      | Some b -> b
+      | None -> Bytes.make Page.size '\000'
+    in
+    Hashtbl.replace t.cache pgno b;
+    if pgno > t.hwm then t.hwm <- pgno;
+    b
+
+let page_for_write t pgno =
+  let txn = the_txn t in
+  let b = get_page t pgno in
+  if not (Hashtbl.mem txn.dirty pgno) then begin
+    Hashtbl.replace txn.dirty pgno ();
+    Hashtbl.replace txn.undo pgno (Bytes.copy b)
+  end;
+  b
+
+let alloc_page t =
+  let txn = the_txn t in
+  t.hwm <- t.hwm + 1;
+  let pgno = t.hwm in
+  Hashtbl.replace t.cache pgno (Bytes.make Page.size '\000');
+  Hashtbl.replace txn.dirty pgno ();
+  txn.new_pages <- pgno :: txn.new_pages;
+  pgno
+
+let commit t =
+  let txn = the_txn t in
+  let pages =
+    Hashtbl.fold (fun pgno () acc -> (pgno, Hashtbl.find t.cache pgno) :: acc)
+      txn.dirty []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  in
+  if pages <> [] then t.backend.b_commit pages;
+  t.txn <- None;
+  Sync.Mutex.unlock t.write_lock
+
+let rollback t =
+  let txn = the_txn t in
+  Hashtbl.iter (fun pgno pre -> Hashtbl.replace t.cache pgno pre) txn.undo;
+  List.iter (fun pgno -> Hashtbl.remove t.cache pgno) txn.new_pages;
+  t.hwm <- txn.hwm_at_begin;
+  (* New pages above the pre-txn high-water mark are abandoned; the page
+     numbers are not reused, like SQLite's freelist-less fast path. *)
+  t.txn <- None;
+  Sync.Mutex.unlock t.write_lock
+
+let in_txn t = t.txn <> None
+let npages t = t.hwm
+
+let restore_hwm t hwm = if hwm > t.hwm then t.hwm <- hwm
+
+let hwm_changed_in_txn t =
+  match t.txn with Some txn -> t.hwm <> txn.hwm_at_begin | None -> false
+let cached_pages t = Hashtbl.length t.cache
+
+let dirty_pages t =
+  match t.txn with Some txn -> Hashtbl.length txn.dirty | None -> 0

@@ -1,0 +1,60 @@
+(** The storage engine's page layer: cache, transactions, and a pluggable
+    persistence backend.
+
+    The paper's SQLite integration swaps the Unix file module for a
+    MemSnap plugin while the B-tree and pager logic stay untouched (§7.1).
+    This pager reproduces that seam: all durable IO goes through a
+    {!backend} record, with {!Backend_wal} (WAL file + checkpoint over the
+    file API) and {!Backend_msnap} (persistent region + [msnap_persist])
+    as the two implementations.
+
+    Concurrency follows SQLite: one writer at a time ({!begin_write} takes
+    the database write lock), readers unrestricted. Transactions are
+    undo-logged in memory so [rollback] restores pre-images. *)
+
+type t
+
+type backend = {
+  b_label : string;
+  b_read_page : int -> Bytes.t option;
+      (** Fetch a page image from durable storage ([None] = never
+          written). *)
+  b_commit : (int * Bytes.t) list -> unit;
+      (** Durably commit the transaction's page images, atomically. *)
+}
+
+val create : backend -> t
+
+val backend_label : t -> string
+
+(** {2 Transactions} *)
+
+val begin_write : t -> unit
+val commit : t -> unit
+val rollback : t -> unit
+val in_txn : t -> bool
+
+(** {2 Page access} *)
+
+val get_page : t -> int -> Bytes.t
+(** Read-only view (do not mutate without {!page_for_write}). *)
+
+val page_for_write : t -> int -> Bytes.t
+(** The same bytes, registered in the transaction's dirty set with an
+    undo image. Requires an open transaction. *)
+
+val alloc_page : t -> int
+(** New page number (starts dirty, zeroed). Requires a transaction. *)
+
+val npages : t -> int
+
+val cached_pages : t -> int
+
+val dirty_pages : t -> int
+(** Dirty set size of the open transaction. *)
+
+val restore_hwm : t -> int -> unit
+(** Raise the high-water mark while recovering the catalog. *)
+
+val hwm_changed_in_txn : t -> bool
+(** Did the open transaction allocate pages? *)

@@ -1,0 +1,1 @@
+lib/fs/fs.ml: Buffer Bytes Hashtbl List Msnap_blockdev Msnap_sim Msnap_util Msnap_vm Printf

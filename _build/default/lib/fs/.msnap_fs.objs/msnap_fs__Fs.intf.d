@@ -1,0 +1,1 @@
+lib/fs/fs.mli: Bytes Msnap_blockdev Msnap_vm

@@ -1,0 +1,455 @@
+module Stripe = Msnap_blockdev.Stripe
+module Balloc = Msnap_blockdev.Balloc
+module Sched = Msnap_sim.Sched
+module Sync = Msnap_sim.Sync
+module Costs = Msnap_sim.Costs
+module Aspace = Msnap_vm.Aspace
+module Addr = Msnap_vm.Addr
+module Phys = Msnap_vm.Phys
+
+type kind = Ffs | Zfs
+
+(* Device layout (4 KiB units): [0, meta_blocks) inode-table area,
+   [meta_blocks, meta_blocks + journal_blocks) journal / intent log,
+   the rest is file data. *)
+let meta_blocks = 64
+let journal_blocks = 256
+let reserved_blocks = meta_blocks + journal_blocks
+let dev_bs = 4096
+
+type cached_block = {
+  cb_data : Bytes.t;
+  mutable cb_dirty : bool;
+  mutable cb_lru : int;
+}
+
+type mm = {
+  mm_aspace : Aspace.t;
+  mm_va : int;
+  mm_len : int;
+  mm_dirty : (int, unit) Hashtbl.t; (* rel page -> dirtied since last msync *)
+}
+
+type file = {
+  f_name : string;
+  mutable f_size : int;
+  f_blocks : (int, int) Hashtbl.t; (* fs-block idx -> first device block *)
+  f_cache : (int, cached_block) Hashtbl.t;
+  mutable f_ind_blocks : int list; (* ZFS: current indirect blocks *)
+  mutable f_mmaps : mm list;
+}
+
+type t = {
+  dev : Stripe.t;
+  f_kind : kind;
+  bs : int; (* fs block size in bytes *)
+  alloc : Balloc.t;
+  files : (string, file) Hashtbl.t;
+  mutable journal_cursor : int; (* device block within the journal area *)
+  mutable lru_clock : int;
+  mutable capacity : int; (* cache capacity in fs blocks, across files *)
+  mutable cached_count : int;
+  fsync_lock : Sync.Mutex.t;
+  mutable s_disk_bytes : int;
+  mutable s_rmw_reads : int;
+}
+
+let block_size_of = function Ffs -> 32 * 1024 | Zfs -> 128 * 1024
+
+let mkfs dev ~kind =
+  {
+    dev;
+    f_kind = kind;
+    bs = block_size_of kind;
+    alloc =
+      Balloc.create ~total_blocks:(Stripe.size dev / dev_bs)
+        ~reserved:reserved_blocks;
+    files = Hashtbl.create 16;
+    journal_cursor = meta_blocks;
+    lru_clock = 0;
+    capacity = 2048;
+    cached_count = 0;
+    fsync_lock = Sync.Mutex.create ();
+    s_disk_bytes = 0;
+    s_rmw_reads = 0;
+  }
+
+let kind t = t.f_kind
+let fs_block_size t = t.bs
+
+let open_file t name =
+  match Hashtbl.find_opt t.files name with
+  | Some f -> f
+  | None ->
+    let f =
+      { f_name = name; f_size = 0; f_blocks = Hashtbl.create 64;
+        f_cache = Hashtbl.create 64; f_ind_blocks = []; f_mmaps = [] }
+    in
+    Hashtbl.replace t.files name f;
+    f
+
+let exists t name = Hashtbl.mem t.files name
+
+let remove t name =
+  match Hashtbl.find_opt t.files name with
+  | None -> ()
+  | Some f ->
+    Hashtbl.iter
+      (fun _ first -> Balloc.free_now t.alloc (List.init (t.bs / dev_bs) (fun i -> first + i)))
+      f.f_blocks;
+    Balloc.free_now t.alloc f.f_ind_blocks;
+    t.cached_count <- t.cached_count - Hashtbl.length f.f_cache;
+    Hashtbl.remove t.files name
+
+let size _t f = f.f_size
+let resident_blocks _t f = Hashtbl.length f.f_cache
+let cache_capacity_blocks t = t.capacity
+let set_cache_capacity t n = t.capacity <- n
+
+let bytes_written_to_disk t = t.s_disk_bytes
+let rmw_reads t = t.s_rmw_reads
+
+(* --- device helpers --- *)
+
+let dev_write t ~off data =
+  t.s_disk_bytes <- t.s_disk_bytes + Bytes.length data;
+  Stripe.write t.dev ~off data
+
+let dev_writev t segs =
+  List.iter (fun (_, d) -> t.s_disk_bytes <- t.s_disk_bytes + Bytes.length d) segs;
+  Stripe.writev t.dev segs
+
+let dev_read t ~off ~len = Stripe.read t.dev ~off ~len
+
+let journal_write t nbytes =
+  (* Sequential append into the journal ring. *)
+  let blocks = max 1 ((nbytes + dev_bs - 1) / dev_bs) in
+  if t.journal_cursor + blocks > meta_blocks + journal_blocks then
+    t.journal_cursor <- meta_blocks;
+  let off = t.journal_cursor * dev_bs in
+  t.journal_cursor <- t.journal_cursor + blocks;
+  dev_write t ~off (Bytes.create (blocks * dev_bs))
+
+let journal_commit t =
+  if t.journal_cursor >= meta_blocks + journal_blocks then
+    t.journal_cursor <- meta_blocks;
+  let off = t.journal_cursor * dev_bs in
+  dev_write t ~off (Bytes.create 512)
+
+(* --- buffer cache --- *)
+
+let evict_if_needed ?keep t =
+  if t.cached_count > t.capacity then begin
+    (* Drop the least-recently-used *clean* blocks across all files,
+       never the block a caller is actively using ([keep]). Dirty blocks
+       are pinned until writeback, so the cache can transiently exceed
+       its capacity, as a real buffer cache under writeback pressure. *)
+    let keep_cb = keep in
+    let candidates = ref [] in
+    Hashtbl.iter
+      (fun _ f ->
+        Hashtbl.iter
+          (fun idx cb ->
+            let kept = match keep_cb with Some k -> k == cb | None -> false in
+            if (not cb.cb_dirty) && not kept then
+              candidates := (cb.cb_lru, f.f_name, idx) :: !candidates)
+          f.f_cache)
+      t.files;
+    let sorted = List.sort compare !candidates in
+    let excess = t.cached_count - t.capacity in
+    List.iteri
+      (fun i (_, fname, idx) ->
+        if i < excess then begin
+          let f = Hashtbl.find t.files fname in
+          Hashtbl.remove f.f_cache idx;
+          t.cached_count <- t.cached_count - 1
+        end)
+      sorted
+  end
+
+let touch t cb =
+  t.lru_clock <- t.lru_clock + 1;
+  cb.cb_lru <- t.lru_clock
+
+(* Get the cached block, reading it from disk when a read-modify-write
+   requires the old contents ([need_old]). *)
+let get_block t f idx ~need_old =
+  match Hashtbl.find_opt f.f_cache idx with
+  | Some cb ->
+    Sched.cpu Costs.buffer_cache_lookup;
+    touch t cb;
+    cb
+  | None ->
+    Sched.cpu Costs.buffer_cache_lookup;
+    let data =
+      match Hashtbl.find_opt f.f_blocks idx with
+      | Some first when need_old ->
+        t.s_rmw_reads <- t.s_rmw_reads + 1;
+        dev_read t ~off:(first * dev_bs) ~len:t.bs
+      | Some _ | None -> Bytes.make t.bs '\000'
+    in
+    let cb = { cb_data = data; cb_dirty = false; cb_lru = 0 } in
+    touch t cb;
+    Hashtbl.replace f.f_cache idx cb;
+    t.cached_count <- t.cached_count + 1;
+    evict_if_needed ~keep:cb t;
+    cb
+
+(* --- read / write --- *)
+
+let write t f ~off data =
+  Sched.cpu (Costs.syscall + Costs.vfs_call + Costs.rangelock);
+  let len = Bytes.length data in
+  let rec go off pos remaining =
+    if remaining > 0 then begin
+      let idx = off / t.bs in
+      let within = off mod t.bs in
+      let n = min remaining (t.bs - within) in
+      (* Sub-block writes to on-disk blocks must read the old contents. *)
+      let covers_whole = within = 0 && n = t.bs in
+      let cb = get_block t f idx ~need_old:(not covers_whole) in
+      Sched.cpu (Costs.memcpy n);
+      Bytes.blit data pos cb.cb_data within n;
+      cb.cb_dirty <- true;
+      go (off + n) (pos + n) (remaining - n)
+    end
+  in
+  go off 0 len;
+  if off + len > f.f_size then f.f_size <- off + len
+
+let read t f ~off ~len =
+  Sched.cpu (Costs.syscall + Costs.vfs_call);
+  let out = Bytes.make len '\000' in
+  let rec go off pos remaining =
+    if remaining > 0 then begin
+      let idx = off / t.bs in
+      let within = off mod t.bs in
+      let n = min remaining (t.bs - within) in
+      let cached = Hashtbl.mem f.f_cache idx in
+      let on_disk = Hashtbl.mem f.f_blocks idx in
+      if cached || on_disk then begin
+        let cb = get_block t f idx ~need_old:true in
+        Sched.cpu (Costs.memcpy n);
+        Bytes.blit cb.cb_data within out pos n
+      end;
+      (* else: hole, stays zero *)
+      go (off + n) (pos + n) (remaining - n)
+    end
+  in
+  go off 0 len;
+  out
+
+let truncate t f newsize =
+  Sched.cpu (Costs.syscall + Costs.vfs_call);
+  if newsize < f.f_size then begin
+    let keep_blocks = (newsize + t.bs - 1) / t.bs in
+    let dropped = ref [] in
+    Hashtbl.iter
+      (fun idx first -> if idx >= keep_blocks then dropped := (idx, first) :: !dropped)
+      f.f_blocks;
+    List.iter
+      (fun (idx, first) ->
+        Hashtbl.remove f.f_blocks idx;
+        Balloc.free_now t.alloc (List.init (t.bs / dev_bs) (fun i -> first + i)))
+      !dropped;
+    let drop_cache = ref [] in
+    Hashtbl.iter
+      (fun idx _ -> if idx >= keep_blocks then drop_cache := idx :: !drop_cache)
+      f.f_cache;
+    List.iter
+      (fun idx ->
+        Hashtbl.remove f.f_cache idx;
+        t.cached_count <- t.cached_count - 1)
+      !drop_cache
+  end;
+  f.f_size <- newsize
+
+(* --- fsync --- *)
+
+(* Resident-page scan: fsync/msync inspects every resident page of the
+   file to find the dirty ones; the cost grows with the cached footprint,
+   not the dirty set (the Fig. 5 baseline effect). *)
+let charge_resident_scan t f =
+  let pages = Hashtbl.length f.f_cache * (t.bs / 4096) in
+  Sched.cpu (pages * Costs.fsync_resident_scan_per_page)
+
+let dirty_blocks f =
+  Hashtbl.fold (fun idx cb acc -> if cb.cb_dirty then (idx, cb) :: acc else acc)
+    f.f_cache []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+(* Bytes of a block that are below EOF (tail blocks write only the used
+   prefix, rounded to device blocks). *)
+let used_len t f idx =
+  let upto = min t.bs (f.f_size - (idx * t.bs)) in
+  if upto <= 0 then 0 else (upto + dev_bs - 1) / dev_bs * dev_bs
+
+let ensure_allocated t f idx =
+  match Hashtbl.find_opt f.f_blocks idx with
+  | Some first -> first
+  | None ->
+    let run = Balloc.alloc_run t.alloc (t.bs / dev_bs) in
+    let first = List.hd run in
+    Hashtbl.replace f.f_blocks idx first;
+    first
+
+(* FFS: journal intent, write blocks in place with dependency-limited
+   concurrency, then metadata, then journal commit. *)
+let fsync_ffs t f dirty =
+  let n = List.length dirty in
+  Sched.cpu (n * Costs.journal_entry);
+  journal_write t (n * 128);
+  (* Soft-updates dependency ordering allows only shallow overlap. *)
+  let qd = 2 in
+  let pending = ref [] in
+  let flush_pending () =
+    List.iter Sync.Ivar.read !pending;
+    pending := []
+  in
+  List.iter
+    (fun (idx, cb) ->
+      let first = ensure_allocated t f idx in
+      let len = used_len t f idx in
+      if len > 0 then begin
+        let iv = Sync.Ivar.create () in
+        let data = Bytes.sub cb.cb_data 0 len in
+        ignore
+          (Sched.spawn ~name:"ffs-write" (fun () ->
+               dev_write t ~off:(first * dev_bs) data;
+               Sync.Ivar.fill iv ()));
+        pending := iv :: !pending;
+        if List.length !pending >= qd then flush_pending ()
+      end;
+      cb.cb_dirty <- false)
+    dirty;
+  flush_pending ();
+  (* Inode + block bitmap update, then the journal commit record. *)
+  dev_write t ~off:0 (Bytes.create dev_bs);
+  journal_commit t
+
+(* ZFS: intent log for small syncs, then COW data, indirect chain and
+   uberblock. *)
+let fsync_zfs t f dirty =
+  let total_used =
+    List.fold_left (fun a (idx, _) -> a + used_len t f idx) 0 dirty
+  in
+  if total_used <= 64 * 1024 then journal_write t total_used;
+  (* COW: every dirty record moves to fresh blocks. *)
+  let segs =
+    List.map
+      (fun (idx, cb) ->
+        let old = Hashtbl.find_opt f.f_blocks idx in
+        let run = Balloc.alloc_run t.alloc (t.bs / dev_bs) in
+        let first = List.hd run in
+        Hashtbl.replace f.f_blocks idx first;
+        (match old with
+        | Some o -> Balloc.free_now t.alloc (List.init (t.bs / dev_bs) (fun i -> o + i))
+        | None -> ());
+        cb.cb_dirty <- false;
+        let len = used_len t f idx in
+        (first * dev_bs, Bytes.sub cb.cb_data 0 (max dev_bs len)))
+      dirty
+  in
+  dev_writev t segs;
+  (* Indirect blocks: one per record (they are scattered for random
+     updates), written COW as well, then the uberblock. *)
+  let n = List.length dirty in
+  Sched.cpu (n * Costs.cow_indirect_update);
+  let nind = ((n + 15) / 16) + 1 in
+  Balloc.free_now t.alloc f.f_ind_blocks;
+  let ind = Balloc.alloc_run t.alloc nind in
+  f.f_ind_blocks <- ind;
+  dev_writev t (List.map (fun b -> (b * dev_bs, Bytes.create dev_bs)) ind);
+  dev_write t ~off:(dev_bs / 2) (Bytes.create 512)
+
+let do_fsync t f ~meta =
+  ignore meta;
+  Sched.cpu (Costs.syscall + Costs.vfs_call);
+  charge_resident_scan t f;
+  Sync.Mutex.with_lock t.fsync_lock (fun () ->
+      let dirty = dirty_blocks f in
+      if dirty <> [] then begin
+        match t.f_kind with
+        | Ffs -> fsync_ffs t f dirty
+        | Zfs -> fsync_zfs t f dirty
+      end);
+  (* Writeback made blocks clean and therefore reclaimable. *)
+  evict_if_needed t
+
+let fsync t f = do_fsync t f ~meta:true
+let fdatasync t f = do_fsync t f ~meta:false
+
+(* --- mmap --- *)
+
+let mmap t f aspace ~va ~len =
+  let dirty = Hashtbl.create 64 in
+  let mm = { mm_aspace = aspace; mm_va = va; mm_len = len; mm_dirty = dirty } in
+  f.f_mmaps <- mm :: f.f_mmaps;
+  let pager =
+    { Aspace.page_in =
+        (fun rel ->
+          let off = rel * Addr.page_size in
+          if off >= f.f_size && not (Hashtbl.mem f.f_blocks (off / t.bs)) then `Zero
+          else begin
+            let cb = get_block t f (off / t.bs) ~need_old:true in
+            let within = off mod t.bs in
+            `Bytes (Bytes.sub cb.cb_data within Addr.page_size)
+          end)
+    }
+  in
+  let on_write_fault (fault : Aspace.fault) =
+    let rel = Aspace.mapping_of_fault_rel_page fault in
+    Hashtbl.replace dirty rel ();
+    Msnap_vm.Ptloc.set fault.Aspace.f_loc
+      (Msnap_vm.Pte.set_writable (Msnap_vm.Ptloc.get fault.Aspace.f_loc) true)
+  in
+  (* Pages start read-only so that the first store faults and marks the
+     backing block dirty — the classic msync dirty-tracking setup. *)
+  Aspace.map aspace ~name:("mmap:" ^ f.f_name) ~va ~len ~writable:true
+    ~new_pages_writable:false ~pager ~on_write_fault ()
+
+let msync t f =
+  Sched.cpu Costs.syscall;
+  List.iter
+    (fun mm ->
+      let rels = Hashtbl.fold (fun r () acc -> r :: acc) mm.mm_dirty [] in
+      let rels = List.sort compare rels in
+      (* Gather page contents into the cache and re-protect the pages. *)
+      List.iter
+        (fun rel ->
+          let va = mm.mm_va + (rel * Addr.page_size) in
+          let page = Aspace.page_for_read mm.mm_aspace ~va in
+          let off = rel * Addr.page_size in
+          let cb = get_block t f (off / t.bs) ~need_old:true in
+          Sched.cpu (Costs.memcpy Addr.page_size);
+          Bytes.blit page.Phys.data 0 cb.cb_data (off mod t.bs) Addr.page_size;
+          cb.cb_dirty <- true;
+          if off + Addr.page_size > f.f_size then f.f_size <- off + Addr.page_size;
+          Aspace.protect_page mm.mm_aspace ~vpn:(Addr.vpn_of_va va);
+          Sched.cpu Costs.pte_update)
+        rels;
+      Aspace.shootdown mm.mm_aspace
+        (List.map (fun rel -> Addr.vpn_of_va (mm.mm_va + (rel * Addr.page_size))) rels);
+      Hashtbl.reset mm.mm_dirty)
+    f.f_mmaps;
+  do_fsync t f ~meta:true
+
+(* --- metadata --- *)
+
+let sync_meta t =
+  (* Serialize the inode table into the metadata area. The exact encoding
+     is irrelevant to the cost model; the IO is what matters. *)
+  let buf = Buffer.create 4096 in
+  Hashtbl.iter
+    (fun name f ->
+      Buffer.add_string buf name;
+      Buffer.add_string buf (string_of_int f.f_size);
+      Hashtbl.iter (fun idx first -> Buffer.add_string buf (Printf.sprintf "%d:%d" idx first)) f.f_blocks)
+    t.files;
+  let len = min (Buffer.length buf) ((meta_blocks - 1) * dev_bs) in
+  let data = Bytes.make (Msnap_util.Bits.round_up (max len dev_bs) dev_bs) '\000' in
+  Bytes.blit_string (Buffer.contents buf) 0 data 0 len;
+  dev_write t ~off:dev_bs data
+
+let debug_resident _t f =
+  Hashtbl.fold (fun idx cb acc -> Printf.sprintf "%d(lru%d,%b) %s" idx cb.cb_lru cb.cb_dirty acc) f.f_cache ""

@@ -1,0 +1,83 @@
+(** Baseline file systems: FFS-like (journaling, in-place) and ZFS-like
+    (copy-on-write).
+
+    This is the file API the paper compares MemSnap against (Tables 6-8,
+    Fig. 4-6): buffered [write]/[read] through a bounded buffer cache,
+    [fsync] with the cost structure of each design, and [mmap]/[msync] for
+    the PostgreSQL variants. The performance-relevant mechanics are modelled
+    honestly rather than charged as constants:
+
+    - the cache works in file-system blocks (FFS 32 KiB, ZFS 128 KiB
+      records), so sub-block writes to uncached blocks pay a
+      read-modify-write — the dominant cost of random IO on both systems;
+    - FFS [fsync] journals, then writes dirty blocks in place with the
+      limited concurrency soft-updates dependency ordering allows, then
+      updates metadata;
+    - ZFS [fsync] allocates fresh blocks (COW), writes data sequentially,
+      then per-record indirect blocks and an uberblock;
+    - both scan the file's resident cache pages first, which is why
+      baseline fsync slows down as a database file grows (Fig. 5).
+
+    Durability model: data blocks genuinely persist to the device at
+    [fsync]; the volatile inode table persists on [sync_meta] (called by
+    unmount). Crash-recovery fidelity is a non-goal for the baselines — the
+    paper's crash experiments target MemSnap. *)
+
+type t
+type file
+
+type kind = Ffs | Zfs
+
+val mkfs : Msnap_blockdev.Stripe.t -> kind:kind -> t
+
+val kind : t -> kind
+val fs_block_size : t -> int
+
+val open_file : t -> string -> file
+(** Open, creating if absent. *)
+
+val exists : t -> string -> bool
+val remove : t -> string -> unit
+
+val write : t -> file -> off:int -> Bytes.t -> unit
+(** Buffered write (syscall + cache copy; RMW read if needed). *)
+
+val read : t -> file -> off:int -> len:int -> Bytes.t
+(** Zero-fills holes, like read(2) past sparse regions. *)
+
+val fsync : t -> file -> unit
+val fdatasync : t -> file -> unit
+(** Like [fsync] minus the metadata update IO. *)
+
+val truncate : t -> file -> int -> unit
+val size : t -> file -> int
+
+val resident_blocks : t -> file -> int
+(** Cache-resident fs-blocks of this file. *)
+
+val cache_capacity_blocks : t -> int
+val set_cache_capacity : t -> int -> unit
+
+(** {2 Memory mapping} *)
+
+val mmap :
+  t -> file -> Msnap_vm.Aspace.t -> va:int -> len:int -> Msnap_vm.Aspace.mapping
+(** Map the file at [va]. Stores fault pages in from the cache/device; a
+    write fault marks the backing fs-block dirty. *)
+
+val msync : t -> file -> unit
+(** Gather dirty mapped pages back into the cache and [fsync]. *)
+
+val sync_meta : t -> unit
+(** Persist the inode table (unmount-time metadata flush). *)
+
+(** {2 Statistics} *)
+
+val bytes_written_to_disk : t -> int
+val rmw_reads : t -> int
+(** Read-modify-write block reads triggered by sub-block writes. *)
+
+(**/**)
+
+val debug_resident : t -> file -> string
+(** Resident block indexes, for tests. *)

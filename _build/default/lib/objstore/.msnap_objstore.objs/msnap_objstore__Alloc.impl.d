@@ -1,0 +1,1 @@
+lib/objstore/alloc.ml: Layout Msnap_blockdev

@@ -1,0 +1,1 @@
+lib/objstore/layout.ml: Bytes Char Int64 List String

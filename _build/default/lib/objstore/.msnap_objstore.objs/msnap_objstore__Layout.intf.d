@@ -1,0 +1,1 @@
+lib/objstore/layout.mli: Bytes

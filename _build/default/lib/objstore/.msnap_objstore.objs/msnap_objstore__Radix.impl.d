@@ -1,0 +1,1 @@
+lib/objstore/radix.ml: Array Bytes Hashtbl Int64 Layout List

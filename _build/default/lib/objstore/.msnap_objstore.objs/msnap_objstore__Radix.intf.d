@@ -1,0 +1,1 @@
+lib/objstore/radix.mli: Bytes

@@ -1,0 +1,1 @@
+lib/objstore/store.ml: Alloc Bytes Hashtbl Layout List Msnap_blockdev Msnap_sim Printf Radix

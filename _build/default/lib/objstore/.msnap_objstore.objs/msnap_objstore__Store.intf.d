@@ -1,0 +1,1 @@
+lib/objstore/store.mli: Bytes Msnap_blockdev

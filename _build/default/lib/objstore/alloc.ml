@@ -1,0 +1,19 @@
+(* The store's allocator is the generic block allocator with the
+   superblock area reserved. *)
+
+module Balloc = Msnap_blockdev.Balloc
+
+exception Out_of_space = Balloc.Out_of_space
+
+type t = Balloc.t
+
+let create ~total_blocks =
+  Balloc.create ~total_blocks ~reserved:Layout.first_data_block
+
+let alloc_run = Balloc.alloc_run
+let mark_allocated = Balloc.mark_allocated
+let free_deferred = Balloc.free_deferred
+let apply_deferred = Balloc.apply_deferred
+let is_allocated = Balloc.is_allocated
+let free_blocks = Balloc.free_blocks
+let total_blocks = Balloc.total_blocks

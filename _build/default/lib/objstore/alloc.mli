@@ -1,0 +1,36 @@
+(** Block allocator for the object store.
+
+    A bitmap allocator with a rotating cursor that prefers contiguous runs,
+    so μCheckpoint data lands sequentially on disk — the property that lets
+    MemSnap turn random page updates into sequential IO (§3, "translates
+    random object updates into sequential writes").
+
+    The bitmap is volatile: it is rebuilt at mount by walking every
+    object's radix tree (log-structured recovery). Blocks freed by a COW
+    commit are quarantined until the commit's header is durable, because
+    until then the previous tree still references them. *)
+
+type t
+
+val create : total_blocks:int -> t
+(** All blocks above [Layout.first_data_block] start free. *)
+
+val alloc_run : t -> int -> int list
+(** [alloc_run t n] allocates [n] blocks, contiguous if possible, in
+    ascending order. Raises [Out_of_space] otherwise. *)
+
+val mark_allocated : t -> int -> unit
+(** Used during mount while walking trees. Idempotent. *)
+
+val free_deferred : t -> int list -> unit
+(** Quarantine blocks of the superseded epoch. *)
+
+val apply_deferred : t -> unit
+(** Actually free quarantined blocks — call once the commit that
+    dereferenced them is durable. *)
+
+val is_allocated : t -> int -> bool
+val free_blocks : t -> int
+val total_blocks : t -> int
+
+exception Out_of_space

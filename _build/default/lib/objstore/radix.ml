@@ -1,0 +1,166 @@
+type node = int array
+
+let fanout = Layout.radix_fanout
+
+let node_to_bytes n =
+  let b = Bytes.make Layout.block_size '\000' in
+  Array.iteri (fun i v -> Bytes.set_int64_le b (i * 8) (Int64.of_int v)) n;
+  b
+
+let node_of_bytes b =
+  Array.init fanout (fun i -> Int64.to_int (Bytes.get_int64_le b (i * 8)))
+
+let capacity ~height =
+  if height <= 0 then 0
+  else begin
+    let rec pow acc n = if n = 0 then acc else pow (acc * fanout) (n - 1) in
+    pow 1 height
+  end
+
+let height_for n =
+  let rec go h = if capacity ~height:h >= n then h else go (h + 1) in
+  if n <= 0 then 0 else go 1
+
+type update_result = {
+  new_root : int;
+  new_height : int;
+  node_writes : (int * node) list;
+  freed : int list;
+  nodes_visited : int;
+}
+
+(* A subtree being COWed is either a real on-disk node (possibly absent) or
+   a "grown" virtual level: when the tree height grows, the old root becomes
+   the leftmost descendant of the new root, and every level between them is
+   a virtual node whose only child is slot 0. *)
+type subtree = Block of int | Grown
+
+let update_batch ~read_node ~alloc ~root ~height updates =
+  match updates with
+  | [] -> { new_root = root; new_height = height; node_writes = []; freed = [];
+            nodes_visited = 0 }
+  | _ ->
+    let max_idx = List.fold_left (fun a (i, _) -> max a i) 0 updates in
+    let needed_height = max (height_for (max_idx + 1)) (max height 1) in
+    let orig_height = height and orig_root = root in
+    let writes = ref [] in
+    let freed = ref [] in
+    let visited = ref 0 in
+    let fresh contents =
+      match alloc 1 with
+      | [ b ] ->
+        writes := (b, contents) :: !writes;
+        b
+      | _ -> assert false
+    in
+    (* COW-update [src] at [level] (1 = leaf whose entries are data
+       blocks). [ups] indexes are relative to this subtree. Returns the
+       fresh block holding the updated node. *)
+    let rec cow level src ups =
+      incr visited;
+      let entries, old_block =
+        match src with
+        | Block 0 -> (Array.make fanout 0, 0)
+        | Block b -> (Array.copy (read_node b), b)
+        | Grown -> (Array.make fanout 0, 0)
+      in
+      if level = 1 then
+        List.iter
+          (fun (idx, data) ->
+            assert (idx >= 0 && idx < fanout);
+            if entries.(idx) <> 0 then freed := entries.(idx) :: !freed;
+            entries.(idx) <- data)
+          ups
+      else begin
+        let span = capacity ~height:(level - 1) in
+        let groups = Hashtbl.create 8 in
+        let slots = ref [] in
+        let touch slot =
+          if not (Hashtbl.mem groups slot) then begin
+            Hashtbl.add groups slot (ref []);
+            slots := slot :: !slots
+          end
+        in
+        (* A grown level must always rewrite slot 0 to link the old tree
+           in, even if no update lands there. *)
+        (match src with
+        | Grown when orig_root <> 0 -> touch 0
+        | Grown | Block _ -> ());
+        List.iter
+          (fun (idx, data) ->
+            let slot = idx / span in
+            touch slot;
+            let l = Hashtbl.find groups slot in
+            l := (idx mod span, data) :: !l)
+          ups;
+        List.iter
+          (fun slot ->
+            let rel_ups = List.rev !(Hashtbl.find groups slot) in
+            let child_src =
+              match src with
+              | Grown when slot = 0 ->
+                if level - 1 > orig_height then Grown else Block orig_root
+              | Grown -> Block 0
+              | Block _ -> Block entries.(slot)
+            in
+            (* Linking the unmodified old tree in does not rewrite it. *)
+            if rel_ups = [] then begin
+              match child_src with
+              | Block b -> entries.(slot) <- b
+              | Grown -> entries.(slot) <- cow (level - 1) child_src []
+            end
+            else entries.(slot) <- cow (level - 1) child_src rel_ups)
+          (List.rev !slots)
+      end;
+      if old_block <> 0 then freed := old_block :: !freed;
+      fresh entries
+    in
+    let top_src =
+      if orig_root = 0 then Block 0
+      else if needed_height = orig_height then Block orig_root
+      else Grown
+    in
+    let new_root = cow needed_height top_src updates in
+    { new_root; new_height = needed_height; node_writes = List.rev !writes;
+      freed = !freed; nodes_visited = !visited }
+
+let lookup ~read_node ~root ~height idx =
+  if root = 0 || idx < 0 || idx >= capacity ~height then 0
+  else begin
+    let rec go level block idx =
+      if block = 0 then 0
+      else if level = 1 then (read_node block).(idx)
+      else begin
+        let span = capacity ~height:(level - 1) in
+        go (level - 1) (read_node block).(idx / span) (idx mod span)
+      end
+    in
+    go height root idx
+  end
+
+let iter ~read_node ~root ~height ~f =
+  if root <> 0 then begin
+    let rec go level block base =
+      if block <> 0 then begin
+        let entries = read_node block in
+        if level = 1 then
+          Array.iteri (fun i b -> if b <> 0 then f ~index:(base + i) ~block:b) entries
+        else begin
+          let span = capacity ~height:(level - 1) in
+          Array.iteri (fun i b -> if b <> 0 then go (level - 1) b (base + (i * span))) entries
+        end
+      end
+    in
+    go height root 0
+  end
+
+let iter_nodes ~read_node ~root ~height ~f =
+  if root <> 0 then begin
+    let rec go level block =
+      if block <> 0 then begin
+        f block;
+        if level > 1 then Array.iter (fun b -> go (level - 1) b) (read_node block)
+      end
+    in
+    go height root
+  end

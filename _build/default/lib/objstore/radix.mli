@@ -1,0 +1,58 @@
+(** COW radix trees mapping object block index to disk block address.
+
+    The paper's object store keeps each object's data in a copy-on-write
+    radix tree ("block based, no extent fragmentation under frequent
+    snapshots"). A μCheckpoint produces a *batch* COW update: new data
+    blocks are attached, every node on a path to a change is rewritten to
+    fresh blocks, and the replaced nodes are reported for deferred freeing.
+    Nothing is persisted here — the caller writes the returned node images
+    and flips the object header.
+
+    Node images are read through an abstract [read_node] callback so the
+    module does not depend on the device. *)
+
+type node = int array
+(** 512 block pointers; 0 = hole. *)
+
+val node_to_bytes : node -> Bytes.t
+val node_of_bytes : Bytes.t -> node
+
+val capacity : height:int -> int
+(** Data blocks addressable by a tree of the given height (height 0 = 0). *)
+
+val height_for : int -> int
+(** Minimal height whose capacity covers indexes [0 .. n-1]. *)
+
+type update_result = {
+  new_root : int;
+  new_height : int;
+  node_writes : (int * node) list;  (** fresh blocks, to persist *)
+  freed : int list;  (** superseded node blocks and data blocks *)
+  nodes_visited : int;  (** for CPU cost accounting *)
+}
+
+val update_batch :
+  read_node:(int -> node) ->
+  alloc:(int -> int list) ->
+  root:int ->
+  height:int ->
+  (int * int) list ->
+  update_result
+(** [update_batch ~read_node ~alloc ~root ~height updates] applies
+    [(index, data_block)] pairs. [alloc n] must return [n] fresh blocks. *)
+
+val lookup :
+  read_node:(int -> node) -> root:int -> height:int -> int -> int
+(** Data block for an index, or [0] for a hole. *)
+
+val iter :
+  read_node:(int -> node) ->
+  root:int ->
+  height:int ->
+  f:(index:int -> block:int -> unit) ->
+  unit
+(** Visit every present data block. *)
+
+val iter_nodes :
+  read_node:(int -> node) -> root:int -> height:int -> f:(int -> unit) -> unit
+(** Visit every tree-node block (used to rebuild the allocator at mount). *)

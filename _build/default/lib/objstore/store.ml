@@ -1,0 +1,350 @@
+module Stripe = Msnap_blockdev.Stripe
+module Sync = Msnap_sim.Sync
+module Sched = Msnap_sim.Sched
+module Costs = Msnap_sim.Costs
+module Metrics = Msnap_sim.Metrics
+
+exception Corrupt of string
+
+type ticket = (unit, exn) result Sync.Ivar.t
+
+type pending = {
+  p_updates : (int * int) list; (* (page index, data block) *)
+  p_segs : (int * Bytes.t) list; (* device segments carrying the data *)
+  p_ivar : ticket;
+  p_epoch : int;
+  p_size : int; (* logical size implied by this commit *)
+}
+
+type obj = {
+  header_block : int;
+  mutable hdr : Layout.header;
+  mutable next_epoch : int;
+  mutable queue : pending list; (* reversed arrival order *)
+  mutable committing : bool;
+  mutable deleted : bool;
+}
+
+type t = {
+  dev : Stripe.t;
+  alloc : Alloc.t;
+  cache : (int, Radix.node) Hashtbl.t;
+  mutable sb : Layout.superblock;
+  objects : (string, obj) Hashtbl.t;
+  meta_lock : Sync.Mutex.t;
+  mutable next_obj_id : int;
+  mutable s_nodes_written : int;
+  mutable s_data_written : int;
+}
+
+let bsz = Layout.block_size
+
+let block_off b = b * bsz
+
+let write_block dev b bytes = Stripe.write dev ~off:(block_off b) bytes
+let read_block_raw dev b = Stripe.read dev ~off:(block_off b) ~len:bsz
+
+(* Headers and superblocks occupy the first sector of their block; the
+   single-sector write is what makes the commit atomic. *)
+let write_commit_sector dev b bytes =
+  assert (Bytes.length bytes = 512);
+  Stripe.write dev ~off:(block_off b) bytes
+
+let read_commit_sector dev b = Stripe.read dev ~off:(block_off b) ~len:512
+
+let device t = t.dev
+
+let read_node t b =
+  match Hashtbl.find_opt t.cache b with
+  | Some n -> n
+  | None ->
+    let n = Radix.node_of_bytes (read_block_raw t.dev b) in
+    Hashtbl.replace t.cache b n;
+    n
+
+(* --- formatting and mount --- *)
+
+let total_blocks_of dev = Stripe.size dev / bsz
+
+let write_superblock t =
+  let gen = t.sb.Layout.generation + 1 in
+  let sb = { t.sb with Layout.generation = gen } in
+  let slot = gen mod Layout.sb_blocks in
+  write_commit_sector t.dev slot (Layout.superblock_to_bytes sb);
+  t.sb <- sb
+
+let format dev =
+  let sb =
+    { Layout.generation = 1; directory_block = 0;
+      total_blocks = total_blocks_of dev }
+  in
+  write_commit_sector dev 1 (Layout.superblock_to_bytes sb);
+  (* Invalidate slot 0 in case the volume held an older store. *)
+  write_commit_sector dev 0 (Bytes.make 512 '\000')
+
+let load_superblock dev =
+  let candidates =
+    List.filter_map
+      (fun slot -> Layout.superblock_of_bytes (read_commit_sector dev slot))
+      [ 0; 1 ]
+  in
+  match candidates with
+  | [] -> raise (Corrupt "no valid superblock")
+  | l ->
+    List.fold_left
+      (fun best sb ->
+        if sb.Layout.generation > best.Layout.generation then sb else best)
+      (List.hd l) l
+
+let mount dev =
+  let sb = load_superblock dev in
+  let t =
+    {
+      dev;
+      alloc = Alloc.create ~total_blocks:sb.Layout.total_blocks;
+      cache = Hashtbl.create 1024;
+      sb;
+      objects = Hashtbl.create 16;
+      meta_lock = Sync.Mutex.create ();
+      next_obj_id = 1;
+      s_nodes_written = 0;
+      s_data_written = 0;
+    }
+  in
+  if sb.Layout.directory_block <> 0 then begin
+    Alloc.mark_allocated t.alloc sb.Layout.directory_block;
+    let entries =
+      Layout.directory_of_bytes (read_block_raw dev sb.Layout.directory_block)
+    in
+    List.iter
+      (fun (name, hblock) ->
+        Alloc.mark_allocated t.alloc hblock;
+        match Layout.header_of_bytes (read_commit_sector dev hblock) with
+        | None ->
+          raise (Corrupt (Printf.sprintf "object %s: bad header" name))
+        | Some hdr ->
+          if hdr.Layout.obj_id >= t.next_obj_id then
+            t.next_obj_id <- hdr.Layout.obj_id + 1;
+          Radix.iter_nodes ~read_node:(read_node t) ~root:hdr.Layout.root_block
+            ~height:hdr.Layout.height ~f:(Alloc.mark_allocated t.alloc);
+          Radix.iter ~read_node:(read_node t) ~root:hdr.Layout.root_block
+            ~height:hdr.Layout.height ~f:(fun ~index:_ ~block ->
+              Alloc.mark_allocated t.alloc block);
+          Hashtbl.replace t.objects name
+            { header_block = hblock; hdr; next_epoch = hdr.Layout.epoch + 1;
+              queue = []; committing = false; deleted = false })
+      entries
+  end;
+  t
+
+(* --- directory management --- *)
+
+let directory_entries t =
+  Hashtbl.fold
+    (fun name o acc -> if o.deleted then acc else (name, o.header_block) :: acc)
+    t.objects []
+  |> List.sort compare
+
+(* Rewrite the directory COW-style and flip the superblock. Caller holds
+   [meta_lock]. *)
+let persist_directory t =
+  let old = t.sb.Layout.directory_block in
+  let entries = directory_entries t in
+  if entries = [] then begin
+    t.sb <- { t.sb with Layout.directory_block = 0 };
+    write_superblock t
+  end
+  else begin
+    let nb = List.hd (Alloc.alloc_run t.alloc 1) in
+    write_block t.dev nb (Layout.directory_to_bytes entries);
+    t.sb <- { t.sb with Layout.directory_block = nb };
+    write_superblock t
+  end;
+  if old <> 0 then begin
+    Alloc.free_deferred t.alloc [ old ];
+    Alloc.apply_deferred t.alloc
+  end
+
+let create t ~name ?(meta = 0) () =
+  Sync.Mutex.with_lock t.meta_lock (fun () ->
+      (match Hashtbl.find_opt t.objects name with
+      | Some o when not o.deleted ->
+        invalid_arg (Printf.sprintf "Store.create: %s exists" name)
+      | _ -> ());
+      if List.length (directory_entries t) >= Layout.max_directory_entries then
+        invalid_arg "Store.create: directory full";
+      let hblock = List.hd (Alloc.alloc_run t.alloc 1) in
+      let hdr =
+        { Layout.obj_id = t.next_obj_id; obj_name = name; epoch = 0;
+          root_block = 0; height = 0; size_bytes = 0; meta }
+      in
+      t.next_obj_id <- t.next_obj_id + 1;
+      write_commit_sector t.dev hblock (Layout.header_to_bytes hdr);
+      let o =
+        { header_block = hblock; hdr; next_epoch = 1; queue = [];
+          committing = false; deleted = false }
+      in
+      Hashtbl.replace t.objects name o;
+      persist_directory t;
+      o)
+
+let open_obj t ~name =
+  match Hashtbl.find_opt t.objects name with
+  | Some o when not o.deleted -> Some o
+  | _ -> None
+
+let delete t o =
+  Sync.Mutex.with_lock t.meta_lock (fun () ->
+      if o.deleted then invalid_arg "Store.delete: already deleted";
+      o.deleted <- true;
+      Hashtbl.remove t.objects o.hdr.Layout.obj_name;
+      persist_directory t;
+      (* Reclaim the object's blocks. *)
+      let freed = ref [ o.header_block ] in
+      Radix.iter_nodes ~read_node:(read_node t) ~root:o.hdr.Layout.root_block
+        ~height:o.hdr.Layout.height ~f:(fun b -> freed := b :: !freed);
+      Radix.iter ~read_node:(read_node t) ~root:o.hdr.Layout.root_block
+        ~height:o.hdr.Layout.height ~f:(fun ~index:_ ~block ->
+          freed := block :: !freed);
+      Alloc.free_deferred t.alloc !freed;
+      Alloc.apply_deferred t.alloc;
+      List.iter (Hashtbl.remove t.cache) !freed)
+
+let list_objects t = List.map fst (directory_entries t)
+
+let obj_name o = o.hdr.Layout.obj_name
+let epoch o = o.hdr.Layout.epoch
+let size_bytes o = o.hdr.Layout.size_bytes
+let meta o = o.hdr.Layout.meta
+
+let write_header t o hdr =
+  write_commit_sector t.dev o.header_block (Layout.header_to_bytes hdr);
+  o.hdr <- hdr
+
+let set_meta t o meta =
+  Sync.Mutex.with_lock t.meta_lock (fun () ->
+      write_header t o { o.hdr with Layout.meta })
+
+(* --- μCheckpoint commits --- *)
+
+(* Drain the object's pending queue: one combined COW tree update, one
+   vectored node write, one header flip per batch. Runs until the queue is
+   empty; new commits arriving during IO join the next batch (group
+   commit / flat combining). *)
+let rec drain t o =
+  match o.queue with
+  | [] -> o.committing <- false
+  | _ ->
+    let batch = List.rev o.queue in
+    o.queue <- [];
+    match drain_batch t o batch with
+    | () -> drain t o
+    | exception exn ->
+      (* Device failure mid-batch: the previous epoch is still intact on
+         disk; report the failure to every waiter, including commits that
+         queued up behind this batch. *)
+      let stranded = List.rev o.queue in
+      o.queue <- [];
+      o.committing <- false;
+      List.iter (fun p -> Sync.Ivar.fill p.p_ivar (Error exn)) (batch @ stranded)
+
+and drain_batch t o batch =
+  Sched.with_bucket "memsnap flush" @@ fun () ->
+    let updates = List.concat_map (fun p -> p.p_updates) batch in
+    let epoch = List.fold_left (fun a p -> max a p.p_epoch) 0 batch in
+    let size =
+      List.fold_left (fun a p -> max a p.p_size) o.hdr.Layout.size_bytes batch
+    in
+    let result =
+      Radix.update_batch ~read_node:(read_node t)
+        ~alloc:(Alloc.alloc_run t.alloc) ~root:o.hdr.Layout.root_block
+        ~height:o.hdr.Layout.height updates
+    in
+    Sched.cpu (result.Radix.nodes_visited * Costs.cow_node_cpu);
+    t.s_nodes_written <- t.s_nodes_written + List.length result.Radix.node_writes;
+    (* Insert fresh nodes into the cache before they hit the device so
+       concurrent readers of *other* objects never see stale views; this
+       object is protected by [committing]. *)
+    List.iter
+      (fun (b, n) -> Hashtbl.replace t.cache b n)
+      result.Radix.node_writes;
+    let node_segs =
+      List.map
+        (fun (b, n) -> (block_off b, Radix.node_to_bytes n))
+        result.Radix.node_writes
+    in
+    (* One vectored command carries every data page and COW node of the
+       batch; the header flip is a second, dependent command. *)
+    let data_segs = List.concat_map (fun p -> p.p_segs) batch in
+    Stripe.writev t.dev (data_segs @ node_segs);
+    write_header t o
+      { o.hdr with
+        Layout.epoch;
+        root_block = result.Radix.new_root;
+        height = result.Radix.new_height;
+        size_bytes = size };
+    Alloc.free_deferred t.alloc result.Radix.freed;
+    Alloc.apply_deferred t.alloc;
+    List.iter (Hashtbl.remove t.cache) result.Radix.freed;
+    List.iter (fun p -> Sync.Ivar.fill p.p_ivar (Ok ())) batch
+
+let commit_async t o pages =
+  if o.deleted then invalid_arg "Store.commit: deleted object";
+  let iv = Sync.Ivar.create () in
+  match pages with
+  | [] ->
+    Sync.Ivar.fill iv (Ok ());
+    (epoch o, iv)
+  | _ ->
+    let epoch = o.next_epoch in
+    o.next_epoch <- epoch + 1;
+    Metrics.incr "objstore.commits";
+    let npages = List.length pages in
+    Sched.cpu (npages * Costs.io_initiate);
+    t.s_data_written <- t.s_data_written + npages;
+    let worker () =
+      try
+        let data_blocks = Alloc.alloc_run t.alloc npages in
+        let updates = List.map2 (fun (idx, _) b -> (idx, b)) pages data_blocks in
+        let segs =
+          List.map2 (fun (_, data) b -> (block_off b, data)) pages data_blocks
+        in
+        let size =
+          List.fold_left
+            (fun a (idx, _) -> max a ((idx + 1) * bsz))
+            0 pages
+        in
+        o.queue <- { p_updates = updates; p_segs = segs; p_ivar = iv;
+                     p_epoch = epoch; p_size = size } :: o.queue;
+        if not o.committing then begin
+          o.committing <- true;
+          drain t o
+        end
+      with exn -> Sync.Ivar.fill iv (Error exn)
+    in
+    ignore (Sched.spawn ~name:"objstore-commit" worker);
+    (epoch, iv)
+
+let wait iv =
+  match Sync.Ivar.read iv with Ok () -> () | Error exn -> raise exn
+
+let commit t o pages =
+  let epoch, iv = commit_async t o pages in
+  wait iv;
+  epoch
+
+let read_block t o idx =
+  let b =
+    Radix.lookup ~read_node:(read_node t) ~root:o.hdr.Layout.root_block
+      ~height:o.hdr.Layout.height idx
+  in
+  if b = 0 then None else Some (read_block_raw t.dev b)
+
+let grow t o ~size_bytes =
+  ignore t;
+  if size_bytes > o.hdr.Layout.size_bytes then
+    o.hdr <- { o.hdr with Layout.size_bytes }
+
+let free_blocks t = Alloc.free_blocks t.alloc
+let nodes_written t = t.s_nodes_written
+let data_blocks_written t = t.s_data_written

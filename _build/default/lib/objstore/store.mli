@@ -1,0 +1,80 @@
+(** The COW object store backing MemSnap μCheckpoints.
+
+    A key-value store of named objects, each an independently-versioned COW
+    radix tree of 4 KiB blocks (§3, "Persisting MemSnap Regions"). It does
+    direct IO — no buffer cache, no POSIX file semantics — and commits a
+    μCheckpoint in two device steps:
+
+    + one vectored write placing new data blocks and the COW node path into
+      free space (sequential when space allows);
+    + one atomic sector write flipping the object header to the new radix
+      root and epoch.
+
+    Crashes anywhere leave the previous epoch intact: every object is
+    restorable from its last committed header independent of any global
+    state. Objects carry a monotonic epoch so concurrent μCheckpoints to
+    different objects never serialize on each other; commits to the same
+    object are ordered by a per-object lock. *)
+
+type t
+type obj
+
+exception Corrupt of string
+
+val format : Msnap_blockdev.Stripe.t -> unit
+(** Initialize an empty store on the volume. *)
+
+val mount : Msnap_blockdev.Stripe.t -> t
+(** Recover: pick the newest valid superblock, load the directory and
+    object headers, and rebuild the allocator by walking every tree.
+    Raises [Corrupt] when no valid superblock exists. *)
+
+val device : t -> Msnap_blockdev.Stripe.t
+
+val create : t -> name:string -> ?meta:int -> unit -> obj
+(** Create an empty object (durable before returning). Raises
+    [Invalid_argument] if the name exists. *)
+
+val open_obj : t -> name:string -> obj option
+val delete : t -> obj -> unit
+val list_objects : t -> string list
+
+val obj_name : obj -> string
+val epoch : obj -> int
+val size_bytes : obj -> int
+val meta : obj -> int
+val set_meta : t -> obj -> int -> unit
+(** Durable metadata update (one header write). *)
+
+(** {2 μCheckpoint commits} *)
+
+type ticket
+(** Completion handle of an in-flight commit. *)
+
+val commit : t -> obj -> (int * Bytes.t) list -> int
+(** [commit t obj pages] durably applies [(page_index, 4 KiB image)] pairs
+    as one atomic checkpoint and returns the new epoch. The buffers must
+    not change until the call returns (MemSnap guarantees this with its
+    checkpoint-in-progress COW). Raises if the device fails mid-commit —
+    the store itself stays consistent (the previous epoch is intact). *)
+
+val commit_async : t -> obj -> (int * Bytes.t) list -> int * ticket
+(** Initiate the commit and return [(epoch, ticket)] after the CPU-side
+    setup; the IO proceeds on a worker thread. *)
+
+val wait : ticket -> unit
+(** Block until the commit is durable; re-raises its failure if any. *)
+
+val read_block : t -> obj -> int -> Bytes.t option
+(** Read back one 4 KiB block ([None] = hole). Charged device read. *)
+
+val grow : t -> obj -> size_bytes:int -> unit
+(** Record a larger logical size (next header commit persists it). *)
+
+(** {2 Introspection} *)
+
+val free_blocks : t -> int
+val nodes_written : t -> int
+(** Total COW tree nodes written since mount (write-amplification metric). *)
+
+val data_blocks_written : t -> int

@@ -1,0 +1,1 @@
+lib/sim/metrics.ml: Hashtbl List Msnap_util Sched String

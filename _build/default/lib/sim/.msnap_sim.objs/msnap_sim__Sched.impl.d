@@ -1,0 +1,1 @@
+lib/sim/sched.ml: Effect Fun Hashtbl List Pq Printf String

@@ -1,0 +1,1 @@
+lib/sim/sync.ml: Fun List Queue Sched

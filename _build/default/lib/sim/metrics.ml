@@ -1,0 +1,46 @@
+module Histogram = Msnap_util.Histogram
+
+let counters_tbl : (string, int ref) Hashtbl.t = Hashtbl.create 32
+let hists_tbl : (string, Histogram.t) Hashtbl.t = Hashtbl.create 32
+
+let reset () =
+  Hashtbl.reset counters_tbl;
+  Hashtbl.reset hists_tbl
+
+let incr ?(by = 1) name =
+  match Hashtbl.find_opt counters_tbl name with
+  | Some r -> r := !r + by
+  | None -> Hashtbl.add counters_tbl name (ref by)
+
+let count name =
+  match Hashtbl.find_opt counters_tbl name with Some r -> !r | None -> 0
+
+let get_hist name =
+  match Hashtbl.find_opt hists_tbl name with
+  | Some h -> h
+  | None ->
+    let h = Histogram.create () in
+    Hashtbl.add hists_tbl name h;
+    h
+
+let add_sample name ns =
+  incr name;
+  Histogram.add (get_hist name) ns
+
+let hist name = Hashtbl.find_opt hists_tbl name
+
+let mean_ns name =
+  match hist name with Some h -> Histogram.mean h | None -> 0.0
+
+let samples name =
+  match hist name with Some h -> Histogram.count h | None -> 0
+
+let counters () =
+  Hashtbl.fold (fun k v acc -> (k, !v) :: acc) counters_tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let timed name f =
+  let t0 = Sched.now () in
+  let r = f () in
+  add_sample name (Sched.now () - t0);
+  r

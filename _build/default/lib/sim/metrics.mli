@@ -1,0 +1,31 @@
+(** Named counters and latency histograms for experiment reporting.
+
+    The case studies instrument their persistence calls ("fsync", "write",
+    "memsnap", ...) through this registry; the benchmark harness reads the
+    totals to regenerate the paper's syscall-count tables (Tables 7 and 9).
+    State is global to the process — call {!reset} between experiments. *)
+
+val reset : unit -> unit
+
+val incr : ?by:int -> string -> unit
+(** Bump a counter. *)
+
+val count : string -> int
+(** Current value (0 if never bumped). *)
+
+val add_sample : string -> int -> unit
+(** Record one latency sample (ns) under a name; also bumps the implicit
+    op counter of that name. *)
+
+val hist : string -> Msnap_util.Histogram.t option
+
+val mean_ns : string -> float
+(** Mean of the samples recorded under a name (0 if none). *)
+
+val samples : string -> int
+
+val counters : unit -> (string * int) list
+(** All counters, sorted by name. *)
+
+val timed : string -> (unit -> 'a) -> 'a
+(** Run the callback, recording its elapsed virtual time as a sample. *)

@@ -1,0 +1,17 @@
+(** Minimal binary min-heap priority queue keyed by integer priority.
+
+    Ties are broken by insertion order (a monotonically increasing sequence
+    number), which is what makes the scheduler deterministic. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val is_empty : 'a t -> bool
+val length : 'a t -> int
+
+val push : 'a t -> prio:int -> 'a -> unit
+
+val pop : 'a t -> 'a option
+(** Remove and return the element with the smallest [(prio, seq)]. *)
+
+val min_prio : 'a t -> int option

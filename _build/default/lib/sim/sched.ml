@@ -1,0 +1,214 @@
+type thread = {
+  id : int;
+  tname : string;
+  mutable finished : bool;
+  mutable joiners : waker list;
+  mutable acct : string;
+}
+
+and waker = {
+  w_thread : thread;
+  mutable fired : bool;
+  w_engine : engine;
+}
+
+and engine = {
+  mutable clock : int;
+  runq : (unit -> unit) Pq.t;
+  mutable live : int;
+  mutable cur : thread option;
+  mutable next_tid : int;
+  mutable failure : exn option;
+  buckets : (string, int ref) Hashtbl.t;
+  (* Parked continuations, keyed by their waker. Pruned on fire so the
+     list stays proportional to the number of parked threads. *)
+  mutable parked : (waker * (unit -> unit)) list;
+}
+
+type tid = thread
+
+exception Deadlock of string
+
+type _ Effect.t +=
+  | Delay : int -> unit Effect.t
+  | Suspend : (waker -> unit) -> unit Effect.t
+
+let engine_ref : engine option ref = ref None
+
+let engine () =
+  match !engine_ref with
+  | Some e -> e
+  | None -> invalid_arg "Sched: not inside Sched.run"
+
+let now () = (engine ()).clock
+
+let self () =
+  match (engine ()).cur with
+  | Some t -> t
+  | None -> invalid_arg "Sched.self: no current thread"
+
+let tid_int t = t.id
+let name t = t.tname
+
+let schedule e ~at action = Pq.push e.runq ~prio:at action
+
+let wake w =
+  if not w.fired then begin
+    w.fired <- true;
+    let e = w.w_engine in
+    let rec take acc = function
+      | [] -> (None, List.rev acc)
+      | (w', act) :: rest when w' == w -> (Some act, List.rev_append acc rest)
+      | pair :: rest -> take (pair :: acc) rest
+    in
+    let action, remaining = take [] e.parked in
+    e.parked <- remaining;
+    match action with
+    | Some act -> schedule e ~at:e.clock act
+    | None -> ()
+  end
+
+(* Run [body] as a coroutine belonging to [t]. Each effect performed by the
+   body enqueues its continuation and unwinds to the scheduler loop. *)
+let start_thread e t body =
+  let open Effect.Deep in
+  let resume_as t k () =
+    e.cur <- Some t;
+    continue k ()
+  in
+  let handler =
+    {
+      retc =
+        (fun () ->
+          t.finished <- true;
+          e.live <- e.live - 1;
+          let js = t.joiners in
+          t.joiners <- [];
+          List.iter wake js);
+      exnc =
+        (fun exn ->
+          t.finished <- true;
+          e.live <- e.live - 1;
+          if e.failure = None then e.failure <- Some exn);
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | Delay ns ->
+            Some
+              (fun (k : (a, unit) continuation) ->
+                schedule e ~at:(e.clock + ns) (resume_as t k))
+          | Suspend f ->
+            Some
+              (fun (k : (a, unit) continuation) ->
+                let w = { w_thread = t; fired = false; w_engine = e } in
+                e.parked <- (w, resume_as t k) :: e.parked;
+                f w)
+          | _ -> None);
+    }
+  in
+  match_with body () handler
+
+let suspend f = Effect.perform (Suspend f)
+let delay ns = if ns > 0 then Effect.perform (Delay ns)
+let yield () = Effect.perform (Delay 0)
+
+let spawn ?(name = "thread") body =
+  let e = engine () in
+  let t =
+    {
+      id = e.next_tid;
+      tname = name;
+      finished = false;
+      joiners = [];
+      acct = "user";
+    }
+  in
+  e.next_tid <- e.next_tid + 1;
+  e.live <- e.live + 1;
+  schedule e ~at:e.clock (fun () ->
+      e.cur <- Some t;
+      start_thread e t body);
+  t
+
+let join target =
+  if not target.finished then
+    suspend (fun w -> target.joiners <- w :: target.joiners)
+
+let bucket () = (self ()).acct
+
+let charge e name ns =
+  match Hashtbl.find_opt e.buckets name with
+  | Some r -> r := !r + ns
+  | None -> Hashtbl.add e.buckets name (ref ns)
+
+let cpu ns =
+  if ns > 0 then begin
+    let e = engine () in
+    charge e (self ()).acct ns;
+    delay ns
+  end
+
+let with_bucket name f =
+  let t = self () in
+  let saved = t.acct in
+  t.acct <- name;
+  Fun.protect ~finally:(fun () -> t.acct <- saved) f
+
+let account_report () =
+  let e = engine () in
+  Hashtbl.fold (fun k v acc -> (k, !v) :: acc) e.buckets []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let account_total () =
+  List.fold_left (fun acc (_, v) -> acc + v) 0 (account_report ())
+
+let run main =
+  if !engine_ref <> None then invalid_arg "Sched.run: nested run";
+  let e =
+    {
+      clock = 0;
+      runq = Pq.create ();
+      live = 0;
+      cur = None;
+      next_tid = 0;
+      failure = None;
+      buckets = Hashtbl.create 17;
+      parked = [];
+    }
+  in
+  engine_ref := Some e;
+  let result = ref None in
+  ignore (spawn ~name:"main" (fun () -> result := Some (main ())));
+  let finalize () = engine_ref := None in
+  let deadlock () =
+    let parked = List.map (fun (w, _) -> w.w_thread.tname) e.parked in
+    finalize ();
+    raise
+      (Deadlock
+         (Printf.sprintf "%d thread(s) blocked forever: %s" e.live
+            (String.concat ", " parked)))
+  in
+  let rec loop () =
+    if e.failure <> None then ()
+    else
+      match Pq.min_prio e.runq with
+      | None -> if e.live > 0 then deadlock ()
+      | Some at ->
+        if at > e.clock then e.clock <- at;
+        (match Pq.pop e.runq with
+        | Some action -> action ()
+        | None -> assert false);
+        loop ()
+  in
+  (try loop ()
+   with exn ->
+     finalize ();
+     raise exn);
+  let failure = e.failure in
+  finalize ();
+  match failure with
+  | Some exn -> raise exn
+  | None -> (
+    match !result with
+    | Some v -> v
+    | None -> failwith "Sched.run: main thread did not complete")

@@ -1,0 +1,78 @@
+(** Deterministic discrete-event scheduler with green threads.
+
+    Every component of the reproduction — the VM subsystem, the block
+    device, the file systems, the databases — runs on this scheduler. Time
+    is virtual (integer nanoseconds) and only advances when a thread
+    declares that work costs time ({!cpu}) or sleeps ({!delay}); together
+    with the seeded PRNGs this makes every experiment bit-for-bit
+    reproducible.
+
+    Threads are one-shot effect-handler coroutines (OCaml 5 [Effect.Deep]).
+    There is no parallelism: exactly one thread runs at a time and runs
+    until it blocks, so the simulated kernel code can use plain mutable
+    state between scheduling points — just like a uniprocessor kernel with
+    interrupts disabled. Contention and concurrency *over time* are still
+    modelled faithfully because threads interleave at every [cpu]/[delay]/
+    blocking call. *)
+
+type tid
+
+exception Deadlock of string
+(** Raised by {!run} when no thread is runnable but some have not finished. *)
+
+val run : (unit -> 'a) -> 'a
+(** [run main] executes [main] as the first thread of a fresh simulation and
+    returns its result once every spawned thread has finished. Resets the
+    clock and CPU accounting. Not reentrant. *)
+
+val now : unit -> int
+(** Current virtual time in nanoseconds. Must be called inside {!run}. *)
+
+val spawn : ?name:string -> (unit -> unit) -> tid
+(** Start a new thread at the current time. *)
+
+val join : tid -> unit
+(** Block until the thread finishes. Reraises nothing: a thread failure
+    aborts the whole simulation. *)
+
+val self : unit -> tid
+val tid_int : tid -> int
+val name : tid -> string
+
+val delay : int -> unit
+(** Let virtual time pass without consuming CPU (e.g. waiting on a device). *)
+
+val cpu : int -> unit
+(** Spend CPU time: advances the clock and charges the current accounting
+    bucket (see {!with_bucket}). *)
+
+val yield : unit -> unit
+(** Reschedule at the same instant behind already-runnable threads. *)
+
+(** {2 Low-level blocking} *)
+
+type waker
+(** A one-shot capability to make a suspended thread runnable again. *)
+
+val suspend : (waker -> unit) -> unit
+(** [suspend f] parks the calling thread and hands [f] the waker. Used to
+    build mutexes, condition variables and IO completion. *)
+
+val wake : waker -> unit
+(** Make the parked thread runnable at the current virtual time. Calling a
+    waker twice is a no-op. *)
+
+(** {2 CPU accounting} *)
+
+val with_bucket : string -> (unit -> 'a) -> 'a
+(** Attribute all {!cpu} time spent in the callback (on this thread) to the
+    named bucket. Nests; the innermost bucket wins. *)
+
+val bucket : unit -> string
+(** Current bucket name (["user"] at top level). *)
+
+val account_report : unit -> (string * int) list
+(** Total {!cpu} nanoseconds charged per bucket this run, sorted by name. *)
+
+val account_total : unit -> int
+(** Sum across buckets. *)

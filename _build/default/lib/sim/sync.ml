@@ -1,0 +1,153 @@
+module Mutex = struct
+  type t = { mutable locked : bool; waiters : Sched.waker Queue.t }
+
+  let create () = { locked = false; waiters = Queue.create () }
+
+  let lock t =
+    if not t.locked then t.locked <- true
+    else Sched.suspend (fun w -> Queue.add w t.waiters)
+  (* Ownership passes directly to the woken waiter: [locked] stays true. *)
+
+  let unlock t =
+    if not t.locked then invalid_arg "Mutex.unlock: not locked";
+    match Queue.take_opt t.waiters with
+    | Some w -> Sched.wake w
+    | None -> t.locked <- false
+
+  let try_lock t =
+    if t.locked then false
+    else begin
+      t.locked <- true;
+      true
+    end
+
+  let with_lock t f =
+    lock t;
+    Fun.protect ~finally:(fun () -> unlock t) f
+
+  let is_locked t = t.locked
+end
+
+module Condition = struct
+  type t = { waiters : Sched.waker Queue.t }
+
+  let create () = { waiters = Queue.create () }
+
+  let wait t m =
+    (* Park first, then release the mutex, so a signal between unlock and
+       park cannot be lost. Sched.suspend registers synchronously. *)
+    Sched.suspend (fun w ->
+        Queue.add w t.waiters;
+        Mutex.unlock m);
+    Mutex.lock m
+
+  let signal t =
+    match Queue.take_opt t.waiters with
+    | Some w -> Sched.wake w
+    | None -> ()
+
+  let broadcast t =
+    let ws = Queue.to_seq t.waiters |> List.of_seq in
+    Queue.clear t.waiters;
+    List.iter Sched.wake ws
+end
+
+module Semaphore = struct
+  type t = { mutable count : int; waiters : Sched.waker Queue.t }
+
+  let create n =
+    assert (n >= 0);
+    { count = n; waiters = Queue.create () }
+
+  let acquire t =
+    if t.count > 0 then t.count <- t.count - 1
+    else Sched.suspend (fun w -> Queue.add w t.waiters)
+  (* The released permit passes directly to the woken waiter. *)
+
+  let release t =
+    match Queue.take_opt t.waiters with
+    | Some w -> Sched.wake w
+    | None -> t.count <- t.count + 1
+
+  let try_acquire t =
+    if t.count > 0 then begin
+      t.count <- t.count - 1;
+      true
+    end
+    else false
+
+  let value t = t.count
+end
+
+module Ivar = struct
+  type 'a t = { mutable value : 'a option; mutable waiters : Sched.waker list }
+
+  let create () = { value = None; waiters = [] }
+
+  let fill t v =
+    if t.value <> None then invalid_arg "Ivar.fill: already filled";
+    t.value <- Some v;
+    let ws = List.rev t.waiters in
+    t.waiters <- [];
+    List.iter Sched.wake ws
+
+  let read t =
+    match t.value with
+    | Some v -> v
+    | None ->
+      Sched.suspend (fun w -> t.waiters <- w :: t.waiters);
+      (match t.value with
+      | Some v -> v
+      | None -> assert false)
+
+  let is_filled t = t.value <> None
+  let peek t = t.value
+end
+
+module Channel = struct
+  type 'a t = {
+    items : 'a Queue.t;
+    capacity : int;
+    mutable senders : Sched.waker list;
+    mutable receivers : Sched.waker list;
+  }
+
+  let create ~capacity =
+    assert (capacity > 0);
+    { items = Queue.create (); capacity; senders = []; receivers = [] }
+
+  let wake_one l =
+    match l with
+    | [] -> []
+    | w :: rest ->
+      Sched.wake w;
+      rest
+
+  let rec send t v =
+    if Queue.length t.items < t.capacity then begin
+      Queue.add v t.items;
+      t.receivers <- wake_one (List.rev t.receivers) |> List.rev
+    end
+    else begin
+      Sched.suspend (fun w -> t.senders <- w :: t.senders);
+      send t v
+    end
+
+  let rec recv t =
+    match Queue.take_opt t.items with
+    | Some v ->
+      t.senders <- wake_one (List.rev t.senders) |> List.rev;
+      v
+    | None ->
+      Sched.suspend (fun w -> t.receivers <- w :: t.receivers);
+      recv t
+
+  let try_recv t =
+    match Queue.take_opt t.items with
+    | Some v ->
+      t.senders <- wake_one (List.rev t.senders) |> List.rev;
+      Some v
+    | None -> None
+
+  let length t = Queue.length t.items
+end

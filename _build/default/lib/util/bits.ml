@@ -1,0 +1,23 @@
+let clz v =
+  if v = 0 then 63
+  else begin
+    let n = ref 0 in
+    let v = ref v in
+    if !v land 0x7FFFFFFF00000000 = 0 then begin n := !n + 31; v := !v lsl 31 end;
+    if !v land 0x7FFF800000000000 = 0 then begin n := !n + 16; v := !v lsl 16 end;
+    if !v land 0x7F80000000000000 = 0 then begin n := !n + 8; v := !v lsl 8 end;
+    if !v land 0x7800000000000000 = 0 then begin n := !n + 4; v := !v lsl 4 end;
+    if !v land 0x6000000000000000 = 0 then begin n := !n + 2; v := !v lsl 2 end;
+    if !v land 0x4000000000000000 = 0 then n := !n + 1;
+    !n
+  end
+
+let ceil_log2 n =
+  assert (n >= 1);
+  if n = 1 then 0 else 63 - clz (n - 1)
+
+let is_pow2 n = n > 0 && n land (n - 1) = 0
+
+let round_up v quantum = (v + quantum - 1) / quantum * quantum
+
+let round_down v quantum = v / quantum * quantum

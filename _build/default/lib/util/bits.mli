@@ -1,0 +1,15 @@
+(** Small bit-twiddling helpers shared across the simulator. *)
+
+val clz : int -> int
+(** Count of leading zero bits in the 63-bit OCaml integer representation
+    (i.e. [clz 1 = 62]). [clz 0 = 63]. *)
+
+val ceil_log2 : int -> int
+(** Smallest [k] with [2^k >= n]. Requires [n >= 1]. *)
+
+val is_pow2 : int -> bool
+
+val round_up : int -> int -> int
+(** [round_up v quantum] rounds [v] up to a multiple of [quantum]. *)
+
+val round_down : int -> int -> int

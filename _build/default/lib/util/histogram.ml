@@ -1,0 +1,84 @@
+(* Buckets: values < 64 are exact; above that, each power of two is split
+   into 32 linear sub-buckets, giving <= ~3% relative bucket width. *)
+
+let sub_bits = 5
+let sub_count = 1 lsl sub_bits (* 32 *)
+let linear_limit = 64
+
+type t = {
+  mutable count : int;
+  mutable sum : float;
+  mutable max_v : int;
+  mutable min_v : int;
+  buckets : int array;
+}
+
+let bucket_count = linear_limit + (64 * sub_count)
+
+let create () =
+  { count = 0; sum = 0.0; max_v = 0; min_v = max_int; buckets = Array.make bucket_count 0 }
+
+let index_of v =
+  if v < linear_limit then v
+  else
+    let msb = 62 - Bits.clz v in
+    (* v in [2^msb, 2^(msb+1)); sub-bucket from the next bits *)
+    let msb = if msb < 0 then 0 else msb in
+    let sub = (v lsr (msb - sub_bits)) land (sub_count - 1) in
+    linear_limit + (msb * sub_count) + sub
+
+let value_of idx =
+  if idx < linear_limit then idx
+  else
+    let idx = idx - linear_limit in
+    let msb = idx / sub_count in
+    let sub = idx mod sub_count in
+    (* Upper edge of the bucket. *)
+    (1 lsl msb) + ((sub + 1) lsl (msb - sub_bits)) - 1
+
+let add t v =
+  let v = if v < 0 then 0 else v in
+  t.count <- t.count + 1;
+  t.sum <- t.sum +. float_of_int v;
+  if v > t.max_v then t.max_v <- v;
+  if v < t.min_v then t.min_v <- v;
+  let i = index_of v in
+  t.buckets.(i) <- t.buckets.(i) + 1
+
+let merge dst src =
+  dst.count <- dst.count + src.count;
+  dst.sum <- dst.sum +. src.sum;
+  if src.max_v > dst.max_v then dst.max_v <- src.max_v;
+  if src.min_v < dst.min_v then dst.min_v <- src.min_v;
+  for i = 0 to bucket_count - 1 do
+    dst.buckets.(i) <- dst.buckets.(i) + src.buckets.(i)
+  done
+
+let count t = t.count
+let mean t = if t.count = 0 then 0.0 else t.sum /. float_of_int t.count
+let max_value t = t.max_v
+let min_value t = if t.count = 0 then 0 else t.min_v
+
+let percentile t p =
+  if t.count = 0 then 0
+  else begin
+    let target =
+      let f = Float.of_int t.count *. p /. 100.0 in
+      let n = int_of_float (Float.ceil f) in
+      if n < 1 then 1 else if n > t.count then t.count else n
+    in
+    let rec scan i seen =
+      if i >= bucket_count then t.max_v
+      else
+        let seen = seen + t.buckets.(i) in
+        if seen >= target then min (value_of i) t.max_v else scan (i + 1) seen
+    in
+    scan 0 0
+  end
+
+let clear t =
+  t.count <- 0;
+  t.sum <- 0.0;
+  t.max_v <- 0;
+  t.min_v <- max_int;
+  Array.fill t.buckets 0 bucket_count 0

@@ -1,0 +1,100 @@
+type line =
+  | Row of string list
+  | Rule
+
+type t = {
+  title : string;
+  headers : string list;
+  mutable lines : line list; (* reversed *)
+  mutable notes : string list; (* reversed *)
+}
+
+let create ~title ~headers = { title; headers; lines = []; notes = [] }
+
+let row t cells = t.lines <- Row cells :: t.lines
+
+let rule t = t.lines <- Rule :: t.lines
+
+let note t s = t.notes <- s :: t.notes
+
+let is_numeric s =
+  s <> ""
+  && String.for_all
+       (fun c -> (c >= '0' && c <= '9') || c = '.' || c = '-' || c = '+'
+                 || c = '%' || c = 'K' || c = 'M' || c = 'x' || c = ' ')
+       s
+  && (let c = s.[0] in (c >= '0' && c <= '9') || c = '-' || c = '+' || c = '.')
+
+let render t =
+  let ncols = List.length t.headers in
+  let pad cells =
+    let len = List.length cells in
+    if len >= ncols then cells else cells @ List.init (ncols - len) (fun _ -> "")
+  in
+  let rows =
+    List.rev_map (function Row c -> Row (pad c) | Rule -> Rule) t.lines
+  in
+  let widths = Array.of_list (List.map String.length t.headers) in
+  let update = function
+    | Rule -> ()
+    | Row cells ->
+      List.iteri
+        (fun i c -> if String.length c > widths.(i) then widths.(i) <- String.length c)
+        cells
+  in
+  List.iter update rows;
+  let buf = Buffer.create 1024 in
+  let total = Array.fold_left ( + ) 0 widths + (3 * (ncols - 1)) in
+  Buffer.add_string buf t.title;
+  Buffer.add_char buf '\n';
+  let hline () =
+    Buffer.add_string buf (String.make total '-');
+    Buffer.add_char buf '\n'
+  in
+  hline ();
+  let emit_row cells =
+    List.iteri
+      (fun i c ->
+        if i > 0 then Buffer.add_string buf " | ";
+        let w = widths.(i) in
+        let padding = String.make (w - String.length c) ' ' in
+        if i > 0 && is_numeric c then begin
+          Buffer.add_string buf padding;
+          Buffer.add_string buf c
+        end
+        else begin
+          Buffer.add_string buf c;
+          Buffer.add_string buf padding
+        end)
+      cells;
+    Buffer.add_char buf '\n'
+  in
+  emit_row t.headers;
+  hline ();
+  List.iter (function Row cells -> emit_row cells | Rule -> hline ()) rows;
+  hline ();
+  List.iter
+    (fun n ->
+      Buffer.add_string buf "  note: ";
+      Buffer.add_string buf n;
+      Buffer.add_char buf '\n')
+    (List.rev t.notes);
+  Buffer.contents buf
+
+let print t =
+  print_string (render t);
+  print_newline ()
+
+let fixed d v = Printf.sprintf "%.*f" d v
+
+let us ns = fixed 1 (float_of_int ns /. 1e3)
+
+let us_short ns =
+  let v = float_of_int ns /. 1e3 in
+  if v < 1000.0 then Printf.sprintf "%.0f" v
+  else if v < 100_000.0 then Printf.sprintf "%.1fK" (v /. 1e3)
+  else Printf.sprintf "%.0fK" (v /. 1e3)
+
+let pct v = Printf.sprintf "%.2f%%" v
+
+let kcount n = Printf.sprintf "%.1f K" (float_of_int n /. 1e3)

@@ -1,0 +1,1 @@
+lib/vm/aspace.ml: Addr Bytes List Msnap_sim Phys Printf Ptable Pte Ptloc Tlb

@@ -1,0 +1,1 @@
+lib/vm/aspace.mli: Bytes Phys Ptable Ptloc Tlb

@@ -1,0 +1,1 @@
+lib/vm/phys.ml: Addr Array Bytes List Msnap_sim Printf Ptloc

@@ -1,0 +1,1 @@
+lib/vm/protect.ml: Addr Aspace List Msnap_sim Ptable Pte Ptloc

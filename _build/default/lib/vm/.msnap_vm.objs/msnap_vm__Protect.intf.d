@@ -1,0 +1,1 @@
+lib/vm/protect.mli: Aspace Ptloc

@@ -1,0 +1,1 @@
+lib/vm/ptable.ml: Addr Array Pte Ptloc

@@ -1,0 +1,1 @@
+lib/vm/ptable.mli: Pte Ptloc

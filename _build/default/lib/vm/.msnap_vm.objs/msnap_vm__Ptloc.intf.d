@@ -1,0 +1,1 @@
+lib/vm/ptloc.mli: Pte

@@ -1,0 +1,233 @@
+module Costs = Msnap_sim.Costs
+module Sched = Msnap_sim.Sched
+
+type frame_source = [ `Zero | `Bytes of Bytes.t | `Page of Phys.page ]
+
+type pager = { page_in : int -> frame_source }
+
+type mapping = {
+  m_name : string;
+  start_vpn : int;
+  npages : int;
+  m_writable : bool;
+  new_pages_writable : bool;
+  pager : pager option;
+  mutable on_write_fault : (fault -> unit) option;
+}
+
+and fault = {
+  f_aspace : t;
+  f_mapping : mapping;
+  f_vpn : int;
+  f_loc : Ptloc.t;
+  f_page : Phys.page;
+}
+
+and t = {
+  a_name : string;
+  a_phys : Phys.t;
+  pt : Ptable.t;
+  a_tlb : Tlb.t;
+  mutable mappings : mapping list;
+}
+
+let create ?(name = "aspace") phys =
+  { a_name = name; a_phys = phys; pt = Ptable.create (); a_tlb = Tlb.create ();
+    mappings = [] }
+
+let name t = t.a_name
+let phys t = t.a_phys
+let page_table t = t.pt
+let tlb t = t.a_tlb
+
+let overlaps m ~start_vpn ~npages =
+  start_vpn < m.start_vpn + m.npages && m.start_vpn < start_vpn + npages
+
+let map t ~name ~va ~len ?(writable = true) ?(new_pages_writable = true) ?pager
+    ?on_write_fault () =
+  if va mod Addr.page_size <> 0 then invalid_arg "Aspace.map: unaligned va";
+  if len <= 0 then invalid_arg "Aspace.map: empty mapping";
+  let start_vpn = Addr.vpn_of_va va in
+  let npages = Addr.pages_spanned ~off:va ~len in
+  List.iter
+    (fun m ->
+      if overlaps m ~start_vpn ~npages then
+        invalid_arg
+          (Printf.sprintf "Aspace.map: %s overlaps existing mapping %s" name
+             m.m_name))
+    t.mappings;
+  let m =
+    { m_name = name; start_vpn; npages; m_writable = writable;
+      new_pages_writable; pager; on_write_fault }
+  in
+  t.mappings <- m :: t.mappings;
+  m
+
+let set_write_fault_handler m h = m.on_write_fault <- h
+
+let mapping_name m = m.m_name
+let mapping_base m = Addr.va_of_vpn m.start_vpn
+let mapping_len m = m.npages * Addr.page_size
+let mapping_of_fault_rel_page f = f.f_vpn - f.f_mapping.start_vpn
+
+let find_mapping t ~name =
+  List.find_opt (fun m -> m.m_name = name) t.mappings
+
+let mapping_of_vpn t vpn =
+  match
+    List.find_opt
+      (fun m -> vpn >= m.start_vpn && vpn < m.start_vpn + m.npages)
+      t.mappings
+  with
+  | Some m -> m
+  | None ->
+    invalid_arg
+      (Printf.sprintf "%s: segfault at va 0x%x (no mapping)" t.a_name
+         (Addr.va_of_vpn vpn))
+
+(* Install a frame for [vpn] of mapping [m] using its pager. Charges the
+   page-in fault. Returns the PTE location. *)
+let page_in t m vpn =
+  Sched.cpu Costs.fault_entry;
+  let source =
+    match m.pager with
+    | None -> `Zero
+    | Some p -> p.page_in (vpn - m.start_vpn)
+  in
+  let page =
+    match source with
+    | `Zero -> Phys.alloc t.a_phys
+    | `Bytes b ->
+      let p = Phys.alloc t.a_phys in
+      Sched.cpu (Costs.memcpy (Bytes.length b));
+      Bytes.blit b 0 p.data 0 (min (Bytes.length b) Addr.page_size);
+      p
+    | `Page p -> p
+  in
+  let loc = Ptable.walk t.pt vpn in
+  Ptloc.set loc (Pte.make ~frame:page.Phys.frame ~writable:m.new_pages_writable);
+  Phys.rmap_add page loc;
+  loc
+
+let translate t vpn =
+  if not (Tlb.access t.a_tlb vpn) then Sched.cpu Costs.pt_walk
+
+(* Resolve [vpn] for writing: page-in if absent, then run the write-fault
+   path until the PTE is writable. *)
+let resolve_write t vpn =
+  translate t vpn;
+  let m = mapping_of_vpn t vpn in
+  if not m.m_writable then
+    invalid_arg
+      (Printf.sprintf "%s: write to read-only mapping %s" t.a_name m.m_name);
+  let loc =
+    match Ptable.find_loc t.pt vpn with
+    | Some loc when Pte.present (Ptloc.get loc) -> loc
+    | _ -> page_in t m vpn
+  in
+  let pte = Ptloc.get loc in
+  if Pte.writable pte then (Phys.get t.a_phys (Pte.frame pte), loc)
+  else begin
+    (* Minor write fault. *)
+    let dispatch () =
+      Sched.cpu Costs.fault_entry;
+      let page = Phys.get t.a_phys (Pte.frame (Ptloc.get loc)) in
+      (match m.on_write_fault with
+      | Some handler ->
+        handler { f_aspace = t; f_mapping = m; f_vpn = vpn; f_loc = loc;
+                  f_page = page }
+      | None -> Ptloc.set loc (Pte.set_writable (Ptloc.get loc) true));
+      let pte = Ptloc.get loc in
+      if not (Pte.writable pte) then
+        failwith
+          (Printf.sprintf "%s: write fault handler left page RO (va 0x%x)"
+             t.a_name (Addr.va_of_vpn vpn));
+      (Phys.get t.a_phys (Pte.frame pte), loc)
+    in
+    Sched.with_bucket "page faults" dispatch
+  end
+
+let page_for_write t ~va = resolve_write t (Addr.vpn_of_va va)
+
+let resolve_read t vpn =
+  translate t vpn;
+  let m = mapping_of_vpn t vpn in
+  let loc =
+    match Ptable.find_loc t.pt vpn with
+    | Some loc when Pte.present (Ptloc.get loc) -> loc
+    | _ -> Sched.with_bucket "page faults" (fun () -> page_in t m vpn)
+  in
+  Phys.get t.a_phys (Pte.frame (Ptloc.get loc))
+
+let page_for_read t ~va = resolve_read t (Addr.vpn_of_va va)
+
+let write_sub t ~va data ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > Bytes.length data then
+    invalid_arg "Aspace.write_sub: bad slice";
+  let rec go va pos len =
+    if len > 0 then begin
+      let in_page = Addr.page_size - Addr.page_offset va in
+      let n = min len in_page in
+      (* Charge the copy before resolving: the store must land on the
+         frame the translation produced, with no scheduling point in
+         between — otherwise a concurrent μCheckpoint could COW the page
+         away mid-copy and the bytes would hit an orphaned frame. *)
+      Sched.cpu (Costs.memcpy n);
+      let page, _ = resolve_write t (Addr.vpn_of_va va) in
+      Bytes.blit data pos page.Phys.data (Addr.page_offset va) n;
+      go (va + n) (pos + n) (len - n)
+    end
+  in
+  go va pos len
+
+let write t ~va data = write_sub t ~va data ~pos:0 ~len:(Bytes.length data)
+
+let read_into t ~va buf ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > Bytes.length buf then
+    invalid_arg "Aspace.read_into: bad slice";
+  let rec go va pos len =
+    if len > 0 then begin
+      let in_page = Addr.page_size - Addr.page_offset va in
+      let n = min len in_page in
+      Sched.cpu (Costs.memcpy n);
+      let page = resolve_read t (Addr.vpn_of_va va) in
+      Bytes.blit page.Phys.data (Addr.page_offset va) buf pos n;
+      go (va + n) (pos + n) (len - n)
+    end
+  in
+  go va pos len
+
+let read t ~va ~len =
+  let buf = Bytes.create len in
+  read_into t ~va buf ~pos:0 ~len;
+  buf
+
+let protect_page t ~vpn =
+  match Ptable.find_loc t.pt vpn with
+  | None -> ()
+  | Some loc ->
+    let pte = Ptloc.get loc in
+    if Pte.present pte then Ptloc.set loc (Pte.set_writable pte false)
+
+let shootdown t vpns = Tlb.shootdown t.a_tlb vpns
+
+let pages_of_range t ~va ~len =
+  let vpn = Addr.vpn_of_va va in
+  let n = Addr.pages_spanned ~off:va ~len in
+  let acc = ref [] in
+  ignore
+    (Ptable.scan_range t.pt ~vpn ~n ~f:(fun v loc ->
+         let pte = Ptloc.get loc in
+         acc := (v, Phys.get t.a_phys (Pte.frame pte)) :: !acc));
+  List.rev !acc
+
+let unmap t m =
+  ignore
+    (Ptable.scan_range t.pt ~vpn:m.start_vpn ~n:m.npages ~f:(fun vpn loc ->
+         let pte = Ptloc.get loc in
+         let page = Phys.get t.a_phys (Pte.frame pte) in
+         Phys.rmap_remove page loc;
+         Ptloc.set loc Pte.empty;
+         Tlb.invalidate_page t.a_tlb vpn;
+         if page.Phys.rmap = [] then Phys.free t.a_phys page));
+  t.mappings <- List.filter (fun m' -> not (m' == m)) t.mappings

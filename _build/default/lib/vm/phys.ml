@@ -1,0 +1,82 @@
+module Costs = Msnap_sim.Costs
+module Sched = Msnap_sim.Sched
+
+type page = {
+  frame : int;
+  data : Bytes.t;
+  mutable ckpt_in_progress : bool;
+  mutable rmap : Ptloc.t list;
+  mutable owner : int;
+}
+
+type t = {
+  mutable pages : page option array;
+  mutable next : int;
+  mutable free_list : page list;
+  mutable live : int;
+  mutable peak : int;
+}
+
+let create () =
+  { pages = Array.make 1024 None; next = 0; free_list = []; live = 0; peak = 0 }
+
+let bump_live t =
+  t.live <- t.live + 1;
+  if t.live > t.peak then t.peak <- t.live
+
+let alloc t =
+  Sched.cpu Costs.page_alloc;
+  match t.free_list with
+  | p :: rest ->
+    t.free_list <- rest;
+    Bytes.fill p.data 0 Addr.page_size '\000';
+    p.ckpt_in_progress <- false;
+    p.owner <- -1;
+    bump_live t;
+    p
+  | [] ->
+    let frame = t.next in
+    t.next <- t.next + 1;
+    if frame >= Array.length t.pages then begin
+      let np = Array.make (2 * Array.length t.pages) None in
+      Array.blit t.pages 0 np 0 (Array.length t.pages);
+      t.pages <- np
+    end;
+    let p =
+      {
+        frame;
+        data = Bytes.make Addr.page_size '\000';
+        ckpt_in_progress = false;
+        rmap = [];
+        owner = -1;
+      }
+    in
+    t.pages.(frame) <- Some p;
+    bump_live t;
+    p
+
+let free t p =
+  assert (p.rmap = []);
+  p.ckpt_in_progress <- false;
+  p.owner <- -1;
+  t.free_list <- p :: t.free_list;
+  t.live <- t.live - 1
+
+let get t frame =
+  match t.pages.(frame) with
+  | Some p -> p
+  | None -> invalid_arg (Printf.sprintf "Phys.get: frame %d never allocated" frame)
+
+let copy_page t src =
+  let dst = alloc t in
+  Sched.cpu Costs.page_copy;
+  Bytes.blit src.data 0 dst.data 0 Addr.page_size;
+  dst
+
+let live_frames t = t.live
+let peak_frames t = t.peak
+
+let rmap_add page loc = page.rmap <- loc :: page.rmap
+
+let rmap_remove page loc =
+  page.rmap <- List.filter (fun l -> not (Ptloc.same l loc)) page.rmap

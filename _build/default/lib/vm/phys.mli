@@ -1,0 +1,40 @@
+(** Physical memory: frame allocation and [vm_page] metadata.
+
+    Each frame is a real 4 KiB [Bytes.t] plus the per-page metadata MemSnap
+    needs: the "checkpoint in progress" flag (§3) and the reverse mappings
+    used to find every page table referencing the frame. *)
+
+type page = {
+  frame : int;
+  data : Bytes.t;
+  mutable ckpt_in_progress : bool;
+  mutable rmap : Ptloc.t list;
+      (** Every PTE currently mapping this frame. *)
+  mutable owner : int;
+      (** Thread id of the dirty-set owner, or [-1]. Used by MemSnap to
+          detect property-③ violations in debug checks. *)
+}
+
+type t
+
+val create : unit -> t
+
+val alloc : t -> page
+(** Allocate a zeroed frame, charging [Costs.page_alloc]. *)
+
+val free : t -> page -> unit
+(** Return a frame to the free list. The caller must have removed it from
+    every page table ([rmap] must be empty). *)
+
+val get : t -> int -> page
+(** Frame metadata by frame number. *)
+
+val copy_page : t -> page -> page
+(** Allocate a frame and copy [src]'s contents into it (the COW fault
+    body), charging [Costs.page_copy]. *)
+
+val live_frames : t -> int
+val peak_frames : t -> int
+
+val rmap_add : page -> Ptloc.t -> unit
+val rmap_remove : page -> Ptloc.t -> unit

@@ -1,0 +1,25 @@
+(** The three strategies for re-applying read protection to a dirty set
+    (Figure 1 of the paper).
+
+    After a μCheckpoint is issued, every flushed page must become read-only
+    again so the next write re-arms tracking. The paper compares:
+
+    - {!scan_mapping}: traverse the mapping's page tables and protect dirty
+      pages found along the way — cost proportional to the *mapping* size;
+    - {!per_page_walk}: walk from the root once per dirty page — cost
+      proportional to the dirty set, but each walk is 4 dependent misses
+      plus locking;
+    - {!trace_buffer}: revisit the PTE slots recorded at fault time — one
+      in-place update per dirty page.
+
+    All three end with one TLB shootdown for the dirty pages. Each returns
+    the number of PTEs protected. *)
+
+type dirty = (int * Ptloc.t) list
+(** Dirty set as [(vpn, recorded PTE location)]. *)
+
+val scan_mapping : Aspace.t -> mapping_va:int -> mapping_len:int -> dirty -> int
+
+val per_page_walk : Aspace.t -> dirty -> int
+
+val trace_buffer : Aspace.t -> dirty -> int

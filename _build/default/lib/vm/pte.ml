@@ -1,0 +1,36 @@
+type t = int
+
+let bit_present = 1
+let bit_writable = 2
+let bit_cow = 4
+let bit_accessed = 8
+
+let empty = 0
+
+let present t = t land bit_present <> 0
+let writable t = t land bit_writable <> 0
+let cow t = t land bit_cow <> 0
+let accessed t = t land bit_accessed <> 0
+
+let make ~frame ~writable =
+  (frame lsl Addr.page_shift) lor bit_present
+  lor (if writable then bit_writable else 0)
+
+let frame t = t lsr Addr.page_shift
+
+let set_bit t bit v = if v then t lor bit else t land lnot bit
+
+let set_writable t v = set_bit t bit_writable v
+let set_cow t v = set_bit t bit_cow v
+let set_accessed t v = set_bit t bit_accessed v
+
+let set_frame t f =
+  (f lsl Addr.page_shift) lor (t land (Addr.page_size - 1))
+
+let pp t =
+  if not (present t) then "<not present>"
+  else
+    Printf.sprintf "frame=%d%s%s%s" (frame t)
+      (if writable t then " W" else " RO")
+      (if cow t then " COW" else "")
+      (if accessed t then " A" else "")

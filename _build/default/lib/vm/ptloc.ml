@@ -1,0 +1,10 @@
+type t = { slots : int array; slot : int }
+
+let make slots slot =
+  assert (slot >= 0 && slot < Array.length slots);
+  { slots; slot }
+
+let get t = t.slots.(t.slot)
+let set t pte = t.slots.(t.slot) <- pte
+
+let same a b = a.slots == b.slots && a.slot = b.slot

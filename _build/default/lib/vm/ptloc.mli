@@ -1,0 +1,16 @@
+(** Stable location of a page-table entry.
+
+    MemSnap's trace buffer records "the physical address of the PTE" during
+    the page fault so protection can later be reset without re-walking the
+    page table from the root. In the simulator a PTE lives in a leaf-node
+    slot array; the pair (array, index) is exactly as stable as the paper's
+    physical address ("the OS is guaranteed not to move the PTE entry"). *)
+
+type t = private { slots : int array; slot : int }
+
+val make : int array -> int -> t
+val get : t -> Pte.t
+val set : t -> Pte.t -> unit
+
+val same : t -> t -> bool
+(** Same slot in the same leaf node (physical identity of the PTE). *)

@@ -1,0 +1,52 @@
+module Costs = Msnap_sim.Costs
+module Sched = Msnap_sim.Sched
+
+type t = {
+  entries : (int, unit) Hashtbl.t;
+  fifo : int Queue.t;
+  capacity : int;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create ?(entries = 1536) () =
+  { entries = Hashtbl.create entries; fifo = Queue.create (); capacity = entries;
+    hits = 0; misses = 0 }
+
+let access t vpn =
+  if Hashtbl.mem t.entries vpn then begin
+    t.hits <- t.hits + 1;
+    true
+  end
+  else begin
+    t.misses <- t.misses + 1;
+    if Hashtbl.length t.entries >= t.capacity then begin
+      match Queue.take_opt t.fifo with
+      | Some victim -> Hashtbl.remove t.entries victim
+      | None -> ()
+    end;
+    Hashtbl.replace t.entries vpn ();
+    Queue.add vpn t.fifo;
+    false
+  end
+
+let invalidate_page t vpn = Hashtbl.remove t.entries vpn
+
+let flush t =
+  Hashtbl.reset t.entries;
+  Queue.clear t.fifo
+
+let shootdown t vpns =
+  let n = List.length vpns in
+  if n = 0 then ()
+  else if n <= Costs.tlb_flush_threshold then begin
+    Sched.cpu (Costs.tlb_shootdown + (n * Costs.tlb_invalidate_page));
+    List.iter (invalidate_page t) vpns
+  end
+  else begin
+    Sched.cpu (Costs.tlb_shootdown + Costs.tlb_flush_all);
+    flush t
+  end
+
+let hits t = t.hits
+let misses t = t.misses

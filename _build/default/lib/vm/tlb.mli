@@ -1,0 +1,26 @@
+(** Translation lookaside buffer model.
+
+    Tracks which translations are cached so that access costs and
+    shootdowns are charged faithfully: a hit costs nothing extra, a miss
+    charges a page-table walk, and protection changes must invalidate —
+    selectively below [Costs.tlb_flush_threshold] pages, a full flush
+    above, matching MemSnap's policy in §3. *)
+
+type t
+
+val create : ?entries:int -> unit -> t
+(** Default capacity 1536 (Skylake-SP L2 STLB). FIFO replacement. *)
+
+val access : t -> int -> bool
+(** [access t vpn] returns [true] on hit; on miss, inserts the entry
+    (evicting FIFO) and returns [false]. The caller charges walk cost. *)
+
+val invalidate_page : t -> int -> unit
+val flush : t -> unit
+
+val shootdown : t -> int list -> unit
+(** Invalidate the given pages, charging IPI + per-page costs, or a full
+    flush if the list exceeds the threshold. *)
+
+val hits : t -> int
+val misses : t -> int

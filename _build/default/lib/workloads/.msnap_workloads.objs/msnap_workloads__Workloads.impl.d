@@ -1,0 +1,1 @@
+lib/workloads/workloads.ml: Char List Msnap_util String

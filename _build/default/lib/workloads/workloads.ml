@@ -1,0 +1,120 @@
+module Rng = Msnap_util.Rng
+module Dist = Msnap_util.Dist
+
+module Dbbench = struct
+  type t = {
+    nkeys : int;
+    vsize : int;
+    txn_bytes : int;
+    pattern : [ `Seq | `Random ];
+    mutable cursor : int;
+  }
+
+  let create ?(value_size = 128) ~nkeys ~txn_bytes ~pattern () =
+    { nkeys; vsize = value_size; txn_bytes; pattern; cursor = 0 }
+
+  let value_size t = t.vsize
+
+  let next_txn t rng =
+    let per_pair = 8 + t.vsize in
+    let n = max 1 (t.txn_bytes / per_pair) in
+    List.init n (fun _ ->
+        let key =
+          match t.pattern with
+          | `Random -> Rng.int rng t.nkeys
+          | `Seq ->
+            let k = t.cursor in
+            t.cursor <- (t.cursor + 1) mod t.nkeys;
+            k
+        in
+        (key, String.make t.vsize (Char.chr (65 + (key mod 26)))))
+
+end
+
+module Tatp = struct
+  type op =
+    | Get_subscriber_data of int
+    | Get_new_destination of int
+    | Get_access_data of int
+    | Update_subscriber_data of int
+    | Update_location of int
+    | Insert_call_forwarding of int
+    | Delete_call_forwarding of int
+
+  (* Standard TATP mix, in percent. *)
+  let next ~subscribers rng =
+    let s = Rng.int rng subscribers in
+    let p = Rng.int rng 100 in
+    if p < 35 then Get_subscriber_data s
+    else if p < 45 then Get_new_destination s
+    else if p < 80 then Get_access_data s
+    else if p < 82 then Update_subscriber_data s
+    else if p < 96 then Update_location s
+    else if p < 98 then Insert_call_forwarding s
+    else Delete_call_forwarding s
+
+  let is_write = function
+    | Get_subscriber_data _ | Get_new_destination _ | Get_access_data _ -> false
+    | Update_subscriber_data _ | Update_location _ | Insert_call_forwarding _
+    | Delete_call_forwarding _ -> true
+end
+
+module Mixgraph = struct
+  type op =
+    | Get of int
+    | Put of int * string
+    | Seek of int * int
+
+  type t = {
+    nkeys : int;
+    vsize : int;
+    get_dist : Dist.t;
+    put_dist : Dist.t;
+  }
+
+  let create ?(value_size = 100) ~nkeys () =
+    { nkeys; vsize = value_size; get_dist = Dist.uniform nkeys;
+      put_dist = Dist.pareto nkeys }
+
+  let next t rng =
+    let p = Rng.int rng 100 in
+    if p < 83 then Get (Dist.sample t.get_dist rng)
+    else if p < 97 then
+      let k = Dist.sample t.put_dist rng in
+      Put (k, String.make t.vsize (Char.chr (97 + (k mod 26))))
+    else Seek (Dist.sample t.get_dist rng, 10 + Rng.int rng 40)
+end
+
+module Tpcc = struct
+  type txn =
+    | New_order of { w : int; d : int; c : int; items : (int * int) list }
+    | Payment of { w : int; d : int; c : int; amount : int }
+    | Order_status of { w : int; d : int; c : int }
+    | Delivery of { w : int; carrier : int }
+    | Stock_level of { w : int; d : int; threshold : int }
+
+  let districts_per_warehouse = 10
+  let customers_per_district = 300
+  let items = 1000
+
+  let next ~warehouses rng =
+    let w = Rng.int rng warehouses in
+    let d = Rng.int rng districts_per_warehouse in
+    let c = Rng.int rng customers_per_district in
+    let p = Rng.int rng 100 in
+    if p < 45 then begin
+      let nlines = 5 + Rng.int rng 11 in
+      let lines =
+        List.init nlines (fun _ -> (Rng.int rng items, 1 + Rng.int rng 10))
+      in
+      New_order { w; d; c; items = lines }
+    end
+    else if p < 88 then Payment { w; d; c; amount = 1 + Rng.int rng 5000 }
+    else if p < 92 then Order_status { w; d; c }
+    else if p < 96 then Delivery { w; carrier = 1 + Rng.int rng 10 }
+    else Stock_level { w; d; threshold = 10 + Rng.int rng 10 }
+
+  let is_write = function
+    | New_order _ | Payment _ | Delivery _ -> true
+    | Order_status _ | Stock_level _ -> false
+end

@@ -1,0 +1,75 @@
+(** Workload generators for the paper's evaluation benchmarks.
+
+    Pure op-stream generators: each [next] draws the parameters of one
+    operation/transaction from a seeded {!Msnap_util.Rng.t}, and the
+    benchmark harness applies it to whichever database is under test. *)
+
+(** dbbench (§7.1): batched KV writes, 128-byte values, transactions of a
+    configured byte size, sequential or random key order. *)
+module Dbbench : sig
+  type t
+
+  val create :
+    ?value_size:int ->
+    nkeys:int ->
+    txn_bytes:int ->
+    pattern:[ `Seq | `Random ] ->
+    unit ->
+    t
+
+  val next_txn : t -> Msnap_util.Rng.t -> (int * string) list
+  (** One write transaction: key/value pairs summing to ~[txn_bytes]. *)
+
+  val value_size : t -> int
+end
+
+(** TATP (§7.1): telecom OLTP, 80% read / 20% write over four tables. *)
+module Tatp : sig
+  type op =
+    | Get_subscriber_data of int
+    | Get_new_destination of int
+    | Get_access_data of int
+    | Update_subscriber_data of int  (** flips bit_1 + access info *)
+    | Update_location of int  (** overwrites vlr_location *)
+    | Insert_call_forwarding of int
+    | Delete_call_forwarding of int
+
+  val next : subscribers:int -> Msnap_util.Rng.t -> op
+  (** Standard mix: 35/10/35 reads, 2/14/2/2 writes. *)
+
+  val is_write : op -> bool
+end
+
+(** MixGraph (§7.2): Facebook's social-graph KV mix — 84% Get / 14% Put /
+    3% Seek (83/14/3 here so the mix sums to 100), uniform read keys,
+    Pareto-distributed write keys. *)
+module Mixgraph : sig
+  type op =
+    | Get of int
+    | Put of int * string
+    | Seek of int * int  (** start key, scan length *)
+
+  type t
+
+  val create : ?value_size:int -> nkeys:int -> unit -> t
+  val next : t -> Msnap_util.Rng.t -> op
+end
+
+(** sysbench-style TPC-C subset (§7.3): the five transaction profiles with
+    the standard 45/43/4/4/4 mix. *)
+module Tpcc : sig
+  type txn =
+    | New_order of { w : int; d : int; c : int; items : (int * int) list }
+        (** (item id, quantity) lines *)
+    | Payment of { w : int; d : int; c : int; amount : int }
+    | Order_status of { w : int; d : int; c : int }
+    | Delivery of { w : int; carrier : int }
+    | Stock_level of { w : int; d : int; threshold : int }
+
+  val districts_per_warehouse : int (* 10 *)
+  val customers_per_district : int (* scaled: 300 *)
+  val items : int (* scaled: 1000 *)
+
+  val next : warehouses:int -> Msnap_util.Rng.t -> txn
+  val is_write : txn -> bool
+end

@@ -1,0 +1,235 @@
+module Sched = Msnap_sim.Sched
+module Costs = Msnap_sim.Costs
+module Size = Msnap_util.Size
+module Disk = Msnap_blockdev.Disk
+module Stripe = Msnap_blockdev.Stripe
+
+let checki = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+let check_bytes = Alcotest.(check string)
+
+let in_sim f () = Sched.run f
+
+let mk_disk ?(size = Size.mib 4) () = Disk.create ~size ()
+
+let test_write_read () =
+  in_sim (fun () ->
+      let d = mk_disk () in
+      let data = Bytes.of_string "hello block device" in
+      Disk.write d ~off:8192 data;
+      let back = Disk.read d ~off:8192 ~len:(Bytes.length data) in
+      check_bytes "roundtrip" "hello block device" (Bytes.to_string back))
+    ()
+
+let test_latency_model () =
+  in_sim (fun () ->
+      let d = mk_disk () in
+      let t0 = Sched.now () in
+      Disk.write d ~off:0 (Bytes.create 4096);
+      let t = Sched.now () - t0 in
+      (* 4 KiB: base + xfer = 15500 + 1843 *)
+      checki "4k latency" (Costs.disk_base + Costs.disk_xfer 4096) t)
+    ()
+
+let test_vectored_single_command () =
+  in_sim (fun () ->
+      let d = mk_disk () in
+      let t0 = Sched.now () in
+      Disk.writev d [ (0, Bytes.create 4096); (65536, Bytes.create 4096) ];
+      let vectored = Sched.now () - t0 in
+      let t1 = Sched.now () in
+      Disk.write d ~off:0 (Bytes.create 4096);
+      Disk.write d ~off:65536 (Bytes.create 4096);
+      let separate = Sched.now () - t1 in
+      checkb "one base latency, not two" true (vectored < separate);
+      checki "vectored = base + 2 xfers" (Costs.disk_base + Costs.disk_xfer 8192)
+        vectored)
+    ()
+
+let test_channels_limit_concurrency () =
+  in_sim (fun () ->
+      let d = mk_disk () in
+      (* 2x disk_channels concurrent 4 KiB writes: second wave queues. *)
+      let n = 2 * Costs.disk_channels in
+      let t0 = Sched.now () in
+      let ts =
+        List.init n (fun i ->
+            Sched.spawn (fun () ->
+                Disk.write d ~off:(i * 4096) (Bytes.create 4096)))
+      in
+      List.iter Sched.join ts;
+      let elapsed = Sched.now () - t0 in
+      let one = Costs.disk_base + Costs.disk_xfer 4096 in
+      checki "two service rounds" (2 * one) elapsed)
+    ()
+
+let test_out_of_range () =
+  in_sim (fun () ->
+      let d = mk_disk ~size:8192 () in
+      let raised =
+        try
+          Disk.write d ~off:8000 (Bytes.create 4096);
+          false
+        with Invalid_argument _ -> true
+      in
+      checkb "raises" true raised)
+    ()
+
+let test_stats () =
+  in_sim (fun () ->
+      let d = mk_disk () in
+      Disk.write d ~off:0 (Bytes.create 4096);
+      ignore (Disk.read d ~off:0 ~len:512);
+      let s = Disk.stats d in
+      checki "writes" 1 s.Disk.writes;
+      checki "reads" 1 s.Disk.reads;
+      checki "bytes written" 4096 s.Disk.bytes_written;
+      checki "bytes read" 512 s.Disk.bytes_read;
+      Disk.reset_stats d;
+      checki "reset" 0 (Disk.stats d).Disk.writes)
+    ()
+
+let test_write_buffer_snapshot () =
+  (* The device must capture the buffer at submission: later mutation of
+     the caller's bytes must not leak to the medium. *)
+  in_sim (fun () ->
+      let d = mk_disk () in
+      let b = Bytes.of_string "AAAA" in
+      let t = Sched.spawn (fun () -> Disk.write d ~off:0 b) in
+      (* Let the writer submit, then mutate while the IO is in flight. *)
+      Sched.delay 1;
+      Bytes.set b 0 'Z';
+      Sched.join t;
+      check_bytes "snapshot" "AAAA"
+        (Bytes.to_string (Disk.read d ~off:0 ~len:4)))
+    ()
+
+let test_power_failure_blocks_io () =
+  in_sim (fun () ->
+      let d = mk_disk () in
+      Disk.fail_power d ~torn_seed:1;
+      let raised = try Disk.write d ~off:0 (Bytes.create 512); false with Disk.Powered_off -> true in
+      checkb "write rejected" true raised;
+      Disk.restore_power d;
+      Disk.write d ~off:0 (Bytes.create 512))
+    ()
+
+let test_torn_write () =
+  in_sim (fun () ->
+      let d = mk_disk () in
+      (* Fill with 'O', then crash mid-flight of an 8-sector overwrite. *)
+      Disk.write d ~off:0 (Bytes.make 4096 'O');
+      let writer =
+        Sched.spawn (fun () ->
+            try Disk.write d ~off:0 (Bytes.make 4096 'N')
+            with Disk.Powered_off -> ())
+      in
+      (* Let the write get half way. *)
+      Sched.delay ((Costs.disk_base + Costs.disk_xfer 4096) / 2);
+      Disk.fail_power d ~torn_seed:7;
+      Sched.join writer;
+      Disk.restore_power d;
+      let back = Bytes.to_string (Disk.read d ~off:0 ~len:4096) in
+      (* Every sector is entirely old or entirely new. *)
+      let sectors = 4096 / Costs.sector in
+      let mixed = ref false and any_new = ref false and any_old = ref false in
+      for s = 0 to sectors - 1 do
+        let seg = String.sub back (s * Costs.sector) Costs.sector in
+        let all c = String.for_all (fun x -> x = c) seg in
+        if all 'N' then any_new := true
+        else if all 'O' then any_old := true
+        else mixed := true
+      done;
+      checkb "sector atomicity" false !mixed;
+      checkb "prefix semantics: new sectors before old" true
+        (let seen_old = ref false in
+         let ok = ref true in
+         for s = 0 to sectors - 1 do
+           let seg = String.sub back (s * Costs.sector) Costs.sector in
+           if String.for_all (fun x -> x = 'O') seg then seen_old := true
+           else if !seen_old then ok := false
+         done;
+         !ok);
+      ignore (!any_new, !any_old))
+    ()
+
+(* --- Stripe --- *)
+
+let mk_stripe ?(unit_size = Size.kib 64) ?(n = 2) ?(disk_size = Size.mib 4) () =
+  Stripe.create ~unit_size
+    (List.init n (fun i -> Disk.create ~name:(Printf.sprintf "d%d" i) ~size:disk_size ()))
+
+let test_stripe_roundtrip () =
+  in_sim (fun () ->
+      let s = mk_stripe () in
+      let rng = Msnap_util.Rng.create 5 in
+      (* Spans several stripe units and a device boundary. *)
+      let data = Msnap_util.Rng.bytes rng (Size.kib 200) in
+      Stripe.write s ~off:(Size.kib 30) data;
+      let back = Stripe.read s ~off:(Size.kib 30) ~len:(Size.kib 200) in
+      checkb "roundtrip" true (Bytes.equal data back))
+    ()
+
+let test_stripe_size () =
+  in_sim (fun () ->
+      let s = mk_stripe () in
+      checki "size" (Size.mib 8) (Stripe.size s))
+    ()
+
+let test_stripe_parallelism () =
+  in_sim (fun () ->
+      let s = mk_stripe () in
+      (* A 128 KiB aligned write spans both devices: latency ~ one 64 KiB
+         command, not one 128 KiB command. *)
+      let t0 = Sched.now () in
+      Stripe.write s ~off:0 (Bytes.create (Size.kib 128));
+      let t = Sched.now () - t0 in
+      let one_dev = Costs.disk_base + Costs.disk_xfer (Size.kib 64) in
+      checkb "parallel across devices" true (t <= one_dev + 2_000))
+    ()
+
+let test_stripe_single_unit_one_device () =
+  in_sim (fun () ->
+      let s = mk_stripe () in
+      Stripe.write s ~off:0 (Bytes.create (Size.kib 64));
+      let st = Stripe.stats s in
+      checki "one command" 1 st.Disk.writes)
+    ()
+
+let test_stripe_crash () =
+  in_sim (fun () ->
+      let s = mk_stripe () in
+      Stripe.write s ~off:0 (Bytes.make 512 'A');
+      Stripe.fail_power s ~torn_seed:3;
+      let raised = try Stripe.write s ~off:0 (Bytes.create 512); false with Disk.Powered_off -> true in
+      checkb "off" true raised;
+      Stripe.restore_power s;
+      check_bytes "data survives" (String.make 512 'A')
+        (Bytes.to_string (Stripe.read s ~off:0 ~len:512)))
+    ()
+
+let () =
+  let tc name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "blockdev"
+    [
+      ( "disk",
+        [
+          tc "write/read" test_write_read;
+          tc "latency model" test_latency_model;
+          tc "vectored IO" test_vectored_single_command;
+          tc "channel limit" test_channels_limit_concurrency;
+          tc "out of range" test_out_of_range;
+          tc "stats" test_stats;
+          tc "buffer snapshot" test_write_buffer_snapshot;
+          tc "power failure" test_power_failure_blocks_io;
+          tc "torn write" test_torn_write;
+        ] );
+      ( "stripe",
+        [
+          tc "roundtrip" test_stripe_roundtrip;
+          tc "size" test_stripe_size;
+          tc "parallelism" test_stripe_parallelism;
+          tc "single unit" test_stripe_single_unit_one_device;
+          tc "crash" test_stripe_crash;
+        ] );
+    ]

@@ -1,0 +1,440 @@
+module Sched = Msnap_sim.Sched
+module Size = Msnap_util.Size
+module Disk = Msnap_blockdev.Disk
+module Stripe = Msnap_blockdev.Stripe
+module Store = Msnap_objstore.Store
+module Phys = Msnap_vm.Phys
+module Aspace = Msnap_vm.Aspace
+module Msnap = Msnap_core.Msnap
+
+let checki = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+let checks = Alcotest.(check string)
+let in_sim f () = Sched.run f
+
+let mk_dev ?(mib = 32) () =
+  Stripe.create
+    [ Disk.create ~name:"d0" ~size:(Size.mib mib) ();
+      Disk.create ~name:"d1" ~size:(Size.mib mib) () ]
+
+(* A fresh "machine": physical memory, one process, a formatted store and
+   a MemSnap kernel. *)
+let mk_machine ?(format = true) dev =
+  let phys = Phys.create () in
+  let aspace = Aspace.create ~name:"proc0" phys in
+  if format then Store.format dev;
+  let store = Store.mount dev in
+  let k = Msnap.init ~store in
+  Msnap.attach k aspace;
+  (k, aspace, phys)
+
+let str_read k md ~off ~len = Bytes.to_string (Msnap.read k md ~off ~len)
+
+let test_open_write_read () =
+  in_sim (fun () ->
+      let k, _, _ = mk_machine (mk_dev ()) in
+      let md = Msnap.open_region k ~name:"db" ~len:(Size.kib 64) () in
+      checkb "high arena address" true (Msnap.addr md >= Msnap_vm.Addr.msnap_base);
+      Msnap.write_string k md ~off:100 "persistent data";
+      checks "roundtrip" "persistent data" (str_read k md ~off:100 ~len:15))
+    ()
+
+let test_dirty_tracking () =
+  in_sim (fun () ->
+      let k, _, _ = mk_machine (mk_dev ()) in
+      let md = Msnap.open_region k ~name:"db" ~len:(Size.kib 64) () in
+      checki "clean" 0 (Msnap.dirty_count k);
+      Msnap.write_string k md ~off:0 "a";
+      Msnap.write_string k md ~off:10 "b"; (* same page: no new entry *)
+      checki "one page" 1 (Msnap.dirty_count k);
+      Msnap.write_string k md ~off:4096 "c";
+      checki "two pages" 2 (Msnap.dirty_count k);
+      ignore (Msnap.persist k ());
+      checki "empty after persist" 0 (Msnap.dirty_count k);
+      Msnap.write_string k md ~off:0 "d";
+      checki "re-armed" 1 (Msnap.dirty_count k))
+    ()
+
+let test_persist_durable () =
+  in_sim (fun () ->
+      let dev = mk_dev () in
+      let k, _, _ = mk_machine dev in
+      let md = Msnap.open_region k ~name:"db" ~len:(Size.kib 64) () in
+      let va = Msnap.addr md in
+      Msnap.write_string k md ~off:0 "survive me";
+      let e = Msnap.persist k ~region:md () in
+      checkb "epoch issued" true (e > 0);
+      checki "durable" e (Msnap.durable_epoch md);
+      (* "Reboot": fresh machine over the same device. *)
+      let k2, _, _ = mk_machine ~format:false dev in
+      let md2 = Msnap.open_region k2 ~name:"db" ~len:(Size.kib 64) () in
+      checki "same fixed address" va (Msnap.addr md2);
+      checks "data recovered" "survive me" (str_read k2 md2 ~off:0 ~len:10))
+    ()
+
+let test_unpersisted_lost () =
+  in_sim (fun () ->
+      let dev = mk_dev () in
+      let k, _, _ = mk_machine dev in
+      let md = Msnap.open_region k ~name:"db" ~len:(Size.kib 64) () in
+      Msnap.write_string k md ~off:0 "committed";
+      ignore (Msnap.persist k ());
+      Msnap.write_string k md ~off:0 "uncommitt";
+      (* no persist: reboot *)
+      let k2, _, _ = mk_machine ~format:false dev in
+      let md2 = Msnap.open_region k2 ~name:"db" ~len:(Size.kib 64) () in
+      checks "only committed state" "committed" (str_read k2 md2 ~off:0 ~len:9))
+    ()
+
+let test_per_thread_isolation () =
+  in_sim (fun () ->
+      let dev = mk_dev () in
+      let k, _, _ = mk_machine dev in
+      let md = Msnap.open_region k ~name:"db" ~len:(Size.kib 64) () in
+      (* Thread A dirties page 0, thread B dirties page 1. B persists: only
+         B's page must reach the disk. *)
+      let a =
+        Sched.spawn ~name:"A" (fun () ->
+            Msnap.write_string k md ~off:0 "AAAA";
+            Sched.delay 1_000_000 (* stay alive; do not persist *))
+      in
+      Sched.delay 100;
+      let b =
+        Sched.spawn ~name:"B" (fun () ->
+            Msnap.write_string k md ~off:4096 "BBBB";
+            ignore (Msnap.persist k ()))
+      in
+      Sched.join b;
+      Sched.join a;
+      let k2, _, _ = mk_machine ~format:false dev in
+      let md2 = Msnap.open_region k2 ~name:"db" ~len:(Size.kib 64) () in
+      checks "B's page persisted" "BBBB" (str_read k2 md2 ~off:4096 ~len:4);
+      checks "A's page not included" "\000\000\000\000" (str_read k2 md2 ~off:0 ~len:4))
+    ()
+
+let test_global_scope () =
+  in_sim (fun () ->
+      let dev = mk_dev () in
+      let k, _, _ = mk_machine dev in
+      let md = Msnap.open_region k ~name:"db" ~len:(Size.kib 64) () in
+      let a =
+        Sched.spawn ~name:"A" (fun () ->
+            Msnap.write_string k md ~off:0 "AAAA";
+            Sched.delay 1_000_000)
+      in
+      Sched.delay 10_000; (* let A's tracking fault complete *)
+      (* MS_GLOBAL from main picks up A's dirty set too. *)
+      ignore (Msnap.persist k ~scope:`Global ());
+      Sched.join a;
+      let k2, _, _ = mk_machine ~format:false dev in
+      let md2 = Msnap.open_region k2 ~name:"db" ~len:(Size.kib 64) () in
+      checks "A's page included" "AAAA" (str_read k2 md2 ~off:0 ~len:4))
+    ()
+
+let test_region_filter () =
+  in_sim (fun () ->
+      let dev = mk_dev () in
+      let k, _, _ = mk_machine dev in
+      let r1 = Msnap.open_region k ~name:"r1" ~len:(Size.kib 16) () in
+      let r2 = Msnap.open_region k ~name:"r2" ~len:(Size.kib 16) () in
+      Msnap.write_string k r1 ~off:0 "one";
+      Msnap.write_string k r2 ~off:0 "two";
+      ignore (Msnap.persist k ~region:r1 ());
+      checki "r2 still dirty" 1 (Msnap.dirty_count k);
+      checkb "r1 durable" true (Msnap.durable_epoch r1 > 0);
+      checki "r2 not committed" 0 (Msnap.durable_epoch r2);
+      (* Descriptor -1: persist everything. *)
+      ignore (Msnap.persist k ());
+      checki "all flushed" 0 (Msnap.dirty_count k);
+      checkb "r2 durable now" true (Msnap.durable_epoch r2 > 0))
+    ()
+
+let test_async_wait () =
+  in_sim (fun () ->
+      let dev = mk_dev () in
+      let k, _, _ = mk_machine dev in
+      let md = Msnap.open_region k ~name:"db" ~len:(Size.kib 64) () in
+      Msnap.write_string k md ~off:0 "async";
+      let t0 = Sched.now () in
+      let e = Msnap.persist k ~region:md ~mode:`Async () in
+      let initiated = Sched.now () - t0 in
+      checkb "returns before IO" true (initiated < 20_000);
+      checkb "not yet durable" true (Msnap.durable_epoch md < e);
+      Msnap.wait k md e;
+      checkb "durable after wait" true (Msnap.durable_epoch md >= e);
+      (* Waiting again is a no-op; waiting for a never-issued epoch fails. *)
+      Msnap.wait k md e;
+      checkb "future epoch rejected" true
+        (try Msnap.wait k md (e + 100); false with Invalid_argument _ -> true))
+    ()
+
+let test_async_latency_vs_sync () =
+  in_sim (fun () ->
+      let dev = mk_dev () in
+      let k, _, _ = mk_machine dev in
+      let md = Msnap.open_region k ~name:"db" ~len:(Size.mib 1) () in
+      (* 16 pages dirty: async call must cost microseconds (CPU only),
+         sync must include the IO (tens of microseconds). *)
+      let dirty () =
+        for i = 0 to 15 do
+          Msnap.write_string k md ~off:(i * 4096) "x"
+        done
+      in
+      dirty ();
+      let t0 = Sched.now () in
+      let e = Msnap.persist k ~region:md ~mode:`Async () in
+      let async_ns = Sched.now () - t0 in
+      Msnap.wait k md e;
+      dirty ();
+      let t1 = Sched.now () in
+      ignore (Msnap.persist k ~region:md ());
+      let sync_ns = Sched.now () - t1 in
+      checkb "async is CPU-only" true (async_ns < 15_000);
+      checkb "sync includes disk" true (sync_ns > 30_000 && sync_ns < 120_000))
+    ()
+
+let test_cow_in_flight () =
+  in_sim (fun () ->
+      let dev = mk_dev () in
+      let k, _, _ = mk_machine dev in
+      let md = Msnap.open_region k ~name:"db" ~len:(Size.kib 64) () in
+      Msnap.write_string k md ~off:0 "OLD!";
+      let e = Msnap.persist k ~region:md ~mode:`Async () in
+      (* Write the same page while its μCheckpoint is in flight: must not
+         block, must not corrupt the checkpoint. *)
+      Msnap.write_string k md ~off:0 "NEW!";
+      checks "memory sees the new data" "NEW!" (str_read k md ~off:0 ~len:4);
+      Msnap.wait k md e;
+      (* Reboot: epoch e must contain OLD!, not NEW!. *)
+      let k2, _, _ = mk_machine ~format:false dev in
+      let md2 = Msnap.open_region k2 ~name:"db" ~len:(Size.kib 64) () in
+      checks "checkpoint is the old data" "OLD!" (str_read k2 md2 ~off:0 ~len:4))
+    ()
+
+let test_cow_then_second_persist () =
+  in_sim (fun () ->
+      let dev = mk_dev () in
+      let k, _, _ = mk_machine dev in
+      let md = Msnap.open_region k ~name:"db" ~len:(Size.kib 64) () in
+      Msnap.write_string k md ~off:0 "OLD!";
+      let e1 = Msnap.persist k ~region:md ~mode:`Async () in
+      Msnap.write_string k md ~off:0 "NEW!";
+      checki "COW re-tracked the page" 1 (Msnap.dirty_count k);
+      let e2 = Msnap.persist k ~region:md () in
+      checkb "second epoch later" true (e2 > e1);
+      let k2, _, _ = mk_machine ~format:false dev in
+      let md2 = Msnap.open_region k2 ~name:"db" ~len:(Size.kib 64) () in
+      checks "final state is the new data" "NEW!" (str_read k2 md2 ~off:0 ~len:4))
+    ()
+
+let test_no_frame_leak_after_cow () =
+  in_sim (fun () ->
+      let dev = mk_dev () in
+      let k, _, phys = mk_machine dev in
+      let md = Msnap.open_region k ~name:"db" ~len:(Size.kib 64) () in
+      Msnap.write_string k md ~off:0 "x";
+      ignore (Msnap.persist k ~region:md ());
+      let baseline = Phys.live_frames phys in
+      for _ = 1 to 10 do
+        let e = Msnap.persist k ~region:md ~mode:`Async () in
+        ignore e;
+        Msnap.write_string k md ~off:0 "y";
+        ignore (Msnap.persist k ~region:md ())
+      done;
+      checkb "frames bounded" true (Phys.live_frames phys <= baseline + 2))
+    ()
+
+let test_property_violation_cross_process () =
+  in_sim (fun () ->
+      let dev = mk_dev () in
+      let phys = Phys.create () in
+      let a1 = Aspace.create ~name:"p1" phys in
+      let a2 = Aspace.create ~name:"p2" phys in
+      Store.format dev;
+      let store = Store.mount dev in
+      let k = Msnap.init ~store in
+      Msnap.attach k a1;
+      Msnap.attach k a2;
+      let md = Msnap.open_region k ~name:"shm" ~len:(Size.kib 16) () in
+      Msnap.map_into k md a2;
+      let va = Msnap.addr md in
+      (* Thread in p1 dirties the page. *)
+      let t1 =
+        Sched.spawn (fun () ->
+            Aspace.write a1 ~va (Bytes.of_string "A");
+            Sched.delay 1_000)
+      in
+      Sched.delay 10;
+      (* A second thread writing via p2 faults on p2's own PTE: strict mode
+         detects the property-③ violation. *)
+      let violated = ref false in
+      let t2 =
+        Sched.spawn (fun () ->
+            try Aspace.write a2 ~va (Bytes.of_string "B")
+            with Msnap.Property_violation _ -> violated := true)
+      in
+      Sched.join t2;
+      Sched.join t1;
+      checkb "violation detected" true !violated;
+      (* Relaxed mode (MVCC databases) allows it. *)
+      Msnap.set_strict k false;
+      let t3 = Sched.spawn (fun () -> Aspace.write a2 ~va (Bytes.of_string "B")) in
+      Sched.join t3;
+      checkb "relaxed allows" true (Bytes.to_string (Aspace.read a1 ~va ~len:1) = "B"))
+    ()
+
+let test_shared_region_cow_redirects_all_processes () =
+  in_sim (fun () ->
+      let dev = mk_dev () in
+      let phys = Phys.create () in
+      let a1 = Aspace.create ~name:"p1" phys in
+      let a2 = Aspace.create ~name:"p2" phys in
+      Store.format dev;
+      let store = Store.mount dev in
+      let k = Msnap.init ~store in
+      Msnap.set_strict k false;
+      Msnap.attach k a1;
+      Msnap.attach k a2;
+      let md = Msnap.open_region k ~name:"shm" ~len:(Size.kib 16) () in
+      Msnap.map_into k md a2;
+      let va = Msnap.addr md in
+      Aspace.write a1 ~va (Bytes.of_string "OLD!");
+      (* Fault the page into p2 as well. *)
+      checkb "shared read" true (Bytes.to_string (Aspace.read a2 ~va ~len:4) = "OLD!");
+      let e = Msnap.persist k ~region:md ~mode:`Async () in
+      (* COW during flight, from p1; p2 must observe the new frame too. *)
+      Aspace.write a1 ~va (Bytes.of_string "NEW!");
+      checks "p2 sees the copy" "NEW!" (Bytes.to_string (Aspace.read a2 ~va ~len:4));
+      Msnap.wait k md e)
+    ()
+
+let test_crash_during_persist () =
+  in_sim (fun () ->
+      let dev = mk_dev () in
+      let k, _, _ = mk_machine dev in
+      let md = Msnap.open_region k ~name:"db" ~len:(Size.kib 64) () in
+      Msnap.write_string k md ~off:0 "stable";
+      ignore (Msnap.persist k ~region:md ());
+      let e1 = Msnap.durable_epoch md in
+      Msnap.write_string k md ~off:0 "doomed";
+      let crasher =
+        Sched.spawn (fun () ->
+            try ignore (Msnap.persist k ~region:md ())
+            with Disk.Powered_off -> ())
+      in
+      Sched.delay 18_000; (* mid-IO *)
+      Stripe.fail_power dev ~torn_seed:5;
+      Sched.join crasher;
+      Stripe.restore_power dev;
+      let k2, _, _ = mk_machine ~format:false dev in
+      let md2 = Msnap.open_region k2 ~name:"db" ~len:(Size.kib 64) () in
+      (* Either epoch e1 with the old data, or a newer epoch with the new. *)
+      if Msnap.durable_epoch md2 = e1 then
+        checks "old epoch intact" "stable" (str_read k2 md2 ~off:0 ~len:6)
+      else checks "new epoch complete" "doomed" (str_read k2 md2 ~off:0 ~len:6))
+    ()
+
+let test_multi_region_pointer_stability () =
+  in_sim (fun () ->
+      let dev = mk_dev () in
+      let k, _, _ = mk_machine dev in
+      let r1 = Msnap.open_region k ~name:"index" ~len:(Size.kib 16) () in
+      let r2 = Msnap.open_region k ~name:"data" ~len:(Size.kib 16) () in
+      (* Store a pointer to r2's payload inside r1, paper-style. *)
+      let payload_va = Msnap.addr r2 + 512 in
+      let ptr = Bytes.create 8 in
+      Bytes.set_int64_le ptr 0 (Int64.of_int payload_va);
+      Msnap.write k r1 ~off:0 ptr;
+      Msnap.write_string k r2 ~off:512 "pointee";
+      ignore (Msnap.persist k ());
+      let k2, aspace2, _ = mk_machine ~format:false dev in
+      let r1' = Msnap.open_region k2 ~name:"index" ~len:(Size.kib 16) () in
+      let _r2' = Msnap.open_region k2 ~name:"data" ~len:(Size.kib 16) () in
+      let ptr' = Msnap.read k2 r1' ~off:0 ~len:8 in
+      let va = Int64.to_int (Bytes.get_int64_le ptr' 0) in
+      checki "pointer unchanged" payload_va va;
+      (* Dereference through the address space: still valid. *)
+      checks "dereferences" "pointee"
+        (Bytes.to_string (Aspace.read aspace2 ~va ~len:7)))
+    ()
+
+let test_persist_nothing () =
+  in_sim (fun () ->
+      let dev = mk_dev () in
+      let k, _, _ = mk_machine dev in
+      let md = Msnap.open_region k ~name:"db" ~len:(Size.kib 16) () in
+      let e = Msnap.persist k ~region:md () in
+      checki "no-op persist returns durable epoch" (Msnap.durable_epoch md) e)
+    ()
+
+let test_open_bounds () =
+  in_sim (fun () ->
+      let dev = mk_dev () in
+      let k, _, _ = mk_machine dev in
+      let md = Msnap.open_region k ~name:"db" ~len:(Size.kib 16) () in
+      checkb "oob write" true
+        (try Msnap.write_string k md ~off:(Size.kib 16) "x"; false
+         with Invalid_argument _ -> true);
+      checkb "double open" true
+        (try ignore (Msnap.open_region k ~name:"db" ~len:4096 ()); false
+         with Invalid_argument _ -> true))
+    ()
+
+let prop_persist_recover_random =
+  QCheck.Test.make ~count:20 ~name:"random writes+persists recover exactly"
+    QCheck.(list_of_size Gen.(int_range 1 30)
+              (pair (int_bound 15) (int_bound 255)))
+    (fun ops ->
+      Sched.run (fun () ->
+          let dev = mk_dev () in
+          let k, _, _ = mk_machine dev in
+          let md = Msnap.open_region k ~name:"db" ~len:(Size.kib 64) () in
+          let model = Bytes.make (Size.kib 64) '\000' in
+          List.iteri
+            (fun i (page, v) ->
+              let data = Bytes.make 16 (Char.chr v) in
+              Msnap.write k md ~off:(page * 4096) data;
+              Bytes.blit data 0 model (page * 4096) 16;
+              if i mod 3 = 0 then ignore (Msnap.persist k ()))
+            ops;
+          ignore (Msnap.persist k ());
+          let k2, _, _ = mk_machine ~format:false dev in
+          let md2 = Msnap.open_region k2 ~name:"db" ~len:(Size.kib 64) () in
+          Bytes.equal model (Msnap.read k2 md2 ~off:0 ~len:(Size.kib 64))))
+
+let () =
+  let tc name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "msnap"
+    [
+      ( "api",
+        [
+          tc "open/write/read" test_open_write_read;
+          tc "dirty tracking" test_dirty_tracking;
+          tc "persist durable" test_persist_durable;
+          tc "unpersisted lost" test_unpersisted_lost;
+          tc "region filter" test_region_filter;
+          tc "async wait" test_async_wait;
+          tc "async latency" test_async_latency_vs_sync;
+          tc "persist nothing" test_persist_nothing;
+          tc "bounds" test_open_bounds;
+        ] );
+      ( "threads",
+        [
+          tc "per-thread isolation" test_per_thread_isolation;
+          tc "global scope" test_global_scope;
+          tc "violation detected" test_property_violation_cross_process;
+        ] );
+      ( "cow",
+        [
+          tc "in-flight cow" test_cow_in_flight;
+          tc "cow then persist" test_cow_then_second_persist;
+          tc "no frame leak" test_no_frame_leak_after_cow;
+          tc "shared-region cow" test_shared_region_cow_redirects_all_processes;
+        ] );
+      ( "recovery",
+        [
+          tc "crash during persist" test_crash_during_persist;
+          tc "pointer stability" test_multi_region_pointer_stability;
+          QCheck_alcotest.to_alcotest prop_persist_recover_random;
+        ] );
+    ]

@@ -1,0 +1,566 @@
+module Sched = Msnap_sim.Sched
+module Sync = Msnap_sim.Sync
+module Size = Msnap_util.Size
+module Rng = Msnap_util.Rng
+module Disk = Msnap_blockdev.Disk
+module Stripe = Msnap_blockdev.Stripe
+module Layout = Msnap_objstore.Layout
+module Alloc = Msnap_objstore.Alloc
+module Radix = Msnap_objstore.Radix
+module Store = Msnap_objstore.Store
+
+let checki = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+let checks = Alcotest.(check string)
+
+let in_sim f () = Sched.run f
+
+let mk_dev ?(mib = 16) () =
+  Stripe.create
+    [ Disk.create ~name:"d0" ~size:(Size.mib mib) ();
+      Disk.create ~name:"d1" ~size:(Size.mib mib) () ]
+
+let mk_store ?mib () =
+  let dev = mk_dev ?mib () in
+  Store.format dev;
+  (dev, Store.mount dev)
+
+let page c = Bytes.make 4096 c
+
+(* --- Layout --- *)
+
+let test_layout_superblock () =
+  let sb = { Layout.generation = 42; directory_block = 7; total_blocks = 100 } in
+  match Layout.superblock_of_bytes (Layout.superblock_to_bytes sb) with
+  | Some sb' ->
+    checki "gen" 42 sb'.Layout.generation;
+    checki "dir" 7 sb'.Layout.directory_block;
+    checki "total" 100 sb'.Layout.total_blocks
+  | None -> Alcotest.fail "roundtrip failed"
+
+let test_layout_superblock_corrupt () =
+  let b = Layout.superblock_to_bytes
+      { Layout.generation = 1; directory_block = 0; total_blocks = 10 } in
+  Bytes.set b 9 'X';
+  checkb "detected" true (Layout.superblock_of_bytes b = None)
+
+let test_layout_header () =
+  let h =
+    { Layout.obj_id = 3; obj_name = "region/db"; epoch = 17; root_block = 55;
+      height = 2; size_bytes = 1 lsl 20; meta = 0xBEEF }
+  in
+  match Layout.header_of_bytes (Layout.header_to_bytes h) with
+  | Some h' ->
+    checks "name" "region/db" h'.Layout.obj_name;
+    checki "epoch" 17 h'.Layout.epoch;
+    checki "root" 55 h'.Layout.root_block;
+    checki "height" 2 h'.Layout.height;
+    checki "size" (1 lsl 20) h'.Layout.size_bytes;
+    checki "meta" 0xBEEF h'.Layout.meta
+  | None -> Alcotest.fail "roundtrip failed"
+
+let test_layout_directory () =
+  let entries = [ ("a", 10); ("much-longer-name", 20); ("z", 30) ] in
+  let back = Layout.directory_of_bytes (Layout.directory_to_bytes entries) in
+  Alcotest.(check (list (pair string int))) "roundtrip" entries back
+
+(* --- Alloc --- *)
+
+let test_alloc_contiguous () =
+  let a = Alloc.create ~total_blocks:100 in
+  let run = Alloc.alloc_run a 5 in
+  checki "len" 5 (List.length run);
+  let sorted = List.sort compare run in
+  Alcotest.(check (list int)) "ascending contiguous" sorted run;
+  (match run with
+  | first :: _ ->
+    checkb "contiguous" true
+      (List.for_all2 (fun b i -> b = first + i) run (List.init 5 Fun.id))
+  | [] -> Alcotest.fail "empty");
+  List.iter (fun b -> checkb "allocated" true (Alloc.is_allocated a b)) run
+
+let test_alloc_exhaustion () =
+  let a = Alloc.create ~total_blocks:10 in
+  let avail = Alloc.free_blocks a in
+  ignore (Alloc.alloc_run a avail);
+  checkb "out of space" true
+    (try ignore (Alloc.alloc_run a 1); false with Alloc.Out_of_space -> true)
+
+let test_alloc_deferred_free () =
+  let a = Alloc.create ~total_blocks:16 in
+  let run = Alloc.alloc_run a 4 in
+  let before = Alloc.free_blocks a in
+  Alloc.free_deferred a run;
+  checki "not yet freed" before (Alloc.free_blocks a);
+  Alloc.apply_deferred a;
+  checki "freed" (before + 4) (Alloc.free_blocks a)
+
+let test_alloc_fragmented_fallback () =
+  let a = Alloc.create ~total_blocks:32 in
+  let run = Alloc.alloc_run a 20 in
+  (* Free every other block, then ask for a run bigger than any hole. *)
+  let evens = List.filteri (fun i _ -> i mod 2 = 0) run in
+  Alloc.free_deferred a evens;
+  Alloc.apply_deferred a;
+  let got = Alloc.alloc_run a 8 in
+  checki "still serves scattered" 8 (List.length got)
+
+(* --- Radix --- *)
+
+let mem_radix () =
+  (* In-memory node store for unit-testing the tree in isolation. *)
+  let nodes = Hashtbl.create 16 in
+  let next = ref 1 in
+  let alloc n =
+    List.init n (fun i -> !next + i) |> fun l ->
+    next := !next + n;
+    l
+  in
+  let read_node b = Hashtbl.find nodes b in
+  let apply (r : Radix.update_result) =
+    List.iter (fun (b, n) -> Hashtbl.replace nodes b n) r.Radix.node_writes
+  in
+  (read_node, alloc, apply)
+
+let test_radix_lookup_empty () =
+  let read_node, _, _ = mem_radix () in
+  checki "hole" 0 (Radix.lookup ~read_node ~root:0 ~height:0 5)
+
+let test_radix_insert_lookup () =
+  let read_node, alloc, apply = mem_radix () in
+  let r = Radix.update_batch ~read_node ~alloc ~root:0 ~height:0
+      [ (0, 1000); (5, 1005); (511, 1511) ] in
+  apply r;
+  checki "height 1" 1 r.Radix.new_height;
+  checki "k0" 1000 (Radix.lookup ~read_node ~root:r.Radix.new_root ~height:1 0);
+  checki "k5" 1005 (Radix.lookup ~read_node ~root:r.Radix.new_root ~height:1 5);
+  checki "k511" 1511 (Radix.lookup ~read_node ~root:r.Radix.new_root ~height:1 511);
+  checki "hole" 0 (Radix.lookup ~read_node ~root:r.Radix.new_root ~height:1 7)
+
+let test_radix_growth_preserves () =
+  let read_node, alloc, apply = mem_radix () in
+  let r1 = Radix.update_batch ~read_node ~alloc ~root:0 ~height:0 [ (3, 333) ] in
+  apply r1;
+  (* Index beyond height-1 capacity forces growth; old keys must survive. *)
+  let r2 = Radix.update_batch ~read_node ~alloc ~root:r1.Radix.new_root
+      ~height:r1.Radix.new_height [ (100_000, 777) ] in
+  apply r2;
+  checkb "grew" true (r2.Radix.new_height > r1.Radix.new_height);
+  checki "old key" 333
+    (Radix.lookup ~read_node ~root:r2.Radix.new_root ~height:r2.Radix.new_height 3);
+  checki "new key" 777
+    (Radix.lookup ~read_node ~root:r2.Radix.new_root ~height:r2.Radix.new_height 100_000)
+
+let test_radix_cow_preserves_old_root () =
+  let read_node, alloc, apply = mem_radix () in
+  let r1 = Radix.update_batch ~read_node ~alloc ~root:0 ~height:0 [ (0, 100) ] in
+  apply r1;
+  let r2 = Radix.update_batch ~read_node ~alloc ~root:r1.Radix.new_root
+      ~height:1 [ (0, 200) ] in
+  apply r2;
+  (* Old tree still answers with the old value: COW. *)
+  checki "old epoch view" 100
+    (Radix.lookup ~read_node ~root:r1.Radix.new_root ~height:1 0);
+  checki "new epoch view" 200
+    (Radix.lookup ~read_node ~root:r2.Radix.new_root ~height:1 0);
+  checkb "old root freed" true (List.mem r1.Radix.new_root r2.Radix.freed);
+  checkb "old data freed" true (List.mem 100 r2.Radix.freed)
+
+let test_radix_iter () =
+  let read_node, alloc, apply = mem_radix () in
+  let updates = [ (1, 11); (600, 66); (262144, 99) ] in
+  let r = Radix.update_batch ~read_node ~alloc ~root:0 ~height:0 updates in
+  apply r;
+  let acc = ref [] in
+  Radix.iter ~read_node ~root:r.Radix.new_root ~height:r.Radix.new_height
+    ~f:(fun ~index ~block -> acc := (index, block) :: !acc);
+  Alcotest.(check (list (pair int int))) "all present" updates (List.rev !acc)
+
+let prop_radix_model =
+  QCheck.Test.make ~count:100 ~name:"radix agrees with assoc model"
+    QCheck.(list_of_size Gen.(int_range 1 60)
+              (pair (int_bound 100_000) (int_range 1 1_000_000)))
+    (fun ops ->
+      let read_node, alloc, apply = mem_radix () in
+      let root = ref 0 and height = ref 0 in
+      let model = Hashtbl.create 16 in
+      (* Apply in several batches to exercise COW chains. *)
+      let rec batches = function
+        | [] -> ()
+        | l ->
+          let n = min 7 (List.length l) in
+          let batch = List.filteri (fun i _ -> i < n) l in
+          let rest = List.filteri (fun i _ -> i >= n) l in
+          (* Last write per index wins within a batch. *)
+          let r = Radix.update_batch ~read_node ~alloc ~root:!root
+              ~height:!height batch in
+          apply r;
+          root := r.Radix.new_root;
+          height := r.Radix.new_height;
+          List.iter (fun (i, v) -> Hashtbl.replace model i v) batch;
+          batches rest
+      in
+      batches ops;
+      Hashtbl.fold
+        (fun i v ok ->
+          ok && Radix.lookup ~read_node ~root:!root ~height:!height i = v)
+        model true)
+
+(* --- Store --- *)
+
+let test_store_create_open () =
+  in_sim (fun () ->
+      let _, s = mk_store () in
+      let o = Store.create s ~name:"obj1" () in
+      checki "epoch 0" 0 (Store.epoch o);
+      checkb "open finds it" true (Store.open_obj s ~name:"obj1" <> None);
+      checkb "missing is None" true (Store.open_obj s ~name:"nope" = None);
+      checkb "dup create raises" true
+        (try ignore (Store.create s ~name:"obj1" ()); false
+         with Invalid_argument _ -> true))
+    ()
+
+let test_store_commit_read () =
+  in_sim (fun () ->
+      let _, s = mk_store () in
+      let o = Store.create s ~name:"o" () in
+      let e = Store.commit s o [ (0, page 'A'); (9, page 'B') ] in
+      checki "epoch bumped" e (Store.epoch o);
+      checkb "epoch > 0" true (e > 0);
+      (match Store.read_block s o 0 with
+      | Some b -> checkb "A" true (Bytes.for_all (fun c -> c = 'A') b)
+      | None -> Alcotest.fail "missing block 0");
+      (match Store.read_block s o 9 with
+      | Some b -> checkb "B" true (Bytes.for_all (fun c -> c = 'B') b)
+      | None -> Alcotest.fail "missing block 9");
+      checkb "hole" true (Store.read_block s o 5 = None);
+      checki "size tracks" (10 * 4096) (Store.size_bytes o))
+    ()
+
+let test_store_overwrite () =
+  in_sim (fun () ->
+      let _, s = mk_store () in
+      let o = Store.create s ~name:"o" () in
+      ignore (Store.commit s o [ (3, page 'X') ]);
+      ignore (Store.commit s o [ (3, page 'Y') ]);
+      match Store.read_block s o 3 with
+      | Some b -> checkb "latest" true (Bytes.for_all (fun c -> c = 'Y') b)
+      | None -> Alcotest.fail "missing")
+    ()
+
+let test_store_epochs_monotonic () =
+  in_sim (fun () ->
+      let _, s = mk_store () in
+      let o = Store.create s ~name:"o" () in
+      let e1 = Store.commit s o [ (0, page 'A') ] in
+      let e2 = Store.commit s o [ (1, page 'B') ] in
+      checkb "monotonic" true (e2 > e1))
+    ()
+
+let test_store_remount () =
+  in_sim (fun () ->
+      let dev, s = mk_store () in
+      let o = Store.create s ~name:"persisted" ~meta:0x1234 () in
+      ignore (Store.commit s o [ (0, page 'P'); (100, page 'Q') ]);
+      (* Remount from the same device: everything must come back. *)
+      let s2 = Store.mount dev in
+      match Store.open_obj s2 ~name:"persisted" with
+      | None -> Alcotest.fail "object lost"
+      | Some o2 ->
+        checki "meta" 0x1234 (Store.meta o2);
+        checki "epoch" (Store.epoch o) (Store.epoch o2);
+        (match Store.read_block s2 o2 100 with
+        | Some b -> checkb "data" true (Bytes.for_all (fun c -> c = 'Q') b)
+        | None -> Alcotest.fail "data lost"))
+    ()
+
+let test_store_delete () =
+  in_sim (fun () ->
+      let dev, s = mk_store () in
+      let o = Store.create s ~name:"tmp" () in
+      ignore (Store.commit s o [ (0, page 'T') ]);
+      let free_before = Store.free_blocks s in
+      Store.delete s o;
+      checkb "blocks reclaimed" true (Store.free_blocks s > free_before);
+      checkb "gone" true (Store.open_obj s ~name:"tmp" = None);
+      let s2 = Store.mount dev in
+      checkb "gone after remount" true (Store.open_obj s2 ~name:"tmp" = None))
+    ()
+
+let test_store_multiple_objects_independent () =
+  in_sim (fun () ->
+      let _, s = mk_store () in
+      let a = Store.create s ~name:"a" () in
+      let b = Store.create s ~name:"b" () in
+      ignore (Store.commit s a [ (0, page 'A') ]);
+      ignore (Store.commit s b [ (0, page 'B') ]);
+      (match Store.read_block s a 0 with
+      | Some x -> checkb "a" true (Bytes.for_all (fun c -> c = 'A') x)
+      | None -> Alcotest.fail "a missing");
+      match Store.read_block s b 0 with
+      | Some x -> checkb "b" true (Bytes.for_all (fun c -> c = 'B') x)
+      | None -> Alcotest.fail "b missing")
+    ()
+
+let test_store_async_commit () =
+  in_sim (fun () ->
+      let _, s = mk_store () in
+      let o = Store.create s ~name:"o" () in
+      let e, ticket = Store.commit_async s o [ (0, page 'Z') ] in
+      checkb "not durable yet" true (Store.epoch o < e);
+      Store.wait ticket;
+      checkb "durable" true (Store.epoch o >= e))
+    ()
+
+let test_store_concurrent_commits_same_object () =
+  in_sim (fun () ->
+      let _, s = mk_store () in
+      let o = Store.create s ~name:"o" () in
+      let n = 16 in
+      let ts =
+        List.init n (fun i ->
+            Sched.spawn (fun () ->
+                ignore (Store.commit s o [ (i, Bytes.make 4096 (Char.chr (65 + i))) ])))
+      in
+      List.iter Sched.join ts;
+      for i = 0 to n - 1 do
+        match Store.read_block s o i with
+        | Some b ->
+          checkb (Printf.sprintf "block %d" i) true
+            (Bytes.for_all (fun c -> c = Char.chr (65 + i)) b)
+        | None -> Alcotest.fail "missing block"
+      done;
+      checkb "epoch advanced" true (Store.epoch o >= 1))
+    ()
+
+let test_store_group_commit_batches () =
+  in_sim (fun () ->
+      (* Concurrent commits to one object must not serialize into N full
+         header writes each costing a disk command; with flat combining,
+         total time for 16 concurrent 4 KiB commits stays well under 16x
+         a single sync commit. *)
+      let _, s = mk_store () in
+      let o = Store.create s ~name:"o" () in
+      let t0 = Sched.now () in
+      ignore (Store.commit s o [ (999, page 'W') ]);
+      let single = Sched.now () - t0 in
+      let t1 = Sched.now () in
+      let ts =
+        List.init 16 (fun i ->
+            Sched.spawn (fun () -> ignore (Store.commit s o [ (i, page 'X') ])))
+      in
+      List.iter Sched.join ts;
+      let batch16 = Sched.now () - t1 in
+      checkb "flat combining pays off" true (batch16 < 8 * single))
+    ()
+
+let test_store_crash_mid_commit () =
+  in_sim (fun () ->
+      let dev, s = mk_store () in
+      let o = Store.create s ~name:"o" () in
+      ignore (Store.commit s o [ (0, page 'G') ]);
+      let e1 = Store.epoch o in
+      (* Crash while the second commit's IO is in flight. *)
+      let w =
+        Sched.spawn (fun () ->
+            try ignore (Store.commit s o [ (0, page 'H'); (1, page 'I') ])
+            with Disk.Powered_off -> ())
+      in
+      Sched.delay 20_000;
+      Stripe.fail_power dev ~torn_seed:11;
+      Sched.join w;
+      Stripe.restore_power dev;
+      let s2 = Store.mount dev in
+      match Store.open_obj s2 ~name:"o" with
+      | None -> Alcotest.fail "object lost"
+      | Some o2 ->
+        (* Either the old epoch with old data, or the new epoch with all
+           new data — never a mix. *)
+        let b0 = Store.read_block s2 o2 0 in
+        if Store.epoch o2 = e1 then begin
+          match b0 with
+          | Some b -> checkb "old data intact" true (Bytes.for_all (fun c -> c = 'G') b)
+          | None -> Alcotest.fail "old data lost"
+        end
+        else begin
+          (match b0 with
+          | Some b -> checkb "new b0" true (Bytes.for_all (fun c -> c = 'H') b)
+          | None -> Alcotest.fail "new data missing");
+          match Store.read_block s2 o2 1 with
+          | Some b -> checkb "new b1" true (Bytes.for_all (fun c -> c = 'I') b)
+          | None -> Alcotest.fail "new data missing"
+        end)
+    ()
+
+let prop_store_crash_any_point =
+  (* Run a stream of commits, crash at a random time, remount, and verify
+     the recovered object equals some prefix of committed states. *)
+  QCheck.Test.make ~count:25 ~name:"crash anywhere recovers a committed epoch"
+    QCheck.(pair (int_bound 1_000_000) (int_range 1 12))
+    (fun (crash_offset, ncommits) ->
+      Sched.run (fun () ->
+          let dev, s =
+            let dev = mk_dev () in
+            Store.format dev;
+            (dev, Store.mount dev)
+          in
+          let o = Store.create s ~name:"o" () in
+          (* Model: epoch -> expected contents of block 0. *)
+          let committed = Hashtbl.create 8 in
+          Hashtbl.replace committed 0 None;
+          let w =
+            Sched.spawn (fun () ->
+                try
+                  for i = 1 to ncommits do
+                    let c = Char.chr (64 + i) in
+                    let e = Store.commit s o [ (0, Bytes.make 4096 c) ] in
+                    Hashtbl.replace committed e (Some c)
+                  done
+                with Disk.Powered_off -> ())
+          in
+          Sched.delay (10_000 + crash_offset);
+          Stripe.fail_power dev ~torn_seed:crash_offset;
+          Sched.join w;
+          Stripe.restore_power dev;
+          let s2 = Store.mount dev in
+          match Store.open_obj s2 ~name:"o" with
+          | None -> false
+          | Some o2 -> (
+            let e = Store.epoch o2 in
+            match Hashtbl.find_opt committed e with
+            | None ->
+              (* The epoch on disk must be one the writer initiated; with
+                 group commit, epochs may skip but must be <= last issued. *)
+              e <= ncommits
+              &&
+              (match Store.read_block s2 o2 0 with
+              | Some b ->
+                let c = Bytes.get b 0 in
+                c >= 'A' && c <= Char.chr (64 + ncommits)
+                && Bytes.for_all (fun x -> x = c) b
+              | None -> false)
+            | Some None -> Store.read_block s2 o2 0 = None
+            | Some (Some c) -> (
+              match Store.read_block s2 o2 0 with
+              | Some b -> Bytes.for_all (fun x -> x = c) b
+              | None -> false))))
+
+let test_store_set_meta_durable () =
+  in_sim (fun () ->
+      let dev, s = mk_store () in
+      let o = Store.create s ~name:"o" ~meta:7 () in
+      checki "initial meta" 7 (Store.meta o);
+      Store.set_meta s o 99;
+      let s2 = Store.mount dev in
+      match Store.open_obj s2 ~name:"o" with
+      | Some o2 -> checki "meta durable" 99 (Store.meta o2)
+      | None -> Alcotest.fail "object lost")
+    ()
+
+let test_store_list_objects () =
+  in_sim (fun () ->
+      let _, s = mk_store () in
+      ignore (Store.create s ~name:"b" ());
+      ignore (Store.create s ~name:"a" ());
+      ignore (Store.create s ~name:"c" ());
+      Alcotest.(check (list string)) "sorted names" [ "a"; "b"; "c" ]
+        (Store.list_objects s))
+    ()
+
+let test_store_grow_persists_size () =
+  in_sim (fun () ->
+      let dev, s = mk_store () in
+      let o = Store.create s ~name:"o" () in
+      Store.grow s o ~size_bytes:123_456;
+      (* Size is folded into the next commit's header. *)
+      ignore (Store.commit s o [ (0, page 'z') ]);
+      let s2 = Store.mount dev in
+      match Store.open_obj s2 ~name:"o" with
+      | Some o2 -> checki "size persisted" 123_456 (Store.size_bytes o2)
+      | None -> Alcotest.fail "object lost")
+    ()
+
+let test_store_no_superblock_is_corrupt () =
+  in_sim (fun () ->
+      let dev = mk_dev () in
+      checkb "corrupt" true
+        (try ignore (Store.mount dev); false with Store.Corrupt _ -> true))
+    ()
+
+let test_store_space_reuse () =
+  in_sim (fun () ->
+      (* Repeated overwrites must not leak space: free count returns to a
+         steady state. *)
+      let _, s = mk_store ~mib:4 () in
+      let o = Store.create s ~name:"o" () in
+      ignore (Store.commit s o [ (0, page 'A') ]);
+      let free1 = Store.free_blocks s in
+      for _ = 1 to 50 do
+        ignore (Store.commit s o [ (0, page 'B') ])
+      done;
+      let free2 = Store.free_blocks s in
+      checki "no leak" free1 free2)
+    ()
+
+let test_store_large_sparse_object () =
+  in_sim (fun () ->
+      let _, s = mk_store () in
+      let o = Store.create s ~name:"sparse" () in
+      (* Far index: forces a 3-level tree. *)
+      let idx = 300_000 in
+      ignore (Store.commit s o [ (idx, page 'S') ]);
+      (match Store.read_block s o idx with
+      | Some b -> checkb "data" true (Bytes.for_all (fun c -> c = 'S') b)
+      | None -> Alcotest.fail "missing");
+      checkb "holes stay holes" true (Store.read_block s o (idx - 1) = None))
+    ()
+
+let () =
+  let tc name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "objstore"
+    [
+      ( "layout",
+        [
+          tc "superblock roundtrip" test_layout_superblock;
+          tc "superblock corruption" test_layout_superblock_corrupt;
+          tc "header roundtrip" test_layout_header;
+          tc "directory roundtrip" test_layout_directory;
+        ] );
+      ( "alloc",
+        [
+          tc "contiguous runs" test_alloc_contiguous;
+          tc "exhaustion" test_alloc_exhaustion;
+          tc "deferred free" test_alloc_deferred_free;
+          tc "fragmented fallback" test_alloc_fragmented_fallback;
+        ] );
+      ( "radix",
+        [
+          tc "lookup empty" test_radix_lookup_empty;
+          tc "insert/lookup" test_radix_insert_lookup;
+          tc "growth preserves" test_radix_growth_preserves;
+          tc "cow preserves old root" test_radix_cow_preserves_old_root;
+          tc "iter" test_radix_iter;
+          QCheck_alcotest.to_alcotest prop_radix_model;
+        ] );
+      ( "store",
+        [
+          tc "create/open" test_store_create_open;
+          tc "commit/read" test_store_commit_read;
+          tc "overwrite" test_store_overwrite;
+          tc "epochs monotonic" test_store_epochs_monotonic;
+          tc "remount" test_store_remount;
+          tc "delete" test_store_delete;
+          tc "objects independent" test_store_multiple_objects_independent;
+          tc "async commit" test_store_async_commit;
+          tc "concurrent same-object" test_store_concurrent_commits_same_object;
+          tc "group commit" test_store_group_commit_batches;
+          tc "crash mid-commit" test_store_crash_mid_commit;
+          tc "mount without format" test_store_no_superblock_is_corrupt;
+          tc "set_meta durable" test_store_set_meta_durable;
+          tc "list objects" test_store_list_objects;
+          tc "grow persists size" test_store_grow_persists_size;
+          tc "space reuse" test_store_space_reuse;
+          tc "sparse object" test_store_large_sparse_object;
+          QCheck_alcotest.to_alcotest prop_store_crash_any_point;
+        ] );
+    ]

@@ -1,0 +1,309 @@
+module Sched = Msnap_sim.Sched
+module Sync = Msnap_sim.Sync
+module Metrics = Msnap_sim.Metrics
+
+let checki = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+let checks = Alcotest.(check string)
+
+let test_run_returns () = checki "result" 7 (Sched.run (fun () -> 7))
+
+let test_clock_starts_zero () =
+  checki "t0" 0 (Sched.run (fun () -> Sched.now ()))
+
+let test_delay_advances () =
+  checki "t" 1234
+    (Sched.run (fun () ->
+         Sched.delay 1234;
+         Sched.now ()))
+
+let test_cpu_advances_and_charges () =
+  let total =
+    Sched.run (fun () ->
+        Sched.cpu 100;
+        Sched.with_bucket "io" (fun () -> Sched.cpu 50);
+        Sched.account_total ())
+  in
+  checki "charged" 150 total
+
+let test_buckets () =
+  let report =
+    Sched.run (fun () ->
+        Sched.cpu 10;
+        Sched.with_bucket "a" (fun () ->
+            Sched.cpu 20;
+            Sched.with_bucket "b" (fun () -> Sched.cpu 30);
+            Sched.cpu 5);
+        Sched.account_report ())
+  in
+  checki "a" 25 (List.assoc "a" report);
+  checki "b" 30 (List.assoc "b" report);
+  checki "user" 10 (List.assoc "user" report)
+
+let test_spawn_join () =
+  let v =
+    Sched.run (fun () ->
+        let r = ref 0 in
+        let t =
+          Sched.spawn (fun () ->
+              Sched.delay 500;
+              r := 42)
+        in
+        Sched.join t;
+        checki "joined after work" 42 !r;
+        Sched.now ())
+  in
+  checki "time includes child delay" 500 v
+
+let test_join_finished_thread () =
+  Sched.run (fun () ->
+      let t = Sched.spawn (fun () -> ()) in
+      Sched.delay 10;
+      Sched.join t;
+      Sched.join t (* idempotent *))
+
+let test_concurrent_delays_interleave () =
+  (* Two threads sleeping different amounts: completion order by time. *)
+  let order =
+    Sched.run (fun () ->
+        let log = ref [] in
+        let a =
+          Sched.spawn (fun () ->
+              Sched.delay 200;
+              log := "a" :: !log)
+        in
+        let b =
+          Sched.spawn (fun () ->
+              Sched.delay 100;
+              log := "b" :: !log)
+        in
+        Sched.join a;
+        Sched.join b;
+        List.rev !log)
+  in
+  checks "order" "b,a" (String.concat "," order)
+
+let test_same_time_fifo () =
+  (* Equal wake times resolve in spawn order: determinism. *)
+  let order =
+    Sched.run (fun () ->
+        let log = ref [] in
+        let ts =
+          List.init 5 (fun i ->
+              Sched.spawn (fun () ->
+                  Sched.delay 100;
+                  log := string_of_int i :: !log))
+        in
+        List.iter Sched.join ts;
+        List.rev !log)
+  in
+  checks "fifo" "0,1,2,3,4" (String.concat "," order)
+
+let test_deadlock_detected () =
+  let raised =
+    try
+      ignore
+        (Sched.run (fun () ->
+             let m = Sync.Mutex.create () in
+             Sync.Mutex.lock m;
+             Sync.Mutex.lock m));
+      false
+    with Sched.Deadlock _ -> true
+  in
+  checkb "deadlock" true raised
+
+let test_exception_propagates () =
+  let raised =
+    try
+      ignore (Sched.run (fun () -> failwith "boom"));
+      false
+    with Failure m -> m = "boom"
+  in
+  checkb "propagated" true raised
+
+let test_child_exception_propagates () =
+  let raised =
+    try
+      ignore
+        (Sched.run (fun () ->
+             let t = Sched.spawn (fun () -> failwith "child") in
+             Sched.join t));
+      false
+    with Failure m -> m = "child"
+  in
+  checkb "propagated" true raised
+
+let test_run_not_nested_state () =
+  (* After a failed run, a fresh run works. *)
+  (try ignore (Sched.run (fun () -> failwith "x")) with Failure _ -> ());
+  checki "fresh run" 1 (Sched.run (fun () -> 1))
+
+let test_mutex_mutual_exclusion () =
+  Sched.run (fun () ->
+      let m = Sync.Mutex.create () in
+      let inside = ref 0 and max_inside = ref 0 in
+      let worker () =
+        for _ = 1 to 20 do
+          Sync.Mutex.with_lock m (fun () ->
+              incr inside;
+              if !inside > !max_inside then max_inside := !inside;
+              Sched.delay 7;
+              decr inside)
+        done
+      in
+      let ts = List.init 4 (fun i -> Sched.spawn ~name:(Printf.sprintf "w%d" i) worker) in
+      List.iter Sched.join ts;
+      checki "never two inside" 1 !max_inside)
+
+let test_mutex_unlock_unlocked () =
+  Sched.run (fun () ->
+      let m = Sync.Mutex.create () in
+      let raised = try Sync.Mutex.unlock m; false with Invalid_argument _ -> true in
+      checkb "raises" true raised)
+
+let test_try_lock () =
+  Sched.run (fun () ->
+      let m = Sync.Mutex.create () in
+      checkb "first" true (Sync.Mutex.try_lock m);
+      checkb "second" false (Sync.Mutex.try_lock m);
+      Sync.Mutex.unlock m;
+      checkb "after unlock" true (Sync.Mutex.try_lock m))
+
+let test_condition_broadcast () =
+  Sched.run (fun () ->
+      let m = Sync.Mutex.create () in
+      let c = Sync.Condition.create () in
+      let go = ref false in
+      let woken = ref 0 in
+      let waiter () =
+        Sync.Mutex.lock m;
+        while not !go do
+          Sync.Condition.wait c m
+        done;
+        incr woken;
+        Sync.Mutex.unlock m
+      in
+      let ts = List.init 3 (fun _ -> Sched.spawn waiter) in
+      Sched.delay 100;
+      Sync.Mutex.with_lock m (fun () -> go := true);
+      Sync.Condition.broadcast c;
+      List.iter Sched.join ts;
+      checki "all woken" 3 !woken)
+
+let test_semaphore_bounds () =
+  Sched.run (fun () ->
+      let s = Sync.Semaphore.create 2 in
+      let inside = ref 0 and max_inside = ref 0 in
+      let worker () =
+        Sync.Semaphore.acquire s;
+        incr inside;
+        if !inside > !max_inside then max_inside := !inside;
+        Sched.delay 10;
+        decr inside;
+        Sync.Semaphore.release s
+      in
+      let ts = List.init 6 (fun _ -> Sched.spawn worker) in
+      List.iter Sched.join ts;
+      checkb "bounded by 2" true (!max_inside <= 2);
+      checki "permits restored" 2 (Sync.Semaphore.value s))
+
+let test_ivar () =
+  Sched.run (fun () ->
+      let iv = Sync.Ivar.create () in
+      checkb "not filled" false (Sync.Ivar.is_filled iv);
+      let _ =
+        Sched.spawn (fun () ->
+            Sched.delay 50;
+            Sync.Ivar.fill iv 9)
+      in
+      checki "read blocks until fill" 9 (Sync.Ivar.read iv);
+      checki "time" 50 (Sched.now ());
+      checki "second read immediate" 9 (Sync.Ivar.read iv);
+      let raised = try Sync.Ivar.fill iv 1; false with Invalid_argument _ -> true in
+      checkb "double fill" true raised)
+
+let test_channel () =
+  Sched.run (fun () ->
+      let ch = Sync.Channel.create ~capacity:2 in
+      let consumed = ref [] in
+      let c =
+        Sched.spawn (fun () ->
+            for _ = 1 to 5 do
+              consumed := Sync.Channel.recv ch :: !consumed;
+              Sched.delay 10
+            done)
+      in
+      for i = 1 to 5 do
+        Sync.Channel.send ch i
+      done;
+      Sched.join c;
+      checks "fifo order" "1,2,3,4,5"
+        (String.concat "," (List.rev_map string_of_int !consumed)))
+
+let test_metrics () =
+  Metrics.reset ();
+  Sched.run (fun () ->
+      Metrics.incr "x";
+      Metrics.incr ~by:4 "x";
+      Metrics.add_sample "lat" 100;
+      Metrics.add_sample "lat" 300;
+      Metrics.timed "op" (fun () -> Sched.delay 77));
+  checki "counter" 5 (Metrics.count "x");
+  checki "samples" 2 (Metrics.samples "lat");
+  Alcotest.(check (float 0.01)) "mean" 200.0 (Metrics.mean_ns "lat");
+  Alcotest.(check (float 0.01)) "timed" 77.0 (Metrics.mean_ns "op");
+  Metrics.reset ();
+  checki "reset" 0 (Metrics.count "x")
+
+let test_determinism_end_to_end () =
+  (* The same program must produce the identical trace twice. *)
+  let program () =
+    Sched.run (fun () ->
+        let acc = ref [] in
+        let m = Sync.Mutex.create () in
+        let ts =
+          List.init 8 (fun i ->
+              Sched.spawn (fun () ->
+                  Sched.delay ((i * 37) mod 5 * 10);
+                  Sync.Mutex.with_lock m (fun () ->
+                      Sched.cpu 13;
+                      acc := (i, Sched.now ()) :: !acc)))
+        in
+        List.iter Sched.join ts;
+        !acc)
+  in
+  Alcotest.(check (list (pair int int))) "identical" (program ()) (program ())
+
+let () =
+  let tc name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "sim"
+    [
+      ( "sched",
+        [
+          tc "run returns" test_run_returns;
+          tc "clock zero" test_clock_starts_zero;
+          tc "delay" test_delay_advances;
+          tc "cpu charges" test_cpu_advances_and_charges;
+          tc "buckets" test_buckets;
+          tc "spawn/join" test_spawn_join;
+          tc "join finished" test_join_finished_thread;
+          tc "interleave" test_concurrent_delays_interleave;
+          tc "fifo ties" test_same_time_fifo;
+          tc "deadlock" test_deadlock_detected;
+          tc "exception" test_exception_propagates;
+          tc "child exception" test_child_exception_propagates;
+          tc "reusable after failure" test_run_not_nested_state;
+          tc "determinism" test_determinism_end_to_end;
+        ] );
+      ( "sync",
+        [
+          tc "mutex exclusion" test_mutex_mutual_exclusion;
+          tc "unlock unlocked" test_mutex_unlock_unlocked;
+          tc "try_lock" test_try_lock;
+          tc "cond broadcast" test_condition_broadcast;
+          tc "semaphore" test_semaphore_bounds;
+          tc "ivar" test_ivar;
+          tc "channel" test_channel;
+        ] );
+      ("metrics", [ tc "counters and samples" test_metrics ]);
+    ]

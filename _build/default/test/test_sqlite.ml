@@ -1,0 +1,407 @@
+module Sched = Msnap_sim.Sched
+module Size = Msnap_util.Size
+module Rng = Msnap_util.Rng
+module Disk = Msnap_blockdev.Disk
+module Stripe = Msnap_blockdev.Stripe
+module Store = Msnap_objstore.Store
+module Phys = Msnap_vm.Phys
+module Aspace = Msnap_vm.Aspace
+module Fs = Msnap_fs.Fs
+module Msnap = Msnap_core.Msnap
+module Page = Msnap_sqlite.Page
+module Pager = Msnap_sqlite.Pager
+module Btree = Msnap_sqlite.Btree
+module Db = Msnap_sqlite.Db
+module Backend_wal = Msnap_sqlite.Backend_wal
+module Backend_msnap = Msnap_sqlite.Backend_msnap
+
+let checki = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+let checks = Alcotest.(check string)
+let check_opt = Alcotest.(check (option string))
+let in_sim f () = Sched.run f
+
+(* --- Page format --- *)
+
+let test_page_leaf_cells () =
+  let b = Bytes.create Page.size in
+  Page.init b Page.Leaf;
+  checkb "leaf" true (Page.kind_of b = Page.Leaf);
+  checkb "ins0" true (Page.leaf_insert_at b 0 ~key:"b" ~value:"2");
+  checkb "ins1" true (Page.leaf_insert_at b 0 ~key:"a" ~value:"1");
+  checkb "ins2" true (Page.leaf_insert_at b 2 ~key:"c" ~value:"3");
+  checki "ncells" 3 (Page.ncells b);
+  let k, v = Page.leaf_cell b 0 in
+  checks "k0" "a" k;
+  checks "v0" "1" v;
+  checks "k1" "b" (Page.leaf_key b 1);
+  checks "k2" "c" (Page.leaf_key b 2)
+
+let test_page_search () =
+  let b = Bytes.create Page.size in
+  Page.init b Page.Leaf;
+  List.iteri
+    (fun i k -> assert (Page.leaf_insert_at b i ~key:k ~value:"v"))
+    [ "b"; "d"; "f" ];
+  checkb "found" true (Page.search b "d" = `Found 1);
+  checkb "before b" true (Page.search b "a" = `Insert_before 0);
+  checkb "between" true (Page.search b "e" = `Insert_before 2);
+  checkb "after" true (Page.search b "z" = `Insert_before 3)
+
+let test_page_delete_and_compact () =
+  let b = Bytes.create Page.size in
+  Page.init b Page.Leaf;
+  (* Fill, delete every other, then the freed space must be reusable. *)
+  let v = String.make 100 'v' in
+  let n = ref 0 in
+  while Page.leaf_insert_at b !n ~key:(Printf.sprintf "k%04d" !n) ~value:v do
+    incr n
+  done;
+  checkb "filled" true (!n > 30);
+  let deleted = ref 0 in
+  for i = !n - 1 downto 0 do
+    if i mod 2 = 0 then begin
+      Page.delete_at b i;
+      incr deleted
+    end
+  done;
+  checki "half deleted" (!n - !deleted) (Page.ncells b);
+  (* Insert into the fragmented space: forces compaction. *)
+  checkb "reuses space" true (Page.leaf_insert_at b 0 ~key:"a" ~value:v)
+
+let test_page_interior () =
+  let b = Bytes.create Page.size in
+  Page.init b Page.Interior;
+  assert (Page.interior_insert_at b 0 ~child:10 ~key:"m");
+  Page.set_right_child b 20;
+  let c, k = Page.interior_cell b 0 in
+  checki "child" 10 c;
+  checks "key" "m" k;
+  checki "right" 20 (Page.right_child b)
+
+(* --- Btree over an in-memory backend --- *)
+
+let mem_backend () =
+  let store = Hashtbl.create 64 in
+  {
+    Pager.b_label = "mem";
+    b_read_page = (fun pgno -> Option.map Bytes.copy (Hashtbl.find_opt store pgno));
+    b_commit =
+      (fun pages ->
+        List.iter (fun (pgno, b) -> Hashtbl.replace store pgno (Bytes.copy b)) pages);
+  }
+
+let with_tree f =
+  Sched.run (fun () ->
+      let pager = Pager.create (mem_backend ()) in
+      Pager.begin_write pager;
+      let tree = Btree.create pager in
+      let r = f pager tree in
+      Pager.commit pager;
+      r)
+
+let test_btree_insert_find () =
+  ignore
+    (with_tree (fun _ tree ->
+         Btree.insert tree ~key:"hello" ~value:"world";
+         check_opt "find" (Some "world") (Btree.find tree "hello");
+         check_opt "missing" None (Btree.find tree "nope")))
+
+let test_btree_update () =
+  ignore
+    (with_tree (fun _ tree ->
+         Btree.insert tree ~key:"k" ~value:"v1";
+         Btree.insert tree ~key:"k" ~value:"v2";
+         check_opt "updated" (Some "v2") (Btree.find tree "k");
+         checki "no duplicate" 1 (Btree.count tree)))
+
+let test_btree_many_sequential () =
+  ignore
+    (with_tree (fun _ tree ->
+         let n = 5_000 in
+         for i = 0 to n - 1 do
+           Btree.insert tree ~key:(Db.key_of_int i) ~value:(Printf.sprintf "val%d" i)
+         done;
+         checki "count" n (Btree.count tree);
+         checkb "split happened" true (Btree.depth tree > 1);
+         for i = 0 to n - 1 do
+           match Btree.find tree (Db.key_of_int i) with
+           | Some v -> Alcotest.(check string) "value" (Printf.sprintf "val%d" i) v
+           | None -> Alcotest.failf "key %d lost" i
+         done))
+
+let test_btree_many_random () =
+  ignore
+    (with_tree (fun _ tree ->
+         let rng = Rng.create 77 in
+         let keys = Array.init 5_000 (fun i -> i) in
+         Rng.shuffle rng keys;
+         Array.iter
+           (fun i ->
+             Btree.insert tree ~key:(Db.key_of_int i) ~value:(string_of_int i))
+           keys;
+         checki "count" 5_000 (Btree.count tree);
+         Array.iter
+           (fun i ->
+             check_opt "found" (Some (string_of_int i))
+               (Btree.find tree (Db.key_of_int i)))
+           keys))
+
+let test_btree_iter_sorted () =
+  ignore
+    (with_tree (fun _ tree ->
+         let rng = Rng.create 3 in
+         let keys = Array.init 2_000 Fun.id in
+         Rng.shuffle rng keys;
+         Array.iter
+           (fun i -> Btree.insert tree ~key:(Db.key_of_int i) ~value:"")
+           keys;
+         let prev = ref (-1) in
+         let sorted = ref true in
+         Btree.iter_range tree (fun k _ ->
+             let i = Db.int_of_key k in
+             if i <= !prev then sorted := false;
+             prev := i);
+         checkb "in order" true !sorted;
+         checki "last" 1_999 !prev))
+
+let test_btree_range () =
+  ignore
+    (with_tree (fun _ tree ->
+         for i = 0 to 999 do
+           Btree.insert tree ~key:(Db.key_of_int i) ~value:""
+         done;
+         let seen = ref 0 in
+         Btree.iter_range tree ~lo:(Db.key_of_int 100) ~hi:(Db.key_of_int 199)
+           (fun _ _ -> incr seen);
+         checki "window" 100 !seen))
+
+let test_btree_delete () =
+  ignore
+    (with_tree (fun _ tree ->
+         for i = 0 to 999 do
+           Btree.insert tree ~key:(Db.key_of_int i) ~value:"x"
+         done;
+         for i = 0 to 999 do
+           if i mod 2 = 0 then checkb "deleted" true (Btree.delete tree (Db.key_of_int i))
+         done;
+         checkb "missing delete" false (Btree.delete tree (Db.key_of_int 0));
+         checki "half left" 500 (Btree.count tree);
+         check_opt "odd survives" (Some "x") (Btree.find tree (Db.key_of_int 501));
+         check_opt "even gone" None (Btree.find tree (Db.key_of_int 500))))
+
+let prop_btree_model =
+  QCheck.Test.make ~count:60 ~name:"btree agrees with Map model"
+    QCheck.(list_of_size Gen.(int_range 1 400)
+              (pair (int_bound 500) (option (int_bound 10_000))))
+    (fun ops ->
+      with_tree (fun _ tree ->
+          let module M = Map.Make (String) in
+          let model = ref M.empty in
+          List.iter
+            (fun (k, v) ->
+              let key = Db.key_of_int k in
+              match v with
+              | Some v ->
+                Btree.insert tree ~key ~value:(string_of_int v);
+                model := M.add key (string_of_int v) !model
+              | None ->
+                let existed = Btree.delete tree key in
+                let model_had = M.mem key !model in
+                model := M.remove key !model;
+                if existed <> model_had then failwith "delete mismatch")
+            ops;
+          M.for_all (fun k v -> Btree.find tree k = Some v) !model
+          && Btree.count tree = M.cardinal !model))
+
+(* --- Db over both real backends --- *)
+
+let mk_fs_env () =
+  let dev =
+    Stripe.create
+      [ Disk.create ~size:(Size.mib 128) (); Disk.create ~size:(Size.mib 128) () ]
+  in
+  Fs.mkfs dev ~kind:Fs.Ffs
+
+let mk_msnap_env () =
+  let dev =
+    Stripe.create
+      [ Disk.create ~size:(Size.mib 128) (); Disk.create ~size:(Size.mib 128) () ]
+  in
+  let phys = Phys.create () in
+  let aspace = Aspace.create phys in
+  Store.format dev;
+  let store = Store.mount dev in
+  let k = Msnap.init ~store in
+  Msnap.attach k aspace;
+  (dev, k)
+
+let exercise_db db =
+  let tbl = Db.create_table db "users" in
+  Db.with_write_txn db (fun () ->
+      for i = 0 to 499 do
+        Db.put tbl ~key:(Db.key_of_int i) ~value:(Printf.sprintf "user-%d" i)
+      done);
+  Db.with_write_txn db (fun () -> ignore (Db.delete tbl (Db.key_of_int 13)));
+  check_opt "get" (Some "user-42") (Db.get tbl (Db.key_of_int 42));
+  check_opt "deleted" None (Db.get tbl (Db.key_of_int 13));
+  checki "count" 499 (Db.count tbl)
+
+let test_db_over_wal () =
+  in_sim (fun () ->
+      let fs = mk_fs_env () in
+      let be = Backend_wal.create fs ~db_name:"test.db" () in
+      exercise_db (Db.open_db (Backend_wal.backend be)))
+    ()
+
+let test_db_over_msnap () =
+  in_sim (fun () ->
+      let _, k = mk_msnap_env () in
+      let be = Backend_msnap.create k ~db_name:"test.db" ~max_pages:8192 in
+      exercise_db (Db.open_db (Backend_msnap.backend be)))
+    ()
+
+let test_db_rollback () =
+  in_sim (fun () ->
+      let _, k = mk_msnap_env () in
+      let be = Backend_msnap.create k ~db_name:"test.db" ~max_pages:8192 in
+      let db = Db.open_db (Backend_msnap.backend be) in
+      let tbl = Db.create_table db "t" in
+      Db.with_write_txn db (fun () -> Db.put tbl ~key:"a" ~value:"1");
+      (try
+         Db.with_write_txn db (fun () ->
+             Db.put tbl ~key:"b" ~value:"2";
+             failwith "abort")
+       with Failure _ -> ());
+      check_opt "committed stays" (Some "1") (Db.get tbl "a");
+      check_opt "aborted rolled back" None (Db.get tbl "b"))
+    ()
+
+let test_db_recovery_msnap () =
+  in_sim (fun () ->
+      let dev, k = mk_msnap_env () in
+      let be = Backend_msnap.create k ~db_name:"app.db" ~max_pages:8192 in
+      let db = Db.open_db (Backend_msnap.backend be) in
+      let tbl = Db.create_table db "orders" in
+      Db.with_write_txn db (fun () ->
+          for i = 0 to 999 do
+            Db.put tbl ~key:(Db.key_of_int i) ~value:(Printf.sprintf "order-%d" i)
+          done);
+      (* Reboot the machine; recover through a fresh MemSnap kernel. *)
+      let phys = Phys.create () in
+      let aspace = Aspace.create phys in
+      let store = Store.mount dev in
+      let k2 = Msnap.init ~store in
+      Msnap.attach k2 aspace;
+      let be2 = Backend_msnap.create k2 ~db_name:"app.db" ~max_pages:8192 in
+      let db2 = Db.open_db (Backend_msnap.backend be2) in
+      match Db.table db2 "orders" with
+      | None -> Alcotest.fail "catalog lost"
+      | Some tbl2 ->
+        checki "all rows" 1_000 (Db.count tbl2);
+        check_opt "row" (Some "order-123") (Db.get tbl2 (Db.key_of_int 123)))
+    ()
+
+let test_db_crash_uncommitted_lost_msnap () =
+  in_sim (fun () ->
+      let dev, k = mk_msnap_env () in
+      let be = Backend_msnap.create k ~db_name:"app.db" ~max_pages:8192 in
+      let db = Db.open_db (Backend_msnap.backend be) in
+      let tbl = Db.create_table db "t" in
+      Db.with_write_txn db (fun () -> Db.put tbl ~key:"safe" ~value:"yes");
+      (* Open a transaction, write, and "crash" before commit. *)
+      Pager.begin_write (Db.pager db);
+      Db.put tbl ~key:"doomed" ~value:"yes";
+      (* no commit; reboot *)
+      let phys = Phys.create () in
+      let aspace = Aspace.create phys in
+      let store = Store.mount dev in
+      let k2 = Msnap.init ~store in
+      Msnap.attach k2 aspace;
+      let be2 = Backend_msnap.create k2 ~db_name:"app.db" ~max_pages:8192 in
+      let db2 = Db.open_db (Backend_msnap.backend be2) in
+      match Db.table db2 "t" with
+      | None -> Alcotest.fail "catalog lost"
+      | Some tbl2 ->
+        check_opt "committed" (Some "yes") (Db.get tbl2 "safe");
+        check_opt "uncommitted gone" None (Db.get tbl2 "doomed"))
+    ()
+
+let test_wal_checkpoint_triggers () =
+  in_sim (fun () ->
+      let fs = mk_fs_env () in
+      let be = Backend_wal.create fs ~db_name:"ck.db" ~checkpoint_threshold:(Size.kib 256) () in
+      let db = Db.open_db (Backend_wal.backend be) in
+      let tbl = Db.create_table db "t" in
+      let v = String.make 128 'v' in
+      for i = 0 to 499 do
+        Db.with_write_txn db (fun () ->
+            Db.put tbl ~key:(Db.key_of_int i) ~value:v)
+      done;
+      checkb "checkpoints ran" true (Backend_wal.checkpoints_done be > 0);
+      (* Data survives checkpointing. *)
+      check_opt "row" (Some v) (Db.get tbl (Db.key_of_int 250)))
+    ()
+
+let test_msnap_fewer_calls_than_wal () =
+  in_sim (fun () ->
+      (* The Table 7 effect in miniature: the same workload needs an fsync
+         + writes per txn on the baseline, one msnap_persist on MemSnap. *)
+      Msnap_sim.Metrics.reset ();
+      let fs = mk_fs_env () in
+      let be = Backend_wal.create fs ~db_name:"w.db" () in
+      let db = Db.open_db (Backend_wal.backend be) in
+      let tbl = Db.create_table db "t" in
+      for i = 0 to 99 do
+        Db.with_write_txn db (fun () -> Db.put tbl ~key:(Db.key_of_int i) ~value:"v")
+      done;
+      let fsyncs = Msnap_sim.Metrics.count "fsync" in
+      let writes = Msnap_sim.Metrics.count "write" in
+      Msnap_sim.Metrics.reset ();
+      let _, k = mk_msnap_env () in
+      let be2 = Backend_msnap.create k ~db_name:"m.db" ~max_pages:8192 in
+      let db2 = Db.open_db (Backend_msnap.backend be2) in
+      let tbl2 = Db.create_table db2 "t" in
+      for i = 0 to 99 do
+        Db.with_write_txn db2 (fun () -> Db.put tbl2 ~key:(Db.key_of_int i) ~value:"v")
+      done;
+      let persists = Msnap_sim.Metrics.count "memsnap" in
+      checkb "baseline fsyncs per txn" true (fsyncs >= 100);
+      checkb "baseline writes amplified" true (writes > 100);
+      checkb "memsnap single call per txn" true (persists <= 102);
+      checki "no fsync under memsnap" 0 (Msnap_sim.Metrics.count "fsync"))
+    ()
+
+let () =
+  let tc name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "sqlite"
+    [
+      ( "page",
+        [
+          tc "leaf cells" test_page_leaf_cells;
+          tc "search" test_page_search;
+          tc "delete/compact" test_page_delete_and_compact;
+          tc "interior" test_page_interior;
+        ] );
+      ( "btree",
+        [
+          tc "insert/find" test_btree_insert_find;
+          tc "update" test_btree_update;
+          tc "sequential 5k" test_btree_many_sequential;
+          tc "random 5k" test_btree_many_random;
+          tc "iter sorted" test_btree_iter_sorted;
+          tc "range" test_btree_range;
+          tc "delete" test_btree_delete;
+          QCheck_alcotest.to_alcotest prop_btree_model;
+        ] );
+      ( "db",
+        [
+          tc "over wal backend" test_db_over_wal;
+          tc "over msnap backend" test_db_over_msnap;
+          tc "rollback" test_db_rollback;
+          tc "recovery (msnap)" test_db_recovery_msnap;
+          tc "crash loses uncommitted" test_db_crash_uncommitted_lost_msnap;
+          tc "wal checkpoints" test_wal_checkpoint_triggers;
+          tc "call counts" test_msnap_fewer_calls_than_wal;
+        ] );
+    ]

@@ -1,0 +1,299 @@
+module Rng = Msnap_util.Rng
+module Dist = Msnap_util.Dist
+module Histogram = Msnap_util.Histogram
+module Bits = Msnap_util.Bits
+module Tbl = Msnap_util.Tbl
+module Size = Msnap_util.Size
+
+let check = Alcotest.check
+let checki = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+
+(* --- Rng --- *)
+
+let test_rng_deterministic () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    check Alcotest.int64 "same stream" (Rng.bits64 a) (Rng.bits64 b)
+  done
+
+let test_rng_seed_matters () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  checkb "different seed, different value" false (Rng.bits64 a = Rng.bits64 b)
+
+let test_rng_int_bounds () =
+  let rng = Rng.create 7 in
+  for _ = 1 to 10_000 do
+    let v = Rng.int rng 17 in
+    checkb "in range" true (v >= 0 && v < 17)
+  done
+
+let test_rng_int_in () =
+  let rng = Rng.create 7 in
+  for _ = 1 to 1_000 do
+    let v = Rng.int_in rng (-5) 5 in
+    checkb "in range" true (v >= -5 && v <= 5)
+  done
+
+let test_rng_float_range () =
+  let rng = Rng.create 11 in
+  for _ = 1 to 10_000 do
+    let f = Rng.float rng in
+    checkb "[0,1)" true (f >= 0.0 && f < 1.0)
+  done
+
+let test_rng_split_independent () =
+  let a = Rng.create 5 in
+  let b = Rng.split a in
+  checkb "split streams differ" false (Rng.bits64 a = Rng.bits64 b)
+
+let test_rng_uniformity () =
+  (* Chi-square-ish sanity: 16 buckets over 64k draws each ~4096. *)
+  let rng = Rng.create 99 in
+  let buckets = Array.make 16 0 in
+  for _ = 1 to 65536 do
+    let v = Rng.int rng 16 in
+    buckets.(v) <- buckets.(v) + 1
+  done;
+  Array.iter (fun c -> checkb "bucket near uniform" true (c > 3600 && c < 4600)) buckets
+
+let test_rng_shuffle_permutes () =
+  let rng = Rng.create 3 in
+  let a = Array.init 100 Fun.id in
+  Rng.shuffle rng a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  check Alcotest.(array int) "permutation" (Array.init 100 Fun.id) sorted
+
+let test_rng_bytes_len () =
+  let rng = Rng.create 1 in
+  checki "length" 33 (Bytes.length (Rng.bytes rng 33))
+
+(* --- Dist --- *)
+
+let test_dist_domains () =
+  let rng = Rng.create 21 in
+  List.iter
+    (fun d ->
+      for _ = 1 to 5_000 do
+        let v = Dist.sample d rng in
+        checkb "in domain" true (v >= 0 && v < Dist.domain d)
+      done)
+    [ Dist.uniform 1000; Dist.zipf 1000; Dist.pareto 1000; Dist.latest 1000 ]
+
+let test_zipf_skew () =
+  (* Under theta=0.99, the hottest key should dominate a uniform one. *)
+  let rng = Rng.create 33 in
+  let d = Dist.zipf 10_000 in
+  let zero = ref 0 in
+  let n = 50_000 in
+  for _ = 1 to n do
+    if Dist.sample d rng = 0 then incr zero
+  done;
+  checkb "head heavily hit" true (!zero > n / 100)
+
+let test_pareto_skew () =
+  let rng = Rng.create 34 in
+  let d = Dist.pareto 10_000 in
+  let low = ref 0 in
+  let n = 20_000 in
+  for _ = 1 to n do
+    if Dist.sample d rng < 2_000 then incr low
+  done;
+  checkb "mass concentrated low" true (!low > n / 2)
+
+let test_latest_skew () =
+  let rng = Rng.create 35 in
+  let d = Dist.latest 10_000 in
+  let high = ref 0 in
+  for _ = 1 to 20_000 do
+    if Dist.sample d rng > 8_000 then incr high
+  done;
+  checkb "mass concentrated high" true (!high > 10_000)
+
+(* --- Histogram --- *)
+
+let test_hist_exact_small () =
+  let h = Histogram.create () in
+  List.iter (Histogram.add h) [ 1; 2; 3; 4; 5 ];
+  checki "count" 5 (Histogram.count h);
+  check Alcotest.(float 0.001) "mean" 3.0 (Histogram.mean h);
+  checki "max" 5 (Histogram.max_value h);
+  checki "min" 1 (Histogram.min_value h);
+  checki "p50" 3 (Histogram.percentile h 50.0)
+
+let test_hist_p99 () =
+  let h = Histogram.create () in
+  for i = 1 to 1000 do
+    Histogram.add h i
+  done;
+  let p99 = Histogram.percentile h 99.0 in
+  checkb "p99 ~990" true (p99 >= 985 && p99 <= 1000)
+
+let test_hist_relative_error () =
+  let h = Histogram.create () in
+  Histogram.add h 1_000_000;
+  let p = Histogram.percentile h 100.0 in
+  checkb "bounded error" true (abs (p - 1_000_000) <= 1_000_000 / 16)
+
+let test_hist_empty () =
+  let h = Histogram.create () in
+  checki "count" 0 (Histogram.count h);
+  checki "p99 empty" 0 (Histogram.percentile h 99.0);
+  check Alcotest.(float 0.0) "mean" 0.0 (Histogram.mean h)
+
+let test_hist_merge () =
+  let a = Histogram.create () and b = Histogram.create () in
+  Histogram.add a 10;
+  Histogram.add b 20;
+  Histogram.merge a b;
+  checki "count" 2 (Histogram.count a);
+  checki "max" 20 (Histogram.max_value a)
+
+let test_hist_clear () =
+  let h = Histogram.create () in
+  Histogram.add h 5;
+  Histogram.clear h;
+  checki "count" 0 (Histogram.count h)
+
+let test_hist_negative_clamped () =
+  let h = Histogram.create () in
+  Histogram.add h (-5);
+  checki "clamped" 0 (Histogram.min_value h)
+
+let prop_hist_percentile_monotone =
+  QCheck.Test.make ~count:200 ~name:"percentile monotone in p"
+    QCheck.(list_of_size Gen.(int_range 1 100) (int_bound 1_000_000))
+    (fun samples ->
+      QCheck.assume (samples <> []);
+      let h = Histogram.create () in
+      List.iter (Histogram.add h) samples;
+      let prev = ref 0 in
+      List.for_all
+        (fun p ->
+          let v = Histogram.percentile h (float_of_int p) in
+          let ok = v >= !prev in
+          prev := v;
+          ok)
+        [ 1; 10; 25; 50; 75; 90; 99; 100 ])
+
+let prop_hist_percentile_bounds =
+  QCheck.Test.make ~count:200 ~name:"p100 within bucket error of max"
+    QCheck.(list_of_size Gen.(int_range 1 50) (int_bound 10_000_000))
+    (fun samples ->
+      QCheck.assume (samples <> []);
+      let h = Histogram.create () in
+      List.iter (Histogram.add h) samples;
+      let mx = List.fold_left max 0 samples in
+      Histogram.percentile h 100.0 <= mx && Histogram.max_value h = mx)
+
+(* --- Bits --- *)
+
+let test_bits_clz () =
+  checki "clz 1" 62 (Bits.clz 1);
+  checki "clz 0" 63 (Bits.clz 0);
+  checki "clz 2^62" 0 (Bits.clz (1 lsl 62));
+  checki "clz 255" 55 (Bits.clz 255)
+
+let test_bits_ceil_log2 () =
+  checki "1" 0 (Bits.ceil_log2 1);
+  checki "2" 1 (Bits.ceil_log2 2);
+  checki "3" 2 (Bits.ceil_log2 3);
+  checki "4" 2 (Bits.ceil_log2 4);
+  checki "1025" 11 (Bits.ceil_log2 1025)
+
+let test_bits_round () =
+  checki "up" 8192 (Bits.round_up 4097 4096);
+  checki "up exact" 4096 (Bits.round_up 4096 4096);
+  checki "down" 4096 (Bits.round_down 8191 4096);
+  checkb "pow2" true (Bits.is_pow2 4096);
+  checkb "not pow2" false (Bits.is_pow2 4097)
+
+let prop_clz_consistent =
+  QCheck.Test.make ~count:500 ~name:"clz agrees with float log"
+    QCheck.(int_range 1 max_int)
+    (fun v ->
+      let msb = 62 - Bits.clz v in
+      v >= 1 lsl msb && (msb >= 61 || v < 1 lsl (msb + 1)))
+
+(* --- Tbl / Size --- *)
+
+let test_tbl_render () =
+  let t = Tbl.create ~title:"T" ~headers:[ "a"; "bb" ] in
+  Tbl.row t [ "x"; "1" ];
+  Tbl.rule t;
+  Tbl.row t [ "y" ];
+  Tbl.note t "n";
+  let s = Tbl.render t in
+  checkb "has title" true (String.length s > 0 && String.sub s 0 1 = "T");
+  checkb "has note" true
+    (String.length s > 10
+    && (let rec find i =
+          i + 5 <= String.length s
+          && (String.sub s i 5 = "note:" || find (i + 1))
+        in
+        find 0))
+
+let test_fmt_helpers () =
+  check Alcotest.string "us" "51.4" (Tbl.us 51_400);
+  check Alcotest.string "us_short small" "156" (Tbl.us_short 156_000);
+  check Alcotest.string "us_short K" "1.9K" (Tbl.us_short 1_900_000);
+  check Alcotest.string "kcount" "63.1 K" (Tbl.kcount 63_100);
+  check Alcotest.string "pct" "29.15%" (Tbl.pct 29.15)
+
+let test_size () =
+  checki "kib" 4096 (Size.kib 4);
+  checki "mib" 1048576 (Size.mib 1);
+  check Alcotest.string "pp KiB" "4 KiB" (Size.pp 4096);
+  check Alcotest.string "pp MiB" "1 MiB" (Size.pp (Size.mib 1));
+  check Alcotest.string "pp B" "100 B" (Size.pp 100)
+
+let () =
+  let tc name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "util"
+    [
+      ( "rng",
+        [
+          tc "deterministic" test_rng_deterministic;
+          tc "seed matters" test_rng_seed_matters;
+          tc "int bounds" test_rng_int_bounds;
+          tc "int_in bounds" test_rng_int_in;
+          tc "float range" test_rng_float_range;
+          tc "split independent" test_rng_split_independent;
+          tc "uniformity" test_rng_uniformity;
+          tc "shuffle permutes" test_rng_shuffle_permutes;
+          tc "bytes length" test_rng_bytes_len;
+        ] );
+      ( "dist",
+        [
+          tc "domains" test_dist_domains;
+          tc "zipf skew" test_zipf_skew;
+          tc "pareto skew" test_pareto_skew;
+          tc "latest skew" test_latest_skew;
+        ] );
+      ( "histogram",
+        [
+          tc "exact small" test_hist_exact_small;
+          tc "p99" test_hist_p99;
+          tc "relative error" test_hist_relative_error;
+          tc "empty" test_hist_empty;
+          tc "merge" test_hist_merge;
+          tc "clear" test_hist_clear;
+          tc "negative clamped" test_hist_negative_clamped;
+          QCheck_alcotest.to_alcotest prop_hist_percentile_monotone;
+          QCheck_alcotest.to_alcotest prop_hist_percentile_bounds;
+        ] );
+      ( "bits",
+        [
+          tc "clz" test_bits_clz;
+          tc "ceil_log2" test_bits_ceil_log2;
+          tc "round" test_bits_round;
+          QCheck_alcotest.to_alcotest prop_clz_consistent;
+        ] );
+      ( "tbl",
+        [
+          tc "render" test_tbl_render;
+          tc "fmt helpers" test_fmt_helpers;
+          tc "size" test_size;
+        ] );
+    ]

@@ -1,0 +1,415 @@
+module Sched = Msnap_sim.Sched
+module Addr = Msnap_vm.Addr
+module Pte = Msnap_vm.Pte
+module Ptloc = Msnap_vm.Ptloc
+module Ptable = Msnap_vm.Ptable
+module Phys = Msnap_vm.Phys
+module Tlb = Msnap_vm.Tlb
+module Aspace = Msnap_vm.Aspace
+module Protect = Msnap_vm.Protect
+module Size = Msnap_util.Size
+
+let checki = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+let in_sim f () = Sched.run f
+
+(* --- Addr --- *)
+
+let test_addr_arith () =
+  checki "vpn" 2 (Addr.vpn_of_va 8192);
+  checki "va" 8192 (Addr.va_of_vpn 2);
+  checki "offset" 123 (Addr.page_offset (8192 + 123));
+  checki "align down" 8192 (Addr.page_align_down (8192 + 123));
+  checki "align up" 12288 (Addr.page_align_up (8192 + 123));
+  checki "align up exact" 8192 (Addr.page_align_up 8192);
+  checki "one page" 1 (Addr.pages_spanned ~off:0 ~len:4096);
+  checki "straddle" 2 (Addr.pages_spanned ~off:4000 ~len:200);
+  checki "empty" 0 (Addr.pages_spanned ~off:0 ~len:0)
+
+let test_addr_index () =
+  let vpn = (3 lsl 27) lor (5 lsl 18) lor (7 lsl 9) lor 11 in
+  checki "l3" 3 (Addr.index ~level:3 vpn);
+  checki "l2" 5 (Addr.index ~level:2 vpn);
+  checki "l1" 7 (Addr.index ~level:1 vpn);
+  checki "l0" 11 (Addr.index ~level:0 vpn)
+
+(* --- Pte --- *)
+
+let test_pte_bits () =
+  let pte = Pte.make ~frame:42 ~writable:false in
+  checkb "present" true (Pte.present pte);
+  checkb "ro" false (Pte.writable pte);
+  checki "frame" 42 (Pte.frame pte);
+  let pte = Pte.set_writable pte true in
+  checkb "now writable" true (Pte.writable pte);
+  checki "frame preserved" 42 (Pte.frame pte);
+  let pte = Pte.set_cow pte true in
+  checkb "cow" true (Pte.cow pte);
+  let pte = Pte.set_frame pte 99 in
+  checki "new frame" 99 (Pte.frame pte);
+  checkb "flags preserved" true (Pte.cow pte && Pte.writable pte);
+  checkb "empty not present" false (Pte.present Pte.empty)
+
+(* --- Ptable --- *)
+
+let test_ptable_walk_set_lookup () =
+  let pt = Ptable.create () in
+  checki "empty" Pte.empty (Ptable.lookup pt 12345);
+  let pte = Pte.make ~frame:7 ~writable:true in
+  Ptable.set pt 12345 pte;
+  checki "set/lookup" pte (Ptable.lookup pt 12345);
+  checkb "find_loc" true (Ptable.find_loc pt 12345 <> None);
+  checkb "find_loc absent leaf" true (Ptable.find_loc pt 99_999_999 = None)
+
+let test_ptable_loc_stable () =
+  let pt = Ptable.create () in
+  Ptable.set pt 100 (Pte.make ~frame:1 ~writable:true);
+  let loc1 = Ptable.walk pt 100 in
+  (* Populate neighbours; the recorded slot must stay valid. *)
+  for vpn = 101 to 600 do
+    Ptable.set pt vpn (Pte.make ~frame:vpn ~writable:false)
+  done;
+  let loc2 = Ptable.walk pt 100 in
+  checkb "same slot" true (Ptloc.same loc1 loc2);
+  checki "readable through old loc" 1 (Pte.frame (Ptloc.get loc1))
+
+let test_ptable_scan_range () =
+  let pt = Ptable.create () in
+  List.iter (fun vpn -> Ptable.set pt vpn (Pte.make ~frame:vpn ~writable:true))
+    [ 10; 20; 600; 200_000 ];
+  let seen = ref [] in
+  let visited = Ptable.scan_range pt ~vpn:0 ~n:300_000 ~f:(fun vpn _ -> seen := vpn :: !seen) in
+  Alcotest.(check (list int)) "all present found" [ 10; 20; 600; 200_000 ] (List.rev !seen);
+  (* Visited counts whole leaves that exist: 3 leaves x 512 slots (10 and
+     20 share a leaf; 600 and 200000 in separate leaves). *)
+  checki "slots inspected" (3 * 512) visited;
+  (* A clipped scan only sees its window. *)
+  let seen = ref [] in
+  ignore (Ptable.scan_range pt ~vpn:15 ~n:590 ~f:(fun vpn _ -> seen := vpn :: !seen));
+  Alcotest.(check (list int)) "clipped" [ 20; 600 ] (List.rev !seen)
+
+let prop_ptable_model =
+  QCheck.Test.make ~count:100 ~name:"page table agrees with assoc model"
+    QCheck.(list_of_size Gen.(int_range 1 50)
+              (pair (int_bound 1_000_000) (int_range 1 10_000)))
+    (fun ops ->
+      let pt = Ptable.create () in
+      let model = Hashtbl.create 16 in
+      List.iter
+        (fun (vpn, frame) ->
+          Ptable.set pt vpn (Pte.make ~frame ~writable:true);
+          Hashtbl.replace model vpn frame)
+        ops;
+      Hashtbl.fold
+        (fun vpn frame ok -> ok && Pte.frame (Ptable.lookup pt vpn) = frame)
+        model true)
+
+(* --- Phys --- *)
+
+let test_phys_alloc_free () =
+  in_sim (fun () ->
+      let phys = Phys.create () in
+      let p1 = Phys.alloc phys in
+      let p2 = Phys.alloc phys in
+      checkb "distinct frames" true (p1.Phys.frame <> p2.Phys.frame);
+      checki "live" 2 (Phys.live_frames phys);
+      Phys.free phys p1;
+      checki "after free" 1 (Phys.live_frames phys);
+      let p3 = Phys.alloc phys in
+      checki "frame reused" p1.Phys.frame p3.Phys.frame;
+      checkb "reused frame zeroed" true (Bytes.for_all (fun c -> c = '\000') p3.Phys.data);
+      checki "peak" 2 (Phys.peak_frames phys))
+    ()
+
+let test_phys_copy () =
+  in_sim (fun () ->
+      let phys = Phys.create () in
+      let src = Phys.alloc phys in
+      Bytes.fill src.Phys.data 0 4096 'S';
+      let dst = Phys.copy_page phys src in
+      checkb "copied" true (Bytes.equal src.Phys.data dst.Phys.data);
+      Bytes.set src.Phys.data 0 'X';
+      checkb "independent" true (Bytes.get dst.Phys.data 0 = 'S'))
+    ()
+
+let test_phys_rmap () =
+  in_sim (fun () ->
+      let phys = Phys.create () in
+      let p = Phys.alloc phys in
+      let slots = Array.make 512 0 in
+      let l1 = Ptloc.make slots 1 and l2 = Ptloc.make slots 2 in
+      Phys.rmap_add p l1;
+      Phys.rmap_add p l2;
+      checki "two mappings" 2 (List.length p.Phys.rmap);
+      Phys.rmap_remove p l1;
+      checki "one left" 1 (List.length p.Phys.rmap);
+      checkb "right one" true (Ptloc.same (List.hd p.Phys.rmap) l2))
+    ()
+
+(* --- Tlb --- *)
+
+let test_tlb_hit_miss () =
+  in_sim (fun () ->
+      let tlb = Tlb.create ~entries:4 () in
+      checkb "first access misses" false (Tlb.access tlb 1);
+      checkb "second hits" true (Tlb.access tlb 1);
+      Tlb.invalidate_page tlb 1;
+      checkb "after invalidate" false (Tlb.access tlb 1);
+      checki "misses" 2 (Tlb.misses tlb);
+      checki "hits" 1 (Tlb.hits tlb))
+    ()
+
+let test_tlb_eviction () =
+  in_sim (fun () ->
+      let tlb = Tlb.create ~entries:2 () in
+      ignore (Tlb.access tlb 1);
+      ignore (Tlb.access tlb 2);
+      ignore (Tlb.access tlb 3); (* evicts 1 (FIFO) *)
+      checkb "1 evicted" false (Tlb.access tlb 1))
+    ()
+
+let test_tlb_shootdown_cost () =
+  in_sim (fun () ->
+      let tlb = Tlb.create () in
+      ignore (Tlb.access tlb 5);
+      let t0 = Sched.now () in
+      Tlb.shootdown tlb [ 5 ];
+      checkb "selective cost charged" true (Sched.now () - t0 > 0);
+      checkb "invalidated" false (Tlb.access tlb 5);
+      (* Above the threshold: full flush. *)
+      let many = List.init 200 Fun.id in
+      List.iter (fun v -> ignore (Tlb.access tlb v)) many;
+      Tlb.shootdown tlb many;
+      checkb "flushed" false (Tlb.access tlb 100))
+    ()
+
+(* --- Aspace --- *)
+
+let mk_aspace () =
+  let phys = Phys.create () in
+  (phys, Aspace.create phys)
+
+let test_aspace_write_read () =
+  in_sim (fun () ->
+      let _, a = mk_aspace () in
+      let va = 0x10000 in
+      ignore (Aspace.map a ~name:"m" ~va ~len:(Size.kib 64) ());
+      let data = Bytes.of_string "hello virtual memory" in
+      Aspace.write a ~va:(va + 100) data;
+      let back = Aspace.read a ~va:(va + 100) ~len:(Bytes.length data) in
+      checkb "roundtrip" true (Bytes.equal data back))
+    ()
+
+let test_aspace_cross_page_write () =
+  in_sim (fun () ->
+      let _, a = mk_aspace () in
+      let va = 0x10000 in
+      ignore (Aspace.map a ~name:"m" ~va ~len:(Size.kib 64) ());
+      let data = Bytes.make 6000 'Z' in
+      Aspace.write a ~va:(va + 3000) data;
+      let back = Aspace.read a ~va:(va + 3000) ~len:6000 in
+      checkb "spans pages" true (Bytes.equal data back))
+    ()
+
+let test_aspace_pager () =
+  in_sim (fun () ->
+      let _, a = mk_aspace () in
+      let pager =
+        { Aspace.page_in = (fun rel -> `Bytes (Bytes.make 4096 (Char.chr (65 + rel)))) }
+      in
+      ignore (Aspace.map a ~name:"m" ~va:0x20000 ~len:(Size.kib 16) ~pager ());
+      let b = Aspace.read a ~va:(0x20000 + 4096) ~len:4 in
+      checkb "paged in from pager" true (Bytes.to_string b = "BBBB"))
+    ()
+
+let test_aspace_segfault () =
+  in_sim (fun () ->
+      let _, a = mk_aspace () in
+      checkb "unmapped access raises" true
+        (try ignore (Aspace.read a ~va:0x999000 ~len:1); false
+         with Invalid_argument _ -> true))
+    ()
+
+let test_aspace_overlap_rejected () =
+  in_sim (fun () ->
+      let _, a = mk_aspace () in
+      ignore (Aspace.map a ~name:"m1" ~va:0x10000 ~len:(Size.kib 16) ());
+      checkb "overlap" true
+        (try ignore (Aspace.map a ~name:"m2" ~va:0x12000 ~len:(Size.kib 16) ()); false
+         with Invalid_argument _ -> true))
+    ()
+
+let test_aspace_readonly_mapping () =
+  in_sim (fun () ->
+      let _, a = mk_aspace () in
+      ignore (Aspace.map a ~name:"ro" ~va:0x10000 ~len:4096 ~writable:false ());
+      ignore (Aspace.read a ~va:0x10000 ~len:4);
+      checkb "write rejected" true
+        (try Aspace.write a ~va:0x10000 (Bytes.make 1 'x'); false
+         with Invalid_argument _ -> true))
+    ()
+
+let test_aspace_fault_handler_called_once_per_page () =
+  in_sim (fun () ->
+      let _, a = mk_aspace () in
+      let faults = ref 0 in
+      let handler (f : Aspace.fault) =
+        incr faults;
+        Ptloc.set f.Aspace.f_loc (Pte.set_writable (Ptloc.get f.Aspace.f_loc) true)
+      in
+      ignore
+        (Aspace.map a ~name:"m" ~va:0x10000 ~len:(Size.kib 16)
+           ~new_pages_writable:false ~on_write_fault:handler ());
+      Aspace.write a ~va:0x10000 (Bytes.make 10 'a');
+      Aspace.write a ~va:0x10100 (Bytes.make 10 'b');
+      checki "one fault for the page" 1 !faults;
+      Aspace.write a ~va:0x11000 (Bytes.make 10 'c');
+      checki "second page faults" 2 !faults;
+      (* Re-protect and write again: a new fault. *)
+      Aspace.protect_page a ~vpn:(Addr.vpn_of_va 0x10000);
+      Aspace.shootdown a [ Addr.vpn_of_va 0x10000 ];
+      Aspace.write a ~va:0x10000 (Bytes.make 10 'd');
+      checki "re-armed" 3 !faults)
+    ()
+
+let test_aspace_shared_frame () =
+  in_sim (fun () ->
+      let phys = Phys.create () in
+      let a1 = Aspace.create ~name:"p1" phys in
+      let a2 = Aspace.create ~name:"p2" phys in
+      let frame = Phys.alloc phys in
+      Bytes.fill frame.Phys.data 0 4096 'S';
+      let pager = { Aspace.page_in = (fun _ -> `Page frame) } in
+      ignore (Aspace.map a1 ~name:"shm" ~va:0x40000 ~len:4096 ~pager ());
+      ignore (Aspace.map a2 ~name:"shm" ~va:0x40000 ~len:4096 ~pager ());
+      Aspace.write a1 ~va:0x40000 (Bytes.of_string "XY");
+      let b = Aspace.read a2 ~va:0x40000 ~len:2 in
+      checkb "visible across processes" true (Bytes.to_string b = "XY");
+      checki "rmap has both" 2 (List.length frame.Phys.rmap))
+    ()
+
+let test_aspace_unmap_frees () =
+  in_sim (fun () ->
+      let phys, a = mk_aspace () in
+      let m = Aspace.map a ~name:"m" ~va:0x10000 ~len:(Size.kib 64) () in
+      Aspace.write a ~va:0x10000 (Bytes.make (Size.kib 64) 'x');
+      checki "frames live" 16 (Phys.live_frames phys);
+      Aspace.unmap a m;
+      checki "frames freed" 0 (Phys.live_frames phys);
+      ignore (Aspace.map a ~name:"m2" ~va:0x10000 ~len:4096 ()))
+    ()
+
+let test_pages_of_range () =
+  in_sim (fun () ->
+      let _, a = mk_aspace () in
+      ignore (Aspace.map a ~name:"m" ~va:0x10000 ~len:(Size.kib 64) ());
+      Aspace.write a ~va:0x10000 (Bytes.make 1 'a');
+      Aspace.write a ~va:0x14000 (Bytes.make 1 'b');
+      let pages = Aspace.pages_of_range a ~va:0x10000 ~len:(Size.kib 64) in
+      checki "two resident" 2 (List.length pages))
+    ()
+
+(* --- Protect strategies (Fig. 1 mechanics) --- *)
+
+let setup_dirty_mapping ~mapping_pages ~dirty_pages =
+  let phys = Phys.create () in
+  let a = Aspace.create phys in
+  let va = 0x4000_0000 in
+  let dirty = ref [] in
+  let handler (f : Aspace.fault) =
+    Ptloc.set f.Aspace.f_loc (Pte.set_writable (Ptloc.get f.Aspace.f_loc) true);
+    dirty := (f.Aspace.f_vpn, f.Aspace.f_loc) :: !dirty
+  in
+  ignore
+    (Aspace.map a ~name:"m" ~va ~len:(mapping_pages * 4096)
+       ~new_pages_writable:false ~on_write_fault:handler ());
+  (* Dirty [dirty_pages] spread across the mapping. *)
+  let stride = max 1 (mapping_pages / dirty_pages) in
+  for i = 0 to dirty_pages - 1 do
+    Aspace.write a ~va:(va + (i * stride * 4096)) (Bytes.make 8 'd')
+  done;
+  (a, va, mapping_pages * 4096, List.rev !dirty)
+
+let test_protect_all_strategies_protect () =
+  in_sim (fun () ->
+      List.iter
+        (fun strat ->
+          let a, va, len, dirty = setup_dirty_mapping ~mapping_pages:512 ~dirty_pages:16 in
+          let n =
+            match strat with
+            | `Scan -> Protect.scan_mapping a ~mapping_va:va ~mapping_len:len dirty
+            | `PerPage -> Protect.per_page_walk a dirty
+            | `Trace -> Protect.trace_buffer a dirty
+          in
+          checki "all protected" 16 n;
+          (* Every dirty page is read-only again. *)
+          List.iter
+            (fun (_, loc) -> checkb "ro" false (Pte.writable (Ptloc.get loc)))
+            dirty)
+        [ `Scan; `PerPage; `Trace ])
+    ()
+
+let test_protect_cost_ordering () =
+  in_sim (fun () ->
+      (* Small dirty set in a large mapping: trace < per-page < scan. *)
+      let cost strat =
+        let a, va, len, dirty =
+          setup_dirty_mapping ~mapping_pages:(256 * 1024) ~dirty_pages:4
+        in
+        let t0 = Sched.now () in
+        ignore
+          (match strat with
+          | `Scan -> Protect.scan_mapping a ~mapping_va:va ~mapping_len:len dirty
+          | `PerPage -> Protect.per_page_walk a dirty
+          | `Trace -> Protect.trace_buffer a dirty);
+        Sched.now () - t0
+      in
+      let scan = cost `Scan and per_page = cost `PerPage and trace = cost `Trace in
+      checkb "scan slowest" true (scan > per_page);
+      checkb "trace fastest" true (per_page > trace))
+    ()
+
+let () =
+  let tc name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "vm"
+    [
+      ("addr", [ tc "arith" test_addr_arith; tc "index" test_addr_index ]);
+      ("pte", [ tc "bits" test_pte_bits ]);
+      ( "ptable",
+        [
+          tc "walk/set/lookup" test_ptable_walk_set_lookup;
+          tc "loc stable" test_ptable_loc_stable;
+          tc "scan_range" test_ptable_scan_range;
+          QCheck_alcotest.to_alcotest prop_ptable_model;
+        ] );
+      ( "phys",
+        [
+          tc "alloc/free" test_phys_alloc_free;
+          tc "copy" test_phys_copy;
+          tc "rmap" test_phys_rmap;
+        ] );
+      ( "tlb",
+        [
+          tc "hit/miss" test_tlb_hit_miss;
+          tc "eviction" test_tlb_eviction;
+          tc "shootdown" test_tlb_shootdown_cost;
+        ] );
+      ( "aspace",
+        [
+          tc "write/read" test_aspace_write_read;
+          tc "cross page" test_aspace_cross_page_write;
+          tc "pager" test_aspace_pager;
+          tc "segfault" test_aspace_segfault;
+          tc "overlap" test_aspace_overlap_rejected;
+          tc "read-only mapping" test_aspace_readonly_mapping;
+          tc "fault once per page" test_aspace_fault_handler_called_once_per_page;
+          tc "shared frame" test_aspace_shared_frame;
+          tc "unmap frees" test_aspace_unmap_frees;
+          tc "pages_of_range" test_pages_of_range;
+        ] );
+      ( "protect",
+        [
+          tc "strategies protect" test_protect_all_strategies_protect;
+          tc "cost ordering" test_protect_cost_ordering;
+        ] );
+    ]

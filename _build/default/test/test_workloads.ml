@@ -1,0 +1,184 @@
+module Rng = Msnap_util.Rng
+module W = Msnap_workloads.Workloads
+
+let checki = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+
+(* --- dbbench --- *)
+
+let test_dbbench_txn_size () =
+  let wl = W.Dbbench.create ~nkeys:1000 ~txn_bytes:4096 ~pattern:`Random () in
+  let rng = Rng.create 1 in
+  let txn = W.Dbbench.next_txn wl rng in
+  (* 4096 / (8 + 128) = 30 pairs *)
+  checki "pairs per txn" 30 (List.length txn);
+  List.iter
+    (fun (k, v) ->
+      checkb "key in range" true (k >= 0 && k < 1000);
+      checki "value size" (W.Dbbench.value_size wl) (String.length v))
+    txn
+
+let test_dbbench_seq_wraps () =
+  let wl = W.Dbbench.create ~nkeys:10 ~txn_bytes:4096 ~pattern:`Seq () in
+  let rng = Rng.create 1 in
+  let keys = List.map fst (W.Dbbench.next_txn wl rng) in
+  Alcotest.(check (list int)) "sequential with wrap"
+    [ 0; 1; 2; 3; 4; 5; 6; 7; 8; 9; 0; 1; 2; 3; 4; 5; 6; 7; 8; 9; 0; 1; 2; 3;
+      4; 5; 6; 7; 8; 9 ]
+    keys
+
+let test_dbbench_min_one_pair () =
+  let wl = W.Dbbench.create ~value_size:128 ~nkeys:10 ~txn_bytes:1 ~pattern:`Random () in
+  let rng = Rng.create 1 in
+  checkb "at least one pair" true (List.length (W.Dbbench.next_txn wl rng) >= 1)
+
+(* --- TATP --- *)
+
+let test_tatp_mix () =
+  let rng = Rng.create 2 in
+  let n = 50_000 in
+  let writes = ref 0 in
+  for _ = 1 to n do
+    if W.Tatp.is_write (W.Tatp.next ~subscribers:1000 rng) then incr writes
+  done;
+  (* Standard TATP: 20% writes. *)
+  let frac = float_of_int !writes /. float_of_int n in
+  checkb (Printf.sprintf "write fraction ~0.20 (got %.3f)" frac) true
+    (frac > 0.17 && frac < 0.23)
+
+let test_tatp_subscribers_in_range () =
+  let rng = Rng.create 3 in
+  for _ = 1 to 1000 do
+    let s =
+      match W.Tatp.next ~subscribers:77 rng with
+      | W.Tatp.Get_subscriber_data s | W.Tatp.Get_new_destination s
+      | W.Tatp.Get_access_data s | W.Tatp.Update_subscriber_data s
+      | W.Tatp.Update_location s | W.Tatp.Insert_call_forwarding s
+      | W.Tatp.Delete_call_forwarding s -> s
+    in
+    checkb "in range" true (s >= 0 && s < 77)
+  done
+
+(* --- MixGraph --- *)
+
+let test_mixgraph_mix () =
+  let wl = W.Mixgraph.create ~nkeys:10_000 () in
+  let rng = Rng.create 4 in
+  let n = 50_000 in
+  let gets = ref 0 and puts = ref 0 and seeks = ref 0 in
+  for _ = 1 to n do
+    match W.Mixgraph.next wl rng with
+    | W.Mixgraph.Get _ -> incr gets
+    | W.Mixgraph.Put _ -> incr puts
+    | W.Mixgraph.Seek _ -> incr seeks
+  done;
+  let pct r = 100.0 *. float_of_int !r /. float_of_int n in
+  checkb (Printf.sprintf "gets ~83%% (%.1f)" (pct gets)) true
+    (pct gets > 80.0 && pct gets < 86.0);
+  checkb (Printf.sprintf "puts ~14%% (%.1f)" (pct puts)) true
+    (pct puts > 11.0 && pct puts < 17.0);
+  checkb (Printf.sprintf "seeks ~3%% (%.1f)" (pct seeks)) true
+    (pct seeks > 1.0 && pct seeks < 5.0)
+
+let test_mixgraph_put_keys_skewed () =
+  (* Puts draw from the Pareto key-distance model: low keys dominate. *)
+  let wl = W.Mixgraph.create ~nkeys:10_000 () in
+  let rng = Rng.create 5 in
+  let low = ref 0 and total = ref 0 in
+  while !total < 2_000 do
+    match W.Mixgraph.next wl rng with
+    | W.Mixgraph.Put (k, _) ->
+      incr total;
+      if k < 2_000 then incr low
+    | _ -> ()
+  done;
+  checkb "pareto skew" true (!low > !total / 2)
+
+(* --- TPC-C --- *)
+
+let test_tpcc_mix () =
+  let rng = Rng.create 6 in
+  let n = 50_000 in
+  let counts = Hashtbl.create 5 in
+  let bump k = Hashtbl.replace counts k (1 + Option.value ~default:0 (Hashtbl.find_opt counts k)) in
+  for _ = 1 to n do
+    match W.Tpcc.next ~warehouses:4 rng with
+    | W.Tpcc.New_order _ -> bump "no"
+    | W.Tpcc.Payment _ -> bump "pay"
+    | W.Tpcc.Order_status _ -> bump "os"
+    | W.Tpcc.Delivery _ -> bump "del"
+    | W.Tpcc.Stock_level _ -> bump "sl"
+  done;
+  let pct k = 100.0 *. float_of_int (Hashtbl.find counts k) /. float_of_int n in
+  checkb "new_order ~45%" true (pct "no" > 42.0 && pct "no" < 48.0);
+  checkb "payment ~43%" true (pct "pay" > 40.0 && pct "pay" < 46.0);
+  checkb "order_status ~4%" true (pct "os" > 2.0 && pct "os" < 6.0);
+  checkb "delivery ~4%" true (pct "del" > 2.0 && pct "del" < 6.0);
+  checkb "stock_level ~4%" true (pct "sl" > 2.0 && pct "sl" < 6.0)
+
+let test_tpcc_new_order_lines () =
+  let rng = Rng.create 7 in
+  let found = ref false in
+  while not !found do
+    match W.Tpcc.next ~warehouses:2 rng with
+    | W.Tpcc.New_order { w; d; c; items } ->
+      found := true;
+      checkb "warehouse" true (w >= 0 && w < 2);
+      checkb "district" true (d >= 0 && d < W.Tpcc.districts_per_warehouse);
+      checkb "customer" true (c >= 0 && c < W.Tpcc.customers_per_district);
+      checkb "5-15 lines" true (List.length items >= 5 && List.length items <= 15);
+      List.iter
+        (fun (item, qty) ->
+          checkb "item" true (item >= 0 && item < W.Tpcc.items);
+          checkb "qty" true (qty >= 1 && qty <= 10))
+        items
+    | _ -> ()
+  done
+
+let test_tpcc_write_classification () =
+  checkb "new_order writes" true
+    (W.Tpcc.is_write (W.Tpcc.New_order { w = 0; d = 0; c = 0; items = [] }));
+  checkb "order_status reads" false
+    (W.Tpcc.is_write (W.Tpcc.Order_status { w = 0; d = 0; c = 0 }))
+
+let test_generators_deterministic () =
+  let stream seed =
+    let wl = W.Mixgraph.create ~nkeys:100 () in
+    let rng = Rng.create seed in
+    List.init 50 (fun _ ->
+        match W.Mixgraph.next wl rng with
+        | W.Mixgraph.Get k -> k
+        | W.Mixgraph.Put (k, _) -> 1000 + k
+        | W.Mixgraph.Seek (k, n) -> 2000 + k + n)
+  in
+  Alcotest.(check (list int)) "same seed, same ops" (stream 9) (stream 9);
+  checkb "different seed differs" true (stream 9 <> stream 10)
+
+let () =
+  let tc name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "workloads"
+    [
+      ( "dbbench",
+        [
+          tc "txn size" test_dbbench_txn_size;
+          tc "sequential wraps" test_dbbench_seq_wraps;
+          tc "min one pair" test_dbbench_min_one_pair;
+        ] );
+      ( "tatp",
+        [
+          tc "80/20 mix" test_tatp_mix;
+          tc "subscriber range" test_tatp_subscribers_in_range;
+        ] );
+      ( "mixgraph",
+        [
+          tc "83/14/3 mix" test_mixgraph_mix;
+          tc "pareto puts" test_mixgraph_put_keys_skewed;
+        ] );
+      ( "tpcc",
+        [
+          tc "45/43/4/4/4 mix" test_tpcc_mix;
+          tc "new_order shape" test_tpcc_new_order_lines;
+          tc "write classification" test_tpcc_write_classification;
+        ] );
+      ("determinism", [ tc "seeded streams" test_generators_deterministic ]);
+    ]
