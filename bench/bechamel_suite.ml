@@ -57,7 +57,7 @@ let test_zipf =
      !acc)
 
 let run () =
-  print_endline "\n=== Bechamel micro-suite (wall clock) ===";
+  Env.emit "\n=== Bechamel micro-suite (wall clock) ===\n";
   let tests = [ test_histogram; test_rng; test_radix; test_zipf ] in
   let instances = Instance.[ monotonic_clock ] in
   let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.25) () in
@@ -74,8 +74,8 @@ let run () =
       Hashtbl.iter
         (fun name result ->
           match Analyze.OLS.estimates result with
-          | Some [ est ] -> Printf.printf "  %-32s %12.1f ns/run\n" name est
-          | _ -> Printf.printf "  %-32s (no estimate)\n" name)
+          | Some [ est ] -> Env.printf "  %-32s %12.1f ns/run\n" name est
+          | _ -> Env.printf "  %-32s (no estimate)\n" name)
         ols)
     tests;
-  print_newline ()
+  Env.emit "\n"

@@ -87,5 +87,33 @@ let cpu_percent report =
 let metric_row name =
   (name, Metrics.mean_ns name, Metrics.samples name)
 
-let section title =
-  Printf.printf "\n=== %s ===\n%!" title
+(* --- output routing ---
+
+   Experiments never print to stdout directly: everything goes through
+   [emit], which either writes straight to stdout (serial runs) or into a
+   per-domain capture buffer (parallel runs, see main.ml). The parallel
+   runner prints the buffers in experiment order afterwards, so `-j N`
+   produces byte-identical stdout to a serial run. *)
+
+let out_key : Buffer.t option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let emit s =
+  match !(Domain.DLS.get out_key) with
+  | Some b -> Buffer.add_string b s
+  | None ->
+    print_string s;
+    flush stdout
+
+let printf fmt = Printf.ksprintf emit fmt
+
+let print_table t = emit (Tbl.render t ^ "\n")
+
+(* Run [f ()] with all [emit] output (on this domain) captured in [buf]. *)
+let captured buf f =
+  let slot = Domain.DLS.get out_key in
+  let saved = !slot in
+  slot := Some buf;
+  Fun.protect ~finally:(fun () -> slot := saved) f
+
+let section title = printf "\n=== %s ===\n" title

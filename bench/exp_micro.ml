@@ -104,7 +104,7 @@ let table6 () =
     sizes_all;
   Tbl.note t "paper (4K): disk 17, FFS seq 70, ZFS seq 64, FFS rand 156, ZFS rand 232, memsnap 34/6";
   Tbl.note t "paper (64K): disk 44, FFS seq 134, ZFS seq 137, FFS rand 1.9K, ZFS rand 2.9K, memsnap 50/6";
-  Tbl.print t
+  print_table t
 
 (* --- Figure 1 --- *)
 
@@ -162,7 +162,7 @@ let fig1 () =
         ])
     [ 4; 64; 512; 4096 ];
   Tbl.note t "paper: baseline large even for 4 KiB; per-page grows with the dirty set; trace buffer ~nothing";
-  Tbl.print t
+  print_table t
 
 (* --- Table 5 --- *)
 
@@ -186,7 +186,7 @@ let table5 () =
       Tbl.row t [ "Initiating writes"; Tbl.us (int_of_float (Metrics.mean_ns "msnap_persist.initiate")); "6.5" ];
       Tbl.row t [ "Waiting on IO"; Tbl.us (int_of_float (Metrics.mean_ns "msnap_persist.wait")); "39.7" ];
       Tbl.row t [ "Total"; Tbl.us (int_of_float (Metrics.mean_ns "msnap_persist.total")); "51.4" ];
-      Tbl.print t)
+      print_table t)
 
 (* --- Table 2 / Table 10 --- *)
 
@@ -231,7 +231,7 @@ let table2 () =
     [ "Total";
       Tbl.us (b.Aurora.Region.stall + b.Aurora.Region.shadow + b.Aurora.Region.io + b.Aurora.Region.collapse);
       "208.1" ];
-  Tbl.print t
+  print_table t
 
 let table10 () =
   section "Table 10: MemSnap vs Aurora persistence cost";
@@ -264,7 +264,7 @@ let table10 () =
     [ "Total"; us_f ms_total;
       Tbl.us (b.Aurora.Region.stall + b.Aurora.Region.shadow + b.Aurora.Region.io + b.Aurora.Region.collapse) ];
   Tbl.note t "paper: memsnap 5.1 / 46.3 / 51.4; aurora 26.7 / 79.8 / 27.9 / 91.7 / 208.1";
-  Tbl.print t
+  print_table t
 
 (* --- Figure 3 --- *)
 
@@ -324,4 +324,4 @@ let fig3 () =
         ])
     [ 4; 16; 64; 256; 1024 ];
   Tbl.note t "paper: memsnap ~7x faster than region ckpt (small IOs), up to 60x vs app ckpt";
-  Tbl.print t
+  print_table t

@@ -170,4 +170,4 @@ let fig6 () =
         ])
     variants;
   Tbl.note t "paper: mmap variants lose ~25% tps; memsnap gains 1.5% with ~80% less disk write throughput and +26% IOPS";
-  Tbl.print t
+  print_table t

@@ -100,7 +100,7 @@ let table1 () =
   show "read" "read syscalls";
   show "page faults" "page faults";
   Tbl.note t "paper: only 18.3% of time is the in-memory transaction; ~40% of total is persistence";
-  Tbl.print t
+  print_table t
 
 let table9 () =
   section "Table 9: RocksDB MixGraph comparison";
@@ -119,7 +119,7 @@ let table9 () =
   row "Baseline+WAL" base;
   row "Aurora" au;
   Tbl.note t "paper: memsnap 420.7 Kops / 138.9us avg; baseline 388.0 / 162.7; aurora 91.8 / 751.9";
-  Tbl.print t;
+  print_table t;
   let t2 =
     Tbl.create ~title:"persistence-related calls"
       ~headers:[ "System call"; "Latency (us)"; "Total count" ]
@@ -135,4 +135,4 @@ let table9 () =
   call base "write" "write (baseline)";
   call au "checkpoint" "checkpoint (Aurora)";
   Tbl.note t2 "paper: memsnap 51.4us/208K, fsync 63.1us/190K, write 19.4us/191K, checkpoint 204us/89K";
-  Tbl.print t2
+  print_table t2

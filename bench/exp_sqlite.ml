@@ -105,7 +105,7 @@ let table7 () =
   emit ~pattern:`Random "Random IO";
   emit ~pattern:`Seq "Sequential IO";
   Tbl.note t "paper 4K random: memsnap 152us/63K, fsync 1137us/67K, write 6.7us/7584K, read 2.9us/2847K";
-  Tbl.print t
+  print_table t
 
 let table8 () =
   section "Table 8: CPU usage and dbbench wall time (SQLite)";
@@ -136,7 +136,7 @@ let table8 () =
   emit `Random "Random IO";
   emit `Seq "Sequential IO";
   Tbl.note t "paper: memsnap 2x-5x faster wall clock; baseline CPU dominated by write+fsync";
-  Tbl.print t
+  print_table t
 
 let fig4 () =
   section "Figure 4: transaction latency vs size (SQLite dbbench)";
@@ -164,7 +164,7 @@ let fig4 () =
         [ 4; 16; 64; 256; 1024 ])
     [ `Random; `Seq ];
   Tbl.note t "paper: memsnap ~4x lower latency, low variance; baseline skewed by checkpoints";
-  Tbl.print t
+  print_table t
 
 (* --- TATP (Fig. 5) --- *)
 
@@ -238,4 +238,4 @@ let fig5 () =
     [ 1_000; 10_000; 100_000 ];
   Tbl.note t "paper: baseline loses 63% of throughput from 1K to 1M records; memsnap only 23%";
   Tbl.note t "record counts scaled 1K-100K (paper 1K-1M) to fit the simulated machine";
-  Tbl.print t
+  print_table t

@@ -1,6 +1,11 @@
 (* Benchmark harness: regenerates every table and figure of the paper's
-   evaluation. Run everything with `dune exec bench/main.exe`, or one
-   experiment with `-e table6` etc. *)
+   evaluation. Run everything with `dune exec bench/main.exe`, one
+   experiment with `-e table6` etc., and fan independent experiments out
+   over a pool of OCaml 5 domains with `-j N`. Each experiment is a
+   self-contained simulation (own Sched.run, seeded RNGs, domain-local
+   metrics), so parallel runs produce byte-identical stdout to serial
+   ones; per-experiment host wall-clock is recorded in BENCH_sim.json so
+   simulator-throughput regressions show up in review. *)
 
 let experiments =
   [
@@ -20,21 +25,108 @@ let experiments =
     ("bechamel", ("wall-clock micro-suite", Bechamel_suite.run));
   ]
 
-let run_one name =
-  match List.assoc_opt name experiments with
-  | Some (_, f) -> f ()
-  | None ->
-    Printf.eprintf "unknown experiment %s; available: %s\n" name
-      (String.concat ", " (List.map fst experiments));
-    exit 1
+(* Experiments that measure host wall-clock must run alone: concurrent
+   domains both skew their numbers and break Bechamel's GC-stabilization
+   loop ("Unable to stabilize the number of live words"). The -j pool
+   runs them serially after it drains. *)
+let serial_only name = name = "bechamel"
 
-let run names =
-  (match names with
-  | [] ->
+let select names =
+  match names with
+  | [] -> experiments
+  | names ->
+    List.map
+      (fun name ->
+        match List.assoc_opt name experiments with
+        | Some exp -> (name, exp)
+        | None ->
+          Printf.eprintf "unknown experiment %s; available: %s\n" name
+            (String.concat ", " (List.map fst experiments));
+          exit 1)
+      names
+
+(* Run [selected] serially on this domain, printing as we go. *)
+let run_serial selected =
+  List.map
+    (fun (name, (_, f)) ->
+      let t0 = Unix.gettimeofday () in
+      f ();
+      (name, Unix.gettimeofday () -. t0))
+    selected
+
+(* Run [selected] on a pool of [jobs] domains. Output is captured per
+   experiment and printed in experiment order once everything finished,
+   so stdout is byte-identical to a serial run. *)
+let run_parallel jobs selected =
+  let arr = Array.of_list selected in
+  let n = Array.length arr in
+  let outputs = Array.make n "" in
+  let times = Array.make n 0.0 in
+  let run_one i =
+    let _, (_, f) = arr.(i) in
+    let buf = Buffer.create 4096 in
+    let t0 = Unix.gettimeofday () in
+    Env.captured buf f;
+    times.(i) <- Unix.gettimeofday () -. t0;
+    outputs.(i) <- Buffer.contents buf
+  in
+  let pool_idx =
+    Array.of_list
+      (List.filter
+         (fun i -> not (serial_only (fst arr.(i))))
+         (List.init n Fun.id))
+  in
+  let next = Atomic.make 0 in
+  let rec worker () =
+    let k = Atomic.fetch_and_add next 1 in
+    if k < Array.length pool_idx then begin
+      run_one pool_idx.(k);
+      worker ()
+    end
+  in
+  let helpers =
+    List.init
+      (max 0 (min jobs (Array.length pool_idx) - 1))
+      (fun _ -> Domain.spawn worker)
+  in
+  worker ();
+  List.iter Domain.join helpers;
+  (* Wall-clock-sensitive experiments run alone, after the pool drains. *)
+  Array.iteri (fun i (name, _) -> if serial_only name then run_one i) arr;
+  Array.iter print_string outputs;
+  Array.to_list (Array.mapi (fun i (name, _) -> (name, times.(i))) arr)
+
+let write_timings ~path ~jobs ~total timings =
+  let oc = open_out path in
+  let p fmt = Printf.fprintf oc fmt in
+  p "{\n";
+  p "  \"schema\": \"memsnap-bench-sim/1\",\n";
+  p "  \"jobs\": %d,\n" jobs;
+  p "  \"total_wall_s\": %.3f,\n" total;
+  p "  \"experiments\": [\n";
+  List.iteri
+    (fun i (name, s) ->
+      p "    { \"name\": %S, \"wall_s\": %.3f }%s\n" name s
+        (if i = List.length timings - 1 then "" else ","))
+    timings;
+  p "  ]\n}\n";
+  close_out oc
+
+let run names jobs timings_path =
+  let selected = select names in
+  if names = [] then
     print_endline "MemSnap reproduction: regenerating every table and figure";
-    List.iter (fun (_, (_, f)) -> f ()) experiments
-  | names -> List.iter run_one names);
-  print_endline "\ndone."
+  let t0 = Unix.gettimeofday () in
+  let timings =
+    if jobs <= 1 then run_serial selected else run_parallel jobs selected
+  in
+  let total = Unix.gettimeofday () -. t0 in
+  write_timings ~path:timings_path ~jobs:(max 1 jobs) ~total timings;
+  print_endline "\ndone.";
+  Printf.eprintf "[bench] %.1fs wall (%d job%s); timings -> %s\n%!" total
+    (max 1 jobs)
+    (if jobs > 1 then "s" else "")
+    timings_path
 
 open Cmdliner
 
@@ -43,10 +135,20 @@ let names =
          ~doc:"Experiment id (table1..table10, fig1..fig6, bechamel). \
                Repeatable; default runs all.")
 
+let jobs =
+  Arg.(value & opt int 1 & info [ "j"; "jobs" ]
+         ~doc:"Run experiments on a pool of $(docv) OCaml domains. Output \
+               order and every simulated value are identical to -j 1; only \
+               host wall-clock changes.")
+
+let timings_path =
+  Arg.(value & opt string "BENCH_sim.json" & info [ "timings" ]
+         ~doc:"Where to write per-experiment wall-clock timings (JSON).")
+
 let cmd =
   Cmd.v
     (Cmd.info "memsnap-bench"
        ~doc:"Reproduce the MemSnap paper's evaluation tables and figures")
-    Term.(const run $ names)
+    Term.(const run $ names $ jobs $ timings_path)
 
 let () = exit (Cmd.eval cmd)

@@ -5,6 +5,56 @@ module Rng = Msnap_util.Rng
 
 exception Powered_off
 
+(* The persistent medium, stored sparsely: chunks are materialized on
+   first write, and reads of never-written ranges yield zeros. Purely a
+   host-memory optimization — a simulated machine no longer costs the
+   host ~1 GiB of zeroed pages up front — with contents and simulated
+   costs identical to a flat zero-initialized buffer. *)
+module Medium = struct
+  let chunk_bits = 18 (* 256 KiB *)
+  let chunk_size = 1 lsl chunk_bits
+
+  type t = { m_size : int; chunks : Bytes.t option array }
+
+  let create size =
+    { m_size = size;
+      chunks = Array.make ((size + chunk_size - 1) / chunk_size) None }
+
+  let size m = m.m_size
+
+  let chunk_for_write m i =
+    match m.chunks.(i) with
+    | Some c -> c
+    | None ->
+      let c = Bytes.make chunk_size '\000' in
+      m.chunks.(i) <- Some c;
+      c
+
+  (* Apply [f chunk_index chunk_off rel_pos len] over [off, off+len). *)
+  let iter_ranges _m off len f =
+    let pos = ref off and remaining = ref len in
+    while !remaining > 0 do
+      let i = !pos lsr chunk_bits in
+      let coff = !pos land (chunk_size - 1) in
+      let n = min !remaining (chunk_size - coff) in
+      f i coff (!pos - off) n;
+      pos := !pos + n;
+      remaining := !remaining - n
+    done
+
+  let write m ~off data ~pos ~len =
+    iter_ranges m off len (fun i coff rel n ->
+        Bytes.blit data (pos + rel) (chunk_for_write m i) coff n)
+
+  let read m ~off ~len =
+    let buf = Bytes.create len in
+    iter_ranges m off len (fun i coff rel n ->
+        match m.chunks.(i) with
+        | Some c -> Bytes.blit c coff buf rel n
+        | None -> Bytes.fill buf rel n '\000');
+    buf
+end
+
 type stats = {
   reads : int;
   writes : int;
@@ -22,7 +72,7 @@ type inflight = {
 
 type t = {
   dname : string;
-  medium : Bytes.t;
+  medium : Medium.t;
   channels : Sync.Semaphore.t;
   mutable powered : bool;
   mutable inflight : inflight list;
@@ -37,7 +87,7 @@ let create ?(name = "nvme") ~size () =
   let size = Msnap_util.Bits.round_up size Costs.sector in
   {
     dname = name;
-    medium = Bytes.make size '\000';
+    medium = Medium.create size;
     channels = Sync.Semaphore.create Costs.disk_channels;
     powered = true;
     inflight = [];
@@ -48,19 +98,19 @@ let create ?(name = "nvme") ~size () =
     s_busy = 0;
   }
 
-let size t = Bytes.length t.medium
+let size t = Medium.size t.medium
 let name t = t.dname
 
 let check_power t = if not t.powered then raise Powered_off
 
 let check_range t off len =
-  if off < 0 || len < 0 || off + len > Bytes.length t.medium then
+  if off < 0 || len < 0 || off + len > Medium.size t.medium then
     invalid_arg
       (Printf.sprintf "%s: IO out of range (off=%d len=%d size=%d)" t.dname off
-         len (Bytes.length t.medium))
+         len (Medium.size t.medium))
 
 let commit_seg t (off, data) =
-  Bytes.blit data 0 t.medium off (Bytes.length data)
+  Medium.write t.medium ~off data ~pos:0 ~len:(Bytes.length data)
 
 let service t ~dur ~io =
   check_power t;
@@ -96,7 +146,7 @@ let read t ~off ~len =
       Sched.delay dur;
       t.s_reads <- t.s_reads + 1;
       t.s_bytes_read <- t.s_bytes_read + len;
-      Bytes.sub t.medium off len)
+      Medium.read t.medium ~off ~len)
 
 let flush t =
   (* Draining the queue = acquiring every channel once. *)
@@ -140,7 +190,7 @@ let fail_power t ~torn_seed =
         remaining := !remaining - take;
         if take > 0 then begin
           let nbytes = min len (take * Costs.sector) in
-          Bytes.blit data 0 t.medium off nbytes
+          Medium.write t.medium ~off data ~pos:0 ~len:nbytes
         end)
       fl.segs
   in

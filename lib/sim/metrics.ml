@@ -1,33 +1,49 @@
 module Histogram = Msnap_util.Histogram
 
-let counters_tbl : (string, int ref) Hashtbl.t = Hashtbl.create 32
-let hists_tbl : (string, Histogram.t) Hashtbl.t = Hashtbl.create 32
+(* Counters and histograms are domain-local so that experiments running in
+   parallel bench domains cannot observe each other's samples. Within a
+   domain the behavior is identical to the old process-global tables. *)
+type store = {
+  counters : (string, int ref) Hashtbl.t;
+  hists : (string, Histogram.t) Hashtbl.t;
+}
+
+let store_key : store Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      { counters = Hashtbl.create 32; hists = Hashtbl.create 32 })
+
+let store () = Domain.DLS.get store_key
 
 let reset () =
-  Hashtbl.reset counters_tbl;
-  Hashtbl.reset hists_tbl
+  let s = store () in
+  Hashtbl.reset s.counters;
+  Hashtbl.reset s.hists
 
 let incr ?(by = 1) name =
-  match Hashtbl.find_opt counters_tbl name with
+  let s = store () in
+  match Hashtbl.find_opt s.counters name with
   | Some r -> r := !r + by
-  | None -> Hashtbl.add counters_tbl name (ref by)
+  | None -> Hashtbl.add s.counters name (ref by)
 
 let count name =
-  match Hashtbl.find_opt counters_tbl name with Some r -> !r | None -> 0
+  match Hashtbl.find_opt (store ()).counters name with
+  | Some r -> !r
+  | None -> 0
 
 let get_hist name =
-  match Hashtbl.find_opt hists_tbl name with
+  let s = store () in
+  match Hashtbl.find_opt s.hists name with
   | Some h -> h
   | None ->
     let h = Histogram.create () in
-    Hashtbl.add hists_tbl name h;
+    Hashtbl.add s.hists name h;
     h
 
 let add_sample name ns =
   incr name;
   Histogram.add (get_hist name) ns
 
-let hist name = Hashtbl.find_opt hists_tbl name
+let hist name = Hashtbl.find_opt (store ()).hists name
 
 let mean_ns name =
   match hist name with Some h -> Histogram.mean h | None -> 0.0
@@ -36,7 +52,7 @@ let samples name =
   match hist name with Some h -> Histogram.count h | None -> 0
 
 let counters () =
-  Hashtbl.fold (fun k v acc -> (k, !v) :: acc) counters_tbl []
+  Hashtbl.fold (fun k v acc -> (k, !v) :: acc) (store ()).counters []
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
 let timed name f =

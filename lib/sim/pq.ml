@@ -6,6 +6,12 @@ type 'a t = {
   mutable next_seq : int;
 }
 
+(* Placeholder for unused slots so they never pin a popped entry (and its
+   captured closure/continuation) live. Never read: [size] bounds all
+   accesses. *)
+let dummy_entry : unit entry = { prio = 0; seq = 0; value = () }
+let dummy () : 'a entry = Obj.magic dummy_entry
+
 let create () = { data = [||]; size = 0; next_seq = 0 }
 
 let is_empty t = t.size = 0
@@ -13,11 +19,11 @@ let length t = t.size
 
 let less a b = a.prio < b.prio || (a.prio = b.prio && a.seq < b.seq)
 
-let grow t e =
+let grow t =
   let cap = Array.length t.data in
   if t.size = cap then begin
     let ncap = if cap = 0 then 16 else cap * 2 in
-    let nd = Array.make ncap e in
+    let nd = Array.make ncap (dummy ()) in
     Array.blit t.data 0 nd 0 t.size;
     t.data <- nd
   end
@@ -25,7 +31,7 @@ let grow t e =
 let push t ~prio value =
   let e = { prio; seq = t.next_seq; value } in
   t.next_seq <- t.next_seq + 1;
-  grow t e;
+  grow t;
   let i = ref t.size in
   t.size <- t.size + 1;
   t.data.(!i) <- e;
@@ -49,6 +55,7 @@ let pop t =
     t.size <- t.size - 1;
     if t.size > 0 then begin
       t.data.(0) <- t.data.(t.size);
+      t.data.(t.size) <- dummy ();
       (* sift down *)
       let i = ref 0 in
       let continue_ = ref true in
@@ -65,7 +72,8 @@ let pop t =
         end
         else continue_ := false
       done
-    end;
+    end
+    else t.data.(0) <- dummy ();
     Some top.value
   end
 

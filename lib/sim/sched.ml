@@ -4,11 +4,18 @@ type thread = {
   mutable finished : bool;
   mutable joiners : waker list;
   mutable acct : string;
+  (* Cached counter cell for [acct] in the engine's bucket table, so the
+     [cpu] hot path skips the Hashtbl lookup. [None] until first charge;
+     invalidated whenever [acct] changes (with_bucket enter/exit). *)
+  mutable acct_cell : int ref option;
 }
 
 and waker = {
   w_thread : thread;
   mutable fired : bool;
+  (* The parked continuation lives in the waker itself, making [wake]
+     O(1) instead of scanning an engine-wide association list. *)
+  mutable w_action : (unit -> unit) option;
   w_engine : engine;
 }
 
@@ -20,9 +27,12 @@ and engine = {
   mutable next_tid : int;
   mutable failure : exn option;
   buckets : (string, int ref) Hashtbl.t;
-  (* Parked continuations, keyed by their waker. Pruned on fire so the
-     list stays proportional to the number of parked threads. *)
-  mutable parked : (waker * (unit -> unit)) list;
+  (* All currently-parked wakers (most recent first), kept only for
+     deadlock reporting. Fired wakers are pruned lazily, amortized O(1),
+     so the list stays proportional to the number of parked threads. *)
+  mutable parked : waker list;
+  mutable parked_len : int;
+  mutable parked_live : int;
 }
 
 type tid = thread
@@ -33,10 +43,16 @@ type _ Effect.t +=
   | Delay : int -> unit Effect.t
   | Suspend : (waker -> unit) -> unit Effect.t
 
-let engine_ref : engine option ref = ref None
+(* One engine slot per domain: each domain can host an independent
+   Sched.run, which is what lets the bench harness fan experiments out
+   over a domain pool. *)
+let engine_key : engine option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let engine_slot () = Domain.DLS.get engine_key
 
 let engine () =
-  match !engine_ref with
+  match !(engine_slot ()) with
   | Some e -> e
   | None -> invalid_arg "Sched: not inside Sched.run"
 
@@ -52,20 +68,23 @@ let name t = t.tname
 
 let schedule e ~at action = Pq.push e.runq ~prio:at action
 
+let prune_parked e =
+  if e.parked_len > 64 && e.parked_len > 2 * e.parked_live then begin
+    e.parked <- List.filter (fun w -> not w.fired) e.parked;
+    e.parked_len <- e.parked_live
+  end
+
 let wake w =
   if not w.fired then begin
     w.fired <- true;
     let e = w.w_engine in
-    let rec take acc = function
-      | [] -> (None, List.rev acc)
-      | (w', act) :: rest when w' == w -> (Some act, List.rev_append acc rest)
-      | pair :: rest -> take (pair :: acc) rest
-    in
-    let action, remaining = take [] e.parked in
-    e.parked <- remaining;
-    match action with
-    | Some act -> schedule e ~at:e.clock act
-    | None -> ()
+    (match w.w_action with
+    | Some act ->
+      w.w_action <- None;
+      schedule e ~at:e.clock act
+    | None -> ());
+    e.parked_live <- e.parked_live - 1;
+    prune_parked e
   end
 
 (* Run [body] as a coroutine belonging to [t]. Each effect performed by the
@@ -100,8 +119,13 @@ let start_thread e t body =
           | Suspend f ->
             Some
               (fun (k : (a, unit) continuation) ->
-                let w = { w_thread = t; fired = false; w_engine = e } in
-                e.parked <- (w, resume_as t k) :: e.parked;
+                let w =
+                  { w_thread = t; fired = false;
+                    w_action = Some (resume_as t k); w_engine = e }
+                in
+                e.parked <- w :: e.parked;
+                e.parked_len <- e.parked_len + 1;
+                e.parked_live <- e.parked_live + 1;
                 f w)
           | _ -> None);
     }
@@ -109,7 +133,20 @@ let start_thread e t body =
   match_with body () handler
 
 let suspend f = Effect.perform (Suspend f)
-let delay ns = if ns > 0 then Effect.perform (Delay ns)
+
+(* Fast path: when no queued action is scheduled at or before the target
+   time, performing the Delay effect would enqueue our continuation and
+   immediately pop it back (the tie-break seq ordering guarantees we run
+   before anything later queued at the same instant), so advancing the
+   clock inline is semantically identical and skips the continuation
+   capture plus two heap operations. *)
+let advance e ns =
+  let target = e.clock + ns in
+  match Pq.min_prio e.runq with
+  | Some p when p <= target -> Effect.perform (Delay ns)
+  | _ -> e.clock <- target
+
+let delay ns = if ns > 0 then advance (engine ()) ns
 let yield () = Effect.perform (Delay 0)
 
 let spawn ?(name = "thread") body =
@@ -121,6 +158,7 @@ let spawn ?(name = "thread") body =
       finished = false;
       joiners = [];
       acct = "user";
+      acct_cell = None;
     }
   in
   e.next_tid <- e.next_tid + 1;
@@ -136,23 +174,45 @@ let join target =
 
 let bucket () = (self ()).acct
 
-let charge e name ns =
+let bucket_cell e name =
   match Hashtbl.find_opt e.buckets name with
-  | Some r -> r := !r + ns
-  | None -> Hashtbl.add e.buckets name (ref ns)
+  | Some r -> r
+  | None ->
+    let r = ref 0 in
+    Hashtbl.add e.buckets name r;
+    r
 
 let cpu ns =
   if ns > 0 then begin
     let e = engine () in
-    charge e (self ()).acct ns;
-    delay ns
+    let t =
+      match e.cur with
+      | Some t -> t
+      | None -> invalid_arg "Sched.cpu: no current thread"
+    in
+    let cell =
+      match t.acct_cell with
+      | Some c -> c
+      | None ->
+        let c = bucket_cell e t.acct in
+        t.acct_cell <- Some c;
+        c
+    in
+    cell := !cell + ns;
+    advance e ns
   end
 
 let with_bucket name f =
   let t = self () in
   let saved = t.acct in
+  let saved_cell = t.acct_cell in
   t.acct <- name;
-  Fun.protect ~finally:(fun () -> t.acct <- saved) f
+  t.acct_cell <- None;
+  Fun.protect
+    ~finally:(fun () ->
+      t.acct <- saved;
+      t.acct_cell <- saved_cell)
+    f
 
 let account_report () =
   let e = engine () in
@@ -163,7 +223,8 @@ let account_total () =
   List.fold_left (fun acc (_, v) -> acc + v) 0 (account_report ())
 
 let run main =
-  if !engine_ref <> None then invalid_arg "Sched.run: nested run";
+  let slot = engine_slot () in
+  if !slot <> None then invalid_arg "Sched.run: nested run";
   let e =
     {
       clock = 0;
@@ -174,14 +235,20 @@ let run main =
       failure = None;
       buckets = Hashtbl.create 17;
       parked = [];
+      parked_len = 0;
+      parked_live = 0;
     }
   in
-  engine_ref := Some e;
+  slot := Some e;
   let result = ref None in
   ignore (spawn ~name:"main" (fun () -> result := Some (main ())));
-  let finalize () = engine_ref := None in
+  let finalize () = slot := None in
   let deadlock () =
-    let parked = List.map (fun (w, _) -> w.w_thread.tname) e.parked in
+    let parked =
+      List.filter_map
+        (fun w -> if w.fired then None else Some w.w_thread.tname)
+        e.parked
+    in
     finalize ();
     raise
       (Deadlock

@@ -27,13 +27,17 @@ and t = {
   a_name : string;
   a_phys : Phys.t;
   pt : Ptable.t;
-  a_tlb : Tlb.t;
-  mutable mappings : mapping list;
+  a_tlb : Ptloc.t option Tlb.t;
+  (* Sorted by [start_vpn] so the per-access lookup is a binary search
+     (plus a one-entry last-hit cache) instead of a linear list scan.
+     Mutated only by [map]/[unmap], which are rare. *)
+  mutable mappings : mapping array;
+  mutable last_hit : mapping option;
 }
 
 let create ?(name = "aspace") phys =
   { a_name = name; a_phys = phys; pt = Ptable.create (); a_tlb = Tlb.create ();
-    mappings = [] }
+    mappings = [||]; last_hit = None }
 
 let name t = t.a_name
 let phys t = t.a_phys
@@ -49,7 +53,7 @@ let map t ~name ~va ~len ?(writable = true) ?(new_pages_writable = true) ?pager
   if len <= 0 then invalid_arg "Aspace.map: empty mapping";
   let start_vpn = Addr.vpn_of_va va in
   let npages = Addr.pages_spanned ~off:va ~len in
-  List.iter
+  Array.iter
     (fun m ->
       if overlaps m ~start_vpn ~npages then
         invalid_arg
@@ -60,7 +64,9 @@ let map t ~name ~va ~len ?(writable = true) ?(new_pages_writable = true) ?pager
     { m_name = name; start_vpn; npages; m_writable = writable;
       new_pages_writable; pager; on_write_fault }
   in
-  t.mappings <- m :: t.mappings;
+  let ms = Array.append t.mappings [| m |] in
+  Array.sort (fun a b -> compare a.start_vpn b.start_vpn) ms;
+  t.mappings <- ms;
   m
 
 let set_write_fault_handler m h = m.on_write_fault <- h
@@ -71,19 +77,35 @@ let mapping_len m = m.npages * Addr.page_size
 let mapping_of_fault_rel_page f = f.f_vpn - f.f_mapping.start_vpn
 
 let find_mapping t ~name =
-  List.find_opt (fun m -> m.m_name = name) t.mappings
+  Array.find_opt (fun m -> m.m_name = name) t.mappings
+
+let segfault t vpn =
+  invalid_arg
+    (Printf.sprintf "%s: segfault at va 0x%x (no mapping)" t.a_name
+       (Addr.va_of_vpn vpn))
 
 let mapping_of_vpn t vpn =
-  match
-    List.find_opt
-      (fun m -> vpn >= m.start_vpn && vpn < m.start_vpn + m.npages)
-      t.mappings
-  with
-  | Some m -> m
-  | None ->
-    invalid_arg
-      (Printf.sprintf "%s: segfault at va 0x%x (no mapping)" t.a_name
-         (Addr.va_of_vpn vpn))
+  match t.last_hit with
+  | Some m when vpn >= m.start_vpn && vpn - m.start_vpn < m.npages -> m
+  | _ ->
+    (* Binary search for the mapping with the greatest start_vpn <= vpn. *)
+    let ms = t.mappings in
+    let lo = ref 0 and hi = ref (Array.length ms - 1) in
+    let found = ref None in
+    while !lo <= !hi do
+      let mid = (!lo + !hi) / 2 in
+      let m = ms.(mid) in
+      if m.start_vpn <= vpn then begin
+        found := Some m;
+        lo := mid + 1
+      end
+      else hi := mid - 1
+    done;
+    (match !found with
+    | Some m when vpn - m.start_vpn < m.npages ->
+      t.last_hit <- Some m;
+      m
+    | _ -> segfault t vpn)
 
 (* Install a frame for [vpn] of mapping [m] using its pager. Charges the
    page-in fault. Returns the PTE location. *)
@@ -109,22 +131,48 @@ let page_in t m vpn =
   Phys.rmap_add page loc;
   loc
 
-let translate t vpn =
-  if not (Tlb.access t.a_tlb vpn) then Sched.cpu Costs.pt_walk
+(* Translate [vpn], returning the PTE location. The simulated TLB alone
+   decides the pt_walk charge: hit → nothing, miss → charge and install
+   the entry immediately, as hardware does during the walk — BEFORE any
+   page-in, because a page-in can trigger writeback protection resets
+   that shoot the fresh entry down again, and later accesses must see
+   that. The payload is a host-only cache of the PTE location — valid
+   whenever a hit carries one, since leaves are never freed and every
+   PTE-invalidation path also invalidates the TLB — letting a hit with a
+   present PTE skip the host-side radix walk. *)
+let translate t vpn ~if_absent =
+  let cached =
+    match Tlb.find t.a_tlb vpn with
+    | Some c -> c
+    | None ->
+      (* Install the entry before charging the walk, exactly as the
+         hardware walker fills the TLB: the charge is a scheduling
+         point, and concurrent threads sharing this aspace must see the
+         entry (a page-in below can likewise shoot it down again before
+         we resume). *)
+      Tlb.insert t.a_tlb vpn None;
+      Sched.cpu Costs.pt_walk;
+      None
+  in
+  match cached with
+  | Some loc when Pte.present (Ptloc.get loc) -> loc
+  | _ ->
+    let loc =
+      match Ptable.find_loc t.pt vpn with
+      | Some loc when Pte.present (Ptloc.get loc) -> loc
+      | _ -> if_absent ()
+    in
+    Tlb.update t.a_tlb vpn (Some loc);
+    loc
 
 (* Resolve [vpn] for writing: page-in if absent, then run the write-fault
    path until the PTE is writable. *)
 let resolve_write t vpn =
-  translate t vpn;
   let m = mapping_of_vpn t vpn in
   if not m.m_writable then
     invalid_arg
       (Printf.sprintf "%s: write to read-only mapping %s" t.a_name m.m_name);
-  let loc =
-    match Ptable.find_loc t.pt vpn with
-    | Some loc when Pte.present (Ptloc.get loc) -> loc
-    | _ -> page_in t m vpn
-  in
+  let loc = translate t vpn ~if_absent:(fun () -> page_in t m vpn) in
   let pte = Ptloc.get loc in
   if Pte.writable pte then (Phys.get t.a_phys (Pte.frame pte), loc)
   else begin
@@ -150,12 +198,10 @@ let resolve_write t vpn =
 let page_for_write t ~va = resolve_write t (Addr.vpn_of_va va)
 
 let resolve_read t vpn =
-  translate t vpn;
   let m = mapping_of_vpn t vpn in
   let loc =
-    match Ptable.find_loc t.pt vpn with
-    | Some loc when Pte.present (Ptloc.get loc) -> loc
-    | _ -> Sched.with_bucket "page faults" (fun () -> page_in t m vpn)
+    translate t vpn ~if_absent:(fun () ->
+        Sched.with_bucket "page faults" (fun () -> page_in t m vpn))
   in
   Phys.get t.a_phys (Pte.frame (Ptloc.get loc))
 
@@ -230,4 +276,6 @@ let unmap t m =
          Ptloc.set loc Pte.empty;
          Tlb.invalidate_page t.a_tlb vpn;
          if page.Phys.rmap = [] then Phys.free t.a_phys page));
-  t.mappings <- List.filter (fun m' -> not (m' == m)) t.mappings
+  t.mappings <- Array.of_list
+      (List.filter (fun m' -> not (m' == m)) (Array.to_list t.mappings));
+  t.last_hit <- None

@@ -34,7 +34,9 @@ val create : ?name:string -> Phys.t -> t
 val name : t -> string
 val phys : t -> Phys.t
 val page_table : t -> Ptable.t
-val tlb : t -> Tlb.t
+val tlb : t -> Ptloc.t option Tlb.t
+(** The TLB caches the PTE location of each translation (once resolved)
+    so a simulated hit also skips the host-side radix walk. *)
 
 val map :
   t ->

@@ -1,8 +1,8 @@
 module Costs = Msnap_sim.Costs
 module Sched = Msnap_sim.Sched
 
-type t = {
-  entries : (int, unit) Hashtbl.t;
+type 'a t = {
+  entries : (int, 'a) Hashtbl.t;
   fifo : int Queue.t;
   capacity : int;
   mutable hits : int;
@@ -13,22 +13,35 @@ let create ?(entries = 1536) () =
   { entries = Hashtbl.create entries; fifo = Queue.create (); capacity = entries;
     hits = 0; misses = 0 }
 
-let access t vpn =
-  if Hashtbl.mem t.entries vpn then begin
+let find t vpn =
+  match Hashtbl.find_opt t.entries vpn with
+  | Some _ as hit ->
     t.hits <- t.hits + 1;
-    true
-  end
-  else begin
+    hit
+  | None ->
     t.misses <- t.misses + 1;
+    None
+
+let insert t vpn payload =
+  if not (Hashtbl.mem t.entries vpn) then begin
     if Hashtbl.length t.entries >= t.capacity then begin
       match Queue.take_opt t.fifo with
       | Some victim -> Hashtbl.remove t.entries victim
       | None -> ()
     end;
-    Hashtbl.replace t.entries vpn ();
-    Queue.add vpn t.fifo;
+    Queue.add vpn t.fifo
+  end;
+  Hashtbl.replace t.entries vpn payload
+
+let update t vpn payload =
+  if Hashtbl.mem t.entries vpn then Hashtbl.replace t.entries vpn payload
+
+let access t vpn =
+  match find t vpn with
+  | Some () -> true
+  | None ->
+    insert t vpn ();
     false
-  end
 
 let invalidate_page t vpn = Hashtbl.remove t.entries vpn
 

