@@ -45,14 +45,32 @@ let select names =
           exit 1)
       names
 
+type timing = {
+  t_name : string;
+  t_wall_s : float;
+  t_minor_words : float; (* minor-heap allocation during the experiment *)
+  t_major_words : float; (* words allocated directly on the major heap *)
+}
+
+(* Time [f] and record its allocation via [Gc.quick_stat] deltas. The
+   counters are per-domain, so the deltas are accurate whether the
+   experiment runs on the main domain or a pool helper. *)
+let timed name f =
+  let g0 = Gc.quick_stat () in
+  let t0 = Unix.gettimeofday () in
+  f ();
+  let wall = Unix.gettimeofday () -. t0 in
+  let g1 = Gc.quick_stat () in
+  {
+    t_name = name;
+    t_wall_s = wall;
+    t_minor_words = g1.Gc.minor_words -. g0.Gc.minor_words;
+    t_major_words = g1.Gc.major_words -. g0.Gc.major_words;
+  }
+
 (* Run [selected] serially on this domain, printing as we go. *)
 let run_serial selected =
-  List.map
-    (fun (name, (_, f)) ->
-      let t0 = Unix.gettimeofday () in
-      f ();
-      (name, Unix.gettimeofday () -. t0))
-    selected
+  List.map (fun (name, (_, f)) -> timed name f) selected
 
 (* Run [selected] on a pool of [jobs] domains. Output is captured per
    experiment and printed in experiment order once everything finished,
@@ -61,13 +79,14 @@ let run_parallel jobs selected =
   let arr = Array.of_list selected in
   let n = Array.length arr in
   let outputs = Array.make n "" in
-  let times = Array.make n 0.0 in
+  let times =
+    Array.make n
+      { t_name = ""; t_wall_s = 0.0; t_minor_words = 0.0; t_major_words = 0.0 }
+  in
   let run_one i =
-    let _, (_, f) = arr.(i) in
+    let name, (_, f) = arr.(i) in
     let buf = Buffer.create 4096 in
-    let t0 = Unix.gettimeofday () in
-    Env.captured buf f;
-    times.(i) <- Unix.gettimeofday () -. t0;
+    times.(i) <- timed name (fun () -> Env.captured buf f);
     outputs.(i) <- Buffer.contents buf
   in
   let pool_idx =
@@ -94,19 +113,22 @@ let run_parallel jobs selected =
   (* Wall-clock-sensitive experiments run alone, after the pool drains. *)
   Array.iteri (fun i (name, _) -> if serial_only name then run_one i) arr;
   Array.iter print_string outputs;
-  Array.to_list (Array.mapi (fun i (name, _) -> (name, times.(i))) arr)
+  Array.to_list times
 
 let write_timings ~path ~jobs ~total timings =
   let oc = open_out path in
   let p fmt = Printf.fprintf oc fmt in
   p "{\n";
-  p "  \"schema\": \"memsnap-bench-sim/1\",\n";
+  p "  \"schema\": \"memsnap-bench-sim/2\",\n";
   p "  \"jobs\": %d,\n" jobs;
   p "  \"total_wall_s\": %.3f,\n" total;
   p "  \"experiments\": [\n";
   List.iteri
-    (fun i (name, s) ->
-      p "    { \"name\": %S, \"wall_s\": %.3f }%s\n" name s
+    (fun i t ->
+      p
+        "    { \"name\": %S, \"wall_s\": %.3f, \"minor_words\": %.0f, \
+         \"major_words\": %.0f }%s\n"
+        t.t_name t.t_wall_s t.t_minor_words t.t_major_words
         (if i = List.length timings - 1 then "" else ","))
     timings;
   p "  ]\n}\n";

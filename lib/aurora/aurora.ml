@@ -205,9 +205,12 @@ module Region = struct
     r.shadow_frames <- []
 
   let flush_dirty r dirty =
-    let pages =
-      List.map (fun (rel, page) -> (rel, Bytes.copy page.Phys.data)) dirty
-    in
+    (* Zero-copy: the commit's scatter/gather list references the page
+       frames themselves. Safe under the ownership rule — every dirty
+       frame has [ckpt_in_progress] set, so writers COW away from it
+       while the IO is in flight, and [collapse_region] (which may free
+       orphaned frames) only runs after the commit returns. *)
+    let pages = List.map (fun (rel, page) -> (rel, page.Phys.data)) dirty in
     if pages <> [] then ignore (Store.commit r.k.store r.obj pages)
 
   (* One full checkpoint round. *)

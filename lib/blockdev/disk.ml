@@ -2,6 +2,7 @@ module Costs = Msnap_sim.Costs
 module Sched = Msnap_sim.Sched
 module Sync = Msnap_sim.Sync
 module Rng = Msnap_util.Rng
+module Slice = Msnap_util.Slice
 
 exception Powered_off
 
@@ -46,13 +47,12 @@ module Medium = struct
     iter_ranges m off len (fun i coff rel n ->
         Bytes.blit data (pos + rel) (chunk_for_write m i) coff n)
 
-  let read m ~off ~len =
-    let buf = Bytes.create len in
+  let read_into m ~off dst ~pos ~len =
     iter_ranges m off len (fun i coff rel n ->
         match m.chunks.(i) with
-        | Some c -> Bytes.blit c coff buf rel n
-        | None -> Bytes.fill buf rel n '\000');
-    buf
+        | Some c -> Bytes.blit c coff dst (pos + rel) n
+        | None -> Bytes.fill dst (pos + rel) n '\000')
+
 end
 
 type stats = {
@@ -64,7 +64,8 @@ type stats = {
 }
 
 type inflight = {
-  segs : (int * Bytes.t) list; (* (offset, data), commit order *)
+  segs : (int * Slice.t) list; (* (offset, data), commit order *)
+  checksums : int list; (* issue-time content hashes; [] unless debugging *)
   t0 : int;
   dur : int;
   mutable torn : bool;
@@ -109,8 +110,22 @@ let check_range t off len =
       (Printf.sprintf "%s: IO out of range (off=%d len=%d size=%d)" t.dname off
          len (Medium.size t.medium))
 
-let commit_seg t (off, data) =
-  Medium.write t.medium ~off data ~pos:0 ~len:(Bytes.length data)
+(* The only payload copy on the write path: slice -> medium, at commit. *)
+let commit_seg t (off, s) =
+  Medium.write t.medium ~off (Slice.buf s) ~pos:(Slice.pos s)
+    ~len:(Slice.length s)
+
+let verify_checksums t fl =
+  if fl.checksums <> [] then
+    List.iter2
+      (fun (off, s) ck ->
+        if Slice.checksum s <> ck then
+          invalid_arg
+            (Printf.sprintf
+               "%s: ownership violation — slice at off=%d len=%d mutated \
+                while its write command was in flight"
+               t.dname off (Slice.length s)))
+      fl.segs fl.checksums
 
 let service t ~dur ~io =
   check_power t;
@@ -121,32 +136,48 @@ let service t ~dur ~io =
       t.s_busy <- t.s_busy + dur;
       io dur)
 
-let do_writev t segs =
-  List.iter (fun (off, data) -> check_range t off (Bytes.length data)) segs;
-  let total = List.fold_left (fun a (_, d) -> a + Bytes.length d) 0 segs in
+let writev t segs =
+  List.iter (fun (off, s) -> check_range t off (Slice.length s)) segs;
+  let total = List.fold_left (fun a (_, s) -> a + Slice.length s) 0 segs in
   let dur = Costs.disk_base + Costs.disk_xfer total in
   service t ~dur ~io:(fun dur ->
-      let fl = { segs; t0 = Sched.now (); dur; torn = false } in
+      let checksums =
+        if !Slice.debug_checks then List.map (fun (_, s) -> Slice.checksum s) segs
+        else []
+      in
+      List.iter (fun (_, s) -> Slice.borrow s) segs;
+      let fl = { segs; checksums; t0 = Sched.now (); dur; torn = false } in
       t.inflight <- fl :: t.inflight;
       Sched.delay dur;
       t.inflight <- List.filter (fun f -> f != fl) t.inflight;
       if fl.torn then raise Powered_off;
+      verify_checksums t fl;
       List.iter (commit_seg t) segs;
+      List.iter (fun (_, s) -> Slice.release s) segs;
       t.s_writes <- t.s_writes + 1;
       t.s_bytes_written <- t.s_bytes_written + total)
 
-let write t ~off data = do_writev t [ (off, Bytes.copy data) ]
+let write_slice t ~off s = writev t [ (off, s) ]
 
-let writev t segs = do_writev t (List.map (fun (o, d) -> (o, Bytes.copy d)) segs)
+(* Legacy byte API: snapshots the buffer at issue (one copy) so callers
+   may reuse it immediately — the convenience contract the unit tests
+   pin. Hot paths use the slice API and the ownership rule instead. *)
+let write t ~off data = writev t [ (off, Slice.of_bytes (Bytes.copy data)) ]
 
-let read t ~off ~len =
+let read_into t ~off dst =
+  let len = Slice.length dst in
   check_range t off len;
   let dur = Costs.disk_base + Costs.disk_xfer len in
   service t ~dur ~io:(fun dur ->
       Sched.delay dur;
       t.s_reads <- t.s_reads + 1;
       t.s_bytes_read <- t.s_bytes_read + len;
-      Medium.read t.medium ~off ~len)
+      Medium.read_into t.medium ~off (Slice.buf dst) ~pos:(Slice.pos dst) ~len)
+
+let read t ~off ~len =
+  let buf = Bytes.create len in
+  read_into t ~off (Slice.of_bytes buf);
+  buf
 
 let flush t =
   (* Draining the queue = acquiring every channel once. *)
@@ -161,12 +192,15 @@ let flush t =
 
 (* Tear each in-flight command: commit whole sectors of a prefix whose
    length reflects how far the transfer had progressed, perturbed
-   deterministically by the seed. *)
+   deterministically by the seed. The ownership rule guarantees the
+   slices still hold their issue-time bytes, so tearing from them here
+   equals tearing from an issue-time snapshot. *)
 let fail_power t ~torn_seed =
   t.powered <- false;
   let rng = Rng.create (torn_seed lxor 0x5EED) in
   let tear fl =
     fl.torn <- true;
+    verify_checksums t fl;
     let elapsed = Sched.now () - fl.t0 in
     let frac =
       if fl.dur <= 0 then 1.0
@@ -174,7 +208,8 @@ let fail_power t ~torn_seed =
     in
     let total_sectors =
       List.fold_left
-        (fun a (_, d) -> a + ((Bytes.length d + Costs.sector - 1) / Costs.sector))
+        (fun a (_, s) ->
+          a + ((Slice.length s + Costs.sector - 1) / Costs.sector))
         0 fl.segs
     in
     let base = int_of_float (frac *. float_of_int total_sectors) in
@@ -183,15 +218,17 @@ let fail_power t ~torn_seed =
     (* Commit the first [committed] sectors across segments in order. *)
     let remaining = ref committed in
     List.iter
-      (fun (off, data) ->
-        let len = Bytes.length data in
+      (fun (off, s) ->
+        let len = Slice.length s in
         let sectors = (len + Costs.sector - 1) / Costs.sector in
         let take = min sectors !remaining in
         remaining := !remaining - take;
         if take > 0 then begin
           let nbytes = min len (take * Costs.sector) in
-          Medium.write t.medium ~off data ~pos:0 ~len:nbytes
-        end)
+          Medium.write t.medium ~off (Slice.buf s) ~pos:(Slice.pos s)
+            ~len:nbytes
+        end;
+        Slice.release s)
       fl.segs
   in
   List.iter tear t.inflight;

@@ -8,7 +8,26 @@
     sectors (chosen deterministically from the crash seed) reaches the
     medium, the rest keep their old contents — exactly the failure model
     the paper's crash-consistency argument relies on ("disks provide
-    atomicity at the level of individual sectors"). *)
+    atomicity at the level of individual sectors").
+
+    {2 Zero-copy write path and the ownership rule}
+
+    The slice API ({!writev}, {!write_slice}, {!read_into}) moves no
+    payload bytes at issue: the device keeps references to the caller's
+    slices while the command is in flight and copies into the medium
+    exactly once, at commit time. In exchange the caller promises the
+    {e ownership rule}: a slice handed to a write must not be mutated
+    until the command completes in virtual time. Under that rule the
+    commit-time copy — and a crash tear — see precisely the bytes as
+    they were at issue, preserving the issue-time-snapshot crash model.
+    With [Slice.debug_checks] on, the device records a content checksum
+    per segment at issue and verifies it at commit/tear, so violations
+    fail loudly in tests.
+
+    The legacy byte API ({!write}) instead snapshots by copying at issue;
+    callers may reuse the buffer immediately. *)
+
+module Slice = Msnap_util.Slice
 
 type t
 
@@ -20,16 +39,27 @@ val name : t -> string
 
 (** {2 IO — block until the command completes (in virtual time)} *)
 
-val write : t -> off:int -> Bytes.t -> unit
-val read : t -> off:int -> len:int -> Bytes.t
-
-val writev : t -> (int * Bytes.t) list -> unit
+val writev : t -> (int * Slice.t) list -> unit
 (** Scatter/gather write: all segments are issued as one command; latency
     is one [disk_base] plus the summed transfer time, which is the benefit
     vectored IO exists to provide. Atomicity is still per-sector, and
     sectors reach the medium *in segment order* (an ordered SGL): a crash
     tears the command to a strict prefix. The object store relies on this
-    to append its commit record as the final segment of one command. *)
+    to append its commit record as the final segment of one command.
+    Zero-copy: segments must obey the ownership rule (see above). *)
+
+val write_slice : t -> off:int -> Slice.t -> unit
+(** [writev] of one segment. *)
+
+val write : t -> off:int -> Bytes.t -> unit
+(** Legacy convenience: snapshots [data] at issue (one copy), so the
+    caller may mutate it while the IO is in flight. *)
+
+val read_into : t -> off:int -> Slice.t -> unit
+(** Read [Slice.length dst] bytes at [off] directly into the caller's
+    buffer — no intermediate allocation. *)
+
+val read : t -> off:int -> len:int -> Bytes.t
 
 val flush : t -> unit
 (** Drain the device queue (used by fsync paths). *)

@@ -1,6 +1,7 @@
 module Sched = Msnap_sim.Sched
 module Sync = Msnap_sim.Sync
 module Size = Msnap_util.Size
+module Slice = Msnap_util.Slice
 
 type t = { disks : Disk.t array; unit_size : int }
 
@@ -61,40 +62,46 @@ let fanout t per_dev jobs =
   List.iter (function Error e -> raise e | Ok () -> ()) results
 
 let writev t segs =
-  List.iter (fun (off, d) -> check_range t off (Bytes.length d)) segs;
-  (* Group all chunks by device, preserving order. *)
+  List.iter (fun (off, s) -> check_range t off (Slice.length s)) segs;
+  (* Group all chunks by device, preserving order. Each per-device
+     segment is a sub-slice of the caller's slice — no payload bytes
+     move here; the ownership rule carries through to the member disks. *)
   let per_dev = Array.make (ndisks t) [] in
   List.iter
-    (fun (off, data) ->
+    (fun (off, s) ->
       List.iter
         (fun (dev, dev_off, seg_off, n) ->
-          per_dev.(dev) <- (dev_off, Bytes.sub data seg_off n) :: per_dev.(dev))
-        (chunks t off (Bytes.length data)))
+          per_dev.(dev) <- (dev_off, Slice.sub s ~pos:seg_off ~len:n) :: per_dev.(dev))
+        (chunks t off (Slice.length s)))
     segs;
   let jobs =
     List.init (ndisks t) (fun dev -> (dev, List.rev per_dev.(dev)))
   in
   fanout t (fun disk segs -> Disk.writev disk segs) jobs
 
-let write t ~off data = writev t [ (off, data) ]
+let write_slice t ~off s = writev t [ (off, s) ]
 
-let read t ~off ~len =
+let write t ~off data = writev t [ (off, Slice.of_bytes data) ]
+
+let read_into t ~off dst =
+  let len = Slice.length dst in
   check_range t off len;
-  let out = Bytes.create len in
+  (* Each member device reads straight into its disjoint range of the
+     caller-visible buffer — no per-device staging allocation. *)
   let per_dev = Array.make (ndisks t) [] in
   List.iter
     (fun (dev, dev_off, seg_off, n) ->
-      per_dev.(dev) <- (dev_off, seg_off, n) :: per_dev.(dev))
+      per_dev.(dev) <- (dev_off, Slice.sub dst ~pos:seg_off ~len:n) :: per_dev.(dev))
     (chunks t off len);
   let jobs = List.init (ndisks t) (fun dev -> (dev, List.rev per_dev.(dev))) in
   fanout t
     (fun disk pieces ->
-      List.iter
-        (fun (dev_off, seg_off, n) ->
-          let b = Disk.read disk ~off:dev_off ~len:n in
-          Bytes.blit b 0 out seg_off n)
-        pieces)
-    jobs;
+      List.iter (fun (dev_off, piece) -> Disk.read_into disk ~off:dev_off piece) pieces)
+    jobs
+
+let read t ~off ~len =
+  let out = Bytes.create len in
+  read_into t ~off (Slice.of_bytes out);
   out
 
 let flush t = Array.iter Disk.flush t.disks

@@ -5,7 +5,15 @@
     per-device commands issued concurrently, so large sequential writes see
     the aggregate bandwidth of the member devices — the effect behind
     MemSnap beating single-outstanding-IO direct writes at large sizes in
-    Table 6. *)
+    Table 6.
+
+    Zero-copy: splitting produces {e sub-slices} of the caller's segments
+    (no payload bytes move), so the ownership rule of {!Disk} extends to
+    every write through this module — including {!write}, whose [Bytes.t]
+    is wrapped, not copied. Reads through {!read_into} land directly in
+    the caller's buffer, one disjoint range per member device. *)
+
+module Slice = Msnap_util.Slice
 
 type t
 
@@ -17,10 +25,19 @@ val size : t -> int
 val unit_size : t -> int
 
 val write : t -> off:int -> Bytes.t -> unit
+(** Zero-copy wrapper over {!writev}: [data] is referenced, not
+    snapshotted — it must not be mutated until the call returns. *)
+
+val write_slice : t -> off:int -> Slice.t -> unit
+
 val read : t -> off:int -> len:int -> Bytes.t
 
-val writev : t -> (int * Bytes.t) list -> unit
-(** One vectored command per member device; completes when all devices do. *)
+val read_into : t -> off:int -> Slice.t -> unit
+(** Fill the caller's buffer directly from the member devices. *)
+
+val writev : t -> (int * Slice.t) list -> unit
+(** One vectored command per member device; completes when all devices do.
+    Segments obey the ownership rule. *)
 
 val flush : t -> unit
 

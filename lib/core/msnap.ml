@@ -8,6 +8,7 @@ module Phys = Msnap_vm.Phys
 module Pte = Msnap_vm.Pte
 module Ptloc = Msnap_vm.Ptloc
 module Tlb = Msnap_vm.Tlb
+module Slice = Msnap_util.Slice
 module Store = Msnap_objstore.Store
 
 exception Property_violation of string
@@ -174,11 +175,11 @@ let region_pager t r =
             let iv = Sync.Ivar.create () in
             Hashtbl.replace r.populating rel iv;
             let p = Phys.alloc (kernel_phys t) in
-            (match Store.read_block t.store r.r_obj rel with
-            | Some b ->
+            (* Read the block straight into the frame; the memcpy charge
+               models the kernel copying from the IO buffer into the
+               page, exactly as the staged read did. *)
+            if Store.read_block_into t.store r.r_obj rel p.Phys.data then
               Sched.cpu (Costs.memcpy Addr.page_size);
-              Bytes.blit b 0 p.Phys.data 0 Addr.page_size
-            | None -> ());
             Hashtbl.replace r.frames rel p;
             Hashtbl.remove r.populating rel;
             Sync.Ivar.fill iv p;
@@ -239,7 +240,19 @@ let write t r ~off data =
   | a :: _ -> Aspace.write a ~va:(r.r_va + off) data
   | [] -> invalid_arg "Msnap.write: region not mapped"
 
-let write_string t r ~off s = write t r ~off (Bytes.of_string s)
+let write_slice t r ~off s =
+  let len = Slice.length s in
+  if off < 0 || off + len > r.r_len then
+    invalid_arg "Msnap.write_slice: out of range";
+  ignore t;
+  match r.r_aspaces with
+  | a :: _ ->
+    Aspace.write_sub a ~va:(r.r_va + off) (Slice.buf s) ~pos:(Slice.pos s) ~len
+  | [] -> invalid_arg "Msnap.write_slice: region not mapped"
+
+(* Zero-copy: the string's bytes feed Aspace's per-page copy directly —
+   no intermediate [Bytes.of_string]. *)
+let write_string t r ~off s = write_slice t r ~off (Slice.of_string s)
 
 let read t r ~off ~len =
   if off < 0 || off + len > r.r_len then invalid_arg "Msnap.read: out of range";

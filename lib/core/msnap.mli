@@ -81,7 +81,14 @@ val durable_epoch : md -> epoch
 
 val write : t -> md -> off:int -> Bytes.t -> unit
 val read : t -> md -> off:int -> len:int -> Bytes.t
+
+val write_slice : t -> md -> off:int -> Msnap_util.Slice.t -> unit
+(** Store through the region mapping without staging: the slice's bytes
+    feed the per-page copies directly (same charges as {!write} of that
+    length). *)
+
 val write_string : t -> md -> off:int -> string -> unit
+(** Zero-copy over {!write_slice} — no [Bytes.of_string] staging. *)
 
 val map_into : t -> md -> Msnap_vm.Aspace.t -> unit
 (** Map an existing region into another attached process at the same fixed

@@ -19,11 +19,12 @@ type wal = {
      checkpoint: the full_page_writes bookkeeping. *)
   fpw : (string * int, unit) Hashtbl.t;
   ckpt_bytes : int;
+  mutable w_zeros : Bytes.t; (* shared backing for zero-payload records *)
 }
 
 let wal_create fs ckpt_bytes =
   { w_fs = fs; w_file = Fs.open_file fs "pg_wal"; w_off = 0;
-    fpw = Hashtbl.create 1024; ckpt_bytes }
+    fpw = Hashtbl.create 1024; ckpt_bytes; w_zeros = Bytes.empty }
 
 let wal_append w ~rel ~blockno ~len =
   let image =
@@ -34,8 +35,12 @@ let wal_append w ~rel ~blockno ~len =
     end
   in
   let rec_len = wal_record_header + len + image in
+  (* The simulated record carries no payload; reference one shared zero
+     buffer instead of allocating per append. *)
+  if Bytes.length w.w_zeros < rec_len then w.w_zeros <- Bytes.make rec_len '\000';
   Metrics.timed "write" (fun () ->
-      Fs.write w.w_fs w.w_file ~off:w.w_off (Bytes.create rec_len));
+      Fs.writev w.w_fs w.w_file ~off:w.w_off
+        [ Msnap_util.Slice.make w.w_zeros ~pos:0 ~len:rec_len ]);
   w.w_off <- w.w_off + rec_len
 
 let wal_commit w =

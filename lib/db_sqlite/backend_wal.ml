@@ -4,6 +4,13 @@ module Size = Msnap_util.Size
 
 let frame_header = 24 (* SQLite WAL frame header bytes *)
 
+module Slice = Msnap_util.Slice
+
+(* The simulated frame header carries no payload (all zeros), so every
+   append shares this one read-only buffer instead of staging a fresh
+   [frame_header + Page.size] copy per frame. *)
+let zero_header = Slice.of_string (String.make frame_header '\000')
+
 type t = {
   fs : Fs.t;
   db_file : Fs.file;
@@ -67,12 +74,11 @@ let commit t pages =
      durability point. *)
   List.iter
     (fun (pgno, b) ->
-      let frame = Bytes.create (frame_header + Page.size) in
-      Bytes.blit b 0 frame frame_header Page.size;
       Sched.with_bucket "write" (fun () ->
           Metrics.timed "write" (fun () ->
-              Fs.write t.fs t.wal_file ~off:t.wal_size frame));
-      t.wal_size <- t.wal_size + Bytes.length frame;
+              Fs.writev t.fs t.wal_file ~off:t.wal_size
+                [ zero_header; Slice.of_bytes b ]));
+      t.wal_size <- t.wal_size + frame_header + Page.size;
       Hashtbl.replace t.wal_frames pgno (Bytes.copy b))
     pages;
   Sched.with_bucket "fsync" (fun () ->

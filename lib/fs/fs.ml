@@ -1,5 +1,6 @@
 module Stripe = Msnap_blockdev.Stripe
 module Balloc = Msnap_blockdev.Balloc
+module Slice = Msnap_util.Slice
 module Sched = Msnap_sim.Sched
 module Sync = Msnap_sim.Sync
 module Costs = Msnap_sim.Costs
@@ -50,6 +51,10 @@ type t = {
   mutable capacity : int; (* cache capacity in fs blocks, across files *)
   mutable cached_count : int;
   fsync_lock : Sync.Mutex.t;
+  mutable scratch_zeros : Bytes.t;
+      (* shared all-zero backing for journal records, indirect blocks and
+         metadata padding: those writes carry zeros, so every command can
+         reference one read-only buffer instead of allocating. *)
   mutable s_disk_bytes : int;
   mutable s_rmw_reads : int;
 }
@@ -70,6 +75,7 @@ let mkfs dev ~kind =
     capacity = 2048;
     cached_count = 0;
     fsync_lock = Sync.Mutex.create ();
+    scratch_zeros = Bytes.empty;
     s_disk_bytes = 0;
     s_rmw_reads = 0;
   }
@@ -111,15 +117,19 @@ let rmw_reads t = t.s_rmw_reads
 
 (* --- device helpers --- *)
 
-let dev_write t ~off data =
-  t.s_disk_bytes <- t.s_disk_bytes + Bytes.length data;
-  Stripe.write t.dev ~off data
+let dev_write t ~off s =
+  t.s_disk_bytes <- t.s_disk_bytes + Slice.length s;
+  Stripe.write_slice t.dev ~off s
 
 let dev_writev t segs =
-  List.iter (fun (_, d) -> t.s_disk_bytes <- t.s_disk_bytes + Bytes.length d) segs;
+  List.iter (fun (_, s) -> t.s_disk_bytes <- t.s_disk_bytes + Slice.length s) segs;
   Stripe.writev t.dev segs
 
-let dev_read t ~off ~len = Stripe.read t.dev ~off ~len
+let dev_read_into t ~off dst = Stripe.read_into t.dev ~off dst
+
+let zero_slice t n =
+  if Bytes.length t.scratch_zeros < n then t.scratch_zeros <- Bytes.make n '\000';
+  Slice.make t.scratch_zeros ~pos:0 ~len:n
 
 let journal_write t nbytes =
   (* Sequential append into the journal ring. *)
@@ -128,13 +138,13 @@ let journal_write t nbytes =
     t.journal_cursor <- meta_blocks;
   let off = t.journal_cursor * dev_bs in
   t.journal_cursor <- t.journal_cursor + blocks;
-  dev_write t ~off (Bytes.create (blocks * dev_bs))
+  dev_write t ~off (zero_slice t (blocks * dev_bs))
 
 let journal_commit t =
   if t.journal_cursor >= meta_blocks + journal_blocks then
     t.journal_cursor <- meta_blocks;
   let off = t.journal_cursor * dev_bs in
-  dev_write t ~off (Bytes.create 512)
+  dev_write t ~off (zero_slice t 512)
 
 (* --- buffer cache --- *)
 
@@ -185,7 +195,9 @@ let get_block t f idx ~need_old =
       match Hashtbl.find_opt f.f_blocks idx with
       | Some first when need_old ->
         t.s_rmw_reads <- t.s_rmw_reads + 1;
-        dev_read t ~off:(first * dev_bs) ~len:t.bs
+        let data = Bytes.create t.bs in
+        dev_read_into t ~off:(first * dev_bs) (Slice.of_bytes data);
+        data
       | Some _ | None -> Bytes.make t.bs '\000'
     in
     let cb = { cb_data = data; cb_dirty = false; cb_lru = 0 } in
@@ -197,10 +209,35 @@ let get_block t f idx ~need_old =
 
 (* --- read / write --- *)
 
-let write t f ~off data =
+(* One buffered write of the concatenation of [slices] at [off]. The
+   syscall/rangelock charge and the per-fs-block-chunk memcpy charges are
+   those of a single write of the combined length, so callers can gather
+   a header and a payload without materializing the frame first. *)
+let writev t f ~off slices =
   Sched.cpu (Costs.syscall + Costs.vfs_call + Costs.rangelock);
-  let len = Bytes.length data in
-  let rec go off pos remaining =
+  let len = List.fold_left (fun a s -> a + Slice.length s) 0 slices in
+  (* Cursor over the scatter list: [copy_into] drains the next [n]
+     payload bytes into the cache block. *)
+  let rem = ref slices and rem_off = ref 0 in
+  let rec copy_into dst dst_pos n =
+    if n > 0 then
+      match !rem with
+      | [] -> assert false
+      | s :: tl ->
+        let avail = Slice.length s - !rem_off in
+        if avail = 0 then begin
+          rem := tl;
+          rem_off := 0;
+          copy_into dst dst_pos n
+        end
+        else begin
+          let k = min avail n in
+          Slice.blit_to_bytes s ~src_pos:!rem_off dst ~dst_pos ~len:k;
+          rem_off := !rem_off + k;
+          copy_into dst (dst_pos + k) (n - k)
+        end
+  in
+  let rec go off remaining =
     if remaining > 0 then begin
       let idx = off / t.bs in
       let within = off mod t.bs in
@@ -209,13 +246,15 @@ let write t f ~off data =
       let covers_whole = within = 0 && n = t.bs in
       let cb = get_block t f idx ~need_old:(not covers_whole) in
       Sched.cpu (Costs.memcpy n);
-      Bytes.blit data pos cb.cb_data within n;
+      copy_into cb.cb_data within n;
       cb.cb_dirty <- true;
-      go (off + n) (pos + n) (remaining - n)
+      go (off + n) (remaining - n)
     end
   in
-  go off 0 len;
+  go off len;
   if off + len > f.f_size then f.f_size <- off + len
+
+let write t f ~off data = writev t f ~off [ Slice.of_bytes data ]
 
 let read t f ~off ~len =
   Sched.cpu (Costs.syscall + Costs.vfs_call);
@@ -312,7 +351,10 @@ let fsync_ffs t f dirty =
       let len = used_len t f idx in
       if len > 0 then begin
         let iv = Sync.Ivar.create () in
-        let data = Bytes.sub cb.cb_data 0 len in
+        (* Slice over the cache block itself: dirty blocks are pinned in
+           the cache, and writeback completes before fsync returns, so
+           the ownership rule holds without a staging copy. *)
+        let data = Slice.make cb.cb_data ~pos:0 ~len in
         ignore
           (Sched.spawn ~name:"ffs-write" (fun () ->
                dev_write t ~off:(first * dev_bs) data;
@@ -324,7 +366,7 @@ let fsync_ffs t f dirty =
     dirty;
   flush_pending ();
   (* Inode + block bitmap update, then the journal commit record. *)
-  dev_write t ~off:0 (Bytes.create dev_bs);
+  dev_write t ~off:0 (zero_slice t dev_bs);
   journal_commit t
 
 (* ZFS: intent log for small syncs, then COW data, indirect chain and
@@ -347,7 +389,7 @@ let fsync_zfs t f dirty =
         | None -> ());
         cb.cb_dirty <- false;
         let len = used_len t f idx in
-        (first * dev_bs, Bytes.sub cb.cb_data 0 (max dev_bs len)))
+        (first * dev_bs, Slice.make cb.cb_data ~pos:0 ~len:(max dev_bs len)))
       dirty
   in
   dev_writev t segs;
@@ -359,8 +401,8 @@ let fsync_zfs t f dirty =
   Balloc.free_now t.alloc f.f_ind_blocks;
   let ind = Balloc.alloc_run t.alloc nind in
   f.f_ind_blocks <- ind;
-  dev_writev t (List.map (fun b -> (b * dev_bs, Bytes.create dev_bs)) ind);
-  dev_write t ~off:(dev_bs / 2) (Bytes.create 512)
+  dev_writev t (List.map (fun b -> (b * dev_bs, zero_slice t dev_bs)) ind);
+  dev_write t ~off:(dev_bs / 2) (zero_slice t 512)
 
 let do_fsync t f ~meta =
   ignore meta;
@@ -393,7 +435,7 @@ let mmap t f aspace ~va ~len =
           else begin
             let cb = get_block t f (off / t.bs) ~need_old:true in
             let within = off mod t.bs in
-            `Bytes (Bytes.sub cb.cb_data within Addr.page_size)
+            `Slice (Slice.make cb.cb_data ~pos:within ~len:Addr.page_size)
           end)
     }
   in
@@ -449,7 +491,7 @@ let sync_meta t =
   let len = min (Buffer.length buf) ((meta_blocks - 1) * dev_bs) in
   let data = Bytes.make (Msnap_util.Bits.round_up (max len dev_bs) dev_bs) '\000' in
   Bytes.blit_string (Buffer.contents buf) 0 data 0 len;
-  dev_write t ~off:dev_bs data
+  dev_write t ~off:dev_bs (Slice.of_bytes data)
 
 let debug_resident _t f =
   Hashtbl.fold (fun idx cb acc -> Printf.sprintf "%d(lru%d,%b) %s" idx cb.cb_lru cb.cb_dirty acc) f.f_cache ""

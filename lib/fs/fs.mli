@@ -42,6 +42,13 @@ val remove : t -> string -> unit
 val write : t -> file -> off:int -> Bytes.t -> unit
 (** Buffered write (syscall + cache copy; RMW read if needed). *)
 
+val writev : t -> file -> off:int -> Msnap_util.Slice.t list -> unit
+(** Gathered buffered write of the slices' concatenation at [off]: one
+    syscall charge and one cache copy of the combined payload, exactly as
+    a {!write} of the same total length. The slices are consumed before
+    the call returns (the page cache owns the bytes afterwards), so no
+    ownership obligation outlives the call. *)
+
 val read : t -> file -> off:int -> len:int -> Bytes.t
 (** Zero-fills holes, like read(2) past sparse regions. *)
 

@@ -1,4 +1,5 @@
 module Stripe = Msnap_blockdev.Stripe
+module Slice = Msnap_util.Slice
 module Sync = Msnap_sim.Sync
 module Sched = Msnap_sim.Sched
 module Costs = Msnap_sim.Costs
@@ -10,7 +11,9 @@ type ticket = (unit, exn) result Sync.Ivar.t
 
 type pending = {
   p_updates : (int * int) list; (* (page index, data block) *)
-  p_segs : (int * Bytes.t) list; (* device segments carrying the data *)
+  p_segs : (int * Slice.t) list;
+      (* device segments carrying the data: slices straight over the
+         caller's page frames (ownership rule: stable until durable) *)
   p_ivar : ticket;
   p_epoch : int;
   p_size : int; (* logical size implied by this commit *)
@@ -43,6 +46,9 @@ let block_off b = b * bsz
 
 let write_block dev b bytes = Stripe.write dev ~off:(block_off b) bytes
 let read_block_raw dev b = Stripe.read dev ~off:(block_off b) ~len:bsz
+
+let read_block_raw_into dev b dst =
+  Stripe.read_into dev ~off:(block_off b) (Slice.of_bytes dst)
 
 (* Headers and superblocks occupy the first sector of their block; the
    single-sector write is what makes the commit atomic. *)
@@ -270,7 +276,7 @@ and drain_batch t o batch =
       result.Radix.node_writes;
     let node_segs =
       List.map
-        (fun (b, n) -> (block_off b, Radix.node_to_bytes n))
+        (fun (b, n) -> (block_off b, Slice.of_bytes (Radix.node_to_bytes n)))
         result.Radix.node_writes
     in
     (* One vectored command carries every data page and COW node of the
@@ -307,7 +313,9 @@ let commit_async t o pages =
         let data_blocks = Alloc.alloc_run t.alloc npages in
         let updates = List.map2 (fun (idx, _) b -> (idx, b)) pages data_blocks in
         let segs =
-          List.map2 (fun (_, data) b -> (block_off b, data)) pages data_blocks
+          List.map2
+            (fun (_, data) b -> (block_off b, Slice.of_bytes data))
+            pages data_blocks
         in
         let size =
           List.fold_left
@@ -339,6 +347,19 @@ let read_block t o idx =
       ~height:o.hdr.Layout.height idx
   in
   if b = 0 then None else Some (read_block_raw t.dev b)
+
+let read_block_into t o idx dst =
+  if Bytes.length dst <> bsz then
+    invalid_arg "Store.read_block_into: buffer must be one block";
+  let b =
+    Radix.lookup ~read_node:(read_node t) ~root:o.hdr.Layout.root_block
+      ~height:o.hdr.Layout.height idx
+  in
+  if b = 0 then false
+  else begin
+    read_block_raw_into t.dev b dst;
+    true
+  end
 
 let grow t o ~size_bytes =
   ignore t;

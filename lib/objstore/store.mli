@@ -53,9 +53,11 @@ type ticket
 
 val commit : t -> obj -> (int * Bytes.t) list -> int
 (** [commit t obj pages] durably applies [(page_index, 4 KiB image)] pairs
-    as one atomic checkpoint and returns the new epoch. The buffers must
-    not change until the call returns (MemSnap guarantees this with its
-    checkpoint-in-progress COW). Raises if the device fails mid-commit —
+    as one atomic checkpoint and returns the new epoch. Zero-copy: the
+    scatter/gather list references the page frames directly, so the
+    buffers must not change until the commit is durable (MemSnap
+    guarantees this with its checkpoint-in-progress COW — the ownership
+    rule of the data plane). Raises if the device fails mid-commit —
     the store itself stays consistent (the previous epoch is intact). *)
 
 val commit_async : t -> obj -> (int * Bytes.t) list -> int * ticket
@@ -67,6 +69,11 @@ val wait : ticket -> unit
 
 val read_block : t -> obj -> int -> Bytes.t option
 (** Read back one 4 KiB block ([None] = hole). Charged device read. *)
+
+val read_block_into : t -> obj -> int -> Bytes.t -> bool
+(** Read one block directly into the caller's 4 KiB buffer (typically a
+    page frame), avoiding the staging allocation of {!read_block}.
+    Returns [false] (buffer untouched) on a hole. *)
 
 val grow : t -> obj -> size_bytes:int -> unit
 (** Record a larger logical size (next header commit persists it). *)

@@ -1,7 +1,11 @@
 module Costs = Msnap_sim.Costs
 module Sched = Msnap_sim.Sched
 
-type frame_source = [ `Zero | `Bytes of Bytes.t | `Page of Phys.page ]
+type frame_source =
+  [ `Zero
+  | `Bytes of Bytes.t
+  | `Slice of Msnap_util.Slice.t
+  | `Page of Phys.page ]
 
 type pager = { page_in : int -> frame_source }
 
@@ -123,6 +127,13 @@ let page_in t m vpn =
       let p = Phys.alloc t.a_phys in
       Sched.cpu (Costs.memcpy (Bytes.length b));
       Bytes.blit b 0 p.data 0 (min (Bytes.length b) Addr.page_size);
+      p
+    | `Slice s ->
+      let module Slice = Msnap_util.Slice in
+      let p = Phys.alloc t.a_phys in
+      Sched.cpu (Costs.memcpy (Slice.length s));
+      Slice.blit_to_bytes s ~src_pos:0 p.data ~dst_pos:0
+        ~len:(min (Slice.length s) Addr.page_size);
       p
     | `Page p -> p
   in

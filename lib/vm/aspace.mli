@@ -12,6 +12,9 @@ type t
 type frame_source =
   [ `Zero  (** anonymous zero-fill *)
   | `Bytes of Bytes.t  (** initial contents (copied) *)
+  | `Slice of Msnap_util.Slice.t
+    (** initial contents (copied from the slice — same charge as [`Bytes]
+        of that length, without the caller's staging allocation) *)
   | `Page of Phys.page  (** map an existing frame (shared memory) *) ]
 
 type pager = { page_in : int -> frame_source }

@@ -7,6 +7,11 @@ module Phys = Msnap_vm.Phys
 module Aspace = Msnap_vm.Aspace
 module Aurora = Msnap_aurora.Aurora
 
+(* Run the whole suite with the data plane's ownership-rule checks on:
+   the device checksums every lent slice at issue and re-verifies at
+   commit/tear, so any zero-copy violation fails the tests loudly. *)
+let () = Msnap_util.Slice.debug_checks := true
+
 let checki = Alcotest.(check int)
 let checkb = Alcotest.(check bool)
 let checks = Alcotest.(check string)

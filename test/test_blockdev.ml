@@ -4,6 +4,11 @@ module Size = Msnap_util.Size
 module Disk = Msnap_blockdev.Disk
 module Stripe = Msnap_blockdev.Stripe
 
+(* Run the whole suite with the data plane's ownership-rule checks on:
+   the device checksums every lent slice at issue and re-verifies at
+   commit/tear, so any zero-copy violation fails the tests loudly. *)
+let () = Msnap_util.Slice.debug_checks := true
+
 let checki = Alcotest.(check int)
 let checkb = Alcotest.(check bool)
 let check_bytes = Alcotest.(check string)
@@ -35,7 +40,9 @@ let test_vectored_single_command () =
   in_sim (fun () ->
       let d = mk_disk () in
       let t0 = Sched.now () in
-      Disk.writev d [ (0, Bytes.create 4096); (65536, Bytes.create 4096) ];
+      Disk.writev d
+        [ (0, Disk.Slice.of_bytes (Bytes.create 4096));
+          (65536, Disk.Slice.of_bytes (Bytes.create 4096)) ];
       let vectored = Sched.now () - t0 in
       let t1 = Sched.now () in
       Disk.write d ~off:0 (Bytes.create 4096);
@@ -208,6 +215,134 @@ let test_stripe_crash () =
         (Bytes.to_string (Stripe.read s ~off:0 ~len:512)))
     ()
 
+(* --- zero-copy crash equivalence --- *)
+
+module Slice = Msnap_util.Slice
+
+(* Replay one crashing vectored write and return the whole recovered
+   medium. [copy_at_issue] selects the reference data plane (the
+   pre-slice implementation: snapshot every segment into a private
+   buffer when the command is issued); [false] is the zero-copy path
+   under test, whose slices alias [backing] directly. Crash timing and
+   the torn-prefix choice depend only on geometry, elapsed time and the
+   seed — identical across both variants — so equal recovered media
+   proves the commit/tear-time copy from live slices is equivalent to an
+   issue-time snapshot. *)
+let crash_replay ~copy_at_issue ~disk_size ~init ~segs ~backing ~delay ~seed =
+  Sched.run (fun () ->
+      let d = Disk.create ~size:disk_size () in
+      List.iter (fun (off, data) -> Disk.write d ~off data) init;
+      let slices =
+        List.map
+          (fun (off, pos, len) ->
+            let s =
+              if copy_at_issue then Slice.of_bytes (Bytes.sub backing pos len)
+              else Slice.make backing ~pos ~len
+            in
+            (off, s))
+          segs
+      in
+      let writer =
+        Sched.spawn (fun () ->
+            try Disk.writev d slices with Disk.Powered_off -> ())
+      in
+      Sched.delay delay;
+      Disk.fail_power d ~torn_seed:seed;
+      Sched.join writer;
+      Disk.restore_power d;
+      Disk.read d ~off:0 ~len:disk_size)
+
+let test_torn_prefix_sweep () =
+  (* One 8-sector command over a sweep of crash points and seeds: every
+     sector-prefix length 0..8 must be realized by some crash, and every
+     recovered medium must equal the copy-at-issue reference. *)
+  let nsec = 8 in
+  let len = nsec * Costs.sector in
+  let disk_size = Size.kib 64 in
+  let init = [ (0, Bytes.make len 'O') ] in
+  (* Sector k of the payload is filled with byte k+1, so the committed
+     prefix length can be read back from the medium. *)
+  let backing =
+    Bytes.init len (fun i -> Char.chr (1 + (i / Costs.sector)))
+  in
+  let segs = [ (0, 0, len) ] in
+  let dur = Costs.disk_base + Costs.disk_xfer len in
+  let seen = Array.make (nsec + 1) false in
+  for step = 0 to 16 do
+    let delay = dur * step / 16 in
+    for seed = 0 to 15 do
+      let zc =
+        crash_replay ~copy_at_issue:false ~disk_size ~init ~segs ~backing
+          ~delay ~seed
+      in
+      let ref_ =
+        crash_replay ~copy_at_issue:true ~disk_size ~init ~segs ~backing
+          ~delay ~seed
+      in
+      checkb "zero-copy recovery = copy-at-issue recovery" true
+        (Bytes.equal zc ref_);
+      (* Count the committed prefix and check it is a strict prefix:
+         new sectors, then old, never interleaved. *)
+      let prefix = ref 0 and in_prefix = ref true in
+      for s = 0 to nsec - 1 do
+        let c = Bytes.get zc (s * Costs.sector) in
+        if !in_prefix && c = Char.chr (1 + s) then incr prefix
+        else begin
+          in_prefix := false;
+          checkb "suffix is old data" true (c = 'O')
+        end
+      done;
+      seen.(!prefix) <- true
+    done
+  done;
+  Array.iteri
+    (fun i hit ->
+      checkb (Printf.sprintf "prefix of %d sectors realized" i) true hit)
+    seen
+
+(* Property: for arbitrary scatter lists whose segments alias (and
+   overlap within) one shared backing buffer, a crash at an arbitrary
+   point recovers the same medium as the pre-slice copy-at-issue
+   implementation. *)
+let prop_zero_copy_crash_equivalence =
+  let open QCheck in
+  let gen =
+    Gen.(
+      let* nsegs = int_range 1 4 in
+      let backing_len = 16 * Costs.sector in
+      let* segs =
+        list_repeat nsegs
+          (let* len = int_range 1 (4 * Costs.sector) in
+           let* pos = int_range 0 (backing_len - len) in
+           let* off_sec = int_range 0 48 in
+           return (off_sec * Costs.sector, pos, len))
+      in
+      let* delay_pct = int_range 0 100 in
+      let* seed = int_range 0 1_000_000 in
+      return (segs, delay_pct, seed))
+  in
+  QCheck.Test.make ~count:100
+    ~name:"crashing writev over aliased slices = copy-at-issue recovery"
+    (make gen)
+    (fun (segs, delay_pct, seed) ->
+      let disk_size = Size.kib 64 in
+      let backing_len = 16 * Costs.sector in
+      let rng = Msnap_util.Rng.create (seed lxor 0xA11A5) in
+      let backing = Msnap_util.Rng.bytes rng backing_len in
+      let init = [ (0, Msnap_util.Rng.bytes rng disk_size) ] in
+      let total = List.fold_left (fun a (_, _, l) -> a + l) 0 segs in
+      let dur = Costs.disk_base + Costs.disk_xfer total in
+      let delay = dur * delay_pct / 100 in
+      let zc =
+        crash_replay ~copy_at_issue:false ~disk_size ~init ~segs ~backing
+          ~delay ~seed
+      in
+      let ref_ =
+        crash_replay ~copy_at_issue:true ~disk_size ~init ~segs ~backing
+          ~delay ~seed
+      in
+      Bytes.equal zc ref_)
+
 let () =
   let tc name f = Alcotest.test_case name `Quick f in
   Alcotest.run "blockdev"
@@ -223,6 +358,8 @@ let () =
           tc "buffer snapshot" test_write_buffer_snapshot;
           tc "power failure" test_power_failure_blocks_io;
           tc "torn write" test_torn_write;
+          tc "torn prefix sweep (zero-copy = snapshot)" test_torn_prefix_sweep;
+          QCheck_alcotest.to_alcotest prop_zero_copy_crash_equivalence;
         ] );
       ( "stripe",
         [

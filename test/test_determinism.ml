@@ -19,6 +19,11 @@ module Aspace = Msnap_vm.Aspace
 module Msnap = Msnap_core.Msnap
 module Aurora = Msnap_aurora.Aurora
 
+(* Run the whole suite with the data plane's ownership-rule checks on:
+   the device checksums every lent slice at issue and re-verifies at
+   commit/tear, so any zero-copy violation fails the tests loudly. *)
+let () = Msnap_util.Slice.debug_checks := true
+
 let page = 4096
 
 let mk_dev () =
@@ -58,6 +63,7 @@ type trace = {
   accounts : (string * (string * int) list) list; (* per-run CPU reports *)
   table_digest : string;
   counters : (string * int) list;
+  crashes : (string * string) list; (* crash scenario -> recovery digest *)
 }
 
 (* A reduced fig3: sweep dirty-set sizes over MemSnap persist and Aurora
@@ -154,11 +160,83 @@ let fig3_reduced () =
         (Sched.now (), Sched.account_report ()))
   in
   record "mt" mt_ns mt_report;
+  (* Crash-injection phase: power-fail the device while a μCheckpoint's
+     zero-copy commit (scatter/gather straight over the page frames) is
+     in flight, remount, and digest everything recoverable. The tear
+     happens while writer threads keep dirtying the region, so this
+     exercises the ownership rule end to end: checkpoint-in-progress COW
+     must keep the in-flight frames stable, and the torn sector prefix
+     must be identical on both runs. *)
+  let crashes =
+    List.map
+      (fun crash_delay ->
+        let region_pages = 128 in
+        let sim_end, digest =
+          Sched.run (fun () ->
+              let dev = mk_dev () in
+              let phys = Phys.create () in
+              let aspace = Aspace.create phys in
+              Store.format dev;
+              let store = Store.mount dev in
+              let k = Msnap.init ~store in
+              Msnap.attach k aspace;
+              let md =
+                Msnap.open_region k ~name:"crash" ~len:(region_pages * page) ()
+              in
+              for i = 0 to region_pages - 1 do
+                Msnap.write k md ~off:(i * page) (Bytes.make 32 'a')
+              done;
+              ignore (Msnap.persist k ~region:md ());
+              let persister =
+                Sched.spawn ~name:"persister" (fun () ->
+                    try
+                      let rng = Rng.create 42 in
+                      for _ = 1 to 64 do
+                        let p = Rng.int rng region_pages in
+                        Msnap.write k md ~off:(p * page) (Bytes.make 64 'z')
+                      done;
+                      ignore (Msnap.persist k ~region:md ())
+                    with Disk.Powered_off -> ())
+              in
+              let racer =
+                Sched.spawn ~name:"racer" (fun () ->
+                    try
+                      let rng = Rng.create 43 in
+                      for _ = 1 to 64 do
+                        let p = Rng.int rng region_pages in
+                        Msnap.write k md ~off:(p * page) (Bytes.make 48 'r');
+                        Sched.delay (Rng.int rng 5_000)
+                      done
+                    with Disk.Powered_off -> ())
+              in
+              Sched.delay crash_delay;
+              Stripe.fail_power dev ~torn_seed:crash_delay;
+              Sched.join persister;
+              Sched.join racer;
+              Stripe.restore_power dev;
+              let store2 = Store.mount dev in
+              let buf = Buffer.create (region_pages * page) in
+              (match Store.open_obj store2 ~name:"crash" with
+              | None -> Buffer.add_string buf "no-object"
+              | Some o ->
+                Buffer.add_string buf (string_of_int (Store.epoch o));
+                for i = 0 to region_pages - 1 do
+                  match Store.read_block store2 o i with
+                  | Some b -> Buffer.add_bytes buf b
+                  | None -> Buffer.add_string buf "hole"
+                done);
+              (Sched.now (), Digest.to_hex (Digest.string (Buffer.contents buf))))
+        in
+        ( Printf.sprintf "crash@%dns" crash_delay,
+          Printf.sprintf "%s/end=%d" digest sim_end ))
+      [ 30_000; 120_000; 400_000 ]
+  in
   {
     sim_ns = List.rev !sim_ns;
     accounts = List.rev !accounts;
     table_digest = Digest.to_hex (Digest.string (Tbl.render t));
     counters = Metrics.counters ();
+    crashes;
   }
 
 let test_identical_twice () =
@@ -173,7 +251,9 @@ let test_identical_twice () =
         ra rb)
     a.accounts b.accounts;
   Alcotest.(check string) "table digest" a.table_digest b.table_digest;
-  Alcotest.(check (list (pair string int))) "metrics" a.counters b.counters
+  Alcotest.(check (list (pair string int))) "metrics" a.counters b.counters;
+  Alcotest.(check (list (pair string string)))
+    "crash-injection recovery digests" a.crashes b.crashes
 
 let () =
   Alcotest.run "determinism"

@@ -9,6 +9,11 @@ module Alloc = Msnap_objstore.Alloc
 module Radix = Msnap_objstore.Radix
 module Store = Msnap_objstore.Store
 
+(* Run the whole suite with the data plane's ownership-rule checks on:
+   the device checksums every lent slice at issue and re-verifies at
+   commit/tear, so any zero-copy violation fails the tests loudly. *)
+let () = Msnap_util.Slice.debug_checks := true
+
 let checki = Alcotest.(check int)
 let checkb = Alcotest.(check bool)
 let checks = Alcotest.(check string)

@@ -12,6 +12,11 @@ module Storage = Msnap_pg.Storage
 module Heap = Msnap_pg.Heap
 module Pg = Msnap_pg.Pg
 
+(* Run the whole suite with the data plane's ownership-rule checks on:
+   the device checksums every lent slice at issue and re-verifies at
+   commit/tear, so any zero-copy violation fails the tests loudly. *)
+let () = Msnap_util.Slice.debug_checks := true
+
 let checki = Alcotest.(check int)
 let checkb = Alcotest.(check bool)
 let check_opt = Alcotest.(check (option string))

@@ -15,6 +15,11 @@ module Db = Msnap_sqlite.Db
 module Backend_wal = Msnap_sqlite.Backend_wal
 module Backend_msnap = Msnap_sqlite.Backend_msnap
 
+(* Run the whole suite with the data plane's ownership-rule checks on:
+   the device checksums every lent slice at issue and re-verifies at
+   commit/tear, so any zero-copy violation fails the tests loudly. *)
+let () = Msnap_util.Slice.debug_checks := true
+
 let checki = Alcotest.(check int)
 let checkb = Alcotest.(check bool)
 let checks = Alcotest.(check string)

@@ -248,6 +248,58 @@ let test_size () =
   check Alcotest.string "pp MiB" "1 MiB" (Size.pp (Size.mib 1));
   check Alcotest.string "pp B" "100 B" (Size.pp 100)
 
+(* --- Slice --- *)
+
+module Slice = Msnap_util.Slice
+
+let test_slice_windows () =
+  let b = Bytes.of_string "abcdefgh" in
+  let s = Slice.make b ~pos:2 ~len:4 in
+  checki "length" 4 (Slice.length s);
+  check Alcotest.string "contents" "cdef" (Slice.to_string s);
+  let t = Slice.sub s ~pos:1 ~len:2 in
+  check Alcotest.string "sub" "de" (Slice.to_string t);
+  (* Windows alias the backing buffer, in both directions. *)
+  Bytes.set b 3 'X';
+  check Alcotest.string "aliases parent" "Xe" (Slice.to_string (Slice.sub s ~pos:1 ~len:2));
+  Slice.fill t 'z';
+  check Alcotest.string "mutation visible in backing" "abczzfgh" (Bytes.to_string b);
+  let raised = try ignore (Slice.make b ~pos:6 ~len:4); false with Invalid_argument _ -> true in
+  checkb "bounds checked" true raised
+
+let test_slice_blits () =
+  let b = Bytes.of_string "0123456789" in
+  let s = Slice.make b ~pos:2 ~len:6 in
+  let dst = Bytes.make 4 '.' in
+  Slice.blit_to_bytes s ~src_pos:1 dst ~dst_pos:0 ~len:4;
+  check Alcotest.string "blit out" "3456" (Bytes.to_string dst);
+  Slice.blit_from_bytes (Bytes.of_string "AB") ~src_pos:0 s ~dst_pos:2 ~len:2;
+  check Alcotest.string "blit in" "0123AB6789" (Bytes.to_string b);
+  check Alcotest.string "through window" "23AB67" (Slice.to_string s)
+
+let test_slice_ownership () =
+  let b = Bytes.of_string "payload!" in
+  let s = Slice.of_bytes b in
+  Slice.debug_checks := true;
+  Fun.protect ~finally:(fun () -> Slice.debug_checks := false) (fun () ->
+      let ck = Slice.checksum s in
+      Slice.borrow s;
+      checki "borrow count" 1 (Slice.borrows s);
+      let raised = try Slice.fill s 'x'; false with Slice.Borrowed _ -> true in
+      checkb "mutation while lent raises" true raised;
+      checkb "bytes unchanged" true (Bytes.to_string b = "payload!");
+      Slice.release s;
+      checki "released" 0 (Slice.borrows s);
+      Slice.fill s 'x';
+      checkb "mutable after release" true (Bytes.to_string b = "xxxxxxxx");
+      checkb "checksum tracks content" true (Slice.checksum s <> ck))
+
+let test_slice_of_string () =
+  (* Zero-copy string view: readable, never mutated by the IO stack. *)
+  let s = Slice.of_string "hello" in
+  check Alcotest.string "view" "hello" (Slice.to_string s);
+  checki "len" 5 (Slice.length s)
+
 let () =
   let tc name f = Alcotest.test_case name `Quick f in
   Alcotest.run "util"
@@ -289,6 +341,13 @@ let () =
           tc "ceil_log2" test_bits_ceil_log2;
           tc "round" test_bits_round;
           QCheck_alcotest.to_alcotest prop_clz_consistent;
+        ] );
+      ( "slice",
+        [
+          tc "windows alias the backing buffer" test_slice_windows;
+          tc "blits" test_slice_blits;
+          tc "ownership: borrow blocks mutation" test_slice_ownership;
+          tc "of_string view" test_slice_of_string;
         ] );
       ( "tbl",
         [
