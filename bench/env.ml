@@ -7,12 +7,14 @@ module Sched = Msnap_sim.Sched
 module Sync = Msnap_sim.Sync
 module Costs = Msnap_sim.Costs
 module Metrics = Msnap_sim.Metrics
+module Probe = Msnap_sim.Probe
 module Rng = Msnap_util.Rng
 module Size = Msnap_util.Size
 module Tbl = Msnap_util.Tbl
 module Histogram = Msnap_util.Histogram
 module Disk = Msnap_blockdev.Disk
 module Stripe = Msnap_blockdev.Stripe
+module Device = Msnap_blockdev.Device
 module Store = Msnap_objstore.Store
 module Phys = Msnap_vm.Phys
 module Aspace = Msnap_vm.Aspace
@@ -24,9 +26,9 @@ module Aurora = Msnap_aurora.Aurora
 let dev_mib = 512
 
 let mk_dev ?(mib = dev_mib) () =
-  Stripe.create
-    [ Disk.create ~name:"nvme0" ~size:(Size.mib mib) ();
-      Disk.create ~name:"nvme1" ~size:(Size.mib mib) () ]
+  Device.of_stripe
+    (Stripe.create [ Disk.create ~name:"nvme0" ~size:(Size.mib mib) ();
+      Disk.create ~name:"nvme1" ~size:(Size.mib mib) () ])
 
 let mk_fs ?mib kind =
   let dev = mk_dev ?mib () in
@@ -84,8 +86,8 @@ let cpu_percent report =
       (name, 100.0 *. float_of_int v /. float_of_int (max 1 total)))
     report
 
-let metric_row name =
-  (name, Metrics.mean_ns name, Metrics.samples name)
+let metric_row p =
+  (Probe.name p, Metrics.mean_ns p, Metrics.samples p)
 
 (* --- output routing ---
 

@@ -20,9 +20,9 @@ let direct_disk_latency kib =
       let rng = Rng.create 1 in
       time_mean ~iters:10 (fun () ->
           let off =
-            Rng.int rng (Stripe.size dev / Size.kib kib) * Size.kib kib
+            Rng.int rng (Device.size dev / Size.kib kib) * Size.kib kib
           in
-          Stripe.write dev ~off (Bytes.create (Size.kib kib))))
+          Device.write dev ~off (Bytes.create (Size.kib kib))))
 
 (* write + fsync of [kib] KiB, sequential append or random 4 KiB pages
    into a large cold file. *)
@@ -51,7 +51,9 @@ let fsync_latency kind ~pattern kib =
             let off = Rng.int rng (Size.mib file_mib / page) * page in
             Fs.write fs f ~off (Bytes.create page)
           done);
-        Fs.fsync fs f
+        (* The bench plays the application here, so the fsync under test
+           carries the app-level probe (db category in traces). *)
+        Metrics.timed Probe.db_fsync (fun () -> Fs.fsync fs f)
       in
       time_mean ~iters:8 one)
 
@@ -68,9 +70,10 @@ let memsnap_latency ~mode kib =
       for _ = 1 to iters do
         dirty_random_pages k md rng ~region_pages ~pages:(Size.kib kib / page);
         let t0 = Sched.now () in
-        (match mode with
-        | `Sync -> ignore (Msnap.persist k ~region:md ())
-        | `Async -> ignore (Msnap.persist k ~region:md ~mode:`Async ()));
+        Metrics.timed Probe.db_memsnap (fun () ->
+            match mode with
+            | `Sync -> ignore (Msnap.persist k ~region:md ())
+            | `Async -> ignore (Msnap.persist k ~region:md ~mode:`Async ()));
         total := !total + (Sched.now () - t0);
         Sched.delay 5_000_000 (* drain async IO between iterations *)
       done;
@@ -182,10 +185,10 @@ let table5 () =
         Tbl.create ~title:"msnap_persist phases"
           ~headers:[ "Operation"; "mean (us)"; "paper (us)" ]
       in
-      Tbl.row t [ "Resetting tracking"; Tbl.us (int_of_float (Metrics.mean_ns "msnap_persist.reset")); "5.1" ];
-      Tbl.row t [ "Initiating writes"; Tbl.us (int_of_float (Metrics.mean_ns "msnap_persist.initiate")); "6.5" ];
-      Tbl.row t [ "Waiting on IO"; Tbl.us (int_of_float (Metrics.mean_ns "msnap_persist.wait")); "39.7" ];
-      Tbl.row t [ "Total"; Tbl.us (int_of_float (Metrics.mean_ns "msnap_persist.total")); "51.4" ];
+      Tbl.row t [ "Resetting tracking"; Tbl.us (int_of_float (Metrics.mean_ns Probe.msnap_persist_reset)); "5.1" ];
+      Tbl.row t [ "Initiating writes"; Tbl.us (int_of_float (Metrics.mean_ns Probe.msnap_persist_initiate)); "6.5" ];
+      Tbl.row t [ "Waiting on IO"; Tbl.us (int_of_float (Metrics.mean_ns Probe.msnap_persist_wait)); "39.7" ];
+      Tbl.row t [ "Total"; Tbl.us (int_of_float (Metrics.mean_ns Probe.msnap_persist_total)); "51.4" ];
       print_table t)
 
 (* --- Table 2 / Table 10 --- *)
@@ -246,9 +249,9 @@ let table10 () =
           dirty_random_pages k md rng ~region_pages:65536 ~pages:16;
           ignore (Msnap.persist k ~region:md ())
         done;
-        ( Metrics.mean_ns "msnap_persist.reset",
-          Metrics.mean_ns "msnap_persist.wait",
-          Metrics.mean_ns "msnap_persist.total" ))
+        ( Metrics.mean_ns Probe.msnap_persist_reset,
+          Metrics.mean_ns Probe.msnap_persist_wait,
+          Metrics.mean_ns Probe.msnap_persist_total ))
   in
   let b = aurora_breakdown () in
   let t =

@@ -103,7 +103,7 @@ let run_variant mk =
       let dev, st = mk () in
       let db = Pg.open_db st in
       load db;
-      Stripe.reset_stats dev;
+      Device.reset_stats dev;
       let t0 = Sched.now () in
       let txn_counter = ref 0 in
       let ts =
@@ -116,7 +116,7 @@ let run_variant mk =
       in
       List.iter Sched.join ts;
       let wall_s = float_of_int (Sched.now () - t0) /. 1e9 in
-      let stats = Stripe.stats dev in
+      let stats = Device.stats dev in
       {
         tps = float_of_int txns /. wall_s;
         mb_per_s = float_of_int stats.Disk.bytes_written /. 1e6 /. wall_s;

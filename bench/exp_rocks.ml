@@ -79,7 +79,9 @@ let run_mixgraph backend ~ops =
         wall_s = float_of_int wall /. 1e9;
         cpu = cpu_percent (Sched.account_report ());
         calls =
-          List.map metric_row [ "memsnap"; "fsync"; "write"; "checkpoint" ];
+          List.map metric_row
+            [ Probe.db_memsnap; Probe.db_fsync; Probe.db_write;
+              Probe.db_checkpoint ];
       })
 
 let ops = 24_000

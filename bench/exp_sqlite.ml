@@ -61,7 +61,8 @@ let run_dbbench ~backend ~pattern ~txn_bytes ~total_writes () =
         wall_ns = Sched.now () - t0;
         txn_hist = hist;
         calls =
-          List.map metric_row [ "memsnap"; "fsync"; "write"; "read" ];
+          List.map metric_row
+            [ Probe.db_memsnap; Probe.db_fsync; Probe.db_write; Probe.db_read ];
         cpu = cpu_percent (Sched.account_report ());
       })
 

@@ -5,7 +5,15 @@
    self-contained simulation (own Sched.run, seeded RNGs, domain-local
    metrics), so parallel runs produce byte-identical stdout to serial
    ones; per-experiment host wall-clock is recorded in BENCH_sim.json so
-   simulator-throughput regressions show up in review. *)
+   simulator-throughput regressions show up in review.
+
+   `--trace PATH` records a Chrome trace_event timeline of every
+   experiment (see Msnap_sim.Trace). Tracing is host-side observability:
+   it cannot perturb any simulated value, so traced and untraced runs
+   print identical tables. The per-experiment summary and event counts go
+   to stderr / BENCH_sim.json, never stdout. *)
+
+module Trace = Msnap_sim.Trace
 
 let experiments =
   [
@@ -50,43 +58,87 @@ type timing = {
   t_wall_s : float;
   t_minor_words : float; (* minor-heap allocation during the experiment *)
   t_major_words : float; (* words allocated directly on the major heap *)
+  t_trace_events : int; (* events exported; 0 when tracing is off *)
+  t_trace_s : float; (* host seconds spent dumping + exporting the trace *)
 }
+
+(* One trace file per experiment: with a single -e the file is exactly
+   PATH; otherwise the experiment name is spliced in before ".json". *)
+let trace_path_for ~trace ~multi name =
+  match trace with
+  | None -> None
+  | Some path ->
+    if not multi then Some path
+    else (
+      match Filename.chop_suffix_opt ~suffix:".json" path with
+      | Some base -> Some (Printf.sprintf "%s.%s.json" base name)
+      | None -> Some (Printf.sprintf "%s.%s" path name))
 
 (* Time [f] and record its allocation via [Gc.quick_stat] deltas. The
    counters are per-domain, so the deltas are accurate whether the
-   experiment runs on the main domain or a pool helper. *)
-let timed name f =
+   experiment runs on the main domain or a pool helper — and so is the
+   trace buffer, so collection and export happen right here, on whichever
+   domain ran the experiment. *)
+let timed ?trace_path name f =
+  if trace_path <> None then Trace.enable ();
   let g0 = Gc.quick_stat () in
   let t0 = Unix.gettimeofday () in
   f ();
   let wall = Unix.gettimeofday () -. t0 in
   let g1 = Gc.quick_stat () in
+  let trace_events, trace_s =
+    match trace_path with
+    | None -> (0, 0.0)
+    | Some path ->
+      let e0 = Unix.gettimeofday () in
+      Trace.disable ();
+      let d = Trace.dump () in
+      let oc = open_out path in
+      Trace.export_json oc d;
+      close_out oc;
+      let n = Array.length d.Trace.d_events in
+      (* stderr only: stdout must stay byte-identical with tracing off. *)
+      Printf.eprintf "[trace] %s: %d events (%d dropped) -> %s\n%s%!" name n
+        d.Trace.d_dropped path
+        (Trace.render_summary d);
+      (n, Unix.gettimeofday () -. e0)
+  in
   {
     t_name = name;
     t_wall_s = wall;
     t_minor_words = g1.Gc.minor_words -. g0.Gc.minor_words;
     t_major_words = g1.Gc.major_words -. g0.Gc.major_words;
+    t_trace_events = trace_events;
+    t_trace_s = trace_s;
   }
 
 (* Run [selected] serially on this domain, printing as we go. *)
-let run_serial selected =
-  List.map (fun (name, (_, f)) -> timed name f) selected
+let run_serial ~trace selected =
+  let multi = List.length selected > 1 in
+  List.map
+    (fun (name, (_, f)) ->
+      timed ?trace_path:(trace_path_for ~trace ~multi name) name f)
+    selected
 
 (* Run [selected] on a pool of [jobs] domains. Output is captured per
    experiment and printed in experiment order once everything finished,
    so stdout is byte-identical to a serial run. *)
-let run_parallel jobs selected =
+let run_parallel ~trace jobs selected =
   let arr = Array.of_list selected in
   let n = Array.length arr in
+  let multi = n > 1 in
   let outputs = Array.make n "" in
   let times =
     Array.make n
-      { t_name = ""; t_wall_s = 0.0; t_minor_words = 0.0; t_major_words = 0.0 }
+      { t_name = ""; t_wall_s = 0.0; t_minor_words = 0.0; t_major_words = 0.0;
+        t_trace_events = 0; t_trace_s = 0.0 }
   in
   let run_one i =
     let name, (_, f) = arr.(i) in
     let buf = Buffer.create 4096 in
-    times.(i) <- timed name (fun () -> Env.captured buf f);
+    times.(i) <-
+      timed ?trace_path:(trace_path_for ~trace ~multi name) name (fun () ->
+          Env.captured buf f);
     outputs.(i) <- Buffer.contents buf
   in
   let pool_idx =
@@ -119,7 +171,7 @@ let write_timings ~path ~jobs ~total timings =
   let oc = open_out path in
   let p fmt = Printf.fprintf oc fmt in
   p "{\n";
-  p "  \"schema\": \"memsnap-bench-sim/2\",\n";
+  p "  \"schema\": \"memsnap-bench-sim/3\",\n";
   p "  \"jobs\": %d,\n" jobs;
   p "  \"total_wall_s\": %.3f,\n" total;
   p "  \"experiments\": [\n";
@@ -127,20 +179,23 @@ let write_timings ~path ~jobs ~total timings =
     (fun i t ->
       p
         "    { \"name\": %S, \"wall_s\": %.3f, \"minor_words\": %.0f, \
-         \"major_words\": %.0f }%s\n"
-        t.t_name t.t_wall_s t.t_minor_words t.t_major_words
+         \"major_words\": %.0f, \"trace_events\": %d, \
+         \"trace_overhead_s\": %.3f }%s\n"
+        t.t_name t.t_wall_s t.t_minor_words t.t_major_words t.t_trace_events
+        t.t_trace_s
         (if i = List.length timings - 1 then "" else ","))
     timings;
   p "  ]\n}\n";
   close_out oc
 
-let run names jobs timings_path =
+let run names jobs timings_path trace =
   let selected = select names in
   if names = [] then
     print_endline "MemSnap reproduction: regenerating every table and figure";
   let t0 = Unix.gettimeofday () in
   let timings =
-    if jobs <= 1 then run_serial selected else run_parallel jobs selected
+    if jobs <= 1 then run_serial ~trace selected
+    else run_parallel ~trace jobs selected
   in
   let total = Unix.gettimeofday () -. t0 in
   write_timings ~path:timings_path ~jobs:(max 1 jobs) ~total timings;
@@ -167,10 +222,18 @@ let timings_path =
   Arg.(value & opt string "BENCH_sim.json" & info [ "timings" ]
          ~doc:"Where to write per-experiment wall-clock timings (JSON).")
 
+let trace =
+  Arg.(value & opt (some string) None & info [ "trace" ]
+         ~doc:"Record a Chrome trace_event timeline to $(docv) (load in \
+               chrome://tracing or ui.perfetto.dev). With several \
+               experiments selected, one file per experiment with the \
+               name spliced in. Host-side only: simulated values are \
+               byte-identical with tracing on or off." ~docv:"PATH")
+
 let cmd =
   Cmd.v
     (Cmd.info "memsnap-bench"
        ~doc:"Reproduce the MemSnap paper's evaluation tables and figures")
-    Term.(const run $ names $ jobs $ timings_path)
+    Term.(const run $ names $ jobs $ timings_path $ trace)
 
 let () = exit (Cmd.eval cmd)

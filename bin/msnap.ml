@@ -7,12 +7,14 @@
 *)
 
 module Sched = Msnap_sim.Sched
+module Trace = Msnap_sim.Trace
 module Costs = Msnap_sim.Costs
 module Rng = Msnap_util.Rng
 module Size = Msnap_util.Size
 module Tbl = Msnap_util.Tbl
 module Disk = Msnap_blockdev.Disk
 module Stripe = Msnap_blockdev.Stripe
+module Device = Msnap_blockdev.Device
 module Store = Msnap_objstore.Store
 module Phys = Msnap_vm.Phys
 module Aspace = Msnap_vm.Aspace
@@ -27,8 +29,8 @@ let mk_machine ?(format = true) dev =
   k
 
 let mk_dev () =
-  Stripe.create
-    [ Disk.create ~size:(Size.mib 256) (); Disk.create ~size:(Size.mib 256) () ]
+  Device.of_stripe
+    (Stripe.create [ Disk.create ~size:(Size.mib 256) (); Disk.create ~size:(Size.mib 256) () ])
 
 let costs () =
   let t = Tbl.create ~title:"calibrated cost model" ~headers:[ "Primitive"; "ns" ] in
@@ -49,7 +51,27 @@ let costs () =
     ];
   Tbl.print t
 
-let persist_sweep () =
+(* Wrap [f] with trace collection when [--trace PATH] was given. The
+   trace is host-side observability only: every simulated number the
+   subcommand prints is identical with or without it. *)
+let with_trace trace f =
+  match trace with
+  | None -> f ()
+  | Some path ->
+    Trace.enable ();
+    Fun.protect f ~finally:(fun () ->
+        Trace.disable ();
+        let d = Trace.dump () in
+        let oc = open_out path in
+        Trace.export_json oc d;
+        close_out oc;
+        Printf.eprintf "[trace] %d events (%d dropped) -> %s\n%s%!"
+          (Array.length d.Trace.d_events)
+          d.Trace.d_dropped path
+          (Trace.render_summary d))
+
+let persist_sweep trace =
+  with_trace trace @@ fun () ->
   let t =
     Tbl.create ~title:"msnap_persist latency by dirty-set size"
       ~headers:[ "Dirty"; "sync us"; "async us" ]
@@ -83,7 +105,8 @@ let persist_sweep () =
     [ 4; 16; 64; 256; 1024 ];
   Tbl.print t
 
-let torture () =
+let torture trace =
+  with_trace trace @@ fun () ->
   let survived = ref 0 in
   for round = 1 to 10 do
     let ok =
@@ -105,9 +128,9 @@ let torture () =
                 with Disk.Powered_off -> ())
           in
           Sched.delay (1_000_000 * round);
-          Stripe.fail_power dev ~torn_seed:round;
+          Device.fail_power dev ~torn_seed:round;
           Sched.join w;
-          Stripe.restore_power dev;
+          Device.restore_power dev;
           let k2 = mk_machine ~format:false dev in
           let md2 = Msnap.open_region k2 ~name:"t" ~len:(Size.mib 1) () in
           (* The recovered page for the last committed write must hold it. *)
@@ -126,15 +149,20 @@ let torture () =
 
 open Cmdliner
 
+let trace =
+  Arg.(value & opt (some string) None & info [ "trace" ]
+         ~doc:"Record a Chrome trace_event timeline to $(docv) (host-side \
+               only; simulated values are unchanged)." ~docv:"PATH")
+
 let cmd =
   Cmd.group (Cmd.info "msnap" ~doc:"Explore the simulated MemSnap machine")
     [
       Cmd.v (Cmd.info "costs" ~doc:"Print the calibrated cost model")
         Term.(const costs $ const ());
       Cmd.v (Cmd.info "persist" ~doc:"Sweep msnap_persist latency")
-        Term.(const persist_sweep $ const ());
+        Term.(const persist_sweep $ trace);
       Cmd.v (Cmd.info "torture" ~doc:"Crash-inject and verify recovery")
-        Term.(const torture $ const ());
+        Term.(const torture $ trace);
     ]
 
 let () = exit (Cmd.eval cmd)

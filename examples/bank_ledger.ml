@@ -16,6 +16,7 @@ module Rng = Msnap_util.Rng
 module Size = Msnap_util.Size
 module Disk = Msnap_blockdev.Disk
 module Stripe = Msnap_blockdev.Stripe
+module Device = Msnap_blockdev.Device
 module Store = Msnap_objstore.Store
 module Phys = Msnap_vm.Phys
 module Aspace = Msnap_vm.Aspace
@@ -53,8 +54,8 @@ let total k md =
 let () =
   Sched.run @@ fun () ->
   let dev =
-    Stripe.create
-      [ Disk.create ~size:(Size.mib 64) (); Disk.create ~size:(Size.mib 64) () ]
+    Device.of_stripe
+    (Stripe.create [ Disk.create ~size:(Size.mib 64) (); Disk.create ~size:(Size.mib 64) () ])
   in
   let k = boot ~format:true dev in
   let md = Msnap.open_region k ~name:"ledger" ~len:(accounts * page) () in
@@ -103,9 +104,9 @@ let () =
   (* Let them run, then pull the plug mid-transfer. *)
   Sched.delay 40_000_000;
   say "crash after %d acknowledged transfers..." !transfers_done;
-  Stripe.fail_power dev ~torn_seed:7;
+  Device.fail_power dev ~torn_seed:7;
   List.iter Sched.join tellers;
-  Stripe.restore_power dev;
+  Device.restore_power dev;
 
   let k2 = boot dev in
   let md2 = Msnap.open_region k2 ~name:"ledger" ~len:(accounts * page) () in

@@ -13,6 +13,7 @@ module Rng = Msnap_util.Rng
 module Size = Msnap_util.Size
 module Disk = Msnap_blockdev.Disk
 module Stripe = Msnap_blockdev.Stripe
+module Device = Msnap_blockdev.Device
 module Store = Msnap_objstore.Store
 module Phys = Msnap_vm.Phys
 module Aspace = Msnap_vm.Aspace
@@ -34,8 +35,8 @@ let config = { Rocks.default_config with region_pages = 8192 }
 let () =
   Sched.run @@ fun () ->
   let dev =
-    Stripe.create
-      [ Disk.create ~size:(Size.mib 128) (); Disk.create ~size:(Size.mib 128) () ]
+    Device.of_stripe
+    (Stripe.create [ Disk.create ~size:(Size.mib 128) (); Disk.create ~size:(Size.mib 128) () ])
   in
   let k = boot ~format:true dev in
   let db = Rocks.open_db ~config (Rocks.Memsnap k) ~name:"kv" in
@@ -64,8 +65,8 @@ let () =
   List.iter (fun (key, v) -> say "  %s -> %s" key v) window;
 
   say "== crash ==";
-  Stripe.fail_power dev ~torn_seed:3;
-  Stripe.restore_power dev;
+  Device.fail_power dev ~torn_seed:3;
+  Device.restore_power dev;
 
   say "== recover: remap region, rebuild skip pointers from the list ==";
   let k2 = boot dev in

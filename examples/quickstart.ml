@@ -10,6 +10,7 @@ module Sched = Msnap_sim.Sched
 module Size = Msnap_util.Size
 module Disk = Msnap_blockdev.Disk
 module Stripe = Msnap_blockdev.Stripe
+module Device = Msnap_blockdev.Device
 module Store = Msnap_objstore.Store
 module Phys = Msnap_vm.Phys
 module Aspace = Msnap_vm.Aspace
@@ -29,9 +30,9 @@ let boot ?(format = false) dev =
 let () =
   Sched.run @@ fun () ->
   let dev =
-    Stripe.create
-      [ Disk.create ~name:"nvme0" ~size:(Size.mib 64) ();
-        Disk.create ~name:"nvme1" ~size:(Size.mib 64) () ]
+    Device.of_stripe
+    (Stripe.create [ Disk.create ~name:"nvme0" ~size:(Size.mib 64) ();
+        Disk.create ~name:"nvme1" ~size:(Size.mib 64) () ])
   in
 
   say "== first boot ==";
@@ -61,8 +62,8 @@ let () =
     (Bytes.to_string (Msnap.read k md ~off:0 ~len:14));
 
   say "== power failure! ==";
-  Stripe.fail_power dev ~torn_seed:42;
-  Stripe.restore_power dev;
+  Device.fail_power dev ~torn_seed:42;
+  Device.restore_power dev;
 
   say "== reboot and recover ==";
   let k2 = boot dev in

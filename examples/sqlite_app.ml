@@ -11,9 +11,11 @@
 
 module Sched = Msnap_sim.Sched
 module Metrics = Msnap_sim.Metrics
+module Probe = Msnap_sim.Probe
 module Size = Msnap_util.Size
 module Disk = Msnap_blockdev.Disk
 module Stripe = Msnap_blockdev.Stripe
+module Device = Msnap_blockdev.Device
 module Store = Msnap_objstore.Store
 module Phys = Msnap_vm.Phys
 module Aspace = Msnap_vm.Aspace
@@ -26,8 +28,8 @@ module Backend_msnap = Msnap_sqlite.Backend_msnap
 let say fmt = Printf.printf (fmt ^^ "\n%!")
 
 let mk_dev () =
-  Stripe.create
-    [ Disk.create ~size:(Size.mib 128) (); Disk.create ~size:(Size.mib 128) () ]
+  Device.of_stripe
+    (Stripe.create [ Disk.create ~size:(Size.mib 128) (); Disk.create ~size:(Size.mib 128) () ])
 
 let app_workload db =
   let orders = Db.create_table db "orders" in
@@ -50,8 +52,8 @@ let () =
   let wal_db = Db.open_db (Backend_wal.backend (Backend_wal.create fs ~db_name:"app.db" ())) in
   app_workload wal_db;
   say "baseline (WAL+checkpoint): %4d fsync, %5d write, mean fsync %.0f us"
-    (Metrics.count "fsync") (Metrics.count "write")
-    (Metrics.mean_ns "fsync" /. 1e3);
+    (Metrics.count Probe.db_fsync) (Metrics.count Probe.db_write)
+    (Metrics.mean_ns Probe.db_fsync /. 1e3);
 
   (* MemSnap plugin: same storage engine, no files. *)
   Metrics.reset ();
@@ -65,12 +67,12 @@ let () =
   let ms_db = Db.open_db (Backend_msnap.backend be) in
   app_workload ms_db;
   say "memsnap plugin:            %4d msnap_persist, 0 fsync, mean persist %.0f us"
-    (Metrics.count "memsnap")
-    (Metrics.mean_ns "memsnap" /. 1e3);
+    (Metrics.count Probe.db_memsnap)
+    (Metrics.mean_ns Probe.db_memsnap /. 1e3);
 
   say "== crash and recover the memsnap database ==";
-  Stripe.fail_power dev ~torn_seed:99;
-  Stripe.restore_power dev;
+  Device.fail_power dev ~torn_seed:99;
+  Device.restore_power dev;
   let phys2 = Phys.create () in
   let aspace2 = Aspace.create phys2 in
   let k2 = Msnap.init ~store:(Store.mount dev) in

@@ -1,4 +1,6 @@
 module Sched = Msnap_sim.Sched
+module Trace = Msnap_sim.Trace
+module Probe = Msnap_sim.Probe
 module Sync = Msnap_sim.Sync
 module Costs = Msnap_sim.Costs
 module Aspace = Msnap_vm.Aspace
@@ -97,6 +99,9 @@ module Region = struct
     let page = Phys.get (Aspace.phys aspace) (Pte.frame pte) in
     if Pte.writable pte then ()
     else if page.Phys.ckpt_in_progress then begin
+      if Trace.is_on () then
+        Trace.instant Probe.aurora_cow_fault
+          ~args:[ ("vpn", Trace.I fault.Aspace.f_vpn) ];
       let copy = Phys.copy_page (Aspace.phys aspace) page in
       Phys.rmap_remove page fault.Aspace.f_loc;
       Phys.rmap_add copy fault.Aspace.f_loc;
@@ -218,15 +223,32 @@ module Region = struct
     let t0 = Sched.now () in
     stop_world r.k;
     let t_stall = Sched.now () in
+    (* Each phase span is emitted the moment it ends so its reconstructed
+       start (now - dur) lands where the phase actually began. *)
+    if Trace.is_on () then
+      Trace.complete Probe.aurora_stall ~dur:(t_stall - t0)
+        ~args:[ ("threads", Trace.I r.k.threads) ];
     let dirty = shadow_region r in
     let t_shadow = Sched.now () in
+    if Trace.is_on () then
+      Trace.complete Probe.aurora_shadow ~dur:(t_shadow - t_stall)
+        ~args:[ ("dirty_pages", Trace.I (List.length dirty)) ];
     resume_world r.k;
     flush_dirty r dirty;
     let t_io = Sched.now () in
+    if Trace.is_on () then
+      Trace.complete Probe.aurora_io ~dur:(t_io - t_shadow);
     collapse_region r;
     let t_collapse = Sched.now () in
     r.breakdown <-
-      Some (t_stall - t0, t_shadow - t_stall, t_io - t_shadow, t_collapse - t_io)
+      Some (t_stall - t0, t_shadow - t_stall, t_io - t_shadow, t_collapse - t_io);
+    if Trace.is_on () then begin
+      Trace.complete Probe.aurora_collapse ~dur:(t_collapse - t_io);
+      Trace.complete Probe.aurora_checkpoint ~dur:(t_collapse - t0)
+        ~args:
+          [ ("region", Trace.S r.r_name);
+            ("dirty_pages", Trace.I (List.length dirty)) ]
+    end
 
   let checkpoint r =
     let iv = Sync.Ivar.create () in
@@ -257,6 +279,7 @@ end
 let os_state_cost = 350_000
 
 let checkpoint_app (k : Kernel.t) =
+  let trace_t0 = if Trace.is_on () then Sched.now () else 0 in
   Kernel.stop_world k;
   let dirty_by_region =
     List.map (fun r -> (r, Region.shadow_region r)) k.Kernel.regions
@@ -268,4 +291,8 @@ let checkpoint_app (k : Kernel.t) =
   List.iter (fun (r, dirty) -> Region.flush_dirty r dirty) dirty_by_region;
   List.iter (fun (r, _) -> Region.collapse_region r) dirty_by_region;
   (* Collapse pass over the non-region address space as well. *)
-  Sched.cpu (k.Kernel.other_mapped_pages * Costs.pte_visit)
+  Sched.cpu (k.Kernel.other_mapped_pages * Costs.pte_visit);
+  if Trace.is_on () then
+    Trace.complete Probe.aurora_checkpoint_app
+      ~dur:(Sched.now () - trace_t0)
+      ~args:[ ("regions", Trace.I (List.length k.Kernel.regions)) ]

@@ -1,0 +1,65 @@
+(** One block-device interface over every backend.
+
+    {!Disk} (a single simulated NVMe drive) and {!Stripe} (RAID-0 over
+    several) expose the same operations but distinct types, which used
+    to force every consumer — the file systems, the object store, the
+    bench harness — to pick a backend at compile time or duplicate
+    plumbing. [Device] packages any backend implementing {!S} as a
+    single first-class value, so [Fs.mkfs], [Store.format], and the
+    experiment builders take {e a device}, not a particular one.
+
+    The zero-copy contract is part of the signature: slices handed to
+    {!writev}/{!write_slice} obey the ownership rule (not mutated until
+    the call returns in virtual time), and {!read_into} lands in the
+    caller's buffer. See {!Disk} for the full statement. *)
+
+module Slice = Msnap_util.Slice
+
+(** What a block-device backend must provide. Durability semantics:
+    writes become durable in issue order per command; [flush] drains the
+    queue; [barrier] is the ordering point consumers should use when
+    they need "everything before is on media before anything after" —
+    today both backends implement it as [flush], but the signature keeps
+    the distinction so a future backend with native ordered commands can
+    do better. *)
+module type S = sig
+  type t
+
+  val name : t -> string
+  val size : t -> int
+  val writev : t -> (int * Slice.t) list -> unit
+  val write_slice : t -> off:int -> Slice.t -> unit
+  val write : t -> off:int -> Bytes.t -> unit
+  val read_into : t -> off:int -> Slice.t -> unit
+  val read : t -> off:int -> len:int -> Bytes.t
+  val flush : t -> unit
+  val barrier : t -> unit
+  val fail_power : t -> torn_seed:int -> unit
+  val restore_power : t -> unit
+  val stats : t -> Disk.stats
+  val reset_stats : t -> unit
+end
+
+type t = Dev : (module S with type t = 'a) * 'a -> t
+(** A backend module packed with its instance. Consumers normally use
+    the forwarding functions below; the constructor is exposed so new
+    backends can be packed without touching this module. *)
+
+val of_disk : Disk.t -> t
+val of_stripe : Stripe.t -> t
+
+(** {2 Forwarders} *)
+
+val name : t -> string
+val size : t -> int
+val writev : t -> (int * Slice.t) list -> unit
+val write_slice : t -> off:int -> Slice.t -> unit
+val write : t -> off:int -> Bytes.t -> unit
+val read_into : t -> off:int -> Slice.t -> unit
+val read : t -> off:int -> len:int -> Bytes.t
+val flush : t -> unit
+val barrier : t -> unit
+val fail_power : t -> torn_seed:int -> unit
+val restore_power : t -> unit
+val stats : t -> Disk.stats
+val reset_stats : t -> unit

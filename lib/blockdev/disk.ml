@@ -1,6 +1,8 @@
 module Costs = Msnap_sim.Costs
 module Sched = Msnap_sim.Sched
 module Sync = Msnap_sim.Sync
+module Trace = Msnap_sim.Trace
+module Probe = Msnap_sim.Probe
 module Rng = Msnap_util.Rng
 module Slice = Msnap_util.Slice
 
@@ -136,10 +138,35 @@ let service t ~dur ~io =
       t.s_busy <- t.s_busy + dur;
       io dur)
 
+(* Trace one command from issue to commit, including any time queued on a
+   channel. Queue depth is sampled at issue; args are only computed when
+   tracing is on so the disabled path allocates nothing. Host-only. *)
+let traced t probe ~bytes io =
+  if not (Trace.is_on ()) then io ()
+  else begin
+    let t0 = Sched.now () in
+    let qd =
+      Costs.disk_channels - Sync.Semaphore.value t.channels
+      + List.length t.inflight
+    in
+    match io () with
+    | r ->
+      Trace.complete probe ~dur:(Sched.now () - t0)
+        ~args:[ ("dev", Trace.S t.dname); ("bytes", Trace.I bytes);
+                ("qd_at_issue", Trace.I qd) ];
+      r
+    | exception exn ->
+      Trace.complete probe ~dur:(Sched.now () - t0)
+        ~args:[ ("dev", Trace.S t.dname); ("bytes", Trace.I bytes);
+                ("qd_at_issue", Trace.I qd); ("aborted", Trace.I 1) ];
+      raise exn
+  end
+
 let writev t segs =
   List.iter (fun (off, s) -> check_range t off (Slice.length s)) segs;
   let total = List.fold_left (fun a (_, s) -> a + Slice.length s) 0 segs in
   let dur = Costs.disk_base + Costs.disk_xfer total in
+  traced t Probe.disk_write ~bytes:total @@ fun () ->
   service t ~dur ~io:(fun dur ->
       let checksums =
         if !Slice.debug_checks then List.map (fun (_, s) -> Slice.checksum s) segs
@@ -168,6 +195,7 @@ let read_into t ~off dst =
   let len = Slice.length dst in
   check_range t off len;
   let dur = Costs.disk_base + Costs.disk_xfer len in
+  traced t Probe.disk_read ~bytes:len @@ fun () ->
   service t ~dur ~io:(fun dur ->
       Sched.delay dur;
       t.s_reads <- t.s_reads + 1;
@@ -182,6 +210,7 @@ let read t ~off ~len =
 let flush t =
   (* Draining the queue = acquiring every channel once. *)
   check_power t;
+  traced t Probe.disk_flush ~bytes:0 @@ fun () ->
   let n = Costs.disk_channels in
   for _ = 1 to n do
     Sync.Semaphore.acquire t.channels

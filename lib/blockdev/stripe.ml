@@ -20,6 +20,9 @@ let create ?(unit_size = Size.kib 64) disks =
 let size t = Array.fold_left (fun a d -> a + Disk.size d) 0 t.disks
 let unit_size t = t.unit_size
 
+let name t =
+  String.concat "+" (Array.to_list (Array.map Disk.name t.disks))
+
 let ndisks t = Array.length t.disks
 
 (* Split [off, len) into (dev, dev_off, seg_off, seg_len) chunks. *)

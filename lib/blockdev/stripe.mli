@@ -24,6 +24,9 @@ val create : ?unit_size:int -> Disk.t list -> t
 val size : t -> int
 val unit_size : t -> int
 
+val name : t -> string
+(** Member device names joined with ["+"], e.g. ["nvme0+nvme1"]. *)
+
 val write : t -> off:int -> Bytes.t -> unit
 (** Zero-copy wrapper over {!writev}: [data] is referenced, not
     snapshotted — it must not be mutated until the call returns. *)

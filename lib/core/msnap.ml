@@ -2,6 +2,8 @@ module Sched = Msnap_sim.Sched
 module Sync = Msnap_sim.Sync
 module Costs = Msnap_sim.Costs
 module Metrics = Msnap_sim.Metrics
+module Trace = Msnap_sim.Trace
+module Probe = Msnap_sim.Probe
 module Aspace = Msnap_vm.Aspace
 module Addr = Msnap_vm.Addr
 module Phys = Msnap_vm.Phys
@@ -34,6 +36,10 @@ and region = {
          for the first to materialize the frame *)
   mutable r_aspaces : Aspace.t list;
   tickets : (int, Store.ticket) Hashtbl.t; (* epoch -> in-flight commit *)
+  mutable r_flow : int;
+      (* Trace flow id of the pending (not yet persisted) Î¼Checkpoint:
+         allocated at the first tracked fault while tracing, consumed by
+         the persist that takes the dirty set. Host-only; 0 = none. *)
 }
 
 and t = {
@@ -105,7 +111,15 @@ let track t r ~vpn ~rel page =
             r.r_name rel tid page.Phys.owner));
   page.Phys.owner <- tid;
   let l = dirty_list t tid in
-  l := { e_vpn = vpn; e_rel = rel; e_page = page; e_region = r } :: !l
+  l := { e_vpn = vpn; e_rel = rel; e_page = page; e_region = r } :: !l;
+  if Trace.is_on () && r.r_flow = 0 then begin
+    (* First tracked fault of this Î¼Checkpoint: open its causality flow.
+       Every later stage (PTE reset, device commit, durable epoch) links
+       to this id. *)
+    r.r_flow <- Trace.new_flow ();
+    Trace.instant Probe.msnap_first_fault ~flow:(r.r_flow, Trace.Flow_start)
+      ~args:[ ("region", Trace.S r.r_name); ("rel_page", Trace.I rel) ]
+  end
 
 (* The MemSnap write-fault handler: dirty tracking, plus the unified COW
    path for pages whose μCheckpoint is in flight (§3). Runs under the
@@ -219,7 +233,7 @@ let open_region t ?aspace ~name ~len () =
   let r =
     { r_name = name; r_va = va; r_len = Addr.page_align_up len; r_obj = obj;
       r_kernel = t; frames = Hashtbl.create 256; populating = Hashtbl.create 8;
-      r_aspaces = []; tickets = Hashtbl.create 8 }
+      r_aspaces = []; tickets = Hashtbl.create 8; r_flow = 0 }
   in
   Hashtbl.replace t.regions name r;
   map_region_into t r aspace;
@@ -292,6 +306,31 @@ let reset_tracking t entries =
           l := (a', e.e_vpn :: vpns))
         e.e_region.r_aspaces)
     entries;
+  if Trace.is_on () then begin
+    (* One flow step per region whose PTEs were just reset. *)
+    let per_region = Hashtbl.create 4 in
+    List.iter
+      (fun e ->
+        let r = e.e_region in
+        let c =
+          match Hashtbl.find_opt per_region r.r_name with
+          | Some c -> c
+          | None ->
+            let c = ref (r, 0) in
+            Hashtbl.add per_region r.r_name c;
+            c
+        in
+        let r', n = !c in
+        c := (r', n + 1))
+      entries;
+    Hashtbl.iter
+      (fun _ c ->
+        let r, n = !c in
+        if r.r_flow <> 0 then
+          Trace.instant Probe.msnap_pte_reset ~flow:(r.r_flow, Trace.Flow_step)
+            ~args:[ ("region", Trace.S r.r_name); ("pages", Trace.I n) ])
+      per_region
+  end;
   (* One shootdown round covers all CPUs; invalidate each TLB. *)
   let charged = ref false in
   Hashtbl.iter
@@ -338,13 +377,28 @@ let take_entries t ~scope ~region =
     tids
 
 let persist t ?region ?(mode = `Sync) ?(scope = `Thread) () =
-  Sched.with_bucket "memsnap" (fun () ->
+  Sched.with_bucket Probe.Bucket.memsnap (fun () ->
       Sched.cpu Costs.syscall;
-      Metrics.incr "msnap_persist";
+      Metrics.incr Probe.msnap_persist;
       let t0 = Sched.now () in
       let entries = take_entries t ~scope ~region in
+      if Trace.is_on () then begin
+        let seen = Hashtbl.create 4 in
+        List.iter
+          (fun e ->
+            let r = e.e_region in
+            if (not (Hashtbl.mem seen r.r_name)) && r.r_flow <> 0 then begin
+              Hashtbl.add seen r.r_name ();
+              Trace.instant Probe.msnap_take_dirty
+                ~flow:(r.r_flow, Trace.Flow_step)
+                ~args:[ ("region", Trace.S r.r_name) ]
+            end)
+          entries
+      end;
       reset_tracking t entries;
-      Metrics.add_sample "msnap_persist.reset" (Sched.now () - t0);
+      let d_reset = Sched.now () - t0 in
+      Metrics.add_sample Probe.msnap_persist_reset d_reset;
+      Trace.complete Probe.msnap_persist_reset ~dur:d_reset;
       (* Group by region and commit each group as one μCheckpoint. *)
       let by_region = Hashtbl.create 4 in
       let regions_in_order = ref [] in
@@ -362,50 +416,63 @@ let persist t ?region ?(mode = `Sync) ?(scope = `Thread) () =
           (fun r ->
             let es = !(Hashtbl.find by_region r.r_name) in
             let pages = List.map (fun e -> (e.e_rel, e.e_page.Phys.data)) es in
-            let ep, ticket = Store.commit_async t.store r.r_obj pages in
+            (* Consume the region's pending flow: faults arriving from
+               here on belong to the next Î¼Checkpoint. *)
+            let flow = r.r_flow in
+            r.r_flow <- 0;
+            let ep, ticket = Store.commit_async ~flow t.store r.r_obj pages in
             Hashtbl.replace r.tickets ep ticket;
-            (r, ep, ticket, es))
+            (r, ep, ticket, es, flow))
           (List.rev !regions_in_order)
       in
-      Metrics.add_sample "msnap_persist.initiate" (Sched.now () - t1);
+      let d_init = Sched.now () - t1 in
+      Metrics.add_sample Probe.msnap_persist_initiate d_init;
+      Trace.complete Probe.msnap_persist_initiate ~dur:d_init;
       let result_epoch =
         match region with
         | Some r -> (
-          match List.find_opt (fun (r', _, _, _) -> r' == r) commits with
-          | Some (_, ep, _, _) -> ep
+          match List.find_opt (fun (r', _, _, _, _) -> r' == r) commits with
+          | Some (_, ep, _, _, _) -> ep
           | None -> durable_epoch r)
         | None ->
-          List.fold_left (fun acc (_, ep, _, _) -> max acc ep) 0 commits
+          List.fold_left (fun acc (_, ep, _, _, _) -> max acc ep) 0 commits
       in
       let finish () =
         List.iter
-          (fun (r, ep, ticket, es) ->
+          (fun (r, ep, ticket, es, flow) ->
             (match Store.wait ticket with
             | () -> Hashtbl.remove r.tickets ep
             | exception exn ->
               (* Keep the ticket so msnap_wait observes the failure. *)
               complete_entries t es;
               raise exn);
-            complete_entries t es)
+            complete_entries t es;
+            if Trace.is_on () && flow <> 0 then
+              Trace.instant Probe.msnap_durable ~flow:(flow, Trace.Flow_end)
+                ~args:[ ("region", Trace.S r.r_name); ("epoch", Trace.I ep) ])
           commits
       in
       (match mode with
       | `Sync ->
         let t2 = Sched.now () in
         finish ();
-        Metrics.add_sample "msnap_persist.wait" (Sched.now () - t2)
+        let d_wait = Sched.now () - t2 in
+        Metrics.add_sample Probe.msnap_persist_wait d_wait;
+        Trace.complete Probe.msnap_persist_wait ~dur:d_wait
       | `Async ->
         if commits <> [] then
           ignore
             (Sched.spawn ~name:"msnap-complete" (fun () ->
                  try finish () with _ -> ())));
-      Metrics.add_sample "msnap_persist.total" (Sched.now () - t0);
+      let d_total = Sched.now () - t0 in
+      Metrics.add_sample Probe.msnap_persist_total d_total;
+      Trace.complete Probe.msnap_persist_total ~dur:d_total;
       result_epoch)
 
 let wait t r epoch =
   ignore t;
   Sched.cpu Costs.syscall;
-  Metrics.incr "msnap_wait";
+  Metrics.incr Probe.msnap_wait;
   let rec loop () =
     if durable_epoch r < epoch then begin
       (* Find the smallest in-flight epoch that covers the request. *)

@@ -4,6 +4,7 @@ module Msnap = Msnap_core.Msnap
 module Sched = Msnap_sim.Sched
 module Costs = Msnap_sim.Costs
 module Metrics = Msnap_sim.Metrics
+module Probe = Msnap_sim.Probe
 module Size = Msnap_util.Size
 
 let rel_block_limit = 4096 (* 32 MiB per relation *)
@@ -38,13 +39,13 @@ let wal_append w ~rel ~blockno ~len =
   (* The simulated record carries no payload; reference one shared zero
      buffer instead of allocating per append. *)
   if Bytes.length w.w_zeros < rec_len then w.w_zeros <- Bytes.make rec_len '\000';
-  Metrics.timed "write" (fun () ->
+  Metrics.timed Probe.db_write (fun () ->
       Fs.writev w.w_fs w.w_file ~off:w.w_off
         [ Msnap_util.Slice.make w.w_zeros ~pos:0 ~len:rec_len ]);
   w.w_off <- w.w_off + rec_len
 
 let wal_commit w =
-  Metrics.timed "fsync" (fun () -> Fs.fdatasync w.w_fs w.w_file)
+  Metrics.timed Probe.db_fsync (fun () -> Fs.fdatasync w.w_fs w.w_file)
 
 let wal_reset_after_checkpoint w =
   Hashtbl.reset w.fpw;
@@ -76,16 +77,16 @@ let file_smgr fs =
       (fun ~rel ~blockno ->
         let f = Fs.open_file fs ("pg/" ^ rel) in
         if (blockno + 1) * bs <= Fs.size fs f then
-          Metrics.timed "read" (fun () -> Fs.read fs f ~off:(blockno * bs) ~len:bs)
+          Metrics.timed Probe.db_read (fun () -> Fs.read fs f ~off:(blockno * bs) ~len:bs)
         else Bytes.make bs '\000');
     s_write =
       (fun ~rel ~blockno b ->
         let f = Fs.open_file fs ("pg/" ^ rel) in
-        Metrics.timed "write" (fun () -> Fs.write fs f ~off:(blockno * bs) b));
+        Metrics.timed Probe.db_write (fun () -> Fs.write fs f ~off:(blockno * bs) b));
     s_flush =
       (fun ~rel ->
         let f = Fs.open_file fs ("pg/" ^ rel) in
-        Metrics.timed "fsync" (fun () -> Fs.fsync fs f));
+        Metrics.timed Probe.db_fsync (fun () -> Fs.fsync fs f));
   }
 
 let ffs fs ?(wal_checkpoint_bytes = Size.mib 2) () =
@@ -182,20 +183,20 @@ let commit t =
   | Buffered { wal; _ } -> wal_commit wal
   | Mapped m -> wal_commit m.m_wal
   | Region { k; _ } ->
-    Metrics.timed "memsnap" (fun () -> ignore (Msnap.persist k ()))
+    Metrics.timed Probe.db_memsnap (fun () -> ignore (Msnap.persist k ()))
 
 let checkpoint_tick t =
   match t.v with
   | Buffered { buf; wal } ->
     if wal.w_off >= wal.ckpt_bytes then begin
-      Metrics.incr "pg_checkpoint";
+      Metrics.incr Probe.db_pg_checkpoint;
       Bufmgr.flush_all buf;
       wal_commit wal;
       wal_reset_after_checkpoint wal
     end
   | Mapped m ->
     if m.m_wal.w_off >= m.m_wal.ckpt_bytes then begin
-      Metrics.incr "pg_checkpoint";
+      Metrics.incr Probe.db_pg_checkpoint;
       Hashtbl.iter (fun _ (_, f) -> Fs.msync m.m_fs f) m.m_rels;
       wal_commit m.m_wal;
       wal_reset_after_checkpoint m.m_wal

@@ -1,5 +1,6 @@
 module Fs = Msnap_fs.Fs
 module Metrics = Msnap_sim.Metrics
+module Probe = Msnap_sim.Probe
 
 let l0_trigger = 4
 
@@ -39,7 +40,7 @@ let merge_runs ~drop_tombstones runs =
 
 let compact t =
   t.n_compactions <- t.n_compactions + 1;
-  Metrics.incr "compaction";
+  Metrics.incr Probe.db_compaction;
   let runs = t.l0 @ Option.to_list t.l1 in
   let merged = merge_runs ~drop_tombstones:true runs in
   let olds = runs in

@@ -3,6 +3,7 @@ module Msnap = Msnap_core.Msnap
 module Aurora = Msnap_aurora.Aurora
 module Sync = Msnap_sim.Sync
 module Metrics = Msnap_sim.Metrics
+module Probe = Msnap_sim.Probe
 
 type backend =
   | Baseline of Msnap_fs.Fs.t
@@ -61,7 +62,7 @@ let region_ops_of_msnap k md =
     ro_read = (fun ~off ~len -> Msnap.read k md ~off ~len);
     ro_persist =
       (fun () ->
-        Metrics.timed "memsnap" (fun () ->
+        Metrics.timed Probe.db_memsnap (fun () ->
             ignore (Msnap.persist k ~region:md ())));
     ro_pages = Msnap.length md / 4096;
   }
@@ -71,7 +72,7 @@ let region_ops_of_aurora r =
     Pskiplist.ro_write = (fun ~off b -> Aurora.Region.write r ~off b);
     ro_read = (fun ~off ~len -> Aurora.Region.read r ~off ~len);
     ro_persist =
-      (fun () -> Metrics.timed "checkpoint" (fun () -> Aurora.Region.checkpoint r));
+      (fun () -> Metrics.timed Probe.db_checkpoint (fun () -> Aurora.Region.checkpoint r));
     ro_pages = Aurora.Region.length r / 4096;
   }
 
@@ -129,19 +130,19 @@ let wal_append b pairs =
       let len = wal_record_header + String.length k + String.length v in
       (* Serializing the record is userspace "Log" work; the write and the
          fsync are kernel time (the Table 1 split). *)
-      Sched.with_bucket "log" (fun () -> Sched.cpu record_serialize_cost);
-      Sched.with_bucket "write" (fun () ->
-          Metrics.timed "write" (fun () ->
+      Sched.with_bucket Probe.Bucket.log (fun () -> Sched.cpu record_serialize_cost);
+      Sched.with_bucket Probe.Bucket.write (fun () ->
+          Metrics.timed Probe.db_write (fun () ->
               Fs.write b.fs b.wal ~off:b.wal_size (Bytes.create len)));
       b.wal_size <- b.wal_size + len)
     pairs;
-  Msnap_sim.Sched.with_bucket "fsync" (fun () ->
-      Metrics.timed "fsync" (fun () -> Fs.fdatasync b.fs b.wal))
+  Msnap_sim.Sched.with_bucket Probe.Bucket.fsync (fun () ->
+      Metrics.timed Probe.db_fsync (fun () -> Fs.fdatasync b.fs b.wal))
 
 let maybe_flush b =
   if Skiplist.approximate_bytes b.memtable >= b.flush_bytes then begin
     b.n_flushes <- b.n_flushes + 1;
-    Metrics.incr "memtable_flush";
+    Metrics.incr Probe.db_memtable_flush;
     let pairs = ref [] in
     (* Include tombstones: walk raw entries via iter (live) is not
        enough, so decode from the tagged values. *)
@@ -151,7 +152,7 @@ let maybe_flush b =
     Lsm.add_run b.lsm (List.rev !pairs);
     Skiplist.clear b.memtable;
     Fs.truncate b.fs b.wal 0;
-    Metrics.timed "fsync" (fun () -> Fs.fdatasync b.fs b.wal);
+    Metrics.timed Probe.db_fsync (fun () -> Fs.fdatasync b.fs b.wal);
     b.wal_size <- 0
   end
 

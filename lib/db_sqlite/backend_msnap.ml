@@ -1,5 +1,6 @@
 module Msnap = Msnap_core.Msnap
 module Metrics = Msnap_sim.Metrics
+module Probe = Msnap_sim.Probe
 
 type t = { k : Msnap.t; md : Msnap.md }
 
@@ -15,7 +16,7 @@ let read_page t pgno =
   else Some (Msnap.read t.k t.md ~off:((pgno - 1) * Page.size) ~len:Page.size)
 
 let commit t pages =
-  Metrics.timed "memsnap" (fun () ->
+  Metrics.timed Probe.db_memsnap (fun () ->
       List.iter
         (fun (pgno, b) -> Msnap.write t.k t.md ~off:((pgno - 1) * Page.size) b)
         pages;

@@ -1,5 +1,6 @@
 module Fs = Msnap_fs.Fs
 module Metrics = Msnap_sim.Metrics
+module Probe = Msnap_sim.Probe
 module Size = Msnap_util.Size
 
 let frame_header = 24 (* SQLite WAL frame header bytes *)
@@ -44,8 +45,8 @@ let read_page t pgno =
     if off + Page.size > Fs.size t.fs t.db_file then None
     else
       Some
-        (Sched.with_bucket "read" (fun () ->
-             Metrics.timed "read" (fun () ->
+        (Sched.with_bucket Probe.Bucket.read (fun () ->
+             Metrics.timed Probe.db_read (fun () ->
                  Fs.read t.fs t.db_file ~off ~len:Page.size)))
 
 let checkpoint t =
@@ -58,13 +59,13 @@ let checkpoint t =
   in
   List.iter
     (fun (pgno, b) ->
-      Sched.with_bucket "write" (fun () ->
-          Metrics.timed "write" (fun () ->
+      Sched.with_bucket Probe.Bucket.write (fun () ->
+          Metrics.timed Probe.db_write (fun () ->
               Fs.write t.fs t.db_file ~off:((pgno - 1) * Page.size) b)))
     pages;
-  Sched.with_bucket "fsync" (fun () ->
-      Metrics.timed "fsync" (fun () -> Fs.fsync t.fs t.db_file);
-      Metrics.timed "fsync" (fun () -> Fs.fsync t.fs t.wal_file));
+  Sched.with_bucket Probe.Bucket.fsync (fun () ->
+      Metrics.timed Probe.db_fsync (fun () -> Fs.fsync t.fs t.db_file);
+      Metrics.timed Probe.db_fsync (fun () -> Fs.fsync t.fs t.wal_file));
   Fs.truncate t.fs t.wal_file 0;
   Hashtbl.reset t.wal_frames;
   t.wal_size <- 0
@@ -74,15 +75,15 @@ let commit t pages =
      durability point. *)
   List.iter
     (fun (pgno, b) ->
-      Sched.with_bucket "write" (fun () ->
-          Metrics.timed "write" (fun () ->
+      Sched.with_bucket Probe.Bucket.write (fun () ->
+          Metrics.timed Probe.db_write (fun () ->
               Fs.writev t.fs t.wal_file ~off:t.wal_size
                 [ zero_header; Slice.of_bytes b ]));
       t.wal_size <- t.wal_size + frame_header + Page.size;
       Hashtbl.replace t.wal_frames pgno (Bytes.copy b))
     pages;
-  Sched.with_bucket "fsync" (fun () ->
-      Metrics.timed "fsync" (fun () -> Fs.fsync t.fs t.wal_file));
+  Sched.with_bucket Probe.Bucket.fsync (fun () ->
+      Metrics.timed Probe.db_fsync (fun () -> Fs.fsync t.fs t.wal_file));
   if t.wal_size >= t.threshold then checkpoint t
 
 let backend t =

@@ -1,8 +1,10 @@
-module Stripe = Msnap_blockdev.Stripe
+module Device = Msnap_blockdev.Device
 module Balloc = Msnap_blockdev.Balloc
 module Slice = Msnap_util.Slice
 module Sched = Msnap_sim.Sched
 module Sync = Msnap_sim.Sync
+module Trace = Msnap_sim.Trace
+module Probe = Msnap_sim.Probe
 module Costs = Msnap_sim.Costs
 module Aspace = Msnap_vm.Aspace
 module Addr = Msnap_vm.Addr
@@ -41,7 +43,7 @@ type file = {
 }
 
 type t = {
-  dev : Stripe.t;
+  dev : Device.t;
   f_kind : kind;
   bs : int; (* fs block size in bytes *)
   alloc : Balloc.t;
@@ -67,7 +69,7 @@ let mkfs dev ~kind =
     f_kind = kind;
     bs = block_size_of kind;
     alloc =
-      Balloc.create ~total_blocks:(Stripe.size dev / dev_bs)
+      Balloc.create ~total_blocks:(Device.size dev / dev_bs)
         ~reserved:reserved_blocks;
     files = Hashtbl.create 16;
     journal_cursor = meta_blocks;
@@ -119,13 +121,13 @@ let rmw_reads t = t.s_rmw_reads
 
 let dev_write t ~off s =
   t.s_disk_bytes <- t.s_disk_bytes + Slice.length s;
-  Stripe.write_slice t.dev ~off s
+  Device.write_slice t.dev ~off s
 
 let dev_writev t segs =
   List.iter (fun (_, s) -> t.s_disk_bytes <- t.s_disk_bytes + Slice.length s) segs;
-  Stripe.writev t.dev segs
+  Device.writev t.dev segs
 
-let dev_read_into t ~off dst = Stripe.read_into t.dev ~off dst
+let dev_read_into t ~off dst = Device.read_into t.dev ~off dst
 
 let zero_slice t n =
   if Bytes.length t.scratch_zeros < n then t.scratch_zeros <- Bytes.make n '\000';
@@ -133,6 +135,8 @@ let zero_slice t n =
 
 let journal_write t nbytes =
   (* Sequential append into the journal ring. *)
+  if Trace.is_on () then
+    Trace.instant Probe.fs_journal ~args:[ ("bytes", Trace.I nbytes) ];
   let blocks = max 1 ((nbytes + dev_bs - 1) / dev_bs) in
   if t.journal_cursor + blocks > meta_blocks + journal_blocks then
     t.journal_cursor <- meta_blocks;
@@ -214,6 +218,7 @@ let get_block t f idx ~need_old =
    those of a single write of the combined length, so callers can gather
    a header and a payload without materializing the frame first. *)
 let writev t f ~off slices =
+  let trace_t0 = if Trace.is_on () then Sched.now () else 0 in
   Sched.cpu (Costs.syscall + Costs.vfs_call + Costs.rangelock);
   let len = List.fold_left (fun a s -> a + Slice.length s) 0 slices in
   (* Cursor over the scatter list: [copy_into] drains the next [n]
@@ -252,7 +257,10 @@ let writev t f ~off slices =
     end
   in
   go off len;
-  if off + len > f.f_size then f.f_size <- off + len
+  if off + len > f.f_size then f.f_size <- off + len;
+  if Trace.is_on () then
+    Trace.complete Probe.fs_write ~dur:(Sched.now () - trace_t0)
+      ~args:[ ("bytes", Trace.I len) ]
 
 let write t f ~off data = writev t f ~off [ Slice.of_bytes data ]
 
@@ -406,17 +414,29 @@ let fsync_zfs t f dirty =
 
 let do_fsync t f ~meta =
   ignore meta;
+  let trace_t0 = if Trace.is_on () then Sched.now () else 0 in
   Sched.cpu (Costs.syscall + Costs.vfs_call);
   charge_resident_scan t f;
+  let nblocks = ref 0 in
   Sync.Mutex.with_lock t.fsync_lock (fun () ->
       let dirty = dirty_blocks f in
       if dirty <> [] then begin
-        match t.f_kind with
-        | Ffs -> fsync_ffs t f dirty
-        | Zfs -> fsync_zfs t f dirty
+        nblocks := List.length dirty;
+        let wb () =
+          match t.f_kind with
+          | Ffs -> fsync_ffs t f dirty
+          | Zfs -> fsync_zfs t f dirty
+        in
+        if Trace.is_on () then
+          Trace.with_span Probe.fs_writeback
+            ~args:[ ("blocks", Trace.I !nblocks) ] wb
+        else wb ()
       end);
   (* Writeback made blocks clean and therefore reclaimable. *)
-  evict_if_needed t
+  evict_if_needed t;
+  if Trace.is_on () then
+    Trace.complete Probe.fs_fsync ~dur:(Sched.now () - trace_t0)
+      ~args:[ ("file", Trace.S f.f_name); ("dirty_blocks", Trace.I !nblocks) ]
 
 let fsync t f = do_fsync t f ~meta:true
 let fdatasync t f = do_fsync t f ~meta:false
@@ -451,6 +471,7 @@ let mmap t f aspace ~va ~len =
     ~new_pages_writable:false ~pager ~on_write_fault ()
 
 let msync t f =
+  let trace_t0 = if Trace.is_on () then Sched.now () else 0 in
   Sched.cpu Costs.syscall;
   List.iter
     (fun mm ->
@@ -474,7 +495,10 @@ let msync t f =
         (List.map (fun rel -> Addr.vpn_of_va (mm.mm_va + (rel * Addr.page_size))) rels);
       Hashtbl.reset mm.mm_dirty)
     f.f_mmaps;
-  do_fsync t f ~meta:true
+  do_fsync t f ~meta:true;
+  if Trace.is_on () then
+    Trace.complete Probe.fs_msync ~dur:(Sched.now () - trace_t0)
+      ~args:[ ("file", Trace.S f.f_name) ]
 
 (* --- metadata --- *)
 

@@ -28,7 +28,10 @@ type file
 
 type kind = Ffs | Zfs
 
-val mkfs : Msnap_blockdev.Stripe.t -> kind:kind -> t
+val mkfs : Msnap_blockdev.Device.t -> kind:kind -> t
+(** Format a file system over any block device (see
+    {!Msnap_blockdev.Device}); wrap a raw backend with [Device.of_disk]
+    or [Device.of_stripe]. *)
 
 val kind : t -> kind
 val fs_block_size : t -> int

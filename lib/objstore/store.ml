@@ -1,9 +1,11 @@
-module Stripe = Msnap_blockdev.Stripe
+module Device = Msnap_blockdev.Device
 module Slice = Msnap_util.Slice
 module Sync = Msnap_sim.Sync
 module Sched = Msnap_sim.Sched
 module Costs = Msnap_sim.Costs
 module Metrics = Msnap_sim.Metrics
+module Trace = Msnap_sim.Trace
+module Probe = Msnap_sim.Probe
 
 exception Corrupt of string
 
@@ -17,6 +19,7 @@ type pending = {
   p_ivar : ticket;
   p_epoch : int;
   p_size : int; (* logical size implied by this commit *)
+  p_flow : int; (* trace flow id linking this Î¼Checkpoint's events; 0 = none *)
 }
 
 type obj = {
@@ -29,7 +32,7 @@ type obj = {
 }
 
 type t = {
-  dev : Stripe.t;
+  dev : Device.t;
   alloc : Alloc.t;
   cache : (int, Radix.node) Hashtbl.t;
   mutable sb : Layout.superblock;
@@ -44,19 +47,19 @@ let bsz = Layout.block_size
 
 let block_off b = b * bsz
 
-let write_block dev b bytes = Stripe.write dev ~off:(block_off b) bytes
-let read_block_raw dev b = Stripe.read dev ~off:(block_off b) ~len:bsz
+let write_block dev b bytes = Device.write dev ~off:(block_off b) bytes
+let read_block_raw dev b = Device.read dev ~off:(block_off b) ~len:bsz
 
 let read_block_raw_into dev b dst =
-  Stripe.read_into dev ~off:(block_off b) (Slice.of_bytes dst)
+  Device.read_into dev ~off:(block_off b) (Slice.of_bytes dst)
 
 (* Headers and superblocks occupy the first sector of their block; the
    single-sector write is what makes the commit atomic. *)
 let write_commit_sector dev b bytes =
   assert (Bytes.length bytes = 512);
-  Stripe.write dev ~off:(block_off b) bytes
+  Device.write dev ~off:(block_off b) bytes
 
-let read_commit_sector dev b = Stripe.read dev ~off:(block_off b) ~len:512
+let read_commit_sector dev b = Device.read dev ~off:(block_off b) ~len:512
 
 let device t = t.dev
 
@@ -70,7 +73,7 @@ let read_node t b =
 
 (* --- formatting and mount --- *)
 
-let total_blocks_of dev = Stripe.size dev / bsz
+let total_blocks_of dev = Device.size dev / bsz
 
 let write_superblock t =
   let gen = t.sb.Layout.generation + 1 in
@@ -255,7 +258,8 @@ let rec drain t o =
       List.iter (fun p -> Sync.Ivar.fill p.p_ivar (Error exn)) (batch @ stranded)
 
 and drain_batch t o batch =
-  Sched.with_bucket "memsnap flush" @@ fun () ->
+  Sched.with_bucket Probe.Bucket.memsnap_flush @@ fun () ->
+    let trace_t0 = if Trace.is_on () then Sched.now () else 0 in
     let updates = List.concat_map (fun p -> p.p_updates) batch in
     let epoch = List.fold_left (fun a p -> max a p.p_epoch) 0 batch in
     let size =
@@ -282,19 +286,37 @@ and drain_batch t o batch =
     (* One vectored command carries every data page and COW node of the
        batch; the header flip is a second, dependent command. *)
     let data_segs = List.concat_map (fun p -> p.p_segs) batch in
-    Stripe.writev t.dev (data_segs @ node_segs);
+    Device.writev t.dev (data_segs @ node_segs);
     write_header t o
       { o.hdr with
         Layout.epoch;
         root_block = result.Radix.new_root;
         height = result.Radix.new_height;
         size_bytes = size };
+    if Trace.is_on () then begin
+      (* The header flip just made the batch durable: step every linked
+         μCheckpoint flow through the device commit at this instant. *)
+      List.iter
+        (fun p ->
+          if p.p_flow <> 0 then
+            Trace.instant Probe.objstore_device_commit
+              ~flow:(p.p_flow, Trace.Flow_step)
+              ~args:[ ("epoch", Trace.I epoch) ])
+        batch;
+      Trace.complete Probe.objstore_flush ~dur:(Sched.now () - trace_t0)
+        ~args:
+          [ ("object", Trace.S o.hdr.Layout.obj_name);
+            ("commits", Trace.I (List.length batch));
+            ("pages", Trace.I (List.length updates));
+            ("nodes", Trace.I (List.length node_segs));
+            ("epoch", Trace.I epoch) ]
+    end;
     Alloc.free_deferred t.alloc result.Radix.freed;
     Alloc.apply_deferred t.alloc;
     List.iter (Hashtbl.remove t.cache) result.Radix.freed;
     List.iter (fun p -> Sync.Ivar.fill p.p_ivar (Ok ())) batch
 
-let commit_async t o pages =
+let commit_async ?(flow = 0) t o pages =
   if o.deleted then invalid_arg "Store.commit: deleted object";
   let iv = Sync.Ivar.create () in
   match pages with
@@ -304,8 +326,14 @@ let commit_async t o pages =
   | _ ->
     let epoch = o.next_epoch in
     o.next_epoch <- epoch + 1;
-    Metrics.incr "objstore.commits";
+    Metrics.incr Probe.objstore_commits;
     let npages = List.length pages in
+    if Trace.is_on () then
+      Trace.instant Probe.objstore_commit_queued
+        ?flow:(if flow <> 0 then Some (flow, Trace.Flow_step) else None)
+        ~args:
+          [ ("object", Trace.S o.hdr.Layout.obj_name);
+            ("pages", Trace.I npages); ("epoch", Trace.I epoch) ];
     Sched.cpu (npages * Costs.io_initiate);
     t.s_data_written <- t.s_data_written + npages;
     let worker () =
@@ -323,7 +351,7 @@ let commit_async t o pages =
             0 pages
         in
         o.queue <- { p_updates = updates; p_segs = segs; p_ivar = iv;
-                     p_epoch = epoch; p_size = size } :: o.queue;
+                     p_epoch = epoch; p_size = size; p_flow = flow } :: o.queue;
         if not o.committing then begin
           o.committing <- true;
           drain t o

@@ -21,15 +21,16 @@ type obj
 
 exception Corrupt of string
 
-val format : Msnap_blockdev.Stripe.t -> unit
-(** Initialize an empty store on the volume. *)
+val format : Msnap_blockdev.Device.t -> unit
+(** Initialize an empty store on the volume (any {!Msnap_blockdev.Device}
+    backend). *)
 
-val mount : Msnap_blockdev.Stripe.t -> t
+val mount : Msnap_blockdev.Device.t -> t
 (** Recover: pick the newest valid superblock, load the directory and
     object headers, and rebuild the allocator by walking every tree.
     Raises [Corrupt] when no valid superblock exists. *)
 
-val device : t -> Msnap_blockdev.Stripe.t
+val device : t -> Msnap_blockdev.Device.t
 
 val create : t -> name:string -> ?meta:int -> unit -> obj
 (** Create an empty object (durable before returning). Raises
@@ -60,9 +61,12 @@ val commit : t -> obj -> (int * Bytes.t) list -> int
     rule of the data plane). Raises if the device fails mid-commit —
     the store itself stays consistent (the previous epoch is intact). *)
 
-val commit_async : t -> obj -> (int * Bytes.t) list -> int * ticket
+val commit_async : ?flow:int -> t -> obj -> (int * Bytes.t) list -> int * ticket
 (** Initiate the commit and return [(epoch, ticket)] after the CPU-side
-    setup; the IO proceeds on a worker thread. *)
+    setup; the IO proceeds on a worker thread. [flow] (a
+    [Msnap_sim.Trace.new_flow] id, 0 = none) links the commit's trace
+    events into the originating μCheckpoint's flow; it has no effect on
+    simulation. *)
 
 val wait : ticket -> unit
 (** Block until the commit is durable; re-raises its failure if any. *)

@@ -2,7 +2,10 @@ module Histogram = Msnap_util.Histogram
 
 (* Counters and histograms are domain-local so that experiments running in
    parallel bench domains cannot observe each other's samples. Within a
-   domain the behavior is identical to the old process-global tables. *)
+   domain the behavior is identical to the old process-global tables.
+   Storage is keyed by the probe's wire name, so reports are unchanged
+   whether a value was recorded through a typed probe or the deprecated
+   string API. *)
 type store = {
   counters : (string, int ref) Hashtbl.t;
   hists : (string, Histogram.t) Hashtbl.t;
@@ -19,13 +22,13 @@ let reset () =
   Hashtbl.reset s.counters;
   Hashtbl.reset s.hists
 
-let incr ?(by = 1) name =
+let incr_s ?(by = 1) name =
   let s = store () in
   match Hashtbl.find_opt s.counters name with
   | Some r -> r := !r + by
   | None -> Hashtbl.add s.counters name (ref by)
 
-let count name =
+let count_s name =
   match Hashtbl.find_opt (store ()).counters name with
   | Some r -> !r
   | None -> 0
@@ -39,24 +42,33 @@ let get_hist name =
     Hashtbl.add s.hists name h;
     h
 
-let add_sample name ns =
-  incr name;
+let add_sample_s name ns =
+  incr_s name;
   Histogram.add (get_hist name) ns
 
-let hist name = Hashtbl.find_opt (store ()).hists name
+let hist_s name = Hashtbl.find_opt (store ()).hists name
+let mean_ns_s name = match hist_s name with Some h -> Histogram.mean h | None -> 0.0
+let samples_s name = match hist_s name with Some h -> Histogram.count h | None -> 0
 
-let mean_ns name =
-  match hist name with Some h -> Histogram.mean h | None -> 0.0
-
-let samples name =
-  match hist name with Some h -> Histogram.count h | None -> 0
+let incr ?by p = incr_s ?by (Probe.name p)
+let count p = count_s (Probe.name p)
+let add_sample p ns = add_sample_s (Probe.name p) ns
+let hist p = hist_s (Probe.name p)
+let mean_ns p = mean_ns_s (Probe.name p)
+let samples p = samples_s (Probe.name p)
 
 let counters () =
   Hashtbl.fold (fun k v acc -> (k, !v) :: acc) (store ()).counters []
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
-let timed name f =
+let timed p f =
   let t0 = Sched.now () in
   let r = f () in
-  add_sample name (Sched.now () - t0);
+  let dt = Sched.now () - t0 in
+  add_sample p dt;
+  (* The probe carries its subsystem, so every timed section doubles as a
+     correctly-categorized trace span when tracing is on. Host-only. *)
+  Trace.complete p ~dur:dt;
   r
+
+let timed_s name f = timed (Probe.make Probe.Host name) f

@@ -1,31 +1,54 @@
-(** Named counters and latency histograms for experiment reporting.
+(** Counters and latency histograms for experiment reporting, keyed by
+    typed {!Probe}s.
 
-    The case studies instrument their persistence calls ("fsync", "write",
-    "memsnap", ...) through this registry; the benchmark harness reads the
-    totals to regenerate the paper's syscall-count tables (Tables 7 and 9).
-    State is global to the process — call {!reset} between experiments. *)
+    The case studies instrument their persistence calls
+    ([Probe.db_fsync], [Probe.db_write], [Probe.db_memsnap], ...)
+    through this registry; the benchmark harness reads the totals to
+    regenerate the paper's syscall-count tables (Tables 7 and 9).
+    Storage is keyed by the probe's wire name, so reported output is
+    identical to the historical string-keyed registry.
+
+    State is domain-local — call {!reset} between experiments.
+
+    The [_s] variants take raw string names.
+    @deprecated the [_s] variants are an escape hatch for external
+    experiment code and will be removed after one release; use typed
+    probes ({!Probe.make} for ad-hoc names). *)
 
 val reset : unit -> unit
 
-val incr : ?by:int -> string -> unit
+val incr : ?by:int -> Probe.t -> unit
 (** Bump a counter. *)
 
-val count : string -> int
+val count : Probe.t -> int
 (** Current value (0 if never bumped). *)
 
-val add_sample : string -> int -> unit
-(** Record one latency sample (ns) under a name; also bumps the implicit
-    op counter of that name. *)
+val add_sample : Probe.t -> int -> unit
+(** Record one latency sample (ns); also bumps the implicit op counter
+    of the same name. *)
 
-val hist : string -> Msnap_util.Histogram.t option
+val hist : Probe.t -> Msnap_util.Histogram.t option
 
-val mean_ns : string -> float
-(** Mean of the samples recorded under a name (0 if none). *)
+val mean_ns : Probe.t -> float
+(** Mean of the samples recorded under a probe (0 if none). *)
 
-val samples : string -> int
+val samples : Probe.t -> int
 
 val counters : unit -> (string * int) list
 (** All counters, sorted by name. *)
 
-val timed : string -> (unit -> 'a) -> 'a
-(** Run the callback, recording its elapsed virtual time as a sample. *)
+val timed : Probe.t -> (unit -> 'a) -> 'a
+(** Run the callback, recording its elapsed virtual time as a sample.
+    When tracing is enabled, also emits the section as a trace span in
+    the probe's subsystem category. *)
+
+(** {2 Deprecated string escape hatches} *)
+
+val incr_s : ?by:int -> string -> unit
+val count_s : string -> int
+val add_sample_s : string -> int -> unit
+val hist_s : string -> Msnap_util.Histogram.t option
+val mean_ns_s : string -> float
+val samples_s : string -> int
+val timed_s : string -> (unit -> 'a) -> 'a
+(** [timed_s name] records under [name] with the [Host] subsystem. *)

@@ -1,6 +1,9 @@
 type thread = {
   id : int;
   tname : string;
+  (* Virtual spawn time, kept only so tracing can emit a whole-lifetime
+     span at thread exit. Deterministic state, host-only consumer. *)
+  spawned : int;
   mutable finished : bool;
   mutable joiners : waker list;
   mutable acct : string;
@@ -51,6 +54,23 @@ let engine_key : engine option ref Domain.DLS.key =
 
 let engine_slot () = Domain.DLS.get engine_key
 
+(* Trace-timeline base: accumulated final clocks of completed runs on
+   this domain, so consecutive Sched.runs occupy disjoint intervals of
+   the exported trace instead of overlapping at t=0. Host-only. *)
+let trace_base_key : int ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref 0)
+
+let () =
+  Trace.set_time_source (fun () ->
+      let base = !(Domain.DLS.get trace_base_key) in
+      match !(engine_slot ()) with Some e -> base + e.clock | None -> base);
+  Trace.set_thread_source (fun () ->
+      match !(engine_slot ()) with
+      | Some e -> (
+        match e.cur with
+        | Some t -> (t.id, t.tname)
+        | None -> (-1, "scheduler"))
+      | None -> (-1, "host"))
+
 let engine () =
   match !(engine_slot ()) with
   | Some e -> e
@@ -78,6 +98,9 @@ let wake w =
   if not w.fired then begin
     w.fired <- true;
     let e = w.w_engine in
+    if Trace.verbose () then
+      Trace.instant Probe.sched_wake
+        ~args:[ ("tid", Trace.I w.w_thread.id); ("thread", Trace.S w.w_thread.tname) ];
     (match w.w_action with
     | Some act ->
       w.w_action <- None;
@@ -101,6 +124,9 @@ let start_thread e t body =
         (fun () ->
           t.finished <- true;
           e.live <- e.live - 1;
+          if Trace.is_on () then
+            Trace.complete Probe.sched_thread ~dur:(e.clock - t.spawned)
+              ~args:[ ("thread", Trace.S t.tname) ];
           let js = t.joiners in
           t.joiners <- [];
           List.iter wake js);
@@ -119,6 +145,9 @@ let start_thread e t body =
           | Suspend f ->
             Some
               (fun (k : (a, unit) continuation) ->
+                if Trace.verbose () then
+                  Trace.instant Probe.sched_block
+                    ~args:[ ("thread", Trace.S t.tname) ];
                 let w =
                   { w_thread = t; fired = false;
                     w_action = Some (resume_as t k); w_engine = e }
@@ -155,6 +184,7 @@ let spawn ?(name = "thread") body =
     {
       id = e.next_tid;
       tname = name;
+      spawned = e.clock;
       finished = false;
       joiners = [];
       acct = "user";
@@ -163,6 +193,9 @@ let spawn ?(name = "thread") body =
   in
   e.next_tid <- e.next_tid + 1;
   e.live <- e.live + 1;
+  if Trace.verbose () then
+    Trace.instant Probe.sched_spawn
+      ~args:[ ("tid", Trace.I t.id); ("thread", Trace.S name) ];
   schedule e ~at:e.clock (fun () ->
       e.cur <- Some t;
       start_thread e t body);
@@ -202,7 +235,7 @@ let cpu ns =
     advance e ns
   end
 
-let with_bucket name f =
+let with_bucket_s name f =
   let t = self () in
   let saved = t.acct in
   let saved_cell = t.acct_cell in
@@ -213,6 +246,8 @@ let with_bucket name f =
       t.acct <- saved;
       t.acct_cell <- saved_cell)
     f
+
+let with_bucket b f = with_bucket_s (Probe.Bucket.name b) f
 
 let account_report () =
   let e = engine () in
@@ -242,7 +277,13 @@ let run main =
   slot := Some e;
   let result = ref None in
   ignore (spawn ~name:"main" (fun () -> result := Some (main ())));
-  let finalize () = slot := None in
+  let finalize () =
+    (* Advance the host-only trace timeline past this run (plus a gap so
+       back-to-back runs are visually distinct in the export). *)
+    let base = Domain.DLS.get trace_base_key in
+    base := !base + e.clock + 1_000;
+    slot := None
+  in
   let deadlock () =
     let parked =
       List.filter_map

@@ -1,0 +1,304 @@
+type arg = I of int | S of string | F of float
+type args = (string * arg) list
+type flow_phase = Flow_start | Flow_step | Flow_end
+
+type event = {
+  ev_probe : Probe.t;
+  ev_ts : int;
+  ev_dur : int; (* -1 instant, -2 counter *)
+  ev_tid : int;
+  ev_tname : string;
+  ev_args : args;
+  ev_flow : (int * flow_phase) option;
+}
+
+(* Per-(subsystem, name) running totals, kept at emit time so the
+   summary stays exact even when the event buffer hits its cap. *)
+type stat = { mutable st_count : int; mutable st_total : int; mutable st_max : int }
+
+type store = {
+  mutable enabled : bool;
+  mutable verbose : bool;
+  mutable limit : int;
+  mutable buf : event array;
+  mutable len : int;
+  mutable dropped : int;
+  mutable next_flow : int;
+  stats : (string * string, stat) Hashtbl.t;
+}
+
+let store_key : store Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      {
+        enabled = false;
+        verbose = false;
+        limit = 1 lsl 20;
+        buf = [||];
+        len = 0;
+        dropped = 0;
+        next_flow = 0;
+        stats = Hashtbl.create 64;
+      })
+
+let store () = Domain.DLS.get store_key
+
+(* Injected by Sched at module-init time; identity fallbacks keep Trace
+   usable (as a no-op timeline) outside any simulation. *)
+let time_source : (unit -> int) ref = ref (fun () -> 0)
+let thread_source : (unit -> int * string) ref = ref (fun () -> (-1, "host"))
+let set_time_source f = time_source := f
+let set_thread_source f = thread_source := f
+
+let enable ?(limit = 1 lsl 20) ?(verbose = false) () =
+  let s = store () in
+  s.enabled <- true;
+  s.verbose <- verbose;
+  s.limit <- limit;
+  s.buf <- [||];
+  s.len <- 0;
+  s.dropped <- 0;
+  s.next_flow <- 0;
+  Hashtbl.reset s.stats
+
+let disable () = (store ()).enabled <- false
+let is_on () = (store ()).enabled
+let verbose () =
+  let s = store () in
+  s.enabled && s.verbose
+
+let now () = if (store ()).enabled then !time_source () else 0
+
+let new_flow () =
+  let s = store () in
+  s.next_flow <- s.next_flow + 1;
+  s.next_flow
+
+let bump_stat s probe dur =
+  let key = (Probe.subsystem_name (Probe.subsystem probe), Probe.name probe) in
+  let st =
+    match Hashtbl.find_opt s.stats key with
+    | Some st -> st
+    | None ->
+      let st = { st_count = 0; st_total = 0; st_max = 0 } in
+      Hashtbl.add s.stats key st;
+      st
+  in
+  st.st_count <- st.st_count + 1;
+  if dur > 0 then begin
+    st.st_total <- st.st_total + dur;
+    if dur > st.st_max then st.st_max <- dur
+  end
+
+let push s ev =
+  if s.len >= s.limit then s.dropped <- s.dropped + 1
+  else begin
+    if s.len >= Array.length s.buf then begin
+      let cap = max 1024 (min s.limit (2 * Array.length s.buf)) in
+      let nb = Array.make cap ev in
+      Array.blit s.buf 0 nb 0 s.len;
+      s.buf <- nb
+    end;
+    s.buf.(s.len) <- ev;
+    s.len <- s.len + 1
+  end
+
+let emit s ?(args = []) ?flow probe ~ts ~dur =
+  let tid, tname = !thread_source () in
+  bump_stat s probe dur;
+  push s
+    { ev_probe = probe; ev_ts = ts; ev_dur = dur; ev_tid = tid;
+      ev_tname = tname; ev_args = args; ev_flow = flow }
+
+let instant ?args ?flow probe =
+  let s = store () in
+  if s.enabled then emit s ?args ?flow probe ~ts:(!time_source ()) ~dur:(-1)
+
+let complete ?args ?flow probe ~dur =
+  let s = store () in
+  if s.enabled then
+    emit s ?args ?flow probe ~ts:(!time_source () - dur) ~dur
+
+let with_span ?args ?flow probe f =
+  let s = store () in
+  if not s.enabled then f ()
+  else begin
+    let t0 = !time_source () in
+    match f () with
+    | r ->
+      emit s ?args ?flow probe ~ts:t0 ~dur:(!time_source () - t0);
+      r
+    | exception exn ->
+      emit s ?args ?flow probe ~ts:t0 ~dur:(!time_source () - t0);
+      raise exn
+  end
+
+let counter probe v =
+  let s = store () in
+  if s.enabled then
+    emit s ~args:[ (Probe.name probe, I v) ] probe ~ts:(!time_source ())
+      ~dur:(-2)
+
+type dump = {
+  d_events : event array;
+  d_dropped : int;
+  d_summary : (string * string * int * int * int) list;
+}
+
+let event_count () = (store ()).len
+let dropped () = (store ()).dropped
+
+let dump () =
+  let s = store () in
+  let summary =
+    Hashtbl.fold
+      (fun (sub, name) st acc ->
+        (sub, name, st.st_count, st.st_total, st.st_max) :: acc)
+      s.stats []
+    |> List.sort compare
+  in
+  { d_events = Array.sub s.buf 0 s.len; d_dropped = s.dropped;
+    d_summary = summary }
+
+(* ---- Chrome trace_event export ---------------------------------------- *)
+
+let json_escape b str =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    str
+
+let add_str b s =
+  Buffer.add_char b '"';
+  json_escape b s;
+  Buffer.add_char b '"'
+
+(* ns -> Chrome's microsecond floats, ns precision in the fraction *)
+let add_us b ns =
+  Buffer.add_string b (string_of_int (ns / 1000));
+  Buffer.add_char b '.';
+  Buffer.add_string b (Printf.sprintf "%03d" (abs ns mod 1000))
+
+let add_args b args =
+  Buffer.add_string b "{";
+  List.iteri
+    (fun i (k, v) ->
+      if i > 0 then Buffer.add_char b ',';
+      add_str b k;
+      Buffer.add_char b ':';
+      match v with
+      | I n -> Buffer.add_string b (string_of_int n)
+      | F f -> Buffer.add_string b (Printf.sprintf "%g" f)
+      | S s -> add_str b s)
+    args;
+  Buffer.add_string b "}"
+
+let add_common b ~name ~cat ~ph ~ts ~tid =
+  Buffer.add_string b "{\"name\":";
+  add_str b name;
+  Buffer.add_string b ",\"cat\":";
+  add_str b cat;
+  Buffer.add_string b ",\"ph\":\"";
+  Buffer.add_string b ph;
+  Buffer.add_string b "\",\"ts\":";
+  add_us b ts;
+  Buffer.add_string b ",\"pid\":1,\"tid\":";
+  Buffer.add_string b (string_of_int tid)
+
+let export_json oc d =
+  let b = Buffer.create (1 lsl 16) in
+  let first = ref true in
+  let next () =
+    if !first then first := false else Buffer.add_string b ",\n  ";
+    if Buffer.length b > 1 lsl 15 then begin
+      Buffer.output_buffer oc b;
+      Buffer.clear b
+    end
+  in
+  Buffer.add_string b "{\"traceEvents\":[\n  ";
+  (* Thread-name metadata: one per distinct (tid, tname) seen. *)
+  let named = Hashtbl.create 32 in
+  Array.iter
+    (fun ev ->
+      if not (Hashtbl.mem named ev.ev_tid) then begin
+        Hashtbl.add named ev.ev_tid ev.ev_tname;
+        next ();
+        add_common b ~name:"thread_name" ~cat:"__metadata" ~ph:"M" ~ts:0
+          ~tid:ev.ev_tid;
+        Buffer.add_string b ",\"args\":{\"name\":";
+        add_str b (Printf.sprintf "%s (%d)" ev.ev_tname ev.ev_tid);
+        Buffer.add_string b "}}"
+      end)
+    d.d_events;
+  Array.iter
+    (fun ev ->
+      let name = Probe.name ev.ev_probe in
+      let cat = Probe.subsystem_name (Probe.subsystem ev.ev_probe) in
+      next ();
+      (match ev.ev_dur with
+      | -1 ->
+        add_common b ~name ~cat ~ph:"i" ~ts:ev.ev_ts ~tid:ev.ev_tid;
+        Buffer.add_string b ",\"s\":\"t\""
+      | -2 -> add_common b ~name ~cat ~ph:"C" ~ts:ev.ev_ts ~tid:ev.ev_tid
+      | dur ->
+        add_common b ~name ~cat ~ph:"X" ~ts:ev.ev_ts ~tid:ev.ev_tid;
+        Buffer.add_string b ",\"dur\":";
+        add_us b dur);
+      if ev.ev_args <> [] then begin
+        Buffer.add_string b ",\"args\":";
+        add_args b ev.ev_args
+      end;
+      Buffer.add_string b "}";
+      (* Flow link riding on this event: a separate s/t/f record at the
+         same instant, bound to the enclosing slice. All records of one
+         flow share name/cat/id — that is what Chrome draws arrows
+         between. *)
+      match ev.ev_flow with
+      | None -> ()
+      | Some (id, phase) ->
+        let ph =
+          match phase with
+          | Flow_start -> "s"
+          | Flow_step -> "t"
+          | Flow_end -> "f"
+        in
+        let ts = if ev.ev_dur > 0 then ev.ev_ts + ev.ev_dur else ev.ev_ts in
+        next ();
+        add_common b ~name:"ucheckpoint" ~cat:"msnap" ~ph ~ts ~tid:ev.ev_tid;
+        Buffer.add_string b ",\"id\":";
+        Buffer.add_string b (string_of_int id);
+        if phase = Flow_end then Buffer.add_string b ",\"bp\":\"e\"";
+        Buffer.add_string b "}")
+    d.d_events;
+  Buffer.add_string b "\n],\n";
+  Buffer.add_string b "\"displayTimeUnit\":\"ns\",\n";
+  Buffer.add_string b
+    (Printf.sprintf
+       "\"otherData\":{\"tool\":\"memsnap-sim\",\"events\":%d,\"dropped\":%d}}\n"
+       (Array.length d.d_events) d.d_dropped);
+  Buffer.output_buffer oc b
+
+let render_summary d =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b
+    "subsystem  probe                        count    total(us)      max(us)\n";
+  let last_sub = ref "" in
+  List.iter
+    (fun (sub, name, count, total, max_ns) ->
+      if sub <> !last_sub && !last_sub <> "" then Buffer.add_char b '\n';
+      last_sub := sub;
+      Buffer.add_string b
+        (Printf.sprintf "%-10s %-26s %7d %12.3f %12.3f\n" sub name count
+           (float_of_int total /. 1e3)
+           (float_of_int max_ns /. 1e3)))
+    d.d_summary;
+  if d.d_dropped > 0 then
+    Buffer.add_string b
+      (Printf.sprintf "(%d events dropped past the buffer cap)\n" d.d_dropped);
+  Buffer.contents b

@@ -1,0 +1,124 @@
+(** Host-only structured tracing over virtual time.
+
+    When enabled, the simulator records spans (begin/end over virtual
+    time), instant events, and flow links into a per-domain in-memory
+    buffer, which exports as Chrome [trace_event] JSON (load it in
+    [chrome://tracing] or [https://ui.perfetto.dev]). Events carry the
+    current virtual timestamp, the green thread that emitted them, the
+    {!Probe} they were emitted through (whose subsystem becomes the
+    trace category), and optional key/value arguments.
+
+    {b Tracing is host observability only.} No function in this module
+    advances the virtual clock, charges CPU accounting, or touches any
+    simulated state: with tracing on or off, serial or [-j N], every
+    simulated number is byte-identical ("host work may change, simulated
+    work may not"). The determinism suite enforces this.
+
+    {b Zero cost when disabled.} Every emit function first reads one
+    domain-local flag and returns. Call sites that compute arguments
+    must guard with {!is_on} so the argument list is never allocated on
+    the disabled path.
+
+    The buffer is bounded ({!enable}'s [?limit]); once full, further
+    events are counted in {!type-dump}[.d_dropped] and reported in the
+    export metadata rather than silently discarded. The per-probe
+    summary keeps accumulating past the cap, so {!summary} totals remain
+    exact even for runs that overflow the buffer. *)
+
+type arg = I of int | S of string | F of float
+type args = (string * arg) list
+type flow_phase = Flow_start | Flow_step | Flow_end
+
+(** {2 Time and thread sources}
+
+    [Trace] sits below [Sched] in the module graph, so the scheduler
+    injects its clock and current-thread accessors at module-init time.
+    Outside a [Sched.run] the sources report time 0 and thread
+    [(-1, "host")]. *)
+
+val set_time_source : (unit -> int) -> unit
+val set_thread_source : (unit -> int * string) -> unit
+
+(** {2 Control (domain-local)} *)
+
+val enable : ?limit:int -> ?verbose:bool -> unit -> unit
+(** Start recording on the calling domain with an empty buffer.
+    [limit] caps the number of buffered events (default [1_048_576]);
+    [verbose] additionally records high-volume events such as per-walk
+    page-table instants (default [false]). *)
+
+val disable : unit -> unit
+(** Stop recording. The buffer survives until the next {!enable} so it
+    can still be {!dump}ed. *)
+
+val is_on : unit -> bool
+val verbose : unit -> bool
+(** [is_on () && verbose flag] — gate for high-volume events. *)
+
+val now : unit -> int
+(** Current trace timestamp (ns): the virtual clock plus a per-domain
+    base that advances across [Sched.run]s so consecutive runs occupy
+    disjoint intervals of the exported timeline. Returns 0 when tracing
+    is off — cheap enough to call unconditionally for a span's start. *)
+
+val new_flow : unit -> int
+(** Fresh flow id (domain-local, unique within an export). Flows link
+    causally-related events across threads — e.g. one μCheckpoint's
+    first fault → PTE reset → device commit → durable epoch. *)
+
+(** {2 Emitting}
+
+    All no-ops when disabled. *)
+
+val instant : ?args:args -> ?flow:int * flow_phase -> Probe.t -> unit
+(** A zero-duration event at the current time. *)
+
+val complete : ?args:args -> ?flow:int * flow_phase -> Probe.t -> dur:int -> unit
+(** A span of [dur] ns ending now. Call sites measure with virtual-time
+    deltas ([Sched.now () - t0]) and report the duration here; the
+    span's start is reconstructed against the trace timeline. *)
+
+val with_span : ?args:args -> ?flow:int * flow_phase -> Probe.t -> (unit -> 'a) -> 'a
+(** Run the callback inside a span. The span is recorded even if the
+    callback raises (the exception is re-raised). When disabled this is
+    exactly [f ()]. *)
+
+val counter : Probe.t -> int -> unit
+(** A counter track sample (rendered as a stacked chart). *)
+
+(** {2 Collecting} *)
+
+type event = {
+  ev_probe : Probe.t;
+  ev_ts : int;           (** start, ns on the trace timeline *)
+  ev_dur : int;          (** span duration; [-1] for instants, [-2] for counters *)
+  ev_tid : int;
+  ev_tname : string;
+  ev_args : args;
+  ev_flow : (int * flow_phase) option;
+}
+
+type dump = {
+  d_events : event array;     (** in emission order *)
+  d_dropped : int;            (** events past the buffer cap *)
+  d_summary : (string * string * int * int * int) list;
+      (** (subsystem, name, count, total span ns, max span ns),
+          sorted by subsystem then name; exact even past the cap *)
+}
+
+val event_count : unit -> int
+val dropped : unit -> int
+
+val dump : unit -> dump
+(** Snapshot the calling domain's buffer (does not clear it). *)
+
+val export_json : out_channel -> dump -> unit
+(** Write Chrome [trace_event] JSON: complete ("X") and instant ("i")
+    events, counter ("C") tracks, flow ("s"/"t"/"f") links, and
+    thread-name metadata. Timestamps are microseconds with ns precision
+    kept in the fraction. *)
+
+val render_summary : dump -> string
+(** Human-readable per-subsystem table: span counts, total and max
+    virtual-time per probe — the numbers that reconcile against
+    [Sched.account_report] buckets. *)

@@ -1,5 +1,7 @@
 module Costs = Msnap_sim.Costs
 module Sched = Msnap_sim.Sched
+module Trace = Msnap_sim.Trace
+module Probe = Msnap_sim.Probe
 
 type frame_source =
   [ `Zero
@@ -114,6 +116,7 @@ let mapping_of_vpn t vpn =
 (* Install a frame for [vpn] of mapping [m] using its pager. Charges the
    page-in fault. Returns the PTE location. *)
 let page_in t m vpn =
+  let trace_t0 = if Trace.is_on () then Sched.now () else 0 in
   Sched.cpu Costs.fault_entry;
   let source =
     match m.pager with
@@ -140,6 +143,11 @@ let page_in t m vpn =
   let loc = Ptable.walk t.pt vpn in
   Ptloc.set loc (Pte.make ~frame:page.Phys.frame ~writable:m.new_pages_writable);
   Phys.rmap_add page loc;
+  if Trace.is_on () then
+    Trace.complete Probe.vm_page_in ~dur:(Sched.now () - trace_t0)
+      ~args:
+        [ ("mapping", Trace.S m.m_name);
+          ("rel_page", Trace.I (vpn - m.start_vpn)) ];
   loc
 
 (* Translate [vpn], returning the PTE location. The simulated TLB alone
@@ -162,6 +170,7 @@ let translate t vpn ~if_absent =
          entry (a page-in below can likewise shoot it down again before
          we resume). *)
       Tlb.insert t.a_tlb vpn None;
+      if Trace.verbose () then Trace.instant Probe.vm_pt_walk;
       Sched.cpu Costs.pt_walk;
       None
   in
@@ -203,7 +212,12 @@ let resolve_write t vpn =
              t.a_name (Addr.va_of_vpn vpn));
       (Phys.get t.a_phys (Pte.frame pte), loc)
     in
-    Sched.with_bucket "page faults" dispatch
+    Sched.with_bucket Probe.Bucket.page_faults (fun () ->
+        if not (Trace.is_on ()) then dispatch ()
+        else
+          Trace.with_span Probe.vm_write_fault
+            ~args:[ ("mapping", Trace.S m.m_name); ("vpn", Trace.I vpn) ]
+            dispatch)
   end
 
 let page_for_write t ~va = resolve_write t (Addr.vpn_of_va va)
@@ -212,7 +226,12 @@ let resolve_read t vpn =
   let m = mapping_of_vpn t vpn in
   let loc =
     translate t vpn ~if_absent:(fun () ->
-        Sched.with_bucket "page faults" (fun () -> page_in t m vpn))
+        Sched.with_bucket Probe.Bucket.page_faults (fun () ->
+            if not (Trace.is_on ()) then page_in t m vpn
+            else
+              Trace.with_span Probe.vm_read_fault
+                ~args:[ ("mapping", Trace.S m.m_name); ("vpn", Trace.I vpn) ]
+                (fun () -> page_in t m vpn)))
   in
   Phys.get t.a_phys (Pte.frame (Ptloc.get loc))
 
@@ -266,7 +285,10 @@ let protect_page t ~vpn =
     let pte = Ptloc.get loc in
     if Pte.present pte then Ptloc.set loc (Pte.set_writable pte false)
 
-let shootdown t vpns = Tlb.shootdown t.a_tlb vpns
+let shootdown t vpns =
+  if Trace.is_on () then
+    Trace.instant Probe.vm_shootdown ~args:[ ("pages", Trace.I (List.length vpns)) ];
+  Tlb.shootdown t.a_tlb vpns
 
 let pages_of_range t ~va ~len =
   let vpn = Addr.vpn_of_va va in

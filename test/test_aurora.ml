@@ -2,6 +2,7 @@ module Sched = Msnap_sim.Sched
 module Size = Msnap_util.Size
 module Disk = Msnap_blockdev.Disk
 module Stripe = Msnap_blockdev.Stripe
+module Device = Msnap_blockdev.Device
 module Store = Msnap_objstore.Store
 module Phys = Msnap_vm.Phys
 module Aspace = Msnap_vm.Aspace
@@ -18,9 +19,9 @@ let checks = Alcotest.(check string)
 let in_sim f () = Sched.run f
 
 let mk_dev () =
-  Stripe.create
-    [ Disk.create ~name:"d0" ~size:(Size.mib 32) ();
-      Disk.create ~name:"d1" ~size:(Size.mib 32) () ]
+  Device.of_stripe
+    (Stripe.create [ Disk.create ~name:"d0" ~size:(Size.mib 32) ();
+      Disk.create ~name:"d1" ~size:(Size.mib 32) () ])
 
 let mk_kernel ?(format = true) ?other_mapped_pages dev =
   let phys = Phys.create () in

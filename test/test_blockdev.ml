@@ -3,6 +3,7 @@ module Costs = Msnap_sim.Costs
 module Size = Msnap_util.Size
 module Disk = Msnap_blockdev.Disk
 module Stripe = Msnap_blockdev.Stripe
+module Device = Msnap_blockdev.Device
 
 (* Run the whole suite with the data plane's ownership-rule checks on:
    the device checksums every lent slice at issue and re-verifies at
@@ -343,6 +344,79 @@ let prop_zero_copy_crash_equivalence =
       in
       Bytes.equal zc ref_)
 
+(* --- Device: one interface over both backends --- *)
+
+(* The packed Device must forward every operation unchanged: same data,
+   same virtual-time cost, same stats as calling the backend directly. *)
+let test_device_disk_parity () =
+  let direct =
+    Sched.run (fun () ->
+        let d = mk_disk () in
+        Disk.write d ~off:4096 (Bytes.make 512 'q');
+        let b = Disk.read d ~off:4096 ~len:512 in
+        Disk.flush d;
+        (Bytes.to_string b, Sched.now (), (Disk.stats d).Disk.writes))
+  in
+  let wrapped =
+    Sched.run (fun () ->
+        let dev = Device.of_disk (mk_disk ()) in
+        Device.write dev ~off:4096 (Bytes.make 512 'q');
+        let b = Device.read dev ~off:4096 ~len:512 in
+        Device.flush dev;
+        (Bytes.to_string b, Sched.now (), (Device.stats dev).Disk.writes))
+  in
+  Alcotest.(check (triple string int int)) "disk parity" direct wrapped
+
+let test_device_stripe_parity () =
+  let mk () =
+    Stripe.create
+      [ Disk.create ~size:(Size.mib 4) (); Disk.create ~size:(Size.mib 4) () ]
+  in
+  let direct =
+    Sched.run (fun () ->
+        let s = mk () in
+        Stripe.write s ~off:0 (Bytes.make (Size.kib 256) 'w');
+        let b = Stripe.read s ~off:(Size.kib 64) ~len:128 in
+        Stripe.flush s;
+        (Bytes.to_string b, Sched.now (), Stripe.size s))
+  in
+  let wrapped =
+    Sched.run (fun () ->
+        let dev = Device.of_stripe (mk ()) in
+        Device.write dev ~off:0 (Bytes.make (Size.kib 256) 'w');
+        let b = Device.read dev ~off:(Size.kib 64) ~len:128 in
+        Device.flush dev;
+        (Bytes.to_string b, Sched.now (), Device.size dev))
+  in
+  Alcotest.(check (triple string int int)) "stripe parity" direct wrapped
+
+let test_device_power_failure () =
+  Sched.run (fun () ->
+      let dev = Device.of_disk (mk_disk ()) in
+      Device.write dev ~off:0 (Bytes.make 512 'x');
+      Device.fail_power dev ~torn_seed:1;
+      checkb "write raises when off" true
+        (match Device.write dev ~off:0 (Bytes.make 512 'y') with
+        | () -> false
+        | exception Disk.Powered_off -> true);
+      Device.restore_power dev;
+      check_bytes "survives the cycle" (String.make 512 'x')
+        (Bytes.to_string (Device.read dev ~off:0 ~len:512)))
+
+let test_device_barrier_orders () =
+  (* Both current backends implement barrier as a queue drain: after it
+     returns, everything previously issued is durable. *)
+  Sched.run (fun () ->
+      let dev = Device.of_stripe
+          (Stripe.create [ Disk.create ~size:(Size.mib 4) () ])
+      in
+      Device.write dev ~off:0 (Bytes.make 4096 'b');
+      Device.barrier dev;
+      Device.fail_power dev ~torn_seed:3;
+      Device.restore_power dev;
+      check_bytes "barriered write durable" (String.make 8 'b')
+        (Bytes.to_string (Device.read dev ~off:0 ~len:8)))
+
 let () =
   let tc name f = Alcotest.test_case name `Quick f in
   Alcotest.run "blockdev"
@@ -368,5 +442,12 @@ let () =
           tc "parallelism" test_stripe_parallelism;
           tc "single unit" test_stripe_single_unit_one_device;
           tc "crash" test_stripe_crash;
+        ] );
+      ( "device",
+        [
+          tc "disk parity" test_device_disk_parity;
+          tc "stripe parity" test_device_stripe_parity;
+          tc "power failure through wrapper" test_device_power_failure;
+          tc "barrier makes prior IO durable" test_device_barrier_orders;
         ] );
     ]

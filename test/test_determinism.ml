@@ -8,11 +8,13 @@
 
 module Sched = Msnap_sim.Sched
 module Metrics = Msnap_sim.Metrics
+module Trace = Msnap_sim.Trace
 module Rng = Msnap_util.Rng
 module Tbl = Msnap_util.Tbl
 module Size = Msnap_util.Size
 module Disk = Msnap_blockdev.Disk
 module Stripe = Msnap_blockdev.Stripe
+module Device = Msnap_blockdev.Device
 module Store = Msnap_objstore.Store
 module Phys = Msnap_vm.Phys
 module Aspace = Msnap_vm.Aspace
@@ -27,9 +29,9 @@ let () = Msnap_util.Slice.debug_checks := true
 let page = 4096
 
 let mk_dev () =
-  Stripe.create
-    [ Disk.create ~name:"nvme0" ~size:(Size.mib 64) ();
-      Disk.create ~name:"nvme1" ~size:(Size.mib 64) () ]
+  Device.of_stripe
+    (Stripe.create [ Disk.create ~name:"nvme0" ~size:(Size.mib 64) ();
+      Disk.create ~name:"nvme1" ~size:(Size.mib 64) () ])
 
 let mk_msnap () =
   let dev = mk_dev () in
@@ -151,7 +153,7 @@ let fig3_reduced () =
                     let p = Rng.int rng region_pages in
                     Msnap.write k md ~off:(p * page) (Bytes.make 32 'm');
                     Sched.delay (Rng.int rng 2000);
-                    Metrics.incr "mt.writes"
+                    Metrics.incr_s "mt.writes"
                   done))
         in
         ignore (Msnap.persist k ~region:md ());
@@ -210,10 +212,10 @@ let fig3_reduced () =
                     with Disk.Powered_off -> ())
               in
               Sched.delay crash_delay;
-              Stripe.fail_power dev ~torn_seed:crash_delay;
+              Device.fail_power dev ~torn_seed:crash_delay;
               Sched.join persister;
               Sched.join racer;
-              Stripe.restore_power dev;
+              Device.restore_power dev;
               let store2 = Store.mount dev in
               let buf = Buffer.create (region_pages * page) in
               (match Store.open_obj store2 ~name:"crash" with
@@ -239,6 +241,31 @@ let fig3_reduced () =
     crashes;
   }
 
+(* Everything observable must be byte-identical whether the run was
+   traced or not: tracing is host-side observability and must never
+   perturb simulated values ("host work may change, simulated work may
+   not"). Run once untraced and once under a verbose trace. *)
+let test_identical_traced_untraced () =
+  let a = fig3_reduced () in
+  Trace.enable ~verbose:true ();
+  let b = fig3_reduced () in
+  Trace.disable ();
+  Alcotest.(check bool)
+    "trace actually recorded" true
+    (Trace.event_count () > 0);
+  Alcotest.(check (list int)) "sim-time totals" a.sim_ns b.sim_ns;
+  List.iter2
+    (fun (na, ra) (nb, rb) ->
+      Alcotest.(check string) "phase name" na nb;
+      Alcotest.(check (list (pair string int)))
+        (Printf.sprintf "account report (%s)" na)
+        ra rb)
+    a.accounts b.accounts;
+  Alcotest.(check string) "table digest" a.table_digest b.table_digest;
+  Alcotest.(check (list (pair string int))) "metrics" a.counters b.counters;
+  Alcotest.(check (list (pair string string)))
+    "crash-injection recovery digests" a.crashes b.crashes
+
 let test_identical_twice () =
   let a = fig3_reduced () in
   let b = fig3_reduced () in
@@ -259,6 +286,10 @@ let () =
   Alcotest.run "determinism"
     [
       ( "fig3-reduced",
-        [ Alcotest.test_case "identical across two in-process runs" `Quick
-            test_identical_twice ] );
+        [
+          Alcotest.test_case "identical across two in-process runs" `Quick
+            test_identical_twice;
+          Alcotest.test_case "identical with tracing on vs off" `Quick
+            test_identical_traced_untraced;
+        ] );
     ]

@@ -3,6 +3,7 @@ module Size = Msnap_util.Size
 module Rng = Msnap_util.Rng
 module Disk = Msnap_blockdev.Disk
 module Stripe = Msnap_blockdev.Stripe
+module Device = Msnap_blockdev.Device
 module Phys = Msnap_vm.Phys
 module Aspace = Msnap_vm.Aspace
 module Fs = Msnap_fs.Fs
@@ -19,9 +20,9 @@ let in_sim f () = Sched.run f
 
 let mk_fs ?(kind = Fs.Ffs) ?(mib = 64) () =
   let dev =
-    Stripe.create
-      [ Disk.create ~name:"d0" ~size:(Size.mib mib) ();
-        Disk.create ~name:"d1" ~size:(Size.mib mib) () ]
+    Device.of_stripe
+    (Stripe.create [ Disk.create ~name:"d0" ~size:(Size.mib mib) ();
+        Disk.create ~name:"d1" ~size:(Size.mib mib) () ])
   in
   Fs.mkfs dev ~kind
 

@@ -2,6 +2,7 @@ module Sched = Msnap_sim.Sched
 module Size = Msnap_util.Size
 module Disk = Msnap_blockdev.Disk
 module Stripe = Msnap_blockdev.Stripe
+module Device = Msnap_blockdev.Device
 module Store = Msnap_objstore.Store
 module Phys = Msnap_vm.Phys
 module Aspace = Msnap_vm.Aspace
@@ -18,9 +19,9 @@ let checks = Alcotest.(check string)
 let in_sim f () = Sched.run f
 
 let mk_dev ?(mib = 32) () =
-  Stripe.create
-    [ Disk.create ~name:"d0" ~size:(Size.mib mib) ();
-      Disk.create ~name:"d1" ~size:(Size.mib mib) () ]
+  Device.of_stripe
+    (Stripe.create [ Disk.create ~name:"d0" ~size:(Size.mib mib) ();
+      Disk.create ~name:"d1" ~size:(Size.mib mib) () ])
 
 (* A fresh "machine": physical memory, one process, a formatted store and
    a MemSnap kernel. *)
@@ -328,9 +329,9 @@ let test_crash_during_persist () =
             with Disk.Powered_off -> ())
       in
       Sched.delay 18_000; (* mid-IO *)
-      Stripe.fail_power dev ~torn_seed:5;
+      Device.fail_power dev ~torn_seed:5;
       Sched.join crasher;
-      Stripe.restore_power dev;
+      Device.restore_power dev;
       let k2, _, _ = mk_machine ~format:false dev in
       let md2 = Msnap.open_region k2 ~name:"db" ~len:(Size.kib 64) () in
       (* Either epoch e1 with the old data, or a newer epoch with the new. *)

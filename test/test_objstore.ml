@@ -4,6 +4,7 @@ module Size = Msnap_util.Size
 module Rng = Msnap_util.Rng
 module Disk = Msnap_blockdev.Disk
 module Stripe = Msnap_blockdev.Stripe
+module Device = Msnap_blockdev.Device
 module Layout = Msnap_objstore.Layout
 module Alloc = Msnap_objstore.Alloc
 module Radix = Msnap_objstore.Radix
@@ -21,9 +22,9 @@ let checks = Alcotest.(check string)
 let in_sim f () = Sched.run f
 
 let mk_dev ?(mib = 16) () =
-  Stripe.create
-    [ Disk.create ~name:"d0" ~size:(Size.mib mib) ();
-      Disk.create ~name:"d1" ~size:(Size.mib mib) () ]
+  Device.of_stripe
+    (Stripe.create [ Disk.create ~name:"d0" ~size:(Size.mib mib) ();
+      Disk.create ~name:"d1" ~size:(Size.mib mib) () ])
 
 let mk_store ?mib () =
   let dev = mk_dev ?mib () in
@@ -372,9 +373,9 @@ let test_store_crash_mid_commit () =
             with Disk.Powered_off -> ())
       in
       Sched.delay 20_000;
-      Stripe.fail_power dev ~torn_seed:11;
+      Device.fail_power dev ~torn_seed:11;
       Sched.join w;
-      Stripe.restore_power dev;
+      Device.restore_power dev;
       let s2 = Store.mount dev in
       match Store.open_obj s2 ~name:"o" with
       | None -> Alcotest.fail "object lost"
@@ -424,9 +425,9 @@ let prop_store_crash_any_point =
                 with Disk.Powered_off -> ())
           in
           Sched.delay (10_000 + crash_offset);
-          Stripe.fail_power dev ~torn_seed:crash_offset;
+          Device.fail_power dev ~torn_seed:crash_offset;
           Sched.join w;
-          Stripe.restore_power dev;
+          Device.restore_power dev;
           let s2 = Store.mount dev in
           match Store.open_obj s2 ~name:"o" with
           | None -> false

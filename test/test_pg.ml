@@ -2,6 +2,7 @@ module Sched = Msnap_sim.Sched
 module Size = Msnap_util.Size
 module Disk = Msnap_blockdev.Disk
 module Stripe = Msnap_blockdev.Stripe
+module Device = Msnap_blockdev.Device
 module Store = Msnap_objstore.Store
 module Phys = Msnap_vm.Phys
 module Aspace = Msnap_vm.Aspace
@@ -23,9 +24,9 @@ let check_opt = Alcotest.(check (option string))
 let in_sim f () = Sched.run f
 
 let mk_dev () =
-  Stripe.create
-    [ Disk.create ~name:"d0" ~size:(Size.mib 256) ();
-      Disk.create ~name:"d1" ~size:(Size.mib 256) () ]
+  Device.of_stripe
+    (Stripe.create [ Disk.create ~name:"d0" ~size:(Size.mib 256) ();
+      Disk.create ~name:"d1" ~size:(Size.mib 256) () ])
 
 let mk_fs () = Fs.mkfs (mk_dev ()) ~kind:Fs.Ffs
 
@@ -226,8 +227,8 @@ let test_pg_wal_checkpointing () =
         Pg.with_txn db (fun txn ->
             Pg.insert db txn ~table:"t" ~key:(string_of_int i) data)
       done;
-      checkb "checkpoints ran" true (Msnap_sim.Metrics.count "pg_checkpoint" > 0);
-      checkb "wal fsyncs per commit" true (Msnap_sim.Metrics.count "fsync" >= 600);
+      checkb "checkpoints ran" true (Msnap_sim.Metrics.count_s "pg_checkpoint" > 0);
+      checkb "wal fsyncs per commit" true (Msnap_sim.Metrics.count_s "fsync" >= 600);
       (* Data still correct after checkpoints. *)
       Pg.with_txn db (fun txn ->
           check_opt "row survives" (Some data)
@@ -241,9 +242,9 @@ let test_pg_memsnap_no_wal () =
         Pg.with_txn db (fun txn ->
             Pg.insert db txn ~table:"t" ~key:(string_of_int i) "v")
       done;
-      checki "no wal writes" 0 (Msnap_sim.Metrics.count "write");
-      checki "no fsync" 0 (Msnap_sim.Metrics.count "fsync");
-      checkb "persists instead" true (Msnap_sim.Metrics.count "memsnap" >= 50))
+      checki "no wal writes" 0 (Msnap_sim.Metrics.count_s "write");
+      checki "no fsync" 0 (Msnap_sim.Metrics.count_s "fsync");
+      checkb "persists instead" true (Msnap_sim.Metrics.count_s "memsnap" >= 50))
 
 let test_pg_write_amplification_gap () =
   Sched.run (fun () ->
@@ -271,7 +272,7 @@ let test_pg_write_amplification_gap () =
           Pg.with_txn db (fun txn ->
               Pg.insert db txn ~table:"t" ~key:(string_of_int (i mod 40)) data)
         done;
-        (Stripe.stats dev).Disk.bytes_written
+        (Device.stats dev).Disk.bytes_written
       in
       let base = run `Ffs in
       let ms = run `Memsnap in

@@ -3,6 +3,7 @@ module Size = Msnap_util.Size
 module Rng = Msnap_util.Rng
 module Disk = Msnap_blockdev.Disk
 module Stripe = Msnap_blockdev.Stripe
+module Device = Msnap_blockdev.Device
 module Store = Msnap_objstore.Store
 module Phys = Msnap_vm.Phys
 module Aspace = Msnap_vm.Aspace
@@ -92,9 +93,9 @@ let prop_skiplist_model =
 (* --- environments --- *)
 
 let mk_dev ?(mib = 256) () =
-  Stripe.create
-    [ Disk.create ~name:"d0" ~size:(Size.mib mib) ();
-      Disk.create ~name:"d1" ~size:(Size.mib mib) () ]
+  Device.of_stripe
+    (Stripe.create [ Disk.create ~name:"d0" ~size:(Size.mib mib) ();
+      Disk.create ~name:"d1" ~size:(Size.mib mib) () ])
 
 let mk_fs () = Fs.mkfs (mk_dev ()) ~kind:Fs.Ffs
 
@@ -356,9 +357,9 @@ let test_increment_crash_consistency () =
               (increment_run ~guard ~threads:1 ~keys:32 ~txns:500 ~incr_keys:3 db 7))
       in
       Sched.delay 3_000_000;
-      Stripe.fail_power dev ~torn_seed:123;
+      Device.fail_power dev ~torn_seed:123;
       Sched.join worker;
-      Stripe.restore_power dev;
+      Device.restore_power dev;
       (* Recover and verify: every key's value must be a valid integer,
          and the state must be a transaction-consistent prefix: since each
          batch commits atomically, the recovered sum is the number of

@@ -1,6 +1,8 @@
 module Sched = Msnap_sim.Sched
 module Sync = Msnap_sim.Sync
 module Metrics = Msnap_sim.Metrics
+module Probe = Msnap_sim.Probe
+module Trace = Msnap_sim.Trace
 
 let checki = Alcotest.(check int)
 let checkb = Alcotest.(check bool)
@@ -21,7 +23,7 @@ let test_cpu_advances_and_charges () =
   let total =
     Sched.run (fun () ->
         Sched.cpu 100;
-        Sched.with_bucket "io" (fun () -> Sched.cpu 50);
+        Sched.with_bucket Probe.Bucket.io (fun () -> Sched.cpu 50);
         Sched.account_total ())
   in
   checki "charged" 150 total
@@ -30,9 +32,9 @@ let test_buckets () =
   let report =
     Sched.run (fun () ->
         Sched.cpu 10;
-        Sched.with_bucket "a" (fun () ->
+        Sched.with_bucket_s "a" (fun () ->
             Sched.cpu 20;
-            Sched.with_bucket "b" (fun () -> Sched.cpu 30);
+            Sched.with_bucket_s "b" (fun () -> Sched.cpu 30);
             Sched.cpu 5);
         Sched.account_report ())
   in
@@ -243,17 +245,187 @@ let test_channel () =
 let test_metrics () =
   Metrics.reset ();
   Sched.run (fun () ->
-      Metrics.incr "x";
-      Metrics.incr ~by:4 "x";
-      Metrics.add_sample "lat" 100;
-      Metrics.add_sample "lat" 300;
-      Metrics.timed "op" (fun () -> Sched.delay 77));
-  checki "counter" 5 (Metrics.count "x");
-  checki "samples" 2 (Metrics.samples "lat");
-  Alcotest.(check (float 0.01)) "mean" 200.0 (Metrics.mean_ns "lat");
-  Alcotest.(check (float 0.01)) "timed" 77.0 (Metrics.mean_ns "op");
+      Metrics.incr_s "x";
+      Metrics.incr_s ~by:4 "x";
+      Metrics.add_sample_s "lat" 100;
+      Metrics.add_sample_s "lat" 300;
+      Metrics.timed_s "op" (fun () -> Sched.delay 77));
+  checki "counter" 5 (Metrics.count_s "x");
+  checki "samples" 2 (Metrics.samples_s "lat");
+  Alcotest.(check (float 0.01)) "mean" 200.0 (Metrics.mean_ns_s "lat");
+  Alcotest.(check (float 0.01)) "timed" 77.0 (Metrics.mean_ns_s "op");
   Metrics.reset ();
-  checki "reset" 0 (Metrics.count "x")
+  checki "reset" 0 (Metrics.count_s "x")
+
+(* --- Metrics: reset, nesting, histogram counts --- *)
+
+let test_metrics_reset_clears_hists () =
+  Metrics.reset ();
+  Sched.run (fun () ->
+      Metrics.add_sample Probe.db_write 100;
+      Metrics.add_sample Probe.db_write 200);
+  checki "samples before reset" 2 (Metrics.samples Probe.db_write);
+  checkb "hist exists" true (Metrics.hist Probe.db_write <> None);
+  Metrics.reset ();
+  checki "samples cleared" 0 (Metrics.samples Probe.db_write);
+  checkb "hist cleared" true (Metrics.hist Probe.db_write = None);
+  checki "counter cleared" 0 (Metrics.count Probe.db_write)
+
+let test_metrics_timed_nesting () =
+  Metrics.reset ();
+  Sched.run (fun () ->
+      Metrics.timed Probe.db_write (fun () ->
+          Sched.delay 100;
+          Metrics.timed Probe.db_fsync (fun () -> Sched.delay 40);
+          Sched.delay 10));
+  Alcotest.(check (float 0.01))
+    "outer includes inner" 150.0
+    (Metrics.mean_ns Probe.db_write);
+  Alcotest.(check (float 0.01)) "inner" 40.0 (Metrics.mean_ns Probe.db_fsync);
+  checki "one outer sample" 1 (Metrics.samples Probe.db_write);
+  checki "one inner sample" 1 (Metrics.samples Probe.db_fsync)
+
+let test_metrics_histogram_sample_counts () =
+  Metrics.reset ();
+  Sched.run (fun () ->
+      for i = 1 to 64 do
+        Metrics.add_sample Probe.db_read (i * 10)
+      done);
+  checki "samples" 64 (Metrics.samples Probe.db_read);
+  (match Metrics.hist Probe.db_read with
+  | None -> Alcotest.fail "histogram missing"
+  | Some h -> checki "hist count" 64 (Msnap_util.Histogram.count h));
+  (* add_sample also bumps the implicit op counter of the same name. *)
+  checki "implicit counter" 64 (Metrics.count Probe.db_read)
+
+(* --- typed buckets --- *)
+
+let test_bucket_nesting_typed () =
+  let report =
+    Sched.run (fun () ->
+        Sched.with_bucket Probe.Bucket.io (fun () ->
+            Sched.cpu 20;
+            Sched.with_bucket Probe.Bucket.fsync (fun () -> Sched.cpu 30);
+            Sched.cpu 5);
+        Sched.cpu 2;
+        Sched.account_report ())
+  in
+  checki "outer keeps only its own time" 25 (List.assoc "io" report);
+  checki "inner" 30 (List.assoc "fsync" report);
+  checki "user" 2 (List.assoc "user" report);
+  (* Typed constants and the string escape hatch share one key space. *)
+  let r2 =
+    Sched.run (fun () ->
+        Sched.with_bucket Probe.Bucket.io (fun () -> Sched.cpu 1);
+        Sched.with_bucket_s "io" (fun () -> Sched.cpu 2);
+        Sched.account_report ())
+  in
+  checki "same key" 3 (List.assoc "io" r2)
+
+(* --- Trace --- *)
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let test_trace_disabled_no_events () =
+  Trace.enable ();
+  Trace.disable ();
+  Sched.run (fun () ->
+      Trace.instant Probe.vm_write_fault;
+      Trace.complete Probe.db_write ~dur:10);
+  checki "no events recorded" 0 (Trace.event_count ());
+  checki "now is 0 when off" 0 (Trace.now ())
+
+let test_trace_span_records () =
+  Trace.enable ();
+  Sched.run (fun () -> Trace.with_span Probe.fs_fsync (fun () -> Sched.delay 120));
+  Trace.disable ();
+  let d = Trace.dump () in
+  (* The run also records the main thread's lifetime span (sched.thread);
+     pick out the fsync span. *)
+  let spans =
+    Array.to_list d.Trace.d_events
+    |> List.filter (fun e -> Probe.name e.Trace.ev_probe = "fs.fsync")
+  in
+  checki "one fsync span" 1 (List.length spans);
+  let e = List.hd spans in
+  checks "subsystem" "fs"
+    (Probe.subsystem_name (Probe.subsystem e.Trace.ev_probe));
+  checki "dur is the virtual-time delta" 120 e.Trace.ev_dur
+
+let test_trace_flow_ids_unique () =
+  Trace.enable ();
+  let a = Trace.new_flow () in
+  let b = Trace.new_flow () in
+  Trace.disable ();
+  checkb "nonzero and distinct" true (a <> 0 && b <> 0 && a <> b)
+
+let test_trace_summary_reconciles_with_buckets () =
+  Metrics.reset ();
+  Trace.enable ();
+  let report =
+    Sched.run (fun () ->
+        Metrics.timed Probe.db_fsync (fun () ->
+            Sched.with_bucket Probe.Bucket.fsync (fun () -> Sched.cpu 500));
+        Sched.account_report ())
+  in
+  Trace.disable ();
+  let d = Trace.dump () in
+  let _, _, count, total, _ =
+    List.find
+      (fun (sub, name, _, _, _) -> sub = "db" && name = "fsync")
+      d.Trace.d_summary
+  in
+  checki "one span" 1 count;
+  checki "span total equals the fsync bucket charge"
+    (List.assoc "fsync" report)
+    total
+
+let test_trace_export_json () =
+  Trace.enable ();
+  Sched.run (fun () ->
+      let flow = Trace.new_flow () in
+      Trace.instant Probe.msnap_first_fault ~flow:(flow, Trace.Flow_start);
+      Trace.with_span Probe.db_write (fun () -> Sched.delay 10);
+      Trace.instant Probe.msnap_durable ~flow:(flow, Trace.Flow_end));
+  Trace.disable ();
+  let d = Trace.dump () in
+  let path = Filename.temp_file "msnap_trace" ".json" in
+  let oc = open_out path in
+  Trace.export_json oc d;
+  close_out oc;
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  Sys.remove path;
+  List.iter
+    (fun sub -> checkb sub true (contains s sub))
+    [
+      {|"traceEvents"|}; {|"ph":"X"|}; {|"ph":"i"|}; {|"ph":"s"|}; {|"ph":"f"|};
+      {|"cat":"db"|}; {|"cat":"msnap"|}; {|"name":"msnap.first_fault"|};
+      {|"displayTimeUnit"|};
+    ]
+
+let test_trace_buffer_cap_keeps_summary_exact () =
+  Trace.enable ~limit:8 ();
+  Sched.run (fun () ->
+      for _ = 1 to 20 do
+        Trace.complete Probe.db_write ~dur:5
+      done);
+  Trace.disable ();
+  let d = Trace.dump () in
+  checki "buffer capped" 8 (Array.length d.Trace.d_events);
+  (* 20 writes + the main thread's lifetime span, 8 kept. *)
+  checki "overflow counted" 13 d.Trace.d_dropped;
+  let _, _, count, total, _ =
+    List.find
+      (fun (sub, name, _, _, _) -> sub = "db" && name = "write")
+      d.Trace.d_summary
+  in
+  checki "summary counts all emissions" 20 count;
+  checki "summary total exact past the cap" 100 total
 
 module Pq = Msnap_sim.Pq
 
@@ -329,7 +501,7 @@ let test_cpu_charges_across_threads_same_bucket () =
      same counter. *)
   let report =
     Sched.run (fun () ->
-        let w () = Sched.with_bucket "io" (fun () -> Sched.cpu 30) in
+        let w () = Sched.with_bucket Probe.Bucket.io (fun () -> Sched.cpu 30) in
         let t1 = Sched.spawn w in
         let t2 = Sched.spawn w in
         Sched.join t1;
@@ -343,7 +515,7 @@ let test_account_report_only_charged_buckets () =
      without spending CPU must not materialize it. *)
   let report =
     Sched.run (fun () ->
-        Sched.with_bucket "silent" (fun () -> ());
+        Sched.with_bucket_s "silent" (fun () -> ());
         Sched.cpu 5;
         Sched.account_report ())
   in
@@ -391,6 +563,7 @@ let () =
           tc "delay fast path ordering" test_delay_fast_path_ordering;
           tc "shared bucket cells" test_cpu_charges_across_threads_same_bucket;
           tc "lazy bucket creation" test_account_report_only_charged_buckets;
+          tc "typed bucket nesting" test_bucket_nesting_typed;
           tc "determinism" test_determinism_end_to_end;
         ] );
       ( "pq",
@@ -408,5 +581,20 @@ let () =
           tc "ivar" test_ivar;
           tc "channel" test_channel;
         ] );
-      ("metrics", [ tc "counters and samples" test_metrics ]);
+      ( "metrics",
+        [
+          tc "counters and samples" test_metrics;
+          tc "reset clears histograms" test_metrics_reset_clears_hists;
+          tc "timed nesting" test_metrics_timed_nesting;
+          tc "histogram sample counts" test_metrics_histogram_sample_counts;
+        ] );
+      ( "trace",
+        [
+          tc "disabled records nothing" test_trace_disabled_no_events;
+          tc "span records probe and dur" test_trace_span_records;
+          tc "flow ids unique" test_trace_flow_ids_unique;
+          tc "summary reconciles buckets" test_trace_summary_reconciles_with_buckets;
+          tc "export json shape" test_trace_export_json;
+          tc "summary exact past cap" test_trace_buffer_cap_keeps_summary_exact;
+        ] );
     ]

@@ -3,6 +3,7 @@ module Size = Msnap_util.Size
 module Rng = Msnap_util.Rng
 module Disk = Msnap_blockdev.Disk
 module Stripe = Msnap_blockdev.Stripe
+module Device = Msnap_blockdev.Device
 module Store = Msnap_objstore.Store
 module Phys = Msnap_vm.Phys
 module Aspace = Msnap_vm.Aspace
@@ -223,15 +224,15 @@ let prop_btree_model =
 
 let mk_fs_env () =
   let dev =
-    Stripe.create
-      [ Disk.create ~size:(Size.mib 128) (); Disk.create ~size:(Size.mib 128) () ]
+    Device.of_stripe
+    (Stripe.create [ Disk.create ~size:(Size.mib 128) (); Disk.create ~size:(Size.mib 128) () ])
   in
   Fs.mkfs dev ~kind:Fs.Ffs
 
 let mk_msnap_env () =
   let dev =
-    Stripe.create
-      [ Disk.create ~size:(Size.mib 128) (); Disk.create ~size:(Size.mib 128) () ]
+    Device.of_stripe
+    (Stripe.create [ Disk.create ~size:(Size.mib 128) (); Disk.create ~size:(Size.mib 128) () ])
   in
   let phys = Phys.create () in
   let aspace = Aspace.create phys in
@@ -360,8 +361,8 @@ let test_msnap_fewer_calls_than_wal () =
       for i = 0 to 99 do
         Db.with_write_txn db (fun () -> Db.put tbl ~key:(Db.key_of_int i) ~value:"v")
       done;
-      let fsyncs = Msnap_sim.Metrics.count "fsync" in
-      let writes = Msnap_sim.Metrics.count "write" in
+      let fsyncs = Msnap_sim.Metrics.count_s "fsync" in
+      let writes = Msnap_sim.Metrics.count_s "write" in
       Msnap_sim.Metrics.reset ();
       let _, k = mk_msnap_env () in
       let be2 = Backend_msnap.create k ~db_name:"m.db" ~max_pages:8192 in
@@ -370,11 +371,11 @@ let test_msnap_fewer_calls_than_wal () =
       for i = 0 to 99 do
         Db.with_write_txn db2 (fun () -> Db.put tbl2 ~key:(Db.key_of_int i) ~value:"v")
       done;
-      let persists = Msnap_sim.Metrics.count "memsnap" in
+      let persists = Msnap_sim.Metrics.count_s "memsnap" in
       checkb "baseline fsyncs per txn" true (fsyncs >= 100);
       checkb "baseline writes amplified" true (writes > 100);
       checkb "memsnap single call per txn" true (persists <= 102);
-      checki "no fsync under memsnap" 0 (Msnap_sim.Metrics.count "fsync"))
+      checki "no fsync under memsnap" 0 (Msnap_sim.Metrics.count_s "fsync"))
     ()
 
 let () =
