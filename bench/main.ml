@@ -59,6 +59,7 @@ type timing = {
   t_minor_words : float; (* minor-heap allocation during the experiment *)
   t_major_words : float; (* words allocated directly on the major heap *)
   t_trace_events : int; (* events exported; 0 when tracing is off *)
+  t_trace_dropped : int; (* events past the buffer cap, counted not kept *)
   t_trace_s : float; (* host seconds spent dumping + exporting the trace *)
 }
 
@@ -86,9 +87,9 @@ let timed ?trace_path name f =
   f ();
   let wall = Unix.gettimeofday () -. t0 in
   let g1 = Gc.quick_stat () in
-  let trace_events, trace_s =
+  let trace_events, trace_dropped, trace_s =
     match trace_path with
-    | None -> (0, 0.0)
+    | None -> (0, 0, 0.0)
     | Some path ->
       let e0 = Unix.gettimeofday () in
       Trace.disable ();
@@ -96,12 +97,18 @@ let timed ?trace_path name f =
       let oc = open_out path in
       Trace.export_json oc d;
       close_out oc;
-      let n = Array.length d.Trace.d_events in
+      let n = d.Trace.d_count in
       (* stderr only: stdout must stay byte-identical with tracing off. *)
       Printf.eprintf "[trace] %s: %d events (%d dropped) -> %s\n%s%!" name n
         d.Trace.d_dropped path
         (Trace.render_summary d);
-      (n, Unix.gettimeofday () -. e0)
+      if d.Trace.d_dropped > 0 then
+        Printf.eprintf
+          "[trace] WARNING: %s dropped %d events past the buffer cap — the \
+           exported timeline is truncated (per-probe summary totals remain \
+           exact)\n%!"
+          name d.Trace.d_dropped;
+      (n, d.Trace.d_dropped, Unix.gettimeofday () -. e0)
   in
   {
     t_name = name;
@@ -109,6 +116,7 @@ let timed ?trace_path name f =
     t_minor_words = g1.Gc.minor_words -. g0.Gc.minor_words;
     t_major_words = g1.Gc.major_words -. g0.Gc.major_words;
     t_trace_events = trace_events;
+    t_trace_dropped = trace_dropped;
     t_trace_s = trace_s;
   }
 
@@ -131,7 +139,7 @@ let run_parallel ~trace jobs selected =
   let times =
     Array.make n
       { t_name = ""; t_wall_s = 0.0; t_minor_words = 0.0; t_major_words = 0.0;
-        t_trace_events = 0; t_trace_s = 0.0 }
+        t_trace_events = 0; t_trace_dropped = 0; t_trace_s = 0.0 }
   in
   let run_one i =
     let name, (_, f) = arr.(i) in
@@ -171,7 +179,7 @@ let write_timings ~path ~jobs ~total timings =
   let oc = open_out path in
   let p fmt = Printf.fprintf oc fmt in
   p "{\n";
-  p "  \"schema\": \"memsnap-bench-sim/3\",\n";
+  p "  \"schema\": \"memsnap-bench-sim/4\",\n";
   p "  \"jobs\": %d,\n" jobs;
   p "  \"total_wall_s\": %.3f,\n" total;
   p "  \"experiments\": [\n";
@@ -180,16 +188,30 @@ let write_timings ~path ~jobs ~total timings =
       p
         "    { \"name\": %S, \"wall_s\": %.3f, \"minor_words\": %.0f, \
          \"major_words\": %.0f, \"trace_events\": %d, \
-         \"trace_overhead_s\": %.3f }%s\n"
+         \"trace_dropped\": %d, \"trace_overhead_s\": %.3f }%s\n"
         t.t_name t.t_wall_s t.t_minor_words t.t_major_words t.t_trace_events
-        t.t_trace_s
+        t.t_trace_dropped t.t_trace_s
         (if i = List.length timings - 1 then "" else ","))
     timings;
   p "  ]\n}\n";
   close_out oc
 
-let run names jobs timings_path trace =
+let run names jobs timings_path trace partial =
   let selected = select names in
+  (* A subset run would silently replace full-suite results with a file
+     missing most experiments; require an explicit opt-in. *)
+  if
+    List.length selected < List.length experiments
+    && Sys.file_exists timings_path
+    && not partial
+  then begin
+    Printf.eprintf
+      "[bench] refusing to overwrite %s: only %d of %d experiments selected. \
+       Pass --partial to allow, or --timings PATH to write elsewhere.\n%!"
+      timings_path (List.length selected)
+      (List.length experiments);
+    exit 2
+  end;
   if names = [] then
     print_endline "MemSnap reproduction: regenerating every table and figure";
   let t0 = Unix.gettimeofday () in
@@ -222,6 +244,12 @@ let timings_path =
   Arg.(value & opt string "BENCH_sim.json" & info [ "timings" ]
          ~doc:"Where to write per-experiment wall-clock timings (JSON).")
 
+let partial =
+  Arg.(value & flag & info [ "partial" ]
+         ~doc:"Allow overwriting the timings file when only a subset of \
+               experiments is selected (the file then covers just that \
+               subset).")
+
 let trace =
   Arg.(value & opt (some string) None & info [ "trace" ]
          ~doc:"Record a Chrome trace_event timeline to $(docv) (load in \
@@ -234,6 +262,6 @@ let cmd =
   Cmd.v
     (Cmd.info "memsnap-bench"
        ~doc:"Reproduce the MemSnap paper's evaluation tables and figures")
-    Term.(const run $ names $ jobs $ timings_path $ trace)
+    Term.(const run $ names $ jobs $ timings_path $ trace $ partial)
 
 let () = exit (Cmd.eval cmd)

@@ -66,7 +66,7 @@ let with_trace trace f =
         Trace.export_json oc d;
         close_out oc;
         Printf.eprintf "[trace] %d events (%d dropped) -> %s\n%s%!"
-          (Array.length d.Trace.d_events)
+          d.Trace.d_count
           d.Trace.d_dropped path
           (Trace.render_summary d))
 

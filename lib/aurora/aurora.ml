@@ -101,7 +101,7 @@ module Region = struct
     else if page.Phys.ckpt_in_progress then begin
       if Trace.is_on () then
         Trace.instant Probe.aurora_cow_fault
-          ~args:[ ("vpn", Trace.I fault.Aspace.f_vpn) ];
+          ~argi:("vpn", fault.Aspace.f_vpn);
       let copy = Phys.copy_page (Aspace.phys aspace) page in
       Phys.rmap_remove page fault.Aspace.f_loc;
       Phys.rmap_add copy fault.Aspace.f_loc;
@@ -203,9 +203,9 @@ module Region = struct
     List.iter
       (fun (_, page) ->
         page.Phys.ckpt_in_progress <- false;
-        if page.Phys.rmap = [] then Phys.free phys page)
+        if Phys.rmap_is_empty page then Phys.free phys page)
       r.shadow_frames;
-    List.iter (fun p -> if p.Phys.rmap = [] then Phys.free phys p) r.cow_copies;
+    List.iter (fun p -> if Phys.rmap_is_empty p then Phys.free phys p) r.cow_copies;
     r.cow_copies <- [];
     r.shadow_frames <- []
 
@@ -227,12 +227,12 @@ module Region = struct
        start (now - dur) lands where the phase actually began. *)
     if Trace.is_on () then
       Trace.complete Probe.aurora_stall ~dur:(t_stall - t0)
-        ~args:[ ("threads", Trace.I r.k.threads) ];
+        ~argi:("threads", r.k.threads);
     let dirty = shadow_region r in
     let t_shadow = Sched.now () in
     if Trace.is_on () then
       Trace.complete Probe.aurora_shadow ~dur:(t_shadow - t_stall)
-        ~args:[ ("dirty_pages", Trace.I (List.length dirty)) ];
+        ~argi:("dirty_pages", List.length dirty);
     resume_world r.k;
     flush_dirty r dirty;
     let t_io = Sched.now () in
@@ -295,4 +295,4 @@ let checkpoint_app (k : Kernel.t) =
   if Trace.is_on () then
     Trace.complete Probe.aurora_checkpoint_app
       ~dur:(Sched.now () - trace_t0)
-      ~args:[ ("regions", Trace.I (List.length k.Kernel.regions)) ]
+      ~argi:("regions", List.length k.Kernel.regions)

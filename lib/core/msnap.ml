@@ -17,11 +17,19 @@ exception Property_violation of string
 
 type epoch = int
 
-type entry = {
-  e_vpn : int;
-  e_rel : int;
-  e_page : Phys.page;
-  e_region : region;
+(* A dirty set is a struct-of-arrays arena: one slot per tracked page,
+   parallel columns for the vpn, the rel page, the frame and the region.
+   Appending (one per tracking fault) writes four cells; taking the set
+   moves slots into a pooled "taken" arena — neither allocates in steady
+   state. Slots are stored oldest-first; the old representation was a
+   newest-first [entry list], so consumers that depend on entry order
+   (it feeds commit grouping, a simulated value) scan downward. *)
+type dset = {
+  mutable d_vpn : int array;
+  mutable d_rel : int array;
+  mutable d_page : Phys.page array;
+  mutable d_reg : region array;
+  mutable d_len : int;
 }
 
 and region = {
@@ -30,8 +38,8 @@ and region = {
   r_len : int;
   r_obj : Store.obj;
   r_kernel : t;
-  frames : (int, Phys.page) Hashtbl.t; (* rel page -> shared frame *)
-  populating : (int, Phys.page Sync.Ivar.t) Hashtbl.t;
+  frames : Phys.page array; (* rel page -> shared frame; null_page = none *)
+  populating : Phys.page Sync.Ivar.t option array;
       (* busy-page lock: concurrent faults on the same missing page wait
          for the first to materialize the frame *)
   mutable r_aspaces : Aspace.t list;
@@ -47,7 +55,12 @@ and t = {
   mutable phys : Phys.t option;
   mutable aspaces : Aspace.t list;
   regions : (string, region) Hashtbl.t;
-  dirty : (int, entry list ref) Hashtbl.t; (* thread id -> dirty set *)
+  dirty : (int, dset) Hashtbl.t;
+      (* thread id -> dirty set. Still a Hashtbl: [take_entries] folds
+         over the tids, and that fold order feeds entry concatenation —
+         a simulated value. Only the per-thread values went flat. *)
+  spare : dset list ref;
+      (* free list of taken arenas, reused across persists *)
   mutable strict : bool;
   mutable arena_cursor : int;
   fault_lock : Sync.Mutex.t;
@@ -58,6 +71,30 @@ and t = {
 
 type md = region
 
+let dset_create () =
+  { d_vpn = [||]; d_rel = [||]; d_page = [||]; d_reg = [||]; d_len = 0 }
+
+let grow_column a cap ncap fill =
+  let na = Array.make ncap fill in
+  Array.blit a 0 na 0 cap;
+  na
+
+let dset_push d ~vpn ~rel page reg =
+  let cap = Array.length d.d_vpn in
+  if d.d_len = cap then begin
+    let ncap = if cap = 0 then 16 else 2 * cap in
+    d.d_vpn <- grow_column d.d_vpn cap ncap 0;
+    d.d_rel <- grow_column d.d_rel cap ncap 0;
+    d.d_page <- grow_column d.d_page cap ncap page;
+    d.d_reg <- grow_column d.d_reg cap ncap reg
+  end;
+  let i = d.d_len in
+  d.d_vpn.(i) <- vpn;
+  d.d_rel.(i) <- rel;
+  d.d_page.(i) <- page;
+  d.d_reg.(i) <- reg;
+  d.d_len <- i + 1
+
 let init ~store =
   {
     store;
@@ -65,6 +102,7 @@ let init ~store =
     aspaces = [];
     regions = Hashtbl.create 8;
     dirty = Hashtbl.create 16;
+    spare = ref [];
     strict = true;
     arena_cursor = Addr.msnap_base;
     fault_lock = Sync.Mutex.create ();
@@ -92,13 +130,13 @@ let default_aspace t =
 
 (* --- dirty set tracking --- *)
 
-let dirty_list t tid =
+let dirty_set t tid =
   match Hashtbl.find_opt t.dirty tid with
-  | Some l -> l
+  | Some d -> d
   | None ->
-    let l = ref [] in
-    Hashtbl.add t.dirty tid l;
-    l
+    let d = dset_create () in
+    Hashtbl.add t.dirty tid d;
+    d
 
 let track t r ~vpn ~rel page =
   let tid = Sched.tid_int (Sched.self ()) in
@@ -110,8 +148,7 @@ let track t r ~vpn ~rel page =
              is unpersisted"
             r.r_name rel tid page.Phys.owner));
   page.Phys.owner <- tid;
-  let l = dirty_list t tid in
-  l := { e_vpn = vpn; e_rel = rel; e_page = page; e_region = r } :: !l;
+  dset_push (dirty_set t tid) ~vpn ~rel page r;
   if Trace.is_on () && r.r_flow = 0 then begin
     (* First tracked fault of this Î¼Checkpoint: open its causality flow.
        Every later stage (PTE reset, device commit, durable epoch) links
@@ -137,15 +174,15 @@ let on_write_fault t r (fault : Aspace.fault) =
     (* Redirect the writer (and every other mapping of this frame) to a
        fresh copy; the original keeps feeding the in-flight IO. *)
     let copy = Phys.copy_page (kernel_phys t) page in
-    List.iter
+    Phys.rmap_iter
       (fun loc ->
         Sched.cpu Costs.pte_update;
         let pte = Ptloc.get loc in
         Ptloc.set loc (Pte.set_frame pte copy.Phys.frame);
         Phys.rmap_add copy loc)
-      page.Phys.rmap;
-    page.Phys.rmap <- [];
-    Hashtbl.replace r.frames rel copy;
+      page;
+    Phys.rmap_clear page;
+    r.frames.(rel) <- copy;
     (* Make the faulting PTE writable; other processes keep read-only
        PTEs so their first store still takes a tracking fault. *)
     Ptloc.set fault.Aspace.f_loc
@@ -180,24 +217,24 @@ let on_write_fault t r (fault : Aspace.fault) =
 let region_pager t r =
   { Aspace.page_in =
       (fun rel ->
-        match Hashtbl.find_opt r.frames rel with
-        | Some p -> `Page p
-        | None -> (
-          match Hashtbl.find_opt r.populating rel with
+        let p = r.frames.(rel) in
+        if not (Phys.is_null p) then `Page p
+        else
+          match r.populating.(rel) with
           | Some iv -> `Page (Sync.Ivar.read iv)
           | None ->
             let iv = Sync.Ivar.create () in
-            Hashtbl.replace r.populating rel iv;
+            r.populating.(rel) <- Some iv;
             let p = Phys.alloc (kernel_phys t) in
             (* Read the block straight into the frame; the memcpy charge
                models the kernel copying from the IO buffer into the
                page, exactly as the staged read did. *)
             if Store.read_block_into t.store r.r_obj rel p.Phys.data then
               Sched.cpu (Costs.memcpy Addr.page_size);
-            Hashtbl.replace r.frames rel p;
-            Hashtbl.remove r.populating rel;
+            r.frames.(rel) <- p;
+            r.populating.(rel) <- None;
             Sync.Ivar.fill iv p;
-            `Page p))
+            `Page p)
   }
 
 let map_region_into t r aspace =
@@ -230,9 +267,12 @@ let open_region t ?aspace ~name ~len () =
   in
   let end_va = Msnap_util.Bits.round_up (va + len) arena_align in
   if end_va > t.arena_cursor then t.arena_cursor <- end_va;
+  let r_len = Addr.page_align_up len in
+  let npages = r_len / Addr.page_size in
   let r =
-    { r_name = name; r_va = va; r_len = Addr.page_align_up len; r_obj = obj;
-      r_kernel = t; frames = Hashtbl.create 256; populating = Hashtbl.create 8;
+    { r_name = name; r_va = va; r_len; r_obj = obj; r_kernel = t;
+      frames = Array.make npages Phys.null_page;
+      populating = Array.make npages None;
       r_aspaces = []; tickets = Hashtbl.create 8; r_flow = 0 }
   in
   Hashtbl.replace t.regions name r;
@@ -275,54 +315,62 @@ let read t r ~off ~len =
   | a :: _ -> Aspace.read a ~va:(r.r_va + off) ~len
   | [] -> invalid_arg "Msnap.read: region not mapped"
 
+(* Same charges as [read], into a caller-owned buffer. *)
+let read_into t r ~off buf ~pos ~len =
+  if off < 0 || off + len > r.r_len then
+    invalid_arg "Msnap.read_into: out of range";
+  ignore t;
+  match r.r_aspaces with
+  | a :: _ -> Aspace.read_into a ~va:(r.r_va + off) buf ~pos ~len
+  | [] -> invalid_arg "Msnap.read_into: region not mapped"
+
 (* --- persist --- *)
 
 (* Reset tracking for the taken entries: flag pages in-progress and flip
    every PTE mapping them back to read-only, straight from the recorded
    locations (trace buffer), then one shootdown per address space. *)
-let reset_tracking t entries =
+let reset_tracking t taken =
   ignore t;
   let by_aspace = Hashtbl.create 4 in
-  List.iter
-    (fun e ->
-      e.e_page.Phys.ckpt_in_progress <- true;
-      e.e_page.Phys.owner <- -1;
-      List.iter
-        (fun loc ->
-          Sched.cpu Costs.pte_update;
-          Ptloc.set loc (Pte.set_writable (Ptloc.get loc) false))
-        e.e_page.Phys.rmap;
-      List.iter
-        (fun a ->
-          let l =
-            match Hashtbl.find_opt by_aspace (Aspace.name a) with
-            | Some l -> l
-            | None ->
-              let l = ref (a, []) in
-              Hashtbl.add by_aspace (Aspace.name a) l;
-              l
-          in
-          let a', vpns = !l in
-          l := (a', e.e_vpn :: vpns))
-        e.e_region.r_aspaces)
-    entries;
+  for i = 0 to taken.d_len - 1 do
+    let page = taken.d_page.(i) in
+    page.Phys.ckpt_in_progress <- true;
+    page.Phys.owner <- -1;
+    Phys.rmap_iter
+      (fun loc ->
+        Sched.cpu Costs.pte_update;
+        Ptloc.set loc (Pte.set_writable (Ptloc.get loc) false))
+      page;
+    List.iter
+      (fun a ->
+        let l =
+          match Hashtbl.find_opt by_aspace (Aspace.name a) with
+          | Some l -> l
+          | None ->
+            let l = ref (a, []) in
+            Hashtbl.add by_aspace (Aspace.name a) l;
+            l
+        in
+        let a', vpns = !l in
+        l := (a', taken.d_vpn.(i) :: vpns))
+      taken.d_reg.(i).r_aspaces
+  done;
   if Trace.is_on () then begin
     (* One flow step per region whose PTEs were just reset. *)
     let per_region = Hashtbl.create 4 in
-    List.iter
-      (fun e ->
-        let r = e.e_region in
-        let c =
-          match Hashtbl.find_opt per_region r.r_name with
-          | Some c -> c
-          | None ->
-            let c = ref (r, 0) in
-            Hashtbl.add per_region r.r_name c;
-            c
-        in
-        let r', n = !c in
-        c := (r', n + 1))
-      entries;
+    for i = 0 to taken.d_len - 1 do
+      let r = taken.d_reg.(i) in
+      let c =
+        match Hashtbl.find_opt per_region r.r_name with
+        | Some c -> c
+        | None ->
+          let c = ref (r, 0) in
+          Hashtbl.add per_region r.r_name c;
+          c
+      in
+      let r', n = !c in
+      c := (r', n + 1)
+    done;
     Hashtbl.iter
       (fun _ c ->
         let r, n = !c in
@@ -344,85 +392,133 @@ let reset_tracking t entries =
     by_aspace
 
 (* Completion: once the μCheckpoint is durable, clear the in-progress
-   flags and free frames that a concurrent COW orphaned. *)
-let complete_entries t entries =
+   flags and free frames that a concurrent COW orphaned. [idxs] selects
+   one commit's slots of the taken arena. *)
+let complete_entries t taken idxs =
   let phys = kernel_phys t in
   List.iter
-    (fun e ->
-      e.e_page.Phys.ckpt_in_progress <- false;
-      if e.e_page.Phys.rmap = [] then begin
-        match Hashtbl.find_opt e.e_region.frames e.e_rel with
-        | Some p when p == e.e_page -> () (* still the live frame *)
-        | _ -> Phys.free phys e.e_page
+    (fun i ->
+      let page = taken.d_page.(i) in
+      page.Phys.ckpt_in_progress <- false;
+      if Phys.rmap_is_empty page then begin
+        let live = taken.d_reg.(i).frames.(taken.d_rel.(i)) in
+        if not (live == page) (* still the live frame? *) then
+          Phys.free phys page
       end)
-    entries
+    idxs
 
+(* Move every in-scope slot of the per-thread dirty sets into a pooled
+   "taken" arena, keeping the rest. The taken arena's slot order equals
+   the old [entry list] order — per thread newest-first, threads in the
+   dirty-table fold order — because that order flows into commit
+   grouping, a simulated value. Steady-state this allocates nothing:
+   the arena comes from [t.spare] and goes back once durable. *)
 let take_entries t ~scope ~region =
-  let in_scope e =
-    match region with None -> true | Some r -> e.e_region == r
+  let taken =
+    match !(t.spare) with
+    | d :: rest ->
+      t.spare := rest;
+      d
+    | [] -> dset_create ()
   in
-  let tids =
-    match scope with
-    | `Thread -> [ Sched.tid_int (Sched.self ()) ]
-    | `Global -> Hashtbl.fold (fun tid _ acc -> tid :: acc) t.dirty []
+  let take_tid tid =
+    match Hashtbl.find_opt t.dirty tid with
+    | None -> ()
+    | Some d ->
+      (* Downward scan: the list head was the newest entry. *)
+      for i = d.d_len - 1 downto 0 do
+        let in_scope =
+          match region with None -> true | Some r -> d.d_reg.(i) == r
+        in
+        if in_scope then
+          dset_push taken ~vpn:d.d_vpn.(i) ~rel:d.d_rel.(i) d.d_page.(i)
+            d.d_reg.(i)
+      done;
+      (* Compact the kept slots in place, preserving their order. *)
+      let j = ref 0 in
+      for i = 0 to d.d_len - 1 do
+        let in_scope =
+          match region with None -> true | Some r -> d.d_reg.(i) == r
+        in
+        if not in_scope then begin
+          if !j < i then begin
+            d.d_vpn.(!j) <- d.d_vpn.(i);
+            d.d_rel.(!j) <- d.d_rel.(i);
+            d.d_page.(!j) <- d.d_page.(i);
+            d.d_reg.(!j) <- d.d_reg.(i)
+          end;
+          incr j
+        end
+      done;
+      d.d_len <- !j
   in
-  List.concat_map
-    (fun tid ->
-      match Hashtbl.find_opt t.dirty tid with
-      | None -> []
-      | Some l ->
-        let taken, kept = List.partition in_scope !l in
-        l := kept;
-        taken)
-    tids
+  (match scope with
+  | `Thread -> take_tid (Sched.tid_int (Sched.self ()))
+  | `Global ->
+    (* Fold over tids first: mutating values mid-fold is fine for the
+       stdlib Hashtbl, but the tid order itself must stay exactly the
+       old fold order. *)
+    let tids = Hashtbl.fold (fun tid _ acc -> tid :: acc) t.dirty [] in
+    List.iter take_tid tids);
+  taken
+
+let release_taken t taken =
+  taken.d_len <- 0;
+  t.spare := taken :: !(t.spare)
 
 let persist t ?region ?(mode = `Sync) ?(scope = `Thread) () =
   Sched.with_bucket Probe.Bucket.memsnap (fun () ->
       Sched.cpu Costs.syscall;
       Metrics.incr Probe.msnap_persist;
       let t0 = Sched.now () in
-      let entries = take_entries t ~scope ~region in
+      let taken = take_entries t ~scope ~region in
       if Trace.is_on () then begin
         let seen = Hashtbl.create 4 in
-        List.iter
-          (fun e ->
-            let r = e.e_region in
-            if (not (Hashtbl.mem seen r.r_name)) && r.r_flow <> 0 then begin
-              Hashtbl.add seen r.r_name ();
-              Trace.instant Probe.msnap_take_dirty
-                ~flow:(r.r_flow, Trace.Flow_step)
-                ~args:[ ("region", Trace.S r.r_name) ]
-            end)
-          entries
+        for i = 0 to taken.d_len - 1 do
+          let r = taken.d_reg.(i) in
+          if (not (Hashtbl.mem seen r.r_name)) && r.r_flow <> 0 then begin
+            Hashtbl.add seen r.r_name ();
+            Trace.instant Probe.msnap_take_dirty
+              ~flow:(r.r_flow, Trace.Flow_step)
+              ~args:[ ("region", Trace.S r.r_name) ]
+          end
+        done
       end;
-      reset_tracking t entries;
+      reset_tracking t taken;
       let d_reset = Sched.now () - t0 in
       Metrics.add_sample Probe.msnap_persist_reset d_reset;
       Trace.complete Probe.msnap_persist_reset ~dur:d_reset;
-      (* Group by region and commit each group as one μCheckpoint. *)
+      (* Group by region and commit each group as one μCheckpoint. The
+         per-region slot lists are consed during the forward scan, so
+         they come out scan-reversed — exactly the order the old
+         entry-list version fed to [Store.commit_async]. *)
       let by_region = Hashtbl.create 4 in
       let regions_in_order = ref [] in
-      List.iter
-        (fun e ->
-          match Hashtbl.find_opt by_region e.e_region.r_name with
-          | Some l -> l := e :: !l
-          | None ->
-            Hashtbl.add by_region e.e_region.r_name (ref [ e ]);
-            regions_in_order := e.e_region :: !regions_in_order)
-        entries;
+      for i = 0 to taken.d_len - 1 do
+        let r = taken.d_reg.(i) in
+        match Hashtbl.find_opt by_region r.r_name with
+        | Some l -> l := i :: !l
+        | None ->
+          Hashtbl.add by_region r.r_name (ref [ i ]);
+          regions_in_order := r :: !regions_in_order
+      done;
       let t1 = Sched.now () in
       let commits =
         List.map
           (fun r ->
-            let es = !(Hashtbl.find by_region r.r_name) in
-            let pages = List.map (fun e -> (e.e_rel, e.e_page.Phys.data)) es in
+            let idxs = !(Hashtbl.find by_region r.r_name) in
+            let pages =
+              List.map
+                (fun i -> (taken.d_rel.(i), taken.d_page.(i).Phys.data))
+                idxs
+            in
             (* Consume the region's pending flow: faults arriving from
                here on belong to the next Î¼Checkpoint. *)
             let flow = r.r_flow in
             r.r_flow <- 0;
             let ep, ticket = Store.commit_async ~flow t.store r.r_obj pages in
             Hashtbl.replace r.tickets ep ticket;
-            (r, ep, ticket, es, flow))
+            (r, ep, ticket, idxs, flow))
           (List.rev !regions_in_order)
       in
       let d_init = Sched.now () - t1 in
@@ -439,18 +535,21 @@ let persist t ?region ?(mode = `Sync) ?(scope = `Thread) () =
       in
       let finish () =
         List.iter
-          (fun (r, ep, ticket, es, flow) ->
+          (fun (r, ep, ticket, idxs, flow) ->
             (match Store.wait ticket with
             | () -> Hashtbl.remove r.tickets ep
             | exception exn ->
-              (* Keep the ticket so msnap_wait observes the failure. *)
-              complete_entries t es;
+              (* Keep the ticket so msnap_wait observes the failure.
+                 The taken arena is not recycled: later commits still
+                 reference it. *)
+              complete_entries t taken idxs;
               raise exn);
-            complete_entries t es;
+            complete_entries t taken idxs;
             if Trace.is_on () && flow <> 0 then
               Trace.instant Probe.msnap_durable ~flow:(flow, Trace.Flow_end)
                 ~args:[ ("region", Trace.S r.r_name); ("epoch", Trace.I ep) ])
-          commits
+          commits;
+        release_taken t taken
       in
       (match mode with
       | `Sync ->
@@ -460,7 +559,8 @@ let persist t ?region ?(mode = `Sync) ?(scope = `Thread) () =
         Metrics.add_sample Probe.msnap_persist_wait d_wait;
         Trace.complete Probe.msnap_persist_wait ~dur:d_wait
       | `Async ->
-        if commits <> [] then
+        if commits = [] then release_taken t taken
+        else
           ignore
             (Sched.spawn ~name:"msnap-complete" (fun () ->
                  try finish () with _ -> ())));
@@ -502,16 +602,20 @@ let wait t r epoch =
 
 let dirty_count t =
   match Hashtbl.find_opt t.dirty (Sched.tid_int (Sched.self ())) with
-  | Some l -> List.length !l
+  | Some d -> d.d_len
   | None -> 0
 
 let dirty_count_of_region t r =
   Hashtbl.fold
-    (fun _ l acc ->
-      acc + List.length (List.filter (fun e -> e.e_region == r) !l))
+    (fun _ d acc ->
+      let n = ref 0 in
+      for i = 0 to d.d_len - 1 do
+        if d.d_reg.(i) == r then incr n
+      done;
+      acc + !n)
     t.dirty 0
 
 let tracked_threads t =
-  Hashtbl.fold (fun _ l acc -> if !l <> [] then acc + 1 else acc) t.dirty 0
+  Hashtbl.fold (fun _ d acc -> if d.d_len > 0 then acc + 1 else acc) t.dirty 0
 
 let region_by_name t name = Hashtbl.find_opt t.regions name

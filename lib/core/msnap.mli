@@ -82,6 +82,9 @@ val durable_epoch : md -> epoch
 val write : t -> md -> off:int -> Bytes.t -> unit
 val read : t -> md -> off:int -> len:int -> Bytes.t
 
+val read_into : t -> md -> off:int -> Bytes.t -> pos:int -> len:int -> unit
+(** [read] into a caller-owned buffer — same charges, no allocation. *)
+
 val write_slice : t -> md -> off:int -> Msnap_util.Slice.t -> unit
 (** Store through the region mapping without staging: the slice's bytes
     feed the per-page copies directly (same charges as {!write} of that

@@ -3,6 +3,14 @@ let slot_base = 8
 let tuple_header = 10
 
 module Sync = Msnap_sim.Sync
+module Sched = Msnap_sim.Sched
+
+(* Per-thread scratch for the 2/4-byte header accesses: storage ops are
+   scheduling points, so one shared buffer could be clobbered by another
+   green thread between fill and consume — but within a thread the ops
+   are sequential, so a per-tid pair of buffers makes every header
+   read/write allocation-free in steady state. *)
+type scratch = { s2 : Bytes.t; s4 : Bytes.t }
 
 type t = {
   st : Storage.t;
@@ -12,27 +20,41 @@ type t = {
       (* Slot allocation spans several storage operations (each a
          scheduling point); inserts into one relation serialize the way
          PostgreSQL's buffer content locks do. *)
+  scratches : (int, scratch) Hashtbl.t; (* Sched tid -> scratch *)
 }
 
 type tid = int * int
 
 let create st ~rel =
-  { st; rel; hblocks = 0; insert_lock = Sync.Mutex.create () }
+  { st; rel; hblocks = 0; insert_lock = Sync.Mutex.create ();
+    scratches = Hashtbl.create 8 }
+
+let scratch_for t =
+  let tid = Sched.tid_int (Sched.self ()) in
+  match Hashtbl.find t.scratches tid with
+  | s -> s
+  | exception Not_found ->
+    let s = { s2 = Bytes.create 2; s4 = Bytes.create 4 } in
+    Hashtbl.replace t.scratches tid s;
+    s
 
 let read_u16 t ~blockno ~off =
-  Bytes.get_uint16_le (Storage.read t.st ~rel:t.rel ~blockno ~off ~len:2) 0
+  let b = (scratch_for t).s2 in
+  Storage.read_into t.st ~rel:t.rel ~blockno ~off b ~pos:0 ~len:2;
+  Bytes.get_uint16_le b 0
 
 let read_u32 t ~blockno ~off =
-  Int32.to_int (Bytes.get_int32_le (Storage.read t.st ~rel:t.rel ~blockno ~off ~len:4) 0)
-  land 0xffffffff
+  let b = (scratch_for t).s4 in
+  Storage.read_into t.st ~rel:t.rel ~blockno ~off b ~pos:0 ~len:4;
+  Int32.to_int (Bytes.get_int32_le b 0) land 0xffffffff
 
 let write_u16 t ~blockno ~off v =
-  let b = Bytes.create 2 in
+  let b = (scratch_for t).s2 in
   Bytes.set_uint16_le b 0 v;
   Storage.write t.st ~rel:t.rel ~blockno ~off b
 
 let write_u32 t ~blockno ~off v =
-  let b = Bytes.create 4 in
+  let b = (scratch_for t).s4 in
   Bytes.set_int32_le b 0 (Int32.of_int v);
   Storage.write t.st ~rel:t.rel ~blockno ~off b
 
@@ -93,7 +115,9 @@ let fetch t tid =
     let xmax = read_u32 t ~blockno ~off:(off + 4) in
     let len = read_u16 t ~blockno ~off:(off + 8) in
     let data =
-      Bytes.to_string
+      (* The read result is a fresh unaliased buffer; claim it as the
+         string instead of copying. *)
+      Bytes.unsafe_to_string
         (Storage.read t.st ~rel:t.rel ~blockno ~off:(off + tuple_header) ~len)
     in
     Some (xmin, xmax, data)

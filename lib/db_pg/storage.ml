@@ -17,21 +17,31 @@ type wal = {
   w_file : Fs.file;
   mutable w_off : int;
   (* Blocks whose full image was already logged since the last
-     checkpoint: the full_page_writes bookkeeping. *)
-  fpw : (string * int, unit) Hashtbl.t;
+     checkpoint: the full_page_writes bookkeeping. Nested rel -> blockno
+     tables so the per-append membership test builds no tuple key; only
+     reset/mem/replace are used, so iteration order never matters. *)
+  fpw : (string, (int, unit) Hashtbl.t) Hashtbl.t;
   ckpt_bytes : int;
   mutable w_zeros : Bytes.t; (* shared backing for zero-payload records *)
 }
 
 let wal_create fs ckpt_bytes =
   { w_fs = fs; w_file = Fs.open_file fs "pg_wal"; w_off = 0;
-    fpw = Hashtbl.create 1024; ckpt_bytes; w_zeros = Bytes.empty }
+    fpw = Hashtbl.create 16; ckpt_bytes; w_zeros = Bytes.empty }
 
 let wal_append w ~rel ~blockno ~len =
+  let blocks =
+    match Hashtbl.find w.fpw rel with
+    | blocks -> blocks
+    | exception Not_found ->
+      let blocks = Hashtbl.create 256 in
+      Hashtbl.replace w.fpw rel blocks;
+      blocks
+  in
   let image =
-    if Hashtbl.mem w.fpw (rel, blockno) then 0
+    if Hashtbl.mem blocks blockno then 0
     else begin
-      Hashtbl.replace w.fpw (rel, blockno) ();
+      Hashtbl.replace blocks blockno ();
       bs (* first touch since checkpoint: log the whole block *)
     end
   in
@@ -39,9 +49,9 @@ let wal_append w ~rel ~blockno ~len =
   (* The simulated record carries no payload; reference one shared zero
      buffer instead of allocating per append. *)
   if Bytes.length w.w_zeros < rec_len then w.w_zeros <- Bytes.make rec_len '\000';
-  Metrics.timed Probe.db_write (fun () ->
-      Fs.writev w.w_fs w.w_file ~off:w.w_off
-        [ Msnap_util.Slice.make w.w_zeros ~pos:0 ~len:rec_len ]);
+  let t0 = Metrics.timed_begin () in
+  Fs.write_sub w.w_fs w.w_file ~off:w.w_off w.w_zeros ~pos:0 ~len:rec_len;
+  Metrics.timed_end Probe.db_write t0;
   w.w_off <- w.w_off + rec_len
 
 let wal_commit w =
@@ -61,31 +71,50 @@ type mapped_state = {
   buffer_copies : bool; (* ffs-mmap pins/copies through buffer pages *)
 }
 
+type region_state = {
+  k : Msnap.t;
+  create_lock : Msnap_sim.Sync.Mutex.t;
+  rcache : (string, Msnap.md) Hashtbl.t;
+      (* rel -> open region, so the per-op descriptor lookup is one
+         string-keyed find instead of an option-boxing [region_by_name] *)
+}
+
 type variant =
   | Buffered of { buf : Bufmgr.t; wal : wal }
   | Mapped of mapped_state
-  | Region of { k : Msnap.t; create_lock : Msnap_sim.Sync.Mutex.t }
+  | Region of region_state
 
 type t = { v : variant; vlabel : string }
 
 let label t = t.vlabel
 
 let file_smgr fs =
+  (* rel -> file memo: spares the "pg/" ^ rel concat and directory
+     lookup per storage-manager call. Relations are never removed. *)
+  let files = Hashtbl.create 8 in
+  let file_of rel =
+    match Hashtbl.find files rel with
+    | f -> f
+    | exception Not_found ->
+      let f = Fs.open_file fs ("pg/" ^ rel) in
+      Hashtbl.replace files rel f;
+      f
+  in
   {
     Bufmgr.s_label = "file";
     s_read =
       (fun ~rel ~blockno ->
-        let f = Fs.open_file fs ("pg/" ^ rel) in
+        let f = file_of rel in
         if (blockno + 1) * bs <= Fs.size fs f then
           Metrics.timed Probe.db_read (fun () -> Fs.read fs f ~off:(blockno * bs) ~len:bs)
         else Bytes.make bs '\000');
     s_write =
       (fun ~rel ~blockno b ->
-        let f = Fs.open_file fs ("pg/" ^ rel) in
+        let f = file_of rel in
         Metrics.timed Probe.db_write (fun () -> Fs.write fs f ~off:(blockno * bs) b));
     s_flush =
       (fun ~rel ->
-        let f = Fs.open_file fs ("pg/" ^ rel) in
+        let f = file_of rel in
         Metrics.timed Probe.db_fsync (fun () -> Fs.fsync fs f));
   }
 
@@ -111,15 +140,18 @@ let memsnap k =
      uncommitted appended tuples (§7.3 properties ② and ③), so strict
      per-thread exclusivity checking is off for this integration. *)
   Msnap.set_strict k false;
-  { v = Region { k; create_lock = Msnap_sim.Sync.Mutex.create () };
+  { v =
+      Region
+        { k; create_lock = Msnap_sim.Sync.Mutex.create ();
+          rcache = Hashtbl.create 8 };
     vlabel = "memsnap" }
 
 (* Fixed mapping address of a relation in the mmap variants; the file is
    mapped on first touch. *)
 let rel_va m ~rel =
-  match Hashtbl.find_opt m.m_rels rel with
-  | Some (va, _) -> va
-  | None ->
+  match Hashtbl.find m.m_rels rel with
+  | va, _ -> va
+  | exception Not_found ->
     let f = Fs.open_file m.m_fs ("pg/" ^ rel) in
     let va = m.next_va in
     m.next_va <- va + (rel_block_limit * bs);
@@ -127,17 +159,26 @@ let rel_va m ~rel =
     Hashtbl.replace m.m_rels rel (va, f);
     va
 
-let region_of ~(k : Msnap.t) ~create_lock ~rel =
-  match Msnap.region_by_name k ("pg/" ^ rel) with
-  | Some md -> md
-  | None ->
-    (* Region creation allocates the fixed arena address and runs store
-       IO; serialize concurrent first-touches of the same relation. *)
-    Msnap_sim.Sync.Mutex.with_lock create_lock (fun () ->
-        match Msnap.region_by_name k ("pg/" ^ rel) with
-        | Some md -> md
-        | None ->
-          Msnap.open_region k ~name:("pg/" ^ rel) ~len:(rel_block_limit * bs) ())
+let region_of rs ~rel =
+  match Hashtbl.find rs.rcache rel with
+  | md -> md
+  | exception Not_found ->
+    let md =
+      match Msnap.region_by_name rs.k ("pg/" ^ rel) with
+      | Some md -> md
+      | None ->
+        (* Region creation allocates the fixed arena address and runs
+           store IO; serialize concurrent first-touches of the same
+           relation. *)
+        Msnap_sim.Sync.Mutex.with_lock rs.create_lock (fun () ->
+            match Msnap.region_by_name rs.k ("pg/" ^ rel) with
+            | Some md -> md
+            | None ->
+              Msnap.open_region rs.k ~name:("pg/" ^ rel)
+                ~len:(rel_block_limit * bs) ())
+    in
+    Hashtbl.replace rs.rcache rel md;
+    md
 
 let check_block blockno =
   if blockno < 0 || blockno >= rel_block_limit then
@@ -153,9 +194,25 @@ let read t ~rel ~blockno ~off ~len =
   | Mapped m ->
     let va = rel_va m ~rel in
     Aspace.read m.m_aspace ~va:(va + (blockno * bs) + off) ~len
-  | Region { k; create_lock } ->
-    let md = region_of ~k ~create_lock ~rel in
-    Msnap.read k md ~off:((blockno * bs) + off) ~len
+  | Region rs ->
+    let md = region_of rs ~rel in
+    Msnap.read rs.k md ~off:((blockno * bs) + off) ~len
+
+(* [read] into a caller-owned buffer: identical charges, no allocation.
+   Lets the heap's 2/4-byte header reads reuse a per-thread scratch. *)
+let read_into t ~rel ~blockno ~off buf ~pos ~len =
+  check_block blockno;
+  match t.v with
+  | Buffered { buf = bm; _ } ->
+    let b = Bufmgr.read_buffer bm ~rel ~blockno in
+    Sched.cpu (Costs.memcpy len);
+    Bytes.blit b off buf pos len
+  | Mapped m ->
+    let va = rel_va m ~rel in
+    Aspace.read_into m.m_aspace ~va:(va + (blockno * bs) + off) buf ~pos ~len
+  | Region rs ->
+    let md = region_of rs ~rel in
+    Msnap.read_into rs.k md ~off:((blockno * bs) + off) buf ~pos ~len
 
 let write t ~rel ~blockno ~off data =
   check_block blockno;
@@ -174,9 +231,9 @@ let write t ~rel ~blockno ~off data =
       Sched.cpu (Costs.buffer_cache_lookup + Costs.memcpy len);
     Aspace.write m.m_aspace ~va:(va + (blockno * bs) + off) data;
     wal_append m.m_wal ~rel ~blockno ~len
-  | Region { k; create_lock } ->
-    let md = region_of ~k ~create_lock ~rel in
-    Msnap.write k md ~off:((blockno * bs) + off) data
+  | Region rs ->
+    let md = region_of rs ~rel in
+    Msnap.write rs.k md ~off:((blockno * bs) + off) data
 
 let commit t =
   match t.v with

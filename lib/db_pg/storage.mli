@@ -33,6 +33,12 @@ val ffs_mmap_bufdirect :
 val memsnap : Msnap_core.Msnap.t -> t
 
 val read : t -> rel:string -> blockno:int -> off:int -> len:int -> Bytes.t
+
+(** [read] into a caller-owned buffer — identical charges, no
+    allocation. *)
+val read_into :
+  t -> rel:string -> blockno:int -> off:int -> Bytes.t -> pos:int -> len:int ->
+  unit
 val write : t -> rel:string -> blockno:int -> off:int -> Bytes.t -> unit
 
 val commit : t -> unit

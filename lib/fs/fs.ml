@@ -136,7 +136,7 @@ let zero_slice t n =
 let journal_write t nbytes =
   (* Sequential append into the journal ring. *)
   if Trace.is_on () then
-    Trace.instant Probe.fs_journal ~args:[ ("bytes", Trace.I nbytes) ];
+    Trace.instant Probe.fs_journal ~argi:("bytes", nbytes);
   let blocks = max 1 ((nbytes + dev_bs - 1) / dev_bs) in
   if t.journal_cursor + blocks > meta_blocks + journal_blocks then
     t.journal_cursor <- meta_blocks;
@@ -158,27 +158,53 @@ let evict_if_needed ?keep t =
        never the block a caller is actively using ([keep]). Dirty blocks
        are pinned until writeback, so the cache can transiently exceed
        its capacity, as a real buffer cache under writeback pressure. *)
+    (* Repeated min-scan instead of building and sorting a candidate
+       list per miss: each round evicts the smallest
+       [(cb_lru, f_name, idx)] — exactly the block the old
+       [List.sort compare] put first — and evicting a clean block never
+       changes the rest of the candidate set, so the evicted set is
+       identical. [excess] is almost always 1, and the scan allocates
+       nothing per block. *)
     let keep_cb = keep in
-    let candidates = ref [] in
-    Hashtbl.iter
-      (fun _ f ->
-        Hashtbl.iter
-          (fun idx cb ->
-            let kept = match keep_cb with Some k -> k == cb | None -> false in
-            if (not cb.cb_dirty) && not kept then
-              candidates := (cb.cb_lru, f.f_name, idx) :: !candidates)
-          f.f_cache)
-      t.files;
-    let sorted = List.sort compare !candidates in
     let excess = t.cached_count - t.capacity in
-    List.iteri
-      (fun i (_, fname, idx) ->
-        if i < excess then begin
-          let f = Hashtbl.find t.files fname in
-          Hashtbl.remove f.f_cache idx;
+    let continue = ref true in
+    for _ = 1 to excess do
+      if !continue then begin
+        let best_lru = ref max_int in
+        let best_f = ref None in
+        let best_idx = ref 0 in
+        Hashtbl.iter
+          (fun _ f ->
+            Hashtbl.iter
+              (fun idx cb ->
+                let kept =
+                  match keep_cb with Some k -> k == cb | None -> false
+                in
+                if (not cb.cb_dirty) && not kept then
+                  let better =
+                    cb.cb_lru < !best_lru
+                    || cb.cb_lru = !best_lru
+                       &&
+                       match !best_f with
+                       | None -> true
+                       | Some bf ->
+                         let c = compare f.f_name bf.f_name in
+                         c < 0 || (c = 0 && idx < !best_idx)
+                  in
+                  if better then begin
+                    best_lru := cb.cb_lru;
+                    best_f := Some f;
+                    best_idx := idx
+                  end)
+              f.f_cache)
+          t.files;
+        match !best_f with
+        | None -> continue := false
+        | Some f ->
+          Hashtbl.remove f.f_cache !best_idx;
           t.cached_count <- t.cached_count - 1
-        end)
-      sorted
+      end
+    done
   end
 
 let touch t cb =
@@ -260,9 +286,36 @@ let writev t f ~off slices =
   if off + len > f.f_size then f.f_size <- off + len;
   if Trace.is_on () then
     Trace.complete Probe.fs_write ~dur:(Sched.now () - trace_t0)
-      ~args:[ ("bytes", Trace.I len) ]
+      ~argi:("bytes", len)
 
 let write t f ~off data = writev t f ~off [ Slice.of_bytes data ]
+
+(* Single-buffer write with the exact charges of [writev] of one slice
+   of the same length, but no slice/list allocation — for hot fixed-size
+   writers (the WAL append path) that reuse one backing buffer. *)
+let write_sub t f ~off data ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > Bytes.length data then
+    invalid_arg "Fs.write_sub: bad slice";
+  let trace_t0 = if Trace.is_on () then Sched.now () else 0 in
+  Sched.cpu (Costs.syscall + Costs.vfs_call + Costs.rangelock);
+  let rec go off pos remaining =
+    if remaining > 0 then begin
+      let idx = off / t.bs in
+      let within = off mod t.bs in
+      let n = min remaining (t.bs - within) in
+      let covers_whole = within = 0 && n = t.bs in
+      let cb = get_block t f idx ~need_old:(not covers_whole) in
+      Sched.cpu (Costs.memcpy n);
+      Bytes.blit data pos cb.cb_data within n;
+      cb.cb_dirty <- true;
+      go (off + n) (pos + n) (remaining - n)
+    end
+  in
+  go off pos len;
+  if off + len > f.f_size then f.f_size <- off + len;
+  if Trace.is_on () then
+    Trace.complete Probe.fs_write ~dur:(Sched.now () - trace_t0)
+      ~argi:("bytes", len)
 
 let read t f ~off ~len =
   Sched.cpu (Costs.syscall + Costs.vfs_call);
@@ -429,7 +482,7 @@ let do_fsync t f ~meta =
         in
         if Trace.is_on () then
           Trace.with_span Probe.fs_writeback
-            ~args:[ ("blocks", Trace.I !nblocks) ] wb
+            ~argi:("blocks", !nblocks) wb
         else wb ()
       end);
   (* Writeback made blocks clean and therefore reclaimable. *)

@@ -43,6 +43,11 @@ val exists : t -> string -> bool
 val remove : t -> string -> unit
 
 val write : t -> file -> off:int -> Bytes.t -> unit
+
+(** [write] of [data[pos..pos+len)] — the exact charges of {!writev} of
+    one slice of that length, with no slice/list allocation. For hot
+    fixed-size writers that reuse one backing buffer. *)
+val write_sub : t -> file -> off:int -> Bytes.t -> pos:int -> len:int -> unit
 (** Buffered write (syscall + cache copy; RMW read if needed). *)
 
 val writev : t -> file -> off:int -> Msnap_util.Slice.t list -> unit

@@ -284,9 +284,11 @@ and drain_batch t o batch =
         result.Radix.node_writes
     in
     (* One vectored command carries every data page and COW node of the
-       batch; the header flip is a second, dependent command. *)
-    let data_segs = List.concat_map (fun p -> p.p_segs) batch in
-    Device.writev t.dev (data_segs @ node_segs);
+       batch; the header flip is a second, dependent command. Built as
+       data segments in batch order with the node segments as the tail,
+       directly — no intermediate concat + append copy. *)
+    Device.writev t.dev
+      (List.fold_right (fun p acc -> p.p_segs @ acc) batch node_segs);
     write_header t o
       { o.hdr with
         Layout.epoch;
@@ -301,7 +303,7 @@ and drain_batch t o batch =
           if p.p_flow <> 0 then
             Trace.instant Probe.objstore_device_commit
               ~flow:(p.p_flow, Trace.Flow_step)
-              ~args:[ ("epoch", Trace.I epoch) ])
+              ~argi:("epoch", epoch))
         batch;
       Trace.complete Probe.objstore_flush ~dur:(Sched.now () - trace_t0)
         ~args:
@@ -339,17 +341,22 @@ let commit_async ?(flow = 0) t o pages =
     let worker () =
       try
         let data_blocks = Alloc.alloc_run t.alloc npages in
-        let updates = List.map2 (fun (idx, _) b -> (idx, b)) pages data_blocks in
-        let segs =
-          List.map2
-            (fun (_, data) b -> (block_off b, Slice.of_bytes data))
-            pages data_blocks
+        (* One pass over the dirty pages builds the index->block updates
+           and the device segments together and folds the size — the
+           lists are identical to the old two [map2]s over the pair. *)
+        let size = ref 0 in
+        let rec build pages blocks =
+          match (pages, blocks) with
+          | [], [] -> ([], [])
+          | (idx, data) :: ps, b :: bs ->
+            if (idx + 1) * bsz > !size then size := (idx + 1) * bsz;
+            let updates, segs = build ps bs in
+            ( (idx, b) :: updates,
+              (block_off b, Slice.of_bytes data) :: segs )
+          | _ -> assert false (* alloc_run returned [npages] blocks *)
         in
-        let size =
-          List.fold_left
-            (fun a (idx, _) -> max a ((idx + 1) * bsz))
-            0 pages
-        in
+        let updates, segs = build pages data_blocks in
+        let size = !size in
         o.queue <- { p_updates = updates; p_segs = segs; p_ivar = iv;
                      p_epoch = epoch; p_size = size; p_flow = flow } :: o.queue;
         if not o.committing then begin

@@ -24,9 +24,9 @@ let reset () =
 
 let incr_s ?(by = 1) name =
   let s = store () in
-  match Hashtbl.find_opt s.counters name with
-  | Some r -> r := !r + by
-  | None -> Hashtbl.add s.counters name (ref by)
+  match Hashtbl.find s.counters name with
+  | r -> r := !r + by
+  | exception Not_found -> Hashtbl.add s.counters name (ref by)
 
 let count_s name =
   match Hashtbl.find_opt (store ()).counters name with
@@ -35,9 +35,9 @@ let count_s name =
 
 let get_hist name =
   let s = store () in
-  match Hashtbl.find_opt s.hists name with
-  | Some h -> h
-  | None ->
+  match Hashtbl.find s.hists name with
+  | h -> h
+  | exception Not_found ->
     let h = Histogram.create () in
     Hashtbl.add s.hists name h;
     h
@@ -61,14 +61,21 @@ let counters () =
   Hashtbl.fold (fun k v acc -> (k, !v) :: acc) (store ()).counters []
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
-let timed p f =
-  let t0 = Sched.now () in
-  let r = f () in
+(* Closure-free form of {!timed} for hot call sites: bracket the section
+   with [timed_begin]/[timed_end] instead of wrapping it in a lambda. *)
+let timed_begin () = Sched.now ()
+
+let timed_end p t0 =
   let dt = Sched.now () - t0 in
   add_sample p dt;
   (* The probe carries its subsystem, so every timed section doubles as a
      correctly-categorized trace span when tracing is on. Host-only. *)
-  Trace.complete p ~dur:dt;
+  Trace.complete p ~dur:dt
+
+let timed p f =
+  let t0 = timed_begin () in
+  let r = f () in
+  timed_end p t0;
   r
 
 let timed_s name f = timed (Probe.make Probe.Host name) f

@@ -42,6 +42,12 @@ val timed : Probe.t -> (unit -> 'a) -> 'a
     When tracing is enabled, also emits the section as a trace span in
     the probe's subsystem category. *)
 
+val timed_begin : unit -> int
+val timed_end : Probe.t -> int -> unit
+(** Closure-free bracket form of {!timed} for hot call sites:
+    [let t0 = timed_begin () in ...; timed_end probe t0]. Not recorded
+    if the section raises (same as {!timed}). *)
+
 (** {2 Deprecated string escape hatches} *)
 
 val incr_s : ?by:int -> string -> unit

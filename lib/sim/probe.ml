@@ -20,12 +20,45 @@ let subsystem_name = function
   | Db -> "db"
   | Host -> "host"
 
-type t = { p_sub : subsystem; p_name : string }
+type t = { p_sub : subsystem; p_name : string; p_id : int }
 
-let make p_sub p_name = { p_sub; p_name }
+(* Probes are interned by (subsystem, name): repeated [make] calls with
+   the same name return the same value, so the dense [id] can key flat
+   per-probe stats arrays (Trace keeps its emit-time summary there —
+   an int-indexed array load instead of a hashed tuple per event). *)
+let intern_lock = Mutex.create ()
+let interned : (string, t) Hashtbl.t = Hashtbl.create 128
+let by_id : t array ref = ref [||]
+let next_id = ref 0
+
+let make p_sub p_name =
+  let key = subsystem_name p_sub ^ "/" ^ p_name in
+  Mutex.lock intern_lock;
+  let p =
+    match Hashtbl.find_opt interned key with
+    | Some p -> p
+    | None ->
+      let p = { p_sub; p_name; p_id = !next_id } in
+      incr next_id;
+      Hashtbl.add interned key p;
+      let n = Array.length !by_id in
+      if p.p_id >= n then begin
+        let nb = Array.make (max 64 (2 * max 1 n)) p in
+        Array.blit !by_id 0 nb 0 n;
+        by_id := nb
+      end;
+      !by_id.(p.p_id) <- p;
+      p
+  in
+  Mutex.unlock intern_lock;
+  p
+
 let name p = p.p_name
 let subsystem p = p.p_sub
 let to_string p = subsystem_name p.p_sub ^ "/" ^ p.p_name
+let id p = p.p_id
+let count () = !next_id
+let of_id i = !by_id.(i)
 
 (* db engines: flat historical names, rendered verbatim by Tables 7/9 *)
 let db_fsync = make Db "fsync"

@@ -32,8 +32,9 @@ val subsystem_name : subsystem -> string
 type t
 
 val make : subsystem -> string -> t
-(** Ad-hoc probe. Probes are compared by name: two [make] calls with the
-    same name address the same counter/histogram. *)
+(** Ad-hoc probe. Probes are interned by (subsystem, name): two [make]
+    calls with the same name return the same probe (and so address the
+    same counter/histogram). *)
 
 val name : t -> string
 (** The wire name — what {!Metrics.counters} reports and what appears as
@@ -43,6 +44,16 @@ val to_string : t -> string
 (** ["subsystem/name"], for diagnostics. *)
 
 val subsystem : t -> subsystem
+
+val id : t -> int
+(** Dense id assigned at interning time, for flat per-probe tables
+    (Trace's emit-time stats). Stable within a process. *)
+
+val count : unit -> int
+(** Number of distinct probes interned so far; ids are [0..count()-1]. *)
+
+val of_id : int -> t
+(** Inverse of {!id}. *)
 
 (** {2 Well-known probes}
 

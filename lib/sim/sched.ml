@@ -63,13 +63,15 @@ let () =
   Trace.set_time_source (fun () ->
       let base = !(Domain.DLS.get trace_base_key) in
       match !(engine_slot ()) with Some e -> base + e.clock | None -> base);
-  Trace.set_thread_source (fun () ->
+  Trace.set_thread_source
+    ~tid:(fun () ->
       match !(engine_slot ()) with
-      | Some e -> (
-        match e.cur with
-        | Some t -> (t.id, t.tname)
-        | None -> (-1, "scheduler"))
-      | None -> (-1, "host"))
+      | Some e -> ( match e.cur with Some t -> t.id | None -> -1)
+      | None -> -1)
+    ~tname:(fun () ->
+      match !(engine_slot ()) with
+      | Some e -> ( match e.cur with Some t -> t.tname | None -> "scheduler")
+      | None -> "host")
 
 let engine () =
   match !(engine_slot ()) with

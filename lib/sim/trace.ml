@@ -2,6 +2,9 @@ type arg = I of int | S of string | F of float
 type args = (string * arg) list
 type flow_phase = Flow_start | Flow_step | Flow_end
 
+(* AoS view, materialized only by {!events} for tests and tools; the
+   store itself is structs-of-arrays (below) so the emit path writes
+   six unboxed column slots instead of allocating a record. *)
 type event = {
   ev_probe : Probe.t;
   ev_ts : int;
@@ -12,19 +15,56 @@ type event = {
   ev_flow : (int * flow_phase) option;
 }
 
-(* Per-(subsystem, name) running totals, kept at emit time so the
-   summary stays exact even when the event buffer hits its cap. *)
-type stat = { mutable st_count : int; mutable st_total : int; mutable st_max : int }
+(* Flow links are packed into one int column: 0 for none, else
+   [id * 4 + phase + 1] (phase codes 1..3 in the low bits). *)
+let pack_flow = function
+  | None -> 0
+  | Some (id, phase) ->
+    let ph =
+      match phase with Flow_start -> 1 | Flow_step -> 2 | Flow_end -> 3
+    in
+    (id * 4) + ph
+
+let unpack_flow packed =
+  if packed = 0 then None
+  else
+    let phase =
+      match packed land 3 with
+      | 1 -> Flow_start
+      | 2 -> Flow_step
+      | _ -> Flow_end
+    in
+    Some (packed lsr 2, phase)
 
 type store = {
   mutable enabled : bool;
   mutable verbose : bool;
   mutable limit : int;
-  mutable buf : event array;
+  (* Event buffer as parallel columns, grown together. The args column
+     is almost always the immediate [[]]; flow is packed (see above). *)
+  mutable b_probe : int array; (* Probe.id *)
+  mutable b_ts : int array;
+  mutable b_dur : int array;
+  mutable b_tid : int array;
+  mutable b_args : args array;
+  (* Fast path for the overwhelmingly common single-int argument
+     (e.g. ("bytes", I n)): two flat columns instead of a boxed
+     cons/tuple/I chain per event. [""] = none; the key is expected to
+     be a shared literal, so storing it allocates nothing. *)
+  mutable b_ak : string array;
+  mutable b_av : int array;
+  mutable b_flow : int array;
   mutable len : int;
   mutable dropped : int;
   mutable next_flow : int;
-  stats : (string * string, stat) Hashtbl.t;
+  (* First-seen name per tid, registered when an event is stored. *)
+  tnames : (int, string) Hashtbl.t;
+  (* Per-probe running totals indexed by [Probe.id], kept at emit time
+     so the summary stays exact even when the buffer hits its cap. An
+     int-indexed array load replaces the old hashed-tuple lookup. *)
+  mutable st_count : int array;
+  mutable st_total : int array;
+  mutable st_max : int array;
 }
 
 let store_key : store Domain.DLS.key =
@@ -33,32 +73,59 @@ let store_key : store Domain.DLS.key =
         enabled = false;
         verbose = false;
         limit = 1 lsl 20;
-        buf = [||];
+        b_probe = [||];
+        b_ts = [||];
+        b_dur = [||];
+        b_tid = [||];
+        b_args = [||];
+        b_ak = [||];
+        b_av = [||];
+        b_flow = [||];
         len = 0;
         dropped = 0;
         next_flow = 0;
-        stats = Hashtbl.create 64;
+        tnames = Hashtbl.create 32;
+        st_count = [||];
+        st_total = [||];
+        st_max = [||];
       })
 
 let store () = Domain.DLS.get store_key
 
 (* Injected by Sched at module-init time; identity fallbacks keep Trace
-   usable (as a no-op timeline) outside any simulation. *)
+   usable (as a no-op timeline) outside any simulation. The thread
+   source is split into id and name halves so the per-event call
+   returns an unboxed int instead of a fresh tuple; the name half runs
+   only the first time a tid stores an event. *)
 let time_source : (unit -> int) ref = ref (fun () -> 0)
-let thread_source : (unit -> int * string) ref = ref (fun () -> (-1, "host"))
+let thread_id_source : (unit -> int) ref = ref (fun () -> -1)
+let thread_name_source : (unit -> string) ref = ref (fun () -> "host")
 let set_time_source f = time_source := f
-let set_thread_source f = thread_source := f
+
+let set_thread_source ~tid ~tname =
+  thread_id_source := tid;
+  thread_name_source := tname
 
 let enable ?(limit = 1 lsl 20) ?(verbose = false) () =
   let s = store () in
   s.enabled <- true;
   s.verbose <- verbose;
   s.limit <- limit;
-  s.buf <- [||];
+  s.b_probe <- [||];
+  s.b_ts <- [||];
+  s.b_dur <- [||];
+  s.b_tid <- [||];
+  s.b_args <- [||];
+  s.b_ak <- [||];
+  s.b_av <- [||];
+  s.b_flow <- [||];
   s.len <- 0;
   s.dropped <- 0;
   s.next_flow <- 0;
-  Hashtbl.reset s.stats
+  Hashtbl.reset s.tnames;
+  s.st_count <- [||];
+  s.st_total <- [||];
+  s.st_max <- [||]
 
 let disable () = (store ()).enabled <- false
 let is_on () = (store ()).enabled
@@ -73,62 +140,84 @@ let new_flow () =
   s.next_flow <- s.next_flow + 1;
   s.next_flow
 
-let bump_stat s probe dur =
-  let key = (Probe.subsystem_name (Probe.subsystem probe), Probe.name probe) in
-  let st =
-    match Hashtbl.find_opt s.stats key with
-    | Some st -> st
-    | None ->
-      let st = { st_count = 0; st_total = 0; st_max = 0 } in
-      Hashtbl.add s.stats key st;
-      st
+let ensure_stats s =
+  let n = Probe.count () in
+  let grow a =
+    let na = Array.make n 0 in
+    Array.blit a 0 na 0 (Array.length a);
+    na
   in
-  st.st_count <- st.st_count + 1;
-  if dur > 0 then begin
-    st.st_total <- st.st_total + dur;
-    if dur > st.st_max then st.st_max <- dur
-  end
+  s.st_count <- grow s.st_count;
+  s.st_total <- grow s.st_total;
+  s.st_max <- grow s.st_max
 
-let push s ev =
+let grow_buf s =
+  let cap = max 1024 (min s.limit (2 * Array.length s.b_probe)) in
+  let grow_int a =
+    let na = Array.make cap 0 in
+    Array.blit a 0 na 0 s.len;
+    na
+  in
+  let na = Array.make cap [] in
+  Array.blit s.b_args 0 na 0 s.len;
+  let nk = Array.make cap "" in
+  Array.blit s.b_ak 0 nk 0 s.len;
+  s.b_probe <- grow_int s.b_probe;
+  s.b_ts <- grow_int s.b_ts;
+  s.b_dur <- grow_int s.b_dur;
+  s.b_tid <- grow_int s.b_tid;
+  s.b_args <- na;
+  s.b_ak <- nk;
+  s.b_av <- grow_int s.b_av;
+  s.b_flow <- grow_int s.b_flow
+
+let emit s ?(args = []) ?(argi = ("", 0)) ?flow probe ~ts ~dur =
+  let pid = Probe.id probe in
+  if pid >= Array.length s.st_count then ensure_stats s;
+  s.st_count.(pid) <- s.st_count.(pid) + 1;
+  if dur > 0 then begin
+    s.st_total.(pid) <- s.st_total.(pid) + dur;
+    if dur > s.st_max.(pid) then s.st_max.(pid) <- dur
+  end;
   if s.len >= s.limit then s.dropped <- s.dropped + 1
   else begin
-    if s.len >= Array.length s.buf then begin
-      let cap = max 1024 (min s.limit (2 * Array.length s.buf)) in
-      let nb = Array.make cap ev in
-      Array.blit s.buf 0 nb 0 s.len;
-      s.buf <- nb
-    end;
-    s.buf.(s.len) <- ev;
-    s.len <- s.len + 1
+    if s.len >= Array.length s.b_probe then grow_buf s;
+    let i = s.len in
+    s.len <- i + 1;
+    let tid = !thread_id_source () in
+    s.b_probe.(i) <- pid;
+    s.b_ts.(i) <- ts;
+    s.b_dur.(i) <- dur;
+    s.b_tid.(i) <- tid;
+    s.b_args.(i) <- args;
+    s.b_ak.(i) <- fst argi;
+    s.b_av.(i) <- snd argi;
+    s.b_flow.(i) <- pack_flow flow;
+    if not (Hashtbl.mem s.tnames tid) then
+      Hashtbl.add s.tnames tid (!thread_name_source ())
   end
 
-let emit s ?(args = []) ?flow probe ~ts ~dur =
-  let tid, tname = !thread_source () in
-  bump_stat s probe dur;
-  push s
-    { ev_probe = probe; ev_ts = ts; ev_dur = dur; ev_tid = tid;
-      ev_tname = tname; ev_args = args; ev_flow = flow }
-
-let instant ?args ?flow probe =
-  let s = store () in
-  if s.enabled then emit s ?args ?flow probe ~ts:(!time_source ()) ~dur:(-1)
-
-let complete ?args ?flow probe ~dur =
+let instant ?args ?argi ?flow probe =
   let s = store () in
   if s.enabled then
-    emit s ?args ?flow probe ~ts:(!time_source () - dur) ~dur
+    emit s ?args ?argi ?flow probe ~ts:(!time_source ()) ~dur:(-1)
 
-let with_span ?args ?flow probe f =
+let complete ?args ?argi ?flow probe ~dur =
+  let s = store () in
+  if s.enabled then
+    emit s ?args ?argi ?flow probe ~ts:(!time_source () - dur) ~dur
+
+let with_span ?args ?argi ?flow probe f =
   let s = store () in
   if not s.enabled then f ()
   else begin
     let t0 = !time_source () in
     match f () with
     | r ->
-      emit s ?args ?flow probe ~ts:t0 ~dur:(!time_source () - t0);
+      emit s ?args ?argi ?flow probe ~ts:t0 ~dur:(!time_source () - t0);
       r
     | exception exn ->
-      emit s ?args ?flow probe ~ts:t0 ~dur:(!time_source () - t0);
+      emit s ?args ?argi ?flow probe ~ts:t0 ~dur:(!time_source () - t0);
       raise exn
   end
 
@@ -139,9 +228,18 @@ let counter probe v =
       ~dur:(-2)
 
 type dump = {
-  d_events : event array;
+  d_count : int;
   d_dropped : int;
   d_summary : (string * string * int * int * int) list;
+  d_probe : int array;
+  d_ts : int array;
+  d_dur : int array;
+  d_tid : int array;
+  d_args : args array;
+  d_ak : string array;
+  d_av : int array;
+  d_flow : int array;
+  d_tnames : (int, string) Hashtbl.t;
 }
 
 let event_count () = (store ()).len
@@ -149,15 +247,66 @@ let dropped () = (store ()).dropped
 
 let dump () =
   let s = store () in
-  let summary =
-    Hashtbl.fold
-      (fun (sub, name) st acc ->
-        (sub, name, st.st_count, st.st_total, st.st_max) :: acc)
-      s.stats []
-    |> List.sort compare
+  let summary = ref [] in
+  for i = Array.length s.st_count - 1 downto 0 do
+    if s.st_count.(i) > 0 then begin
+      let p = Probe.of_id i in
+      summary :=
+        ( Probe.subsystem_name (Probe.subsystem p),
+          Probe.name p,
+          s.st_count.(i),
+          s.st_total.(i),
+          s.st_max.(i) )
+        :: !summary
+    end
+  done;
+  (* Transfer the columns instead of copying: a capped buffer is ~48 MB
+     of arrays, and snapshotting it inside the export window forced
+     major-GC slices proportional to whatever heap the run had built up.
+     Consumers only read the first [d_count] slots; the store starts
+     over empty (the next [enable] regrows lazily). *)
+  let d =
+    {
+      d_count = s.len;
+      d_dropped = s.dropped;
+      d_summary = List.sort compare !summary;
+      d_probe = s.b_probe;
+      d_ts = s.b_ts;
+      d_dur = s.b_dur;
+      d_tid = s.b_tid;
+      d_args = s.b_args;
+      d_ak = s.b_ak;
+      d_av = s.b_av;
+      d_flow = s.b_flow;
+      d_tnames = Hashtbl.copy s.tnames;
+    }
   in
-  { d_events = Array.sub s.buf 0 s.len; d_dropped = s.dropped;
-    d_summary = summary }
+  s.b_probe <- [||];
+  s.b_ts <- [||];
+  s.b_dur <- [||];
+  s.b_tid <- [||];
+  s.b_args <- [||];
+  s.b_ak <- [||];
+  s.b_av <- [||];
+  s.b_flow <- [||];
+  s.len <- 0;
+  d
+
+let tname d tid = try Hashtbl.find d.d_tnames tid with Not_found -> "?"
+
+let events d =
+  Array.init d.d_count (fun i ->
+      {
+        ev_probe = Probe.of_id d.d_probe.(i);
+        ev_ts = d.d_ts.(i);
+        ev_dur = d.d_dur.(i);
+        ev_tid = d.d_tid.(i);
+        ev_tname = tname d d.d_tid.(i);
+        ev_args =
+          (if d.d_ak.(i) <> "" then [ (d.d_ak.(i), I d.d_av.(i)) ]
+           else d.d_args.(i));
+        ev_flow = unpack_flow d.d_flow.(i);
+      })
 
 (* ---- Chrome trace_event export ---------------------------------------- *)
 
@@ -179,11 +328,29 @@ let add_str b s =
   json_escape b s;
   Buffer.add_char b '"'
 
+(* Decimal emission without [string_of_int]/[sprintf]: at ~4 records per
+   event the formatted strings dominated export allocation. *)
+let add_int b n =
+  if n = 0 then Buffer.add_char b '0'
+  else begin
+    let n = if n < 0 then (Buffer.add_char b '-'; -n) else n in
+    let rec go n =
+      if n > 0 then begin
+        go (n / 10);
+        Buffer.add_char b (Char.chr (Char.code '0' + (n mod 10)))
+      end
+    in
+    go n
+  end
+
 (* ns -> Chrome's microsecond floats, ns precision in the fraction *)
 let add_us b ns =
-  Buffer.add_string b (string_of_int (ns / 1000));
+  add_int b (ns / 1000);
   Buffer.add_char b '.';
-  Buffer.add_string b (Printf.sprintf "%03d" (abs ns mod 1000))
+  let f = abs ns mod 1000 in
+  Buffer.add_char b (Char.chr (Char.code '0' + (f / 100)));
+  Buffer.add_char b (Char.chr (Char.code '0' + (f / 10 mod 10)));
+  Buffer.add_char b (Char.chr (Char.code '0' + (f mod 10)))
 
 let add_args b args =
   Buffer.add_string b "{";
@@ -193,7 +360,7 @@ let add_args b args =
       add_str b k;
       Buffer.add_char b ':';
       match v with
-      | I n -> Buffer.add_string b (string_of_int n)
+      | I n -> add_int b n
       | F f -> Buffer.add_string b (Printf.sprintf "%g" f)
       | S s -> add_str b s)
     args;
@@ -209,7 +376,7 @@ let add_common b ~name ~cat ~ph ~ts ~tid =
   Buffer.add_string b "\",\"ts\":";
   add_us b ts;
   Buffer.add_string b ",\"pid\":1,\"tid\":";
-  Buffer.add_string b (string_of_int tid)
+  add_int b tid
 
 let export_json oc d =
   let b = Buffer.create (1 lsl 16) in
@@ -222,66 +389,117 @@ let export_json oc d =
     end
   in
   Buffer.add_string b "{\"traceEvents\":[\n  ";
-  (* Thread-name metadata: one per distinct (tid, tname) seen. *)
+  (* Thread-name metadata: one per distinct tid, in first-event order. *)
   let named = Hashtbl.create 32 in
-  Array.iter
-    (fun ev ->
-      if not (Hashtbl.mem named ev.ev_tid) then begin
-        Hashtbl.add named ev.ev_tid ev.ev_tname;
-        next ();
-        add_common b ~name:"thread_name" ~cat:"__metadata" ~ph:"M" ~ts:0
-          ~tid:ev.ev_tid;
-        Buffer.add_string b ",\"args\":{\"name\":";
-        add_str b (Printf.sprintf "%s (%d)" ev.ev_tname ev.ev_tid);
-        Buffer.add_string b "}}"
-      end)
-    d.d_events;
-  Array.iter
-    (fun ev ->
-      let name = Probe.name ev.ev_probe in
-      let cat = Probe.subsystem_name (Probe.subsystem ev.ev_probe) in
+  for i = 0 to d.d_count - 1 do
+    let tid = d.d_tid.(i) in
+    if not (Hashtbl.mem named tid) then begin
+      Hashtbl.add named tid ();
       next ();
-      (match ev.ev_dur with
-      | -1 ->
-        add_common b ~name ~cat ~ph:"i" ~ts:ev.ev_ts ~tid:ev.ev_tid;
-        Buffer.add_string b ",\"s\":\"t\""
-      | -2 -> add_common b ~name ~cat ~ph:"C" ~ts:ev.ev_ts ~tid:ev.ev_tid
-      | dur ->
-        add_common b ~name ~cat ~ph:"X" ~ts:ev.ev_ts ~tid:ev.ev_tid;
-        Buffer.add_string b ",\"dur\":";
-        add_us b dur);
-      if ev.ev_args <> [] then begin
+      add_common b ~name:"thread_name" ~cat:"__metadata" ~ph:"M" ~ts:0 ~tid;
+      Buffer.add_string b ",\"args\":{\"name\":";
+      add_str b (Printf.sprintf "%s (%d)" (tname d tid) tid);
+      Buffer.add_string b "}}"
+    end
+  done;
+  (* Everything before "ts" is constant per (probe, phase): name, cat
+     and ph need escaping exactly once, then each record starts with a
+     single memcpy of the cached prefix. At ~1M+ records per capped
+     trace this halves the encoder's work. *)
+  let prefixes = Hashtbl.create 256 in
+  let prefix_of pid ph_code ph =
+    let key = (pid * 4) + ph_code in
+    match Hashtbl.find prefixes key with
+    | p -> p
+    | exception Not_found ->
+      let probe = Probe.of_id pid in
+      let pb = Buffer.create 64 in
+      Buffer.add_string pb "{\"name\":";
+      add_str pb (Probe.name probe);
+      Buffer.add_string pb ",\"cat\":";
+      add_str pb (Probe.subsystem_name (Probe.subsystem probe));
+      Buffer.add_string pb ",\"ph\":\"";
+      Buffer.add_string pb ph;
+      Buffer.add_string pb "\",\"ts\":";
+      let p = Buffer.contents pb in
+      Hashtbl.add prefixes key p;
+      p
+  in
+  let flow_prefix ph =
+    "{\"name\":\"ucheckpoint\",\"cat\":\"msnap\",\"ph\":\"" ^ ph
+    ^ "\",\"ts\":"
+  in
+  let flow_s = flow_prefix "s"
+  and flow_t = flow_prefix "t"
+  and flow_f = flow_prefix "f" in
+  for i = 0 to d.d_count - 1 do
+    let pid = d.d_probe.(i) in
+    let ts = d.d_ts.(i) and dur = d.d_dur.(i) and tid = d.d_tid.(i) in
+    next ();
+    let finish_common () =
+      Buffer.add_string b ",\"pid\":1,\"tid\":";
+      add_int b tid
+    in
+    (match dur with
+    | -1 ->
+      Buffer.add_string b (prefix_of pid 1 "i");
+      add_us b ts;
+      finish_common ();
+      Buffer.add_string b ",\"s\":\"t\""
+    | -2 ->
+      Buffer.add_string b (prefix_of pid 2 "C");
+      add_us b ts;
+      finish_common ()
+    | dur ->
+      Buffer.add_string b (prefix_of pid 0 "X");
+      add_us b ts;
+      finish_common ();
+      Buffer.add_string b ",\"dur\":";
+      add_us b dur);
+    let ak = d.d_ak.(i) in
+    if ak <> "" then begin
+      (* column fast path: same bytes as [add_args [(ak, I v)]] *)
+      Buffer.add_string b ",\"args\":{";
+      add_str b ak;
+      Buffer.add_char b ':';
+      add_int b d.d_av.(i);
+      Buffer.add_string b "}"
+    end
+    else begin
+      let args = d.d_args.(i) in
+      if args <> [] then begin
         Buffer.add_string b ",\"args\":";
-        add_args b ev.ev_args
-      end;
-      Buffer.add_string b "}";
-      (* Flow link riding on this event: a separate s/t/f record at the
-         same instant, bound to the enclosing slice. All records of one
-         flow share name/cat/id — that is what Chrome draws arrows
-         between. *)
-      match ev.ev_flow with
-      | None -> ()
-      | Some (id, phase) ->
-        let ph =
-          match phase with
-          | Flow_start -> "s"
-          | Flow_step -> "t"
-          | Flow_end -> "f"
-        in
-        let ts = if ev.ev_dur > 0 then ev.ev_ts + ev.ev_dur else ev.ev_ts in
-        next ();
-        add_common b ~name:"ucheckpoint" ~cat:"msnap" ~ph ~ts ~tid:ev.ev_tid;
-        Buffer.add_string b ",\"id\":";
-        Buffer.add_string b (string_of_int id);
-        if phase = Flow_end then Buffer.add_string b ",\"bp\":\"e\"";
-        Buffer.add_string b "}")
-    d.d_events;
+        add_args b args
+      end
+    end;
+    Buffer.add_string b "}";
+    (* Flow link riding on this event: a separate s/t/f record at the
+       same instant, bound to the enclosing slice. All records of one
+       flow share name/cat/id — that is what Chrome draws arrows
+       between. *)
+    let packed = d.d_flow.(i) in
+    if packed <> 0 then begin
+      let id = packed lsr 2 in
+      let ph = packed land 3 in
+      let ts = if dur > 0 then ts + dur else ts in
+      next ();
+      Buffer.add_string b
+        (match ph with 1 -> flow_s | 2 -> flow_t | _ -> flow_f);
+      add_us b ts;
+      Buffer.add_string b ",\"pid\":1,\"tid\":";
+      add_int b tid;
+      Buffer.add_string b ",\"id\":";
+      add_int b id;
+      if ph <> 1 && ph <> 2 then Buffer.add_string b ",\"bp\":\"e\"";
+      Buffer.add_string b "}"
+    end
+  done;
   Buffer.add_string b "\n],\n";
   Buffer.add_string b "\"displayTimeUnit\":\"ns\",\n";
   Buffer.add_string b
     (Printf.sprintf
        "\"otherData\":{\"tool\":\"memsnap-sim\",\"events\":%d,\"dropped\":%d}}\n"
-       (Array.length d.d_events) d.d_dropped);
+       d.d_count d.d_dropped);
   Buffer.output_buffer oc b
 
 let render_summary d =

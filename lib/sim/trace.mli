@@ -37,7 +37,11 @@ type flow_phase = Flow_start | Flow_step | Flow_end
     [(-1, "host")]. *)
 
 val set_time_source : (unit -> int) -> unit
-val set_thread_source : (unit -> int * string) -> unit
+
+val set_thread_source : tid:(unit -> int) -> tname:(unit -> string) -> unit
+(** The thread source is split: [tid] runs on every stored event (and
+    must be allocation-free — it returns an unboxed int); [tname] runs
+    only the first time a given tid stores an event. *)
 
 (** {2 Control (domain-local)} *)
 
@@ -70,15 +74,32 @@ val new_flow : unit -> int
 
     All no-ops when disabled. *)
 
-val instant : ?args:args -> ?flow:int * flow_phase -> Probe.t -> unit
-(** A zero-duration event at the current time. *)
+val instant :
+  ?args:args -> ?argi:string * int -> ?flow:int * flow_phase -> Probe.t -> unit
+(** A zero-duration event at the current time. [argi] is the flat fast
+    path for the common single-int argument (e.g. [("bytes", n)]): it
+    lands in two unboxed columns instead of allocating an [args] list
+    per event, and exports identically to [~args:[(k, I v)]]. Pass a
+    shared literal key. *)
 
-val complete : ?args:args -> ?flow:int * flow_phase -> Probe.t -> dur:int -> unit
+val complete :
+  ?args:args ->
+  ?argi:string * int ->
+  ?flow:int * flow_phase ->
+  Probe.t ->
+  dur:int ->
+  unit
 (** A span of [dur] ns ending now. Call sites measure with virtual-time
     deltas ([Sched.now () - t0]) and report the duration here; the
     span's start is reconstructed against the trace timeline. *)
 
-val with_span : ?args:args -> ?flow:int * flow_phase -> Probe.t -> (unit -> 'a) -> 'a
+val with_span :
+  ?args:args ->
+  ?argi:string * int ->
+  ?flow:int * flow_phase ->
+  Probe.t ->
+  (unit -> 'a) ->
+  'a
 (** Run the callback inside a span. The span is recorded even if the
     callback raises (the exception is re-raised). When disabled this is
     exactly [f ()]. *)
@@ -86,7 +107,12 @@ val with_span : ?args:args -> ?flow:int * flow_phase -> Probe.t -> (unit -> 'a) 
 val counter : Probe.t -> int -> unit
 (** A counter track sample (rendered as a stacked chart). *)
 
-(** {2 Collecting} *)
+(** {2 Collecting}
+
+    The live buffer is structs-of-arrays (one int column per event
+    field) so the emit path allocates nothing; a {!type-dump} snapshots
+    those columns. {!events} materializes the conventional
+    array-of-records view on demand — cold-path only. *)
 
 type event = {
   ev_probe : Probe.t;
@@ -99,18 +125,33 @@ type event = {
 }
 
 type dump = {
-  d_events : event array;     (** in emission order *)
+  d_count : int;              (** events kept in the buffer *)
   d_dropped : int;            (** events past the buffer cap *)
   d_summary : (string * string * int * int * int) list;
       (** (subsystem, name, count, total span ns, max span ns),
           sorted by subsystem then name; exact even past the cap *)
+  d_probe : int array;        (** {!Probe.id} per event, in emission order *)
+  d_ts : int array;
+  d_dur : int array;
+  d_tid : int array;
+  d_args : args array;
+  d_ak : string array;        (** single-int-arg fast path: key, [""] = none *)
+  d_av : int array;           (** single-int-arg fast path: value *)
+  d_flow : int array;         (** packed: [0] none, else [id*4 + phase] *)
+  d_tnames : (int, string) Hashtbl.t;  (** first-seen name per tid *)
 }
 
 val event_count : unit -> int
 val dropped : unit -> int
 
 val dump : unit -> dump
-(** Snapshot the calling domain's buffer (does not clear it). *)
+(** Take the calling domain's buffer: the columns move into the dump
+    without copying and the live buffer is left empty (a later
+    {!enable} or further emission regrows it). Per-probe summary
+    stats and the dropped count are not reset. *)
+
+val events : dump -> event array
+(** Materialize the record-per-event view of a dump's columns. *)
 
 val export_json : out_channel -> dump -> unit
 (** Write Chrome [trace_event] JSON: complete ("X") and instant ("i")

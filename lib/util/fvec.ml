@@ -1,0 +1,87 @@
+(* Growable flat vector. The hot-path replacement for [_ list] fields
+   that are mutated in place: push is amortized O(1), removal is O(1)
+   swap-with-last (order is NOT preserved — only use where iteration
+   order is not a simulated value), and the backing array is reused
+   across clears so steady-state operation allocates nothing.
+
+   The empty vector holds no backing array at all ([data] is [[||]]):
+   the first [push] allocates the storage seeded with the pushed value,
+   so no dummy element is ever needed and polymorphic vectors work for
+   any element type. *)
+
+type 'a t = { mutable data : 'a array; mutable len : int }
+
+let create () = { data = [||]; len = 0 }
+let length t = t.len
+let is_empty t = t.len = 0
+
+let clear t = t.len <- 0
+(* Note: [clear] keeps references to dropped elements alive until they
+   are overwritten. Use [reset] when the elements must become
+   collectable. *)
+
+let reset t =
+  t.data <- [||];
+  t.len <- 0
+
+let get t i =
+  if i < 0 || i >= t.len then invalid_arg "Fvec.get";
+  Array.unsafe_get t.data i
+
+let set t i v =
+  if i < 0 || i >= t.len then invalid_arg "Fvec.set";
+  Array.unsafe_set t.data i v
+
+let push t v =
+  let cap = Array.length t.data in
+  if t.len = cap then
+    if cap = 0 then t.data <- Array.make 8 v
+    else begin
+      let data = Array.make (2 * cap) v in
+      Array.blit t.data 0 data 0 cap;
+      t.data <- data
+    end;
+  Array.unsafe_set t.data t.len v;
+  t.len <- t.len + 1
+
+(* Remove index [i] by moving the last element into its slot. O(1),
+   does not preserve order. *)
+let swap_remove t i =
+  if i < 0 || i >= t.len then invalid_arg "Fvec.swap_remove";
+  let last = t.len - 1 in
+  Array.unsafe_set t.data i (Array.unsafe_get t.data last);
+  t.len <- last
+
+(* Remove index [i] by shifting the tail left. O(n) but allocation-free;
+   preserves order, for vectors whose order is a simulated value. *)
+let remove_at t i =
+  if i < 0 || i >= t.len then invalid_arg "Fvec.remove_at";
+  let last = t.len - 1 in
+  if i < last then Array.blit t.data (i + 1) t.data i (last - i);
+  t.len <- last
+
+let pop t =
+  if t.len = 0 then invalid_arg "Fvec.pop";
+  t.len <- t.len - 1;
+  Array.unsafe_get t.data t.len
+
+(* Find the first index holding [v] (physical equality), or -1. *)
+let index_phys t v =
+  let rec go i = if i >= t.len then -1
+    else if Array.unsafe_get t.data i == v then i
+    else go (i + 1)
+  in
+  go 0
+
+let iter f t =
+  for i = 0 to t.len - 1 do f (Array.unsafe_get t.data i) done
+
+let exists f t =
+  let rec go i =
+    i < t.len && (f (Array.unsafe_get t.data i) || go (i + 1))
+  in
+  go 0
+
+let to_list t =
+  let rec go i acc = if i < 0 then acc else go (i - 1) (t.data.(i) :: acc) in
+  go (t.len - 1) []

@@ -1,0 +1,43 @@
+(** Growable flat vector with O(1) swap-removal.
+
+    Replaces [_ list ref] fields on hot paths: the backing array is
+    reused across [clear]s, so steady-state push/remove cycles allocate
+    nothing. Removal swaps the last element in, so iteration order is
+    not stable — only use where order is not a simulated value. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+
+val clear : 'a t -> unit
+(** Set the length to 0, keeping the backing array (and references to
+    dropped elements, until overwritten). *)
+
+val reset : 'a t -> unit
+(** [clear] plus dropping the backing array, making elements
+    collectable. *)
+
+val get : 'a t -> int -> 'a
+val set : 'a t -> int -> 'a -> unit
+val push : 'a t -> 'a -> unit
+
+val swap_remove : 'a t -> int -> unit
+(** Remove index [i] by moving the last element into its slot. O(1);
+    does not preserve order. *)
+
+val remove_at : 'a t -> int -> unit
+(** Remove index [i] by shifting the tail left. O(n), allocation-free;
+    preserves order — for vectors whose order is a simulated value. *)
+
+val pop : 'a t -> 'a
+(** Remove and return the last element. Raises [Invalid_argument] when
+    empty. *)
+
+val index_phys : 'a t -> 'a -> int
+(** First index holding the argument (physical equality), or -1. *)
+
+val iter : ('a -> unit) -> 'a t -> unit
+val exists : ('a -> bool) -> 'a t -> bool
+val to_list : 'a t -> 'a list

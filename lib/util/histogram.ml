@@ -7,7 +7,9 @@ let linear_limit = 64
 
 type t = {
   mutable count : int;
-  mutable sum : float;
+  sum : float array;
+      (* one-element float array: unboxed in-place accumulation, where a
+         mutable float field in this mixed record would box every set *)
   mutable max_v : int;
   mutable min_v : int;
   buckets : int array;
@@ -16,7 +18,7 @@ type t = {
 let bucket_count = linear_limit + (64 * sub_count)
 
 let create () =
-  { count = 0; sum = 0.0; max_v = 0; min_v = max_int; buckets = Array.make bucket_count 0 }
+  { count = 0; sum = [| 0.0 |]; max_v = 0; min_v = max_int; buckets = Array.make bucket_count 0 }
 
 let index_of v =
   if v < linear_limit then v
@@ -39,7 +41,7 @@ let value_of idx =
 let add t v =
   let v = if v < 0 then 0 else v in
   t.count <- t.count + 1;
-  t.sum <- t.sum +. float_of_int v;
+  t.sum.(0) <- t.sum.(0) +. float_of_int v;
   if v > t.max_v then t.max_v <- v;
   if v < t.min_v then t.min_v <- v;
   let i = index_of v in
@@ -47,7 +49,7 @@ let add t v =
 
 let merge dst src =
   dst.count <- dst.count + src.count;
-  dst.sum <- dst.sum +. src.sum;
+  dst.sum.(0) <- dst.sum.(0) +. src.sum.(0);
   if src.max_v > dst.max_v then dst.max_v <- src.max_v;
   if src.min_v < dst.min_v then dst.min_v <- src.min_v;
   for i = 0 to bucket_count - 1 do
@@ -55,7 +57,7 @@ let merge dst src =
   done
 
 let count t = t.count
-let mean t = if t.count = 0 then 0.0 else t.sum /. float_of_int t.count
+let mean t = if t.count = 0 then 0.0 else t.sum.(0) /. float_of_int t.count
 let max_value t = t.max_v
 let min_value t = if t.count = 0 then 0 else t.min_v
 
@@ -78,7 +80,7 @@ let percentile t p =
 
 let clear t =
   t.count <- 0;
-  t.sum <- 0.0;
+  t.sum.(0) <- 0.0;
   t.max_v <- 0;
   t.min_v <- max_int;
   Array.fill t.buckets 0 bucket_count 0

@@ -1,0 +1,35 @@
+(** Open-addressed hash table with non-negative int keys.
+
+    The allocation-free replacement for [(int, _) Hashtbl.t] on hot
+    paths: a miss returns the [absent] sentinel supplied at creation
+    (no [option] boxing), and insertion only allocates when the table
+    grows. Keys must be [>= 0].
+
+    Iteration order is a host-side artifact of the hash layout and
+    must never feed a simulated value. *)
+
+type 'a t
+
+val create : ?initial:int -> absent:'a -> unit -> 'a t
+val length : 'a t -> int
+val mem : 'a t -> int -> bool
+
+val find : 'a t -> int -> 'a
+(** Value bound to the key, or the [absent] sentinel. Allocation-free. *)
+
+val slot : 'a t -> int -> int
+(** Opaque slot handle for the key, or [-1] if not present. Valid only
+    until the next mutation of the table. *)
+
+val slot_value : 'a t -> int -> 'a
+(** Payload at a slot handle returned by {!slot}. *)
+
+val set_slot : 'a t -> int -> 'a -> unit
+(** Replace the payload at a slot handle returned by {!slot}. *)
+
+val set : 'a t -> int -> 'a -> unit
+val remove : 'a t -> int -> unit
+val clear : 'a t -> unit
+
+val iter : (int -> 'a -> unit) -> 'a t -> unit
+(** Host-side only: order depends on the hash layout. *)

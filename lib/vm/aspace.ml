@@ -33,7 +33,7 @@ and t = {
   a_name : string;
   a_phys : Phys.t;
   pt : Ptable.t;
-  a_tlb : Ptloc.t option Tlb.t;
+  a_tlb : Ptloc.t Tlb.t; (* payload: PTE location, or Ptloc.null *)
   (* Sorted by [start_vpn] so the per-access lookup is a binary search
      (plus a one-entry last-hit cache) instead of a linear list scan.
      Mutated only by [map]/[unmap], which are rare. *)
@@ -42,7 +42,8 @@ and t = {
 }
 
 let create ?(name = "aspace") phys =
-  { a_name = name; a_phys = phys; pt = Ptable.create (); a_tlb = Tlb.create ();
+  { a_name = name; a_phys = phys; pt = Ptable.create ();
+    a_tlb = Tlb.create ~absent:Ptloc.null ();
     mappings = [||]; last_hit = None }
 
 let name t = t.a_name
@@ -159,42 +160,47 @@ let page_in t m vpn =
    whenever a hit carries one, since leaves are never freed and every
    PTE-invalidation path also invalidates the TLB — letting a hit with a
    present PTE skip the host-side radix walk. *)
-let translate t vpn ~if_absent =
+let translate t vpn =
   let cached =
-    match Tlb.find t.a_tlb vpn with
-    | Some c -> c
-    | None ->
+    if Tlb.probe t.a_tlb vpn then Tlb.hit_payload t.a_tlb
+    else begin
       (* Install the entry before charging the walk, exactly as the
          hardware walker fills the TLB: the charge is a scheduling
          point, and concurrent threads sharing this aspace must see the
-         entry (a page-in below can likewise shoot it down again before
-         we resume). *)
-      Tlb.insert t.a_tlb vpn None;
+         entry (a page-in triggered by this access can likewise shoot
+         it down again before we resume). *)
+      Tlb.insert t.a_tlb vpn Ptloc.null;
       if Trace.verbose () then Trace.instant Probe.vm_pt_walk;
       Sched.cpu Costs.pt_walk;
-      None
+      Ptloc.null
+    end
   in
-  match cached with
-  | Some loc when Pte.present (Ptloc.get loc) -> loc
-  | _ ->
-    let loc =
-      match Ptable.find_loc t.pt vpn with
-      | Some loc when Pte.present (Ptloc.get loc) -> loc
-      | _ -> if_absent ()
-    in
-    Tlb.update t.a_tlb vpn (Some loc);
-    loc
+  if (not (Ptloc.is_null cached)) && Pte.present (Ptloc.get cached) then cached
+  else
+    match Ptable.find_loc t.pt vpn with
+    | Some loc when Pte.present (Ptloc.get loc) ->
+      Tlb.update t.a_tlb vpn loc;
+      loc
+    | _ -> Ptloc.null
+
+(* Page the vpn in and cache the fresh PTE location. The slow half of
+   [translate], split out so the fast path allocates no closure. *)
+let translate_miss t m vpn =
+  let loc = page_in t m vpn in
+  Tlb.update t.a_tlb vpn loc;
+  loc
 
 (* Resolve [vpn] for writing: page-in if absent, then run the write-fault
-   path until the PTE is writable. *)
-let resolve_write t vpn =
+   path until the PTE is writable. Returns the PTE location; the page is
+   one [Phys.get] away, so the hot path builds no pair. *)
+let resolve_write_loc t vpn =
   let m = mapping_of_vpn t vpn in
   if not m.m_writable then
     invalid_arg
       (Printf.sprintf "%s: write to read-only mapping %s" t.a_name m.m_name);
-  let loc = translate t vpn ~if_absent:(fun () -> page_in t m vpn) in
-  let pte = Ptloc.get loc in
-  if Pte.writable pte then (Phys.get t.a_phys (Pte.frame pte), loc)
+  let loc = translate t vpn in
+  let loc = if Ptloc.is_null loc then translate_miss t m vpn else loc in
+  if Pte.writable (Ptloc.get loc) then loc
   else begin
     (* Minor write fault. *)
     let dispatch () =
@@ -205,73 +211,83 @@ let resolve_write t vpn =
         handler { f_aspace = t; f_mapping = m; f_vpn = vpn; f_loc = loc;
                   f_page = page }
       | None -> Ptloc.set loc (Pte.set_writable (Ptloc.get loc) true));
-      let pte = Ptloc.get loc in
-      if not (Pte.writable pte) then
+      if not (Pte.writable (Ptloc.get loc)) then
         failwith
           (Printf.sprintf "%s: write fault handler left page RO (va 0x%x)"
-             t.a_name (Addr.va_of_vpn vpn));
-      (Phys.get t.a_phys (Pte.frame pte), loc)
+             t.a_name (Addr.va_of_vpn vpn))
     in
     Sched.with_bucket Probe.Bucket.page_faults (fun () ->
         if not (Trace.is_on ()) then dispatch ()
         else
           Trace.with_span Probe.vm_write_fault
             ~args:[ ("mapping", Trace.S m.m_name); ("vpn", Trace.I vpn) ]
-            dispatch)
+            dispatch);
+    loc
   end
+
+let resolve_write t vpn =
+  let loc = resolve_write_loc t vpn in
+  (Phys.get t.a_phys (Pte.frame (Ptloc.get loc)), loc)
 
 let page_for_write t ~va = resolve_write t (Addr.vpn_of_va va)
 
 let resolve_read t vpn =
   let m = mapping_of_vpn t vpn in
+  let loc = translate t vpn in
   let loc =
-    translate t vpn ~if_absent:(fun () ->
-        Sched.with_bucket Probe.Bucket.page_faults (fun () ->
-            if not (Trace.is_on ()) then page_in t m vpn
-            else
-              Trace.with_span Probe.vm_read_fault
-                ~args:[ ("mapping", Trace.S m.m_name); ("vpn", Trace.I vpn) ]
-                (fun () -> page_in t m vpn)))
+    if not (Ptloc.is_null loc) then loc
+    else
+      Sched.with_bucket Probe.Bucket.page_faults (fun () ->
+          if not (Trace.is_on ()) then translate_miss t m vpn
+          else
+            Trace.with_span Probe.vm_read_fault
+              ~args:[ ("mapping", Trace.S m.m_name); ("vpn", Trace.I vpn) ]
+              (fun () -> translate_miss t m vpn))
   in
   Phys.get t.a_phys (Pte.frame (Ptloc.get loc))
 
 let page_for_read t ~va = resolve_read t (Addr.vpn_of_va va)
 
+(* The copy loops are top-level recursive functions, not local
+   closures: Aspace.read/write run once per storage access on the mmap
+   paths, and a per-call closure is exactly the kind of hot-path
+   allocation this module avoids. *)
+let rec write_sub_loop t data va pos len =
+  if len > 0 then begin
+    let in_page = Addr.page_size - Addr.page_offset va in
+    let n = min len in_page in
+    (* Charge the copy before resolving: the store must land on the
+       frame the translation produced, with no scheduling point in
+       between — otherwise a concurrent μCheckpoint could COW the page
+       away mid-copy and the bytes would hit an orphaned frame. *)
+    Sched.cpu (Costs.memcpy n);
+    let loc = resolve_write_loc t (Addr.vpn_of_va va) in
+    let page = Phys.get t.a_phys (Pte.frame (Ptloc.get loc)) in
+    Bytes.blit data pos page.Phys.data (Addr.page_offset va) n;
+    write_sub_loop t data (va + n) (pos + n) (len - n)
+  end
+
 let write_sub t ~va data ~pos ~len =
   if pos < 0 || len < 0 || pos + len > Bytes.length data then
     invalid_arg "Aspace.write_sub: bad slice";
-  let rec go va pos len =
-    if len > 0 then begin
-      let in_page = Addr.page_size - Addr.page_offset va in
-      let n = min len in_page in
-      (* Charge the copy before resolving: the store must land on the
-         frame the translation produced, with no scheduling point in
-         between — otherwise a concurrent μCheckpoint could COW the page
-         away mid-copy and the bytes would hit an orphaned frame. *)
-      Sched.cpu (Costs.memcpy n);
-      let page, _ = resolve_write t (Addr.vpn_of_va va) in
-      Bytes.blit data pos page.Phys.data (Addr.page_offset va) n;
-      go (va + n) (pos + n) (len - n)
-    end
-  in
-  go va pos len
+  write_sub_loop t data va pos len
 
 let write t ~va data = write_sub t ~va data ~pos:0 ~len:(Bytes.length data)
+
+let rec read_into_loop t buf va pos len =
+  if len > 0 then begin
+    let in_page = Addr.page_size - Addr.page_offset va in
+    let n = min len in_page in
+    Sched.cpu (Costs.memcpy n);
+    let page = resolve_read t (Addr.vpn_of_va va) in
+    Bytes.blit page.Phys.data (Addr.page_offset va) buf pos n;
+    read_into_loop t buf (va + n) (pos + n) (len - n)
+  end
 
 let read_into t ~va buf ~pos ~len =
   if pos < 0 || len < 0 || pos + len > Bytes.length buf then
     invalid_arg "Aspace.read_into: bad slice";
-  let rec go va pos len =
-    if len > 0 then begin
-      let in_page = Addr.page_size - Addr.page_offset va in
-      let n = min len in_page in
-      Sched.cpu (Costs.memcpy n);
-      let page = resolve_read t (Addr.vpn_of_va va) in
-      Bytes.blit page.Phys.data (Addr.page_offset va) buf pos n;
-      go (va + n) (pos + n) (len - n)
-    end
-  in
-  go va pos len
+  read_into_loop t buf va pos len
 
 let read t ~va ~len =
   let buf = Bytes.create len in
@@ -286,9 +302,11 @@ let protect_page t ~vpn =
     if Pte.present pte then Ptloc.set loc (Pte.set_writable pte false)
 
 let shootdown t vpns =
+  (* Count once; both the trace arg and the cost model need the length. *)
+  let n = List.length vpns in
   if Trace.is_on () then
-    Trace.instant Probe.vm_shootdown ~args:[ ("pages", Trace.I (List.length vpns)) ];
-  Tlb.shootdown t.a_tlb vpns
+    Trace.instant Probe.vm_shootdown ~argi:("pages", n);
+  Tlb.shootdown ~n t.a_tlb vpns
 
 let pages_of_range t ~va ~len =
   let vpn = Addr.vpn_of_va va in
@@ -308,7 +326,21 @@ let unmap t m =
          Phys.rmap_remove page loc;
          Ptloc.set loc Pte.empty;
          Tlb.invalidate_page t.a_tlb vpn;
-         if page.Phys.rmap = [] then Phys.free t.a_phys page));
-  t.mappings <- Array.of_list
-      (List.filter (fun m' -> not (m' == m)) (Array.to_list t.mappings));
+         if Phys.rmap_is_empty page then Phys.free t.a_phys page));
+  (* Drop [m] with a single counted copy — no list round-trip. *)
+  let ms = t.mappings in
+  let kept = ref 0 in
+  Array.iter (fun m' -> if m' != m then incr kept) ms;
+  if !kept < Array.length ms then begin
+    let out = Array.make !kept m in
+    let j = ref 0 in
+    Array.iter
+      (fun m' ->
+        if m' != m then begin
+          out.(!j) <- m';
+          incr j
+        end)
+      ms;
+    t.mappings <- out
+  end;
   t.last_hit <- None

@@ -37,7 +37,7 @@ val create : ?name:string -> Phys.t -> t
 val name : t -> string
 val phys : t -> Phys.t
 val page_table : t -> Ptable.t
-val tlb : t -> Ptloc.t option Tlb.t
+val tlb : t -> Ptloc.t Tlb.t
 (** The TLB caches the PTE location of each translation (once resolved)
     so a simulated hit also skips the host-side radix walk. *)
 

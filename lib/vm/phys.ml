@@ -1,24 +1,34 @@
 module Costs = Msnap_sim.Costs
 module Sched = Msnap_sim.Sched
+module Fvec = Msnap_util.Fvec
 
 type page = {
   frame : int;
   data : Bytes.t;
   mutable ckpt_in_progress : bool;
-  mutable rmap : Ptloc.t list;
+  rmap : Ptloc.t Fvec.t;
   mutable owner : int;
 }
 
+(* Distinguished sentinel so frame tables can be plain [page array]
+   instead of [page option array]. Never handed out by [alloc]. *)
+let null_page =
+  { frame = -1; data = Bytes.empty; ckpt_in_progress = false;
+    rmap = Fvec.create (); owner = -1 }
+
+let is_null p = p.frame < 0
+
 type t = {
-  mutable pages : page option array;
+  mutable pages : page array; (* [null_page] beyond [next] *)
   mutable next : int;
-  mutable free_list : page list;
+  free_frames : int Fvec.t; (* LIFO, like the old list-based free list *)
   mutable live : int;
   mutable peak : int;
 }
 
 let create () =
-  { pages = Array.make 1024 None; next = 0; free_list = []; live = 0; peak = 0 }
+  { pages = Array.make 1024 null_page; next = 0; free_frames = Fvec.create ();
+    live = 0; peak = 0 }
 
 let bump_live t =
   t.live <- t.live + 1;
@@ -26,19 +36,19 @@ let bump_live t =
 
 let alloc t =
   Sched.cpu Costs.page_alloc;
-  match t.free_list with
-  | p :: rest ->
-    t.free_list <- rest;
+  if not (Fvec.is_empty t.free_frames) then begin
+    let p = t.pages.(Fvec.pop t.free_frames) in
     Bytes.fill p.data 0 Addr.page_size '\000';
     p.ckpt_in_progress <- false;
     p.owner <- -1;
     bump_live t;
     p
-  | [] ->
+  end
+  else begin
     let frame = t.next in
     t.next <- t.next + 1;
     if frame >= Array.length t.pages then begin
-      let np = Array.make (2 * Array.length t.pages) None in
+      let np = Array.make (2 * Array.length t.pages) null_page in
       Array.blit t.pages 0 np 0 (Array.length t.pages);
       t.pages <- np
     end;
@@ -47,25 +57,26 @@ let alloc t =
         frame;
         data = Bytes.make Addr.page_size '\000';
         ckpt_in_progress = false;
-        rmap = [];
+        rmap = Fvec.create ();
         owner = -1;
       }
     in
-    t.pages.(frame) <- Some p;
+    t.pages.(frame) <- p;
     bump_live t;
     p
+  end
 
 let free t p =
-  assert (p.rmap = []);
+  assert (Fvec.is_empty p.rmap);
   p.ckpt_in_progress <- false;
   p.owner <- -1;
-  t.free_list <- p :: t.free_list;
+  Fvec.push t.free_frames p.frame;
   t.live <- t.live - 1
 
 let get t frame =
-  match t.pages.(frame) with
-  | Some p -> p
-  | None -> invalid_arg (Printf.sprintf "Phys.get: frame %d never allocated" frame)
+  if frame < 0 || frame >= t.next then
+    invalid_arg (Printf.sprintf "Phys.get: frame %d never allocated" frame)
+  else t.pages.(frame)
 
 let copy_page t src =
   let dst = alloc t in
@@ -76,7 +87,23 @@ let copy_page t src =
 let live_frames t = t.live
 let peak_frames t = t.peak
 
-let rmap_add page loc = page.rmap <- loc :: page.rmap
+let rmap_add page loc = Fvec.push page.rmap loc
 
+(* O(1) swap-removal of the (unique) entry for [loc]. The old list
+   version filtered order-preservingly; rmap iteration order is
+   host-side only (every per-entry charge is a fixed per-PTE cost), so
+   the order change is not observable in simulated values. *)
 let rmap_remove page loc =
-  page.rmap <- List.filter (fun l -> not (Ptloc.same l loc)) page.rmap
+  let n = Fvec.length page.rmap in
+  let rec go i =
+    if i < n then
+      if Ptloc.same (Fvec.get page.rmap i) loc then Fvec.swap_remove page.rmap i
+      else go (i + 1)
+  in
+  go 0
+
+let rmap_is_empty page = Fvec.is_empty page.rmap
+let rmap_length page = Fvec.length page.rmap
+let rmap_iter f page = Fvec.iter f page.rmap
+let rmap_clear page = Fvec.clear page.rmap
+let rmap_get page i = Fvec.get page.rmap i

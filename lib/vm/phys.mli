@@ -2,18 +2,30 @@
 
     Each frame is a real 4 KiB [Bytes.t] plus the per-page metadata MemSnap
     needs: the "checkpoint in progress" flag (§3) and the reverse mappings
-    used to find every page table referencing the frame. *)
+    used to find every page table referencing the frame.
+
+    The frame table is a flat non-optional [page array] (with
+    {!null_page} as the sentinel) and the reverse map is a small inline
+    vector with O(1) swap-removal — the fault path allocates nothing
+    beyond the frames themselves. *)
 
 type page = {
   frame : int;
   data : Bytes.t;
   mutable ckpt_in_progress : bool;
-  mutable rmap : Ptloc.t list;
-      (** Every PTE currently mapping this frame. *)
+  rmap : Ptloc.t Msnap_util.Fvec.t;
+      (** Every PTE currently mapping this frame. Iteration order is a
+          host-side artifact (swap-removal); use the [rmap_*] helpers. *)
   mutable owner : int;
       (** Thread id of the dirty-set owner, or [-1]. Used by MemSnap to
           detect property-③ violations in debug checks. *)
 }
+
+val null_page : page
+(** Sentinel for flat frame tables: [frame = -1], empty data. Never
+    returned by {!alloc}. *)
+
+val is_null : page -> bool
 
 type t
 
@@ -37,4 +49,13 @@ val live_frames : t -> int
 val peak_frames : t -> int
 
 val rmap_add : page -> Ptloc.t -> unit
+
 val rmap_remove : page -> Ptloc.t -> unit
+(** Remove the entry for [loc] (physical PTE identity) by swapping the
+    last entry into its slot: O(1), order not preserved. *)
+
+val rmap_is_empty : page -> bool
+val rmap_length : page -> int
+val rmap_iter : (Ptloc.t -> unit) -> page -> unit
+val rmap_clear : page -> unit
+val rmap_get : page -> int -> Ptloc.t

@@ -8,3 +8,8 @@ let get t = t.slots.(t.slot)
 let set t pte = t.slots.(t.slot) <- pte
 
 let same a b = a.slots == b.slots && a.slot = b.slot
+
+(* Distinguished "no PTE" value, so hot paths can carry a Ptloc.t
+   without [option] boxing. [get]/[set] on it raise. *)
+let null = { slots = [||]; slot = -1 }
+let is_null t = t.slot < 0

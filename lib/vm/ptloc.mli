@@ -14,3 +14,9 @@ val set : t -> Pte.t -> unit
 
 val same : t -> t -> bool
 (** Same slot in the same leaf node (physical identity of the PTE). *)
+
+val null : t
+(** Distinguished "no PTE" sentinel: lets hot paths carry a [t] without
+    [option] boxing. [get]/[set] on it raise. *)
+
+val is_null : t -> bool

@@ -1,56 +1,90 @@
 module Costs = Msnap_sim.Costs
 module Sched = Msnap_sim.Sched
+module Itab = Msnap_util.Itab
+module Iring = Msnap_util.Iring
+
+(* Flat TLB: an open-addressed int table for the cached translations
+   plus a ring buffer for the FIFO replacement order. Lookup, insertion
+   and eviction allocate nothing in steady state; hit/miss counts and
+   eviction decisions are bit-for-bit those of the previous
+   Hashtbl+Queue implementation (they are simulated values).
+
+   FIFO subtleties preserved exactly: [invalidate_page] removes only
+   from the table, so the ring accumulates stale vpns (and duplicates
+   when a page is re-inserted); an insert at capacity pops exactly one
+   ring head whether or not it is stale, so the table can transiently
+   exceed capacity — just as the Queue-based version behaved. *)
 
 type 'a t = {
-  entries : (int, 'a) Hashtbl.t;
-  fifo : int Queue.t;
+  tab : 'a Itab.t;
+  fifo : Iring.t;
   capacity : int;
+  absent : 'a;
+  mutable last : 'a; (* payload of the last probe hit, or [absent] *)
   mutable hits : int;
   mutable misses : int;
 }
 
-let create ?(entries = 1536) () =
-  { entries = Hashtbl.create entries; fifo = Queue.create (); capacity = entries;
-    hits = 0; misses = 0 }
+let create ?(entries = 1536) ~absent () =
+  {
+    tab = Itab.create ~initial:entries ~absent ();
+    fifo = Iring.create ~initial:entries ();
+    capacity = entries;
+    absent;
+    last = absent;
+    hits = 0;
+    misses = 0;
+  }
 
-let find t vpn =
-  match Hashtbl.find_opt t.entries vpn with
-  | Some _ as hit ->
+(* [probe t vpn] counts a hit or a miss and stashes the hit's payload
+   for {!hit_payload}. Allocation-free: the probe/payload split replaces
+   the old [find : _ -> _ option], whose [Some] boxed every hit. *)
+let probe t vpn =
+  let s = Itab.slot t.tab vpn in
+  if s >= 0 then begin
     t.hits <- t.hits + 1;
-    hit
-  | None ->
+    t.last <- Itab.slot_value t.tab s;
+    true
+  end
+  else begin
     t.misses <- t.misses + 1;
-    None
+    t.last <- t.absent;
+    false
+  end
+
+let hit_payload t = t.last
 
 let insert t vpn payload =
-  if not (Hashtbl.mem t.entries vpn) then begin
-    if Hashtbl.length t.entries >= t.capacity then begin
-      match Queue.take_opt t.fifo with
-      | Some victim -> Hashtbl.remove t.entries victim
-      | None -> ()
+  if not (Itab.mem t.tab vpn) then begin
+    if Itab.length t.tab >= t.capacity then begin
+      (* Pop exactly one FIFO head; it may be stale (already
+         invalidated), in which case nothing leaves the table. *)
+      let victim = Iring.pop t.fifo in
+      if victim >= 0 then Itab.remove t.tab victim
     end;
-    Queue.add vpn t.fifo
+    Iring.push t.fifo vpn
   end;
-  Hashtbl.replace t.entries vpn payload
+  Itab.set t.tab vpn payload
 
 let update t vpn payload =
-  if Hashtbl.mem t.entries vpn then Hashtbl.replace t.entries vpn payload
+  let s = Itab.slot t.tab vpn in
+  if s >= 0 then Itab.set_slot t.tab s payload
 
 let access t vpn =
-  match find t vpn with
-  | Some () -> true
-  | None ->
-    insert t vpn ();
+  if probe t vpn then true
+  else begin
+    insert t vpn t.absent;
     false
+  end
 
-let invalidate_page t vpn = Hashtbl.remove t.entries vpn
+let invalidate_page t vpn = Itab.remove t.tab vpn
 
 let flush t =
-  Hashtbl.reset t.entries;
-  Queue.clear t.fifo
+  Itab.clear t.tab;
+  Iring.clear t.fifo
 
-let shootdown t vpns =
-  let n = List.length vpns in
+let shootdown ?n t vpns =
+  let n = match n with Some n -> n | None -> List.length vpns in
   if n = 0 then ()
   else if n <= Costs.tlb_flush_threshold then begin
     Sched.cpu (Costs.tlb_shootdown + (n * Costs.tlb_invalidate_page));

@@ -9,17 +9,29 @@
     Each cached translation carries a host-side payload of type ['a]: the
     address space stores the {!Ptloc.t} of the PTE so a simulated TLB hit
     also skips the host-side radix-tree walk. The payload changes nothing
-    simulated — hit/miss accounting and eviction are payload-blind. *)
+    simulated — hit/miss accounting and eviction are payload-blind.
+
+    The implementation is flat (open-addressed int table + FIFO ring):
+    lookup, insertion and eviction allocate nothing in steady state. On a
+    miss the payload slot is the [absent] sentinel supplied at creation,
+    so no [option] boxing happens on the hot path. *)
 
 type 'a t
 
-val create : ?entries:int -> unit -> 'a t
-(** Default capacity 1536 (Skylake-SP L2 STLB). FIFO replacement. *)
+val create : ?entries:int -> absent:'a -> unit -> 'a t
+(** Default capacity 1536 (Skylake-SP L2 STLB). FIFO replacement.
+    [absent] is the payload sentinel returned by {!hit_payload} after a
+    missed {!probe}. *)
 
-val find : 'a t -> int -> 'a option
-(** [find t vpn] returns the cached payload on hit (counting a hit) or
-    [None] (counting a miss). Never inserts; the caller charges walk cost
-    and calls {!insert} once it has the payload. *)
+val probe : 'a t -> int -> bool
+(** [probe t vpn] returns [true] and counts a hit if the translation is
+    cached (its payload is then available via {!hit_payload}), else
+    counts a miss and returns [false]. Never inserts; the caller charges
+    walk cost and calls {!insert} once it has the payload. *)
+
+val hit_payload : 'a t -> 'a
+(** Payload stashed by the immediately preceding {!probe} on this TLB
+    ([absent] if it missed). Only valid until the next operation. *)
 
 val insert : 'a t -> int -> 'a -> unit
 (** Cache a translation, evicting FIFO when full. Inserting must happen
@@ -31,17 +43,20 @@ val update : 'a t -> int -> 'a -> unit
 (** [update t vpn payload] replaces the payload iff [vpn] is still
     cached; a no-op otherwise. No eviction, no hit/miss accounting. *)
 
-val access : unit t -> int -> bool
+val access : 'a t -> int -> bool
 (** [access t vpn] returns [true] on hit; on miss, inserts the entry
-    (evicting FIFO) and returns [false]. Convenience for payload-free
-    TLBs; equivalent to {!find} followed by {!insert} on miss. *)
+    with the [absent] payload (evicting FIFO) and returns [false].
+    Convenience for payload-free TLBs; equivalent to {!probe} followed
+    by {!insert} on miss. *)
 
 val invalidate_page : 'a t -> int -> unit
 val flush : 'a t -> unit
 
-val shootdown : 'a t -> int list -> unit
+val shootdown : ?n:int -> 'a t -> int list -> unit
 (** Invalidate the given pages, charging IPI + per-page costs, or a full
-    flush if the list exceeds the threshold. *)
+    flush if the list exceeds the threshold. [n], when given, must equal
+    [List.length vpns] — it lets a caller that already knows the length
+    avoid a second traversal. *)
 
 val hits : 'a t -> int
 val misses : 'a t -> int

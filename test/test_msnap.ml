@@ -408,6 +408,56 @@ let prop_persist_recover_random =
           let md2 = Msnap.open_region k2 ~name:"db" ~len:(Size.kib 64) () in
           Bytes.equal model (Msnap.read k2 md2 ~off:0 ~len:(Size.kib 64))))
 
+let prop_dirty_model =
+  (* Differential for the flat dirty arenas and per-region frame arrays:
+     random (possibly page-crossing) writes across two regions, with a
+     set-of-(region, page) Hashtbl as the reference dirty tracker (the
+     shape of the old per-thread Hashtbl dirty sets). After every write
+     the arena's counts must equal the model's; persist empties both;
+     the frame arrays must serve back exactly a flat shadow buffer. *)
+  QCheck.Test.make ~count:20 ~name:"dirty arena + frames agree with set model"
+    QCheck.(list_of_size Gen.(int_range 1 40)
+              (pair (int_bound 15) (pair (int_bound 4089) (int_bound 255))))
+    (fun ops ->
+      Sched.run (fun () ->
+          let dev = mk_dev () in
+          let k, _, _ = mk_machine dev in
+          let rlen = Size.kib 64 in
+          let mds =
+            [| Msnap.open_region k ~name:"a" ~len:rlen ();
+               Msnap.open_region k ~name:"b" ~len:rlen () |]
+          in
+          let shadow = [| Bytes.make rlen '\000'; Bytes.make rlen '\000' |] in
+          let dirty = Hashtbl.create 64 in
+          let ok = ref true in
+          List.iteri
+            (fun i (page, (jitter, v)) ->
+              let r = i mod 2 in
+              let off = min (page * 4096 + jitter) (rlen - 16) in
+              let data = Bytes.make 16 (Char.chr v) in
+              Msnap.write k mds.(r) ~off data;
+              Bytes.blit data 0 shadow.(r) off 16;
+              for p = off / 4096 to (off + 15) / 4096 do
+                Hashtbl.replace dirty (r, p) ()
+              done;
+              let model_of r =
+                Hashtbl.fold (fun (r', _) () n -> if r' = r then n + 1 else n)
+                  dirty 0
+              in
+              ok := !ok
+                    && Msnap.dirty_count k = Hashtbl.length dirty
+                    && Msnap.dirty_count_of_region k mds.(0) = model_of 0
+                    && Msnap.dirty_count_of_region k mds.(1) = model_of 1;
+              if i mod 7 = 6 then begin
+                ignore (Msnap.persist k ());
+                Hashtbl.reset dirty;
+                ok := !ok && Msnap.dirty_count k = 0
+              end)
+            ops;
+          !ok
+          && Bytes.equal shadow.(0) (Msnap.read k mds.(0) ~off:0 ~len:rlen)
+          && Bytes.equal shadow.(1) (Msnap.read k mds.(1) ~off:0 ~len:rlen)))
+
 let () =
   let tc name f = Alcotest.test_case name `Quick f in
   Alcotest.run "msnap"
@@ -442,5 +492,6 @@ let () =
           tc "crash during persist" test_crash_during_persist;
           tc "pointer stability" test_multi_region_pointer_stability;
           QCheck_alcotest.to_alcotest prop_persist_recover_random;
+          QCheck_alcotest.to_alcotest prop_dirty_model;
         ] );
     ]

@@ -346,7 +346,7 @@ let test_trace_span_records () =
   (* The run also records the main thread's lifetime span (sched.thread);
      pick out the fsync span. *)
   let spans =
-    Array.to_list d.Trace.d_events
+    Array.to_list (Trace.events d)
     |> List.filter (fun e -> Probe.name e.Trace.ev_probe = "fs.fsync")
   in
   checki "one fsync span" 1 (List.length spans);
@@ -416,7 +416,7 @@ let test_trace_buffer_cap_keeps_summary_exact () =
       done);
   Trace.disable ();
   let d = Trace.dump () in
-  checki "buffer capped" 8 (Array.length d.Trace.d_events);
+  checki "buffer capped" 8 d.Trace.d_count;
   (* 20 writes + the main thread's lifetime span, 8 kept. *)
   checki "overflow counted" 13 d.Trace.d_dropped;
   let _, _, count, total, _ =

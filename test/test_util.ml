@@ -248,6 +248,229 @@ let test_size () =
   check Alcotest.string "pp MiB" "1 MiB" (Size.pp (Size.mib 1));
   check Alcotest.string "pp B" "100 B" (Size.pp 100)
 
+(* --- Itab / Iring / Fvec: flat hot-path structures --- *)
+
+module Itab = Msnap_util.Itab
+module Iring = Msnap_util.Iring
+module Fvec = Msnap_util.Fvec
+
+let test_itab_basics () =
+  let t = Itab.create ~absent:(-1) () in
+  checki "miss returns sentinel" (-1) (Itab.find t 5);
+  checkb "not mem" false (Itab.mem t 5);
+  Itab.set t 5 50;
+  Itab.set t 0 7;
+  checki "find" 50 (Itab.find t 5);
+  checki "find key 0" 7 (Itab.find t 0);
+  checki "length" 2 (Itab.length t);
+  Itab.set t 5 51;
+  checki "overwrite keeps length" 2 (Itab.length t);
+  checki "overwritten" 51 (Itab.find t 5);
+  Itab.remove t 5;
+  checkb "removed" false (Itab.mem t 5);
+  checki "length after remove" 1 (Itab.length t);
+  Itab.remove t 5;
+  checki "double remove harmless" 1 (Itab.length t);
+  Itab.clear t;
+  checki "cleared" 0 (Itab.length t);
+  checki "find after clear" (-1) (Itab.find t 0)
+
+let test_itab_slots () =
+  let t = Itab.create ~absent:(-1) () in
+  Itab.set t 9 90;
+  let s = Itab.slot t 9 in
+  checkb "slot found" true (s >= 0);
+  checki "slot_value" 90 (Itab.slot_value t s);
+  Itab.set_slot t s 91;
+  checki "set_slot visible via find" 91 (Itab.find t 9);
+  checki "absent slot" (-1) (Itab.slot t 10)
+
+let test_itab_growth_and_tombstones () =
+  (* Many insert/remove cycles over a growing key range: exercises
+     rehash-on-grow and tombstone reuse in the open-addressed probe
+     sequence. *)
+  let t = Itab.create ~initial:4 ~absent:(-1) () in
+  for k = 0 to 999 do
+    Itab.set t k (k * 3)
+  done;
+  checki "grew to 1000" 1000 (Itab.length t);
+  for k = 0 to 999 do
+    if k mod 2 = 0 then Itab.remove t k
+  done;
+  checki "half removed" 500 (Itab.length t);
+  for k = 0 to 999 do
+    checki "survivors intact" (if k mod 2 = 0 then -1 else k * 3) (Itab.find t k)
+  done;
+  (* Re-insert through the tombstones. *)
+  for k = 0 to 999 do
+    Itab.set t k (k + 1)
+  done;
+  checki "refilled" 1000 (Itab.length t);
+  let seen = ref 0 in
+  Itab.iter (fun k v -> incr seen; checki "iter pair" (k + 1) v) t;
+  checki "iter visits all" 1000 !seen
+
+let prop_itab_model =
+  (* Differential: random set/remove/clear sequences against
+     (int, int) Hashtbl — contents and length must always agree. *)
+  QCheck.Test.make ~count:300 ~name:"itab agrees with Hashtbl model"
+    QCheck.(list_of_size Gen.(int_range 1 120)
+              (pair (int_bound 9) (pair (int_bound 48) (int_bound 1000))))
+    (fun ops ->
+      let t = Itab.create ~initial:2 ~absent:(-1) () in
+      let model : (int, int) Hashtbl.t = Hashtbl.create 16 in
+      List.iter
+        (fun (kind, (key, v)) ->
+          match kind with
+          | 0 | 1 | 2 | 3 | 4 ->
+            Itab.set t key v;
+            Hashtbl.replace model key v
+          | 5 | 6 | 7 ->
+            Itab.remove t key;
+            Hashtbl.remove model key
+          | 8 ->
+            ignore (Itab.find t key);
+            ignore (Itab.mem t key)
+          | _ ->
+            Itab.clear t;
+            Hashtbl.reset model)
+        ops;
+      Itab.length t = Hashtbl.length model
+      && List.for_all
+           (fun key ->
+             Itab.mem t key = Hashtbl.mem model key
+             && Itab.find t key
+                = (match Hashtbl.find_opt model key with
+                  | Some v -> v
+                  | None -> -1))
+           (List.init 49 Fun.id))
+
+let test_iring_fifo () =
+  let r = Iring.create ~initial:2 () in
+  checkb "empty" true (Iring.is_empty r);
+  checki "pop empty" (-1) (Iring.pop r);
+  for i = 1 to 10 do
+    Iring.push r i
+  done;
+  checki "length" 10 (Iring.length r);
+  for i = 1 to 10 do
+    checki "FIFO order" i (Iring.pop r)
+  done;
+  checkb "drained" true (Iring.is_empty r);
+  Iring.push r 42;
+  Iring.clear r;
+  checkb "cleared" true (Iring.is_empty r);
+  checki "pop after clear" (-1) (Iring.pop r)
+
+let prop_iring_model =
+  (* Differential: random push/pop sequences against int Queue. The ring
+     grows while wrapped, so interleavings matter. *)
+  QCheck.Test.make ~count:300 ~name:"iring agrees with Queue model"
+    QCheck.(list_of_size Gen.(int_range 1 200) (int_bound 20))
+    (fun ops ->
+      let r = Iring.create ~initial:2 () in
+      let q : int Queue.t = Queue.create () in
+      List.for_all
+        (fun v ->
+          if v < 14 then begin
+            Iring.push r v;
+            Queue.push v q;
+            true
+          end
+          else
+            let expect = if Queue.is_empty q then -1 else Queue.pop q in
+            Iring.pop r = expect && Iring.length r = Queue.length q)
+        ops
+      && Iring.length r = Queue.length q)
+
+let test_fvec_basics () =
+  let v : int Fvec.t = Fvec.create () in
+  checkb "empty" true (Fvec.is_empty v);
+  for i = 0 to 9 do
+    Fvec.push v i
+  done;
+  checki "length" 10 (Fvec.length v);
+  checki "get" 7 (Fvec.get v 7);
+  Fvec.set v 7 70;
+  checki "set" 70 (Fvec.get v 7);
+  checki "pop" 9 (Fvec.pop v);
+  checki "pop shrinks" 9 (Fvec.length v);
+  checkb "exists" true (Fvec.exists (fun x -> x = 70) v);
+  checkb "not exists" false (Fvec.exists (fun x -> x = 9) v);
+  let sum = ref 0 in
+  Fvec.iter (fun x -> sum := !sum + x) v;
+  checki "iter sum" (0 + 1 + 2 + 3 + 4 + 5 + 6 + 70 + 8) !sum;
+  Fvec.clear v;
+  checki "cleared" 0 (Fvec.length v);
+  Fvec.push v 1;
+  checki "reusable after clear" 1 (Fvec.length v);
+  Fvec.reset v;
+  checki "reset" 0 (Fvec.length v)
+
+let test_fvec_swap_remove () =
+  let v : int Fvec.t = Fvec.create () in
+  List.iter (Fvec.push v) [ 10; 11; 12; 13 ];
+  Fvec.swap_remove v 1; (* last element moves into slot 1 *)
+  Alcotest.(check (list int)) "swap" [ 10; 13; 12 ] (Fvec.to_list v);
+  Fvec.swap_remove v 2; (* removing the last is a plain pop *)
+  Alcotest.(check (list int)) "remove last" [ 10; 13 ] (Fvec.to_list v)
+
+let test_fvec_remove_at () =
+  let v : int Fvec.t = Fvec.create () in
+  List.iter (Fvec.push v) [ 10; 11; 12; 13 ];
+  Fvec.remove_at v 1;
+  Alcotest.(check (list int)) "order preserved" [ 10; 12; 13 ] (Fvec.to_list v);
+  Fvec.remove_at v 2;
+  Alcotest.(check (list int)) "remove last" [ 10; 12 ] (Fvec.to_list v);
+  Fvec.remove_at v 0;
+  Alcotest.(check (list int)) "remove head" [ 12 ] (Fvec.to_list v)
+
+let test_fvec_index_phys () =
+  let v : bytes Fvec.t = Fvec.create () in
+  let a = Bytes.of_string "a" and b = Bytes.of_string "a" in
+  Fvec.push v a;
+  Fvec.push v b;
+  checki "finds by identity" 0 (Fvec.index_phys v a);
+  checki "structural equal but distinct" 1 (Fvec.index_phys v b);
+  checki "absent" (-1) (Fvec.index_phys v (Bytes.of_string "a"))
+
+let prop_fvec_remove_model =
+  (* Differential: random push/remove_at/swap_remove/pop against a plain
+     list model (remove_at must keep order; swap_remove moves the tail
+     element into the hole). *)
+  QCheck.Test.make ~count:300 ~name:"fvec agrees with list model"
+    QCheck.(list_of_size Gen.(int_range 1 150)
+              (pair (int_bound 9) (int_bound 1000)))
+    (fun ops ->
+      let v : int Fvec.t = Fvec.create () in
+      let model = ref [] in
+      let remove_nth i l = List.filteri (fun j _ -> j <> i) l in
+      List.iter
+        (fun (kind, x) ->
+          let n = Fvec.length v in
+          match kind with
+          | 0 | 1 | 2 | 3 | 4 ->
+            Fvec.push v x;
+            model := !model @ [ x ]
+          | 5 | 6 when n > 0 ->
+            let i = x mod n in
+            Fvec.remove_at v i;
+            model := remove_nth i !model
+          | 7 when n > 0 ->
+            let i = x mod n in
+            Fvec.swap_remove v i;
+            let last = List.nth !model (n - 1) in
+            model :=
+              remove_nth (n - 1) (List.mapi (fun j y -> if j = i then last else y) !model)
+          | 8 when n > 0 ->
+            let got = Fvec.pop v in
+            let expect = List.nth !model (n - 1) in
+            if got <> expect then failwith "pop mismatch";
+            model := remove_nth (n - 1) !model
+          | _ -> ())
+        ops;
+      Fvec.to_list v = !model)
+
 (* --- Slice --- *)
 
 module Slice = Msnap_util.Slice
@@ -341,6 +564,20 @@ let () =
           tc "ceil_log2" test_bits_ceil_log2;
           tc "round" test_bits_round;
           QCheck_alcotest.to_alcotest prop_clz_consistent;
+        ] );
+      ( "flat",
+        [
+          tc "itab basics" test_itab_basics;
+          tc "itab slots" test_itab_slots;
+          tc "itab growth/tombstones" test_itab_growth_and_tombstones;
+          QCheck_alcotest.to_alcotest prop_itab_model;
+          tc "iring fifo" test_iring_fifo;
+          QCheck_alcotest.to_alcotest prop_iring_model;
+          tc "fvec basics" test_fvec_basics;
+          tc "fvec swap_remove" test_fvec_swap_remove;
+          tc "fvec remove_at" test_fvec_remove_at;
+          tc "fvec index_phys" test_fvec_index_phys;
+          QCheck_alcotest.to_alcotest prop_fvec_remove_model;
         ] );
       ( "slice",
         [

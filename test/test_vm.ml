@@ -140,17 +140,17 @@ let test_phys_rmap () =
       let l1 = Ptloc.make slots 1 and l2 = Ptloc.make slots 2 in
       Phys.rmap_add p l1;
       Phys.rmap_add p l2;
-      checki "two mappings" 2 (List.length p.Phys.rmap);
+      checki "two mappings" 2 (Phys.rmap_length p);
       Phys.rmap_remove p l1;
-      checki "one left" 1 (List.length p.Phys.rmap);
-      checkb "right one" true (Ptloc.same (List.hd p.Phys.rmap) l2))
+      checki "one left" 1 (Phys.rmap_length p);
+      checkb "right one" true (Ptloc.same (Phys.rmap_get p 0) l2))
     ()
 
 (* --- Tlb --- *)
 
 let test_tlb_hit_miss () =
   in_sim (fun () ->
-      let tlb = Tlb.create ~entries:4 () in
+      let tlb = Tlb.create ~entries:4 ~absent:() () in
       checkb "first access misses" false (Tlb.access tlb 1);
       checkb "second hits" true (Tlb.access tlb 1);
       Tlb.invalidate_page tlb 1;
@@ -161,7 +161,7 @@ let test_tlb_hit_miss () =
 
 let test_tlb_eviction () =
   in_sim (fun () ->
-      let tlb = Tlb.create ~entries:2 () in
+      let tlb = Tlb.create ~entries:2 ~absent:() () in
       ignore (Tlb.access tlb 1);
       ignore (Tlb.access tlb 2);
       ignore (Tlb.access tlb 3); (* evicts 1 (FIFO) *)
@@ -170,7 +170,7 @@ let test_tlb_eviction () =
 
 let test_tlb_shootdown_cost () =
   in_sim (fun () ->
-      let tlb = Tlb.create () in
+      let tlb = Tlb.create ~absent:() () in
       ignore (Tlb.access tlb 5);
       let t0 = Sched.now () in
       Tlb.shootdown tlb [ 5 ];
@@ -182,6 +182,108 @@ let test_tlb_shootdown_cost () =
       Tlb.shootdown tlb many;
       checkb "flushed" false (Tlb.access tlb 100))
     ()
+
+(* Reference TLB: the previous Hashtbl + Queue implementation, re-stated
+   as a model. Hit/miss counts, eviction decisions and the FIFO's stale
+   entries (invalidate removes only from the table; a re-inserted page
+   duplicates its ring slot) are simulated values, so the flat
+   Itab + Iring version must agree on every operation. *)
+module Tlb_ref = struct
+  type 'a t = {
+    tab : (int, 'a) Hashtbl.t;
+    fifo : int Queue.t;
+    capacity : int;
+    absent : 'a;
+    mutable last : 'a;
+    mutable hits : int;
+    mutable misses : int;
+  }
+
+  let create ~entries ~absent () =
+    { tab = Hashtbl.create entries; fifo = Queue.create ();
+      capacity = entries; absent; last = absent; hits = 0; misses = 0 }
+
+  let probe t vpn =
+    match Hashtbl.find_opt t.tab vpn with
+    | Some p ->
+      t.hits <- t.hits + 1;
+      t.last <- p;
+      true
+    | None ->
+      t.misses <- t.misses + 1;
+      t.last <- t.absent;
+      false
+
+  let hit_payload t = t.last
+
+  let insert t vpn payload =
+    if not (Hashtbl.mem t.tab vpn) then begin
+      if Hashtbl.length t.tab >= t.capacity && not (Queue.is_empty t.fifo)
+      then Hashtbl.remove t.tab (Queue.pop t.fifo);
+      Queue.push vpn t.fifo
+    end;
+    Hashtbl.replace t.tab vpn payload
+
+  let update t vpn payload =
+    if Hashtbl.mem t.tab vpn then Hashtbl.replace t.tab vpn payload
+
+  let access t vpn =
+    if probe t vpn then true
+    else begin
+      insert t vpn t.absent;
+      false
+    end
+
+  let invalidate_page t vpn = Hashtbl.remove t.tab vpn
+
+  let flush t =
+    Hashtbl.reset t.tab;
+    Queue.clear t.fifo
+end
+
+let prop_tlb_model =
+  (* Differential: random op sequences over a small TLB (capacity 4,
+     12 pages, so evictions and stale-FIFO interactions are constant).
+     After every op the hit/miss counters must agree; at the end every
+     page must probe identically with the same payload. *)
+  QCheck.Test.make ~count:400 ~name:"flat tlb agrees with Hashtbl+Queue model"
+    QCheck.(list_of_size Gen.(int_range 1 120)
+              (pair (int_bound 9) (pair (int_bound 11) (int_bound 999))))
+    (fun ops ->
+      let tlb = Tlb.create ~entries:4 ~absent:(-1) () in
+      let m = Tlb_ref.create ~entries:4 ~absent:(-1) () in
+      List.for_all
+        (fun (kind, (vpn, payload)) ->
+          let step_ok =
+            match kind with
+            | 0 | 1 | 2 | 3 ->
+              let h = Tlb.probe tlb vpn and h' = Tlb_ref.probe m vpn in
+              if not h then Tlb.insert tlb vpn payload;
+              if not h' then Tlb_ref.insert m vpn payload;
+              h = h' && Tlb.hit_payload tlb = Tlb_ref.hit_payload m
+            | 4 | 5 | 6 ->
+              Tlb.access tlb vpn = Tlb_ref.access m vpn
+            | 7 ->
+              Tlb.invalidate_page tlb vpn;
+              Tlb_ref.invalidate_page m vpn;
+              true
+            | 8 ->
+              Tlb.update tlb vpn payload;
+              Tlb_ref.update m vpn payload;
+              true
+            | _ ->
+              Tlb.flush tlb;
+              Tlb_ref.flush m;
+              true
+          in
+          step_ok && Tlb.hits tlb = m.Tlb_ref.hits
+          && Tlb.misses tlb = m.Tlb_ref.misses)
+        ops
+      && List.for_all
+           (fun vpn ->
+             Tlb.probe tlb vpn = Tlb_ref.probe m vpn
+             && Tlb.hit_payload tlb = Tlb_ref.hit_payload m)
+           (List.init 12 Fun.id))
 
 (* --- Aspace --- *)
 
@@ -347,7 +449,7 @@ let test_aspace_shared_frame () =
       Aspace.write a1 ~va:0x40000 (Bytes.of_string "XY");
       let b = Aspace.read a2 ~va:0x40000 ~len:2 in
       checkb "visible across processes" true (Bytes.to_string b = "XY");
-      checki "rmap has both" 2 (List.length frame.Phys.rmap))
+      checki "rmap has both" 2 (Phys.rmap_length frame))
     ()
 
 let test_aspace_unmap_frees () =
@@ -455,6 +557,7 @@ let () =
           tc "hit/miss" test_tlb_hit_miss;
           tc "eviction" test_tlb_eviction;
           tc "shootdown" test_tlb_shootdown_cost;
+          QCheck_alcotest.to_alcotest prop_tlb_model;
         ] );
       ( "aspace",
         [
