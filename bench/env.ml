@@ -3,7 +3,41 @@
    striped NVMe devices (the paper's testbed layout), physical memory, one
    or more address spaces, and whichever persistence stack it measures. *)
 
-module Sched = Msnap_sim.Sched
+(* --- end-of-run disposal ---
+
+   Machine builders register teardown hooks that return pooled buffers
+   (page frames, file-system cache blocks, disk medium chunks) to
+   [Msnap_util.Pool] when the simulation finishes, so the next experiment
+   on this domain reuses them instead of allocating fresh. Host-only:
+   disposal runs after the simulated clock has stopped. *)
+
+let disposals_key : (unit -> unit) list ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [])
+
+let on_dispose f =
+  let slot = Domain.DLS.get disposals_key in
+  slot := f :: !slot
+
+module Sched = struct
+  include Msnap_sim.Sched
+
+  (* Run a simulation, then tear down what the machine builders
+     registered. On an abnormal exit (e.g. a simulated power failure
+     propagating out) the hooks are discarded without running: buffer
+     ownership may be mid-transfer, and leaking to the GC is always
+     safe. *)
+  let run f =
+    let slot = Domain.DLS.get disposals_key in
+    match Msnap_sim.Sched.run f with
+    | v ->
+      List.iter (fun d -> d ()) !slot;
+      slot := [];
+      v
+    | exception e ->
+      slot := [];
+      raise e
+end
+
 module Sync = Msnap_sim.Sync
 module Costs = Msnap_sim.Costs
 module Metrics = Msnap_sim.Metrics
@@ -26,18 +60,25 @@ module Aurora = Msnap_aurora.Aurora
 let dev_mib = 512
 
 let mk_dev ?(mib = dev_mib) () =
-  Device.of_stripe
-    (Stripe.create [ Disk.create ~name:"nvme0" ~size:(Size.mib mib) ();
-      Disk.create ~name:"nvme1" ~size:(Size.mib mib) () ])
+  let dev =
+    Device.of_stripe
+      (Stripe.create [ Disk.create ~name:"nvme0" ~size:(Size.mib mib) ();
+        Disk.create ~name:"nvme1" ~size:(Size.mib mib) () ])
+  in
+  on_dispose (fun () -> Device.dispose dev);
+  dev
 
 let mk_fs ?mib kind =
   let dev = mk_dev ?mib () in
-  (dev, Fs.mkfs dev ~kind)
+  let fs = Fs.mkfs dev ~kind in
+  on_dispose (fun () -> Fs.dispose fs);
+  (dev, fs)
 
 (* A machine with a MemSnap kernel: (device, kernel, aspace, phys). *)
 let mk_msnap ?mib () =
   let dev = mk_dev ?mib () in
   let phys = Phys.create () in
+  on_dispose (fun () -> Phys.dispose phys);
   let aspace = Aspace.create phys in
   Store.format dev;
   let store = Store.mount dev in
@@ -48,6 +89,7 @@ let mk_msnap ?mib () =
 let mk_aurora ?mib ?other_mapped_pages () =
   let dev = mk_dev ?mib () in
   let phys = Phys.create () in
+  on_dispose (fun () -> Phys.dispose phys);
   let aspace = Aspace.create phys in
   Store.format dev;
   let store = Store.mount dev in

@@ -18,11 +18,15 @@ let direct_disk_latency kib =
   Sched.run (fun () ->
       let dev = mk_dev () in
       let rng = Rng.create 1 in
+      (* One shared payload for every iteration: contents are irrelevant
+         (charges depend only on length, nothing reads the device back)
+         and Device.write snapshots the bytes, so reuse is host-only. *)
+      let payload = Bytes.create (Size.kib kib) in
       time_mean ~iters:10 (fun () ->
           let off =
             Rng.int rng (Device.size dev / Size.kib kib) * Size.kib kib
           in
-          Device.write dev ~off (Bytes.create (Size.kib kib))))
+          Device.write dev ~off payload))
 
 (* write + fsync of [kib] KiB, sequential append or random 4 KiB pages
    into a large cold file. *)
@@ -41,15 +45,19 @@ let fsync_latency kind ~pattern kib =
       Fs.fsync fs f;
       let rng = Rng.create 2 in
       let cursor = ref 0 in
+      (* Shared workload buffers: Fs.write copies into the buffer cache,
+         so reusing one payload across iterations is host-only. *)
+      let seq_buf = Bytes.create (Size.kib kib) in
+      let page_buf = Bytes.create page in
       let one () =
         (match pattern with
         | `Seq ->
-          Fs.write fs f ~off:!cursor (Bytes.create (Size.kib kib));
+          Fs.write fs f ~off:!cursor seq_buf;
           cursor := (!cursor + Size.kib kib) mod Size.mib file_mib
         | `Random ->
           for _ = 1 to Size.kib kib / page do
             let off = Rng.int rng (Size.mib file_mib / page) * page in
-            Fs.write fs f ~off (Bytes.create page)
+            Fs.write fs f ~off page_buf
           done);
         (* The bench plays the application here, so the fsync under test
            carries the app-level probe (db category in traces). *)
@@ -121,6 +129,7 @@ let fig1 () =
   let run strategy dirty_pages =
     Sched.run (fun () ->
         let phys = Phys.create () in
+        on_dispose (fun () -> Phys.dispose phys);
         let a = Aspace.create phys in
         let va = 0x4000_0000_0000 in
         let dirty = ref [] in

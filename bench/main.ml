@@ -58,10 +58,16 @@ type timing = {
   t_wall_s : float;
   t_minor_words : float; (* minor-heap allocation during the experiment *)
   t_major_words : float; (* words allocated directly on the major heap *)
+  t_pool_hits : int; (* buffer-pool hits during the experiment *)
+  t_pool_misses : int; (* buffer-pool misses (fresh major-heap buffers) *)
   t_trace_events : int; (* events exported; 0 when tracing is off *)
   t_trace_dropped : int; (* events past the buffer cap, counted not kept *)
   t_trace_s : float; (* host seconds spent dumping + exporting the trace *)
 }
+
+let pool_hit_rate t =
+  let total = t.t_pool_hits + t.t_pool_misses in
+  if total = 0 then 0.0 else float_of_int t.t_pool_hits /. float_of_int total
 
 (* One trace file per experiment: with a single -e the file is exactly
    PATH; otherwise the experiment name is spliced in before ".json". *)
@@ -82,11 +88,13 @@ let trace_path_for ~trace ~multi name =
    domain ran the experiment. *)
 let timed ?trace_path name f =
   if trace_path <> None then Trace.enable ();
+  let p0 = Msnap_util.Pool.totals () in
   let g0 = Gc.quick_stat () in
   let t0 = Unix.gettimeofday () in
   f ();
   let wall = Unix.gettimeofday () -. t0 in
   let g1 = Gc.quick_stat () in
+  let p1 = Msnap_util.Pool.totals () in
   let trace_events, trace_dropped, trace_s =
     match trace_path with
     | None -> (0, 0, 0.0)
@@ -115,6 +123,8 @@ let timed ?trace_path name f =
     t_wall_s = wall;
     t_minor_words = g1.Gc.minor_words -. g0.Gc.minor_words;
     t_major_words = g1.Gc.major_words -. g0.Gc.major_words;
+    t_pool_hits = p1.Msnap_util.Pool.t_hits - p0.Msnap_util.Pool.t_hits;
+    t_pool_misses = p1.Msnap_util.Pool.t_misses - p0.Msnap_util.Pool.t_misses;
     t_trace_events = trace_events;
     t_trace_dropped = trace_dropped;
     t_trace_s = trace_s;
@@ -139,6 +149,7 @@ let run_parallel ~trace jobs selected =
   let times =
     Array.make n
       { t_name = ""; t_wall_s = 0.0; t_minor_words = 0.0; t_major_words = 0.0;
+        t_pool_hits = 0; t_pool_misses = 0;
         t_trace_events = 0; t_trace_dropped = 0; t_trace_s = 0.0 }
   in
   let run_one i =
@@ -179,7 +190,7 @@ let write_timings ~path ~jobs ~total timings =
   let oc = open_out path in
   let p fmt = Printf.fprintf oc fmt in
   p "{\n";
-  p "  \"schema\": \"memsnap-bench-sim/4\",\n";
+  p "  \"schema\": \"memsnap-bench-sim/5\",\n";
   p "  \"jobs\": %d,\n" jobs;
   p "  \"total_wall_s\": %.3f,\n" total;
   p "  \"experiments\": [\n";
@@ -187,9 +198,11 @@ let write_timings ~path ~jobs ~total timings =
     (fun i t ->
       p
         "    { \"name\": %S, \"wall_s\": %.3f, \"minor_words\": %.0f, \
-         \"major_words\": %.0f, \"trace_events\": %d, \
+         \"major_words\": %.0f, \"pool_hits\": %d, \"pool_misses\": %d, \
+         \"pool_hit_rate\": %.3f, \"trace_events\": %d, \
          \"trace_dropped\": %d, \"trace_overhead_s\": %.3f }%s\n"
-        t.t_name t.t_wall_s t.t_minor_words t.t_major_words t.t_trace_events
+        t.t_name t.t_wall_s t.t_minor_words t.t_major_words t.t_pool_hits
+        t.t_pool_misses (pool_hit_rate t) t.t_trace_events
         t.t_trace_dropped t.t_trace_s
         (if i = List.length timings - 1 then "" else ","))
     timings;

@@ -10,6 +10,7 @@ module Pte = Msnap_vm.Pte
 module Ptloc = Msnap_vm.Ptloc
 module Ptable = Msnap_vm.Ptable
 module Store = Msnap_objstore.Store
+module Pool = Msnap_util.Pool
 
 module Kernel = struct
   type t = {
@@ -122,9 +123,22 @@ module Region = struct
     let pager =
       { Aspace.page_in =
           (fun rel ->
-            match Store.read_block k.store obj rel with
-            | Some b -> `Bytes b
-            | None -> `Zero)
+            (* Pooled staging instead of [read_block]'s fresh block, and
+               the frame filled here instead of via [`Bytes]: the charge
+               sequence (radix lookup, device read, frame alloc, then a
+               page-sized memcpy) is exactly what the allocating path
+               produced. *)
+            let staging = Pool.alloc Msnap_objstore.Layout.block_size in
+            Fun.protect
+              ~finally:(fun () -> Pool.recycle staging)
+              (fun () ->
+                if Store.read_block_into k.store obj rel staging then begin
+                  let p = Phys.alloc (Aspace.phys k.aspace) in
+                  Sched.cpu (Costs.memcpy Addr.page_size);
+                  Bytes.blit staging 0 p.Phys.data 0 Addr.page_size;
+                  `Page p
+                end
+                else `Zero))
       }
     in
     let mapping =

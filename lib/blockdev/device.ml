@@ -16,6 +16,7 @@ module type S = sig
   val restore_power : t -> unit
   val stats : t -> Disk.stats
   val reset_stats : t -> unit
+  val dispose : t -> unit
 end
 
 type t = Dev : (module S with type t = 'a) * 'a -> t
@@ -51,3 +52,4 @@ let fail_power (Dev ((module D), d)) ~torn_seed = D.fail_power d ~torn_seed
 let restore_power (Dev ((module D), d)) = D.restore_power d
 let stats (Dev ((module D), d)) = D.stats d
 let reset_stats (Dev ((module D), d)) = D.reset_stats d
+let dispose (Dev ((module D), d)) = D.dispose d

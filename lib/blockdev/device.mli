@@ -38,6 +38,10 @@ module type S = sig
   val restore_power : t -> unit
   val stats : t -> Disk.stats
   val reset_stats : t -> unit
+
+  val dispose : t -> unit
+  (** End-of-run teardown: return pooled host buffers (medium chunks) to
+      [Msnap_util.Pool]. The device must be idle and never used again. *)
 end
 
 type t = Dev : (module S with type t = 'a) * 'a -> t
@@ -63,3 +67,4 @@ val fail_power : t -> torn_seed:int -> unit
 val restore_power : t -> unit
 val stats : t -> Disk.stats
 val reset_stats : t -> unit
+val dispose : t -> unit

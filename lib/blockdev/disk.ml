@@ -5,6 +5,7 @@ module Trace = Msnap_sim.Trace
 module Probe = Msnap_sim.Probe
 module Rng = Msnap_util.Rng
 module Slice = Msnap_util.Slice
+module Pool = Msnap_util.Pool
 
 exception Powered_off
 
@@ -29,9 +30,21 @@ module Medium = struct
     match m.chunks.(i) with
     | Some c -> c
     | None ->
-      let c = Bytes.make chunk_size '\000' in
+      let c = Pool.alloc_zeroed chunk_size in
       m.chunks.(i) <- Some c;
       c
+
+  (* Return every materialized chunk to the buffer pool. Only valid once
+     nothing will read the medium again (end of a bench run). *)
+  let dispose m =
+    Array.iteri
+      (fun i c ->
+        match c with
+        | Some b ->
+          m.chunks.(i) <- None;
+          Pool.recycle b
+        | None -> ())
+      m.chunks
 
   (* Apply [f chunk_index chunk_off rel_pos len] over [off, off+len). *)
   let iter_ranges _m off len f =
@@ -55,6 +68,31 @@ module Medium = struct
         | Some c -> Bytes.blit c coff dst (pos + rel) n
         | None -> Bytes.fill dst (pos + rel) n '\000')
 
+  (* Write a run of exactly-adjacent slices [(abs_off, slice); ...] with
+     a single two-pointer walk over chunks and segments, instead of one
+     chunk-range traversal per segment. Byte effect identical to writing
+     each segment in order. *)
+  let write_segs m segs =
+    match segs with
+    | [] -> ()
+    | (off0, _) :: _ ->
+      let cur = ref segs in
+      let pos = ref off0 in
+      let continue = ref true in
+      while !continue do
+        match !cur with
+        | [] -> continue := false
+        | (o, s) :: tl ->
+          let send = o + Slice.length s in
+          let i = !pos lsr chunk_bits in
+          let coff = !pos land (chunk_size - 1) in
+          let n = min (send - !pos) (chunk_size - coff) in
+          Bytes.blit (Slice.buf s)
+            (Slice.pos s + (!pos - o))
+            (chunk_for_write m i) coff n;
+          pos := !pos + n;
+          if !pos >= send then cur := tl
+      done
 end
 
 type stats = {
@@ -116,6 +154,28 @@ let check_range t off len =
 let commit_seg t (off, s) =
   Medium.write t.medium ~off (Slice.buf s) ~pos:(Slice.pos s)
     ~len:(Slice.length s)
+
+(* Commit coalescing: maximal sector-adjacent runs of a command's
+   segments go to the medium as one fused walk. Segments within a run
+   cannot overlap (they are exactly adjacent) and runs are processed in
+   list order, so the final bytes equal committing every segment in
+   order. Host-only: the command's simulated duration was charged for
+   its total size up front, fused or not. *)
+let commit_segs t segs =
+  let rec split_run acc endo = function
+    | (o, s) :: tl when o = endo -> split_run ((o, s) :: acc) (o + Slice.length s) tl
+    | rest -> (List.rev acc, rest)
+  in
+  let rec go = function
+    | [] -> ()
+    | (off, s) :: rest ->
+      let run, rest = split_run [ (off, s) ] (off + Slice.length s) rest in
+      (match run with
+      | [ seg ] -> commit_seg t seg
+      | run -> Medium.write_segs t.medium run);
+      go rest
+  in
+  go segs
 
 let verify_checksums t fl =
   if fl.checksums <> [] then
@@ -179,7 +239,7 @@ let writev t segs =
       t.inflight <- List.filter (fun f -> f != fl) t.inflight;
       if fl.torn then raise Powered_off;
       verify_checksums t fl;
-      List.iter (commit_seg t) segs;
+      commit_segs t segs;
       List.iter (fun (_, s) -> Slice.release s) segs;
       t.s_writes <- t.s_writes + 1;
       t.s_bytes_written <- t.s_bytes_written + total)
@@ -188,8 +248,16 @@ let write_slice t ~off s = writev t [ (off, s) ]
 
 (* Legacy byte API: snapshots the buffer at issue (one copy) so callers
    may reuse it immediately — the convenience contract the unit tests
-   pin. Hot paths use the slice API and the ownership rule instead. *)
-let write t ~off data = writev t [ (off, Slice.of_bytes (Bytes.copy data)) ]
+   pin. Hot paths use the slice API and the ownership rule instead. The
+   snapshot is pooled: by completion (or tear, which also commits its
+   prefix before the writer resumes) the device is done with it. *)
+let write t ~off data =
+  let len = Bytes.length data in
+  let snap = Pool.alloc len in
+  Bytes.blit data 0 snap 0 len;
+  Fun.protect
+    ~finally:(fun () -> Pool.recycle snap)
+    (fun () -> writev t [ (off, Slice.of_bytes snap) ])
 
 let read_into t ~off dst =
   let len = Slice.length dst in
@@ -280,3 +348,8 @@ let reset_stats t =
   t.s_bytes_read <- 0;
   t.s_bytes_written <- 0;
   t.s_busy <- 0
+
+(* End-of-run teardown: the medium's chunks go back to the buffer pool
+   so the next simulated machine reuses them. Only valid once the device
+   is idle and nothing will read it again. *)
+let dispose t = Medium.dispose t.medium

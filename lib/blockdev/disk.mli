@@ -87,3 +87,8 @@ type stats = {
 
 val stats : t -> stats
 val reset_stats : t -> unit
+
+val dispose : t -> unit
+(** Return the medium's materialized chunks to [Msnap_util.Pool]. Only
+    valid once the device is idle and will never be read again — i.e. at
+    the end of a simulation run. *)

@@ -64,6 +64,31 @@ let fanout t per_dev jobs =
   let results = List.map Sync.Ivar.read ivs in
   List.iter (function Error e -> raise e | Ok () -> ()) results
 
+(* Write coalescing: collapse consecutive per-member segments that are
+   both device-offset-adjacent and contiguous in the same backing buffer
+   into one wider sub-slice. Purely host-side — the member command's
+   simulated latency is charged from its total byte count either way,
+   and a coalesced run commits (or tears) the exact bytes the unmerged
+   sequence would: the merged slice is the same contiguous view, and
+   torn prefixes advance sector-by-sector in the same order. *)
+let coalesce segs =
+  let rec go acc = function
+    | [] -> List.rev acc
+    | (o, s) :: rest -> (
+      match acc with
+      | (po, ps) :: tl
+        when po + Slice.length ps = o
+             && Slice.buf ps == Slice.buf s
+             && Slice.pos ps + Slice.length ps = Slice.pos s ->
+        let merged =
+          Slice.make (Slice.buf ps) ~pos:(Slice.pos ps)
+            ~len:(Slice.length ps + Slice.length s)
+        in
+        go ((po, merged) :: tl) rest
+      | _ -> go ((o, s) :: acc) rest)
+  in
+  go [] segs
+
 let writev t segs =
   List.iter (fun (off, s) -> check_range t off (Slice.length s)) segs;
   (* Group all chunks by device, preserving order. Each per-device
@@ -78,7 +103,7 @@ let writev t segs =
         (chunks t off (Slice.length s)))
     segs;
   let jobs =
-    List.init (ndisks t) (fun dev -> (dev, List.rev per_dev.(dev)))
+    List.init (ndisks t) (fun dev -> (dev, coalesce (List.rev per_dev.(dev))))
   in
   fanout t (fun disk segs -> Disk.writev disk segs) jobs
 
@@ -129,3 +154,4 @@ let stats t =
     t.disks
 
 let reset_stats t = Array.iter Disk.reset_stats t.disks
+let dispose t = Array.iter Disk.dispose t.disks

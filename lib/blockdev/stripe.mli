@@ -38,16 +38,22 @@ val read : t -> off:int -> len:int -> Bytes.t
 val read_into : t -> off:int -> Slice.t -> unit
 (** Fill the caller's buffer directly from the member devices. *)
 
-val writev : t -> (int * Slice.t) list -> unit
-(** One vectored command per member device; completes when all devices do.
-    Segments obey the ownership rule. *)
-
 val flush : t -> unit
 
 val fail_power : t -> torn_seed:int -> unit
 val restore_power : t -> unit
 
+val writev : t -> (int * Slice.t) list -> unit
+(** One vectored command per member device; completes when all devices do.
+    Segments obey the ownership rule. Sector-adjacent segments that are
+    contiguous in the same backing buffer are coalesced into single wider
+    sub-slices per member — host-only; simulated latency and committed
+    (or torn) bytes are identical to the unmerged sequence. *)
+
 val stats : t -> Disk.stats
 (** Aggregated across members. *)
 
 val reset_stats : t -> unit
+
+val dispose : t -> unit
+(** {!Disk.dispose} every member. *)

@@ -1,4 +1,5 @@
 module Fs = Msnap_fs.Fs
+module Pool = Msnap_util.Pool
 
 let index_stride = 64
 
@@ -110,18 +111,28 @@ let get t key =
     match segment_for t key with
     | None -> None
     | Some (_, off, len) ->
-      let seg = Fs.read t.fs t.file ~off ~len in
-      let rec find = function
-        | [] -> None
-        | (k, v) :: rest -> if k = key then Some v else if k > key then None else find rest
-      in
-      find (decode_segment seg)
+      (* Pooled staging: the segment bytes only live until decoded. *)
+      let seg = Pool.alloc len in
+      Fun.protect
+        ~finally:(fun () -> Pool.recycle seg)
+        (fun () ->
+          Fs.read_into t.fs t.file ~off seg ~pos:0 ~len;
+          let rec find = function
+            | [] -> None
+            | (k, v) :: rest ->
+              if k = key then Some v else if k > key then None else find rest
+          in
+          find (decode_segment seg))
 
 let iter t f =
   Array.iter
     (fun (_, off, len) ->
-      let seg = Fs.read t.fs t.file ~off ~len in
-      List.iter (fun (k, v) -> f k v) (decode_segment seg))
+      let seg = Pool.alloc len in
+      Fun.protect
+        ~finally:(fun () -> Pool.recycle seg)
+        (fun () ->
+          Fs.read_into t.fs t.file ~off seg ~pos:0 ~len;
+          List.iter (fun (k, v) -> f k v) (decode_segment seg)))
     t.index
 
 let remove t = Fs.remove t.fs t.sst_name

@@ -13,7 +13,14 @@ let create k ~db_name ~max_pages =
 
 let read_page t pgno =
   if pgno * Page.size > Msnap.length t.md then None
-  else Some (Msnap.read t.k t.md ~off:((pgno - 1) * Page.size) ~len:Page.size)
+  else begin
+    (* Pooled output buffer (the pager cache takes ownership);
+       [read_into] carries the same charges as [read]. *)
+    let b = Msnap_util.Pool.alloc Page.size in
+    Msnap.read_into t.k t.md ~off:((pgno - 1) * Page.size) b ~pos:0
+      ~len:Page.size;
+    Some b
+  end
 
 let commit t pages =
   Metrics.timed Probe.db_memsnap (fun () ->

@@ -2,6 +2,7 @@ module Fs = Msnap_fs.Fs
 module Metrics = Msnap_sim.Metrics
 module Probe = Msnap_sim.Probe
 module Size = Msnap_util.Size
+module Pool = Msnap_util.Pool
 
 let frame_header = 24 (* SQLite WAL frame header bytes *)
 
@@ -37,9 +38,15 @@ let create fs ~db_name ?(checkpoint_threshold = Size.mib 4) () =
 
 module Sched = Msnap_sim.Sched
 
+(* Pooled page copy (the caller — the pager cache — takes ownership). *)
+let copy_page b =
+  let c = Pool.alloc Page.size in
+  Bytes.blit b 0 c 0 Page.size;
+  c
+
 let read_page t pgno =
   match Hashtbl.find_opt t.wal_frames pgno with
-  | Some b -> Some (Bytes.copy b)
+  | Some b -> Some (copy_page b)
   | None ->
     let off = (pgno - 1) * Page.size in
     if off + Page.size > Fs.size t.fs t.db_file then None
@@ -47,7 +54,9 @@ let read_page t pgno =
       Some
         (Sched.with_bucket Probe.Bucket.read (fun () ->
              Metrics.timed Probe.db_read (fun () ->
-                 Fs.read t.fs t.db_file ~off ~len:Page.size)))
+                 let b = Pool.alloc Page.size in
+                 Fs.read_into t.fs t.db_file ~off b ~pos:0 ~len:Page.size;
+                 b)))
 
 let checkpoint t =
   t.ckpts <- t.ckpts + 1;
@@ -67,6 +76,7 @@ let checkpoint t =
       Metrics.timed Probe.db_fsync (fun () -> Fs.fsync t.fs t.db_file);
       Metrics.timed Probe.db_fsync (fun () -> Fs.fsync t.fs t.wal_file));
   Fs.truncate t.fs t.wal_file 0;
+  Hashtbl.iter (fun _ b -> Pool.recycle b) t.wal_frames;
   Hashtbl.reset t.wal_frames;
   t.wal_size <- 0
 
@@ -80,7 +90,12 @@ let commit t pages =
               Fs.writev t.fs t.wal_file ~off:t.wal_size
                 [ zero_header; Slice.of_bytes b ]));
       t.wal_size <- t.wal_size + frame_header + Page.size;
-      Hashtbl.replace t.wal_frames pgno (Bytes.copy b))
+      (* A newer image supersedes the logged frame; its buffer has no
+         other holders ([read_page] hands out copies). *)
+      (match Hashtbl.find_opt t.wal_frames pgno with
+      | Some old -> Pool.recycle old
+      | None -> ());
+      Hashtbl.replace t.wal_frames pgno (copy_page b))
     pages;
   Sched.with_bucket Probe.Bucket.fsync (fun () ->
       Metrics.timed Probe.db_fsync (fun () -> Fs.fsync t.fs t.wal_file));

@@ -1,5 +1,6 @@
 module Sched = Msnap_sim.Sched
 module Sync = Msnap_sim.Sync
+module Pool = Msnap_util.Pool
 
 type backend = {
   b_label : string;
@@ -33,7 +34,7 @@ let create backend =
   (* Page 1 always exists (database header / catalog). *)
   (match backend.b_read_page 1 with
   | Some b -> Hashtbl.replace t.cache 1 b
-  | None -> Hashtbl.replace t.cache 1 (Bytes.make Page.size '\000'));
+  | None -> Hashtbl.replace t.cache 1 (Pool.alloc_zeroed Page.size));
   t
 
 let backend_label t = t.backend.b_label
@@ -59,7 +60,7 @@ let get_page t pgno =
     let b =
       match t.backend.b_read_page pgno with
       | Some b -> b
-      | None -> Bytes.make Page.size '\000'
+      | None -> Pool.alloc_zeroed Page.size
     in
     Hashtbl.replace t.cache pgno b;
     if pgno > t.hwm then t.hwm <- pgno;
@@ -70,7 +71,12 @@ let page_for_write t pgno =
   let b = get_page t pgno in
   if not (Hashtbl.mem txn.dirty pgno) then begin
     Hashtbl.replace txn.dirty pgno ();
-    Hashtbl.replace txn.undo pgno (Bytes.copy b)
+    (* Pooled pre-image: private to the transaction, recycled when commit
+       discards the undo log (rollback promotes it into the cache
+       instead). *)
+    let pre = Pool.alloc Page.size in
+    Bytes.blit b 0 pre 0 Page.size;
+    Hashtbl.replace txn.undo pgno pre
   end;
   b
 
@@ -78,7 +84,7 @@ let alloc_page t =
   let txn = the_txn t in
   t.hwm <- t.hwm + 1;
   let pgno = t.hwm in
-  Hashtbl.replace t.cache pgno (Bytes.make Page.size '\000');
+  Hashtbl.replace t.cache pgno (Pool.alloc_zeroed Page.size);
   Hashtbl.replace txn.dirty pgno ();
   txn.new_pages <- pgno :: txn.new_pages;
   pgno
@@ -91,6 +97,7 @@ let commit t =
     |> List.sort (fun (a, _) (b, _) -> compare a b)
   in
   if pages <> [] then t.backend.b_commit pages;
+  Hashtbl.iter (fun _ pre -> Pool.recycle pre) txn.undo;
   t.txn <- None;
   Sync.Mutex.unlock t.write_lock
 

@@ -1,6 +1,7 @@
 module Device = Msnap_blockdev.Device
 module Balloc = Msnap_blockdev.Balloc
 module Slice = Msnap_util.Slice
+module Pool = Msnap_util.Pool
 module Sched = Msnap_sim.Sched
 module Sync = Msnap_sim.Sync
 module Trace = Msnap_sim.Trace
@@ -21,10 +22,28 @@ let reserved_blocks = meta_blocks + journal_blocks
 let dev_bs = 4096
 
 type cached_block = {
-  cb_data : Bytes.t;
+  cb_data : Bytes.t; (* pooled: recycled when the block leaves the cache *)
   mutable cb_dirty : bool;
   mutable cb_lru : int;
+  mutable cb_pin : int;
+      (* holders of [cb_data] across a scheduling point: in-flight
+         writeback commands and writers inside a charge+blit window *)
+  mutable cb_gone : bool; (* evicted while pinned; last unpin recycles *)
 }
+
+let pin cb = cb.cb_pin <- cb.cb_pin + 1
+
+let unpin cb =
+  cb.cb_pin <- cb.cb_pin - 1;
+  if cb.cb_gone && cb.cb_pin = 0 then Pool.recycle cb.cb_data
+
+(* A block leaving the cache returns its buffer to the pool — unless a
+   writer or writeback command still holds it across a scheduling point,
+   in which case the last {!unpin} recycles. Pins never influence which
+   block gets evicted (the victim choice feeds later RMW reads, a
+   simulated value); they only defer the host-side recycle. *)
+let discard_block cb =
+  if cb.cb_pin = 0 then Pool.recycle cb.cb_data else cb.cb_gone <- true
 
 type mm = {
   mm_aspace : Aspace.t;
@@ -107,6 +126,7 @@ let remove t name =
       f.f_blocks;
     Balloc.free_now t.alloc f.f_ind_blocks;
     t.cached_count <- t.cached_count - Hashtbl.length f.f_cache;
+    Hashtbl.iter (fun _ cb -> discard_block cb) f.f_cache;
     Hashtbl.remove t.files name
 
 let size _t f = f.f_size
@@ -130,7 +150,13 @@ let dev_writev t segs =
 let dev_read_into t ~off dst = Device.read_into t.dev ~off dst
 
 let zero_slice t n =
-  if Bytes.length t.scratch_zeros < n then t.scratch_zeros <- Bytes.make n '\000';
+  if Bytes.length t.scratch_zeros < n then begin
+    (* Growth is rare and happens only between commands (every user of
+       the scratch writes synchronously under [fsync_lock]), so the old
+       backing can be recycled immediately. *)
+    Pool.recycle t.scratch_zeros;
+    t.scratch_zeros <- Pool.alloc_zeroed n
+  end;
   Slice.make t.scratch_zeros ~pos:0 ~len:n
 
 let journal_write t nbytes =
@@ -173,6 +199,7 @@ let evict_if_needed ?keep t =
         let best_lru = ref max_int in
         let best_f = ref None in
         let best_idx = ref 0 in
+        let best_cb = ref None in
         Hashtbl.iter
           (fun _ f ->
             Hashtbl.iter
@@ -194,7 +221,8 @@ let evict_if_needed ?keep t =
                   if better then begin
                     best_lru := cb.cb_lru;
                     best_f := Some f;
-                    best_idx := idx
+                    best_idx := idx;
+                    best_cb := Some cb
                   end)
               f.f_cache)
           t.files;
@@ -202,7 +230,8 @@ let evict_if_needed ?keep t =
         | None -> continue := false
         | Some f ->
           Hashtbl.remove f.f_cache !best_idx;
-          t.cached_count <- t.cached_count - 1
+          t.cached_count <- t.cached_count - 1;
+          Option.iter discard_block !best_cb
       end
     done
   end
@@ -225,12 +254,17 @@ let get_block t f idx ~need_old =
       match Hashtbl.find_opt f.f_blocks idx with
       | Some first when need_old ->
         t.s_rmw_reads <- t.s_rmw_reads + 1;
-        let data = Bytes.create t.bs in
+        (* The device read fills the whole block, so an uninitialized
+           pooled buffer is as good as the fresh [Bytes.create] was. *)
+        let data = Pool.alloc t.bs in
         dev_read_into t ~off:(first * dev_bs) (Slice.of_bytes data);
         data
-      | Some _ | None -> Bytes.make t.bs '\000'
+      | Some _ | None -> Pool.alloc_zeroed t.bs
     in
-    let cb = { cb_data = data; cb_dirty = false; cb_lru = 0 } in
+    let cb =
+      { cb_data = data; cb_dirty = false; cb_lru = 0; cb_pin = 0;
+        cb_gone = false }
+    in
     touch t cb;
     Hashtbl.replace f.f_cache idx cb;
     t.cached_count <- t.cached_count + 1;
@@ -276,9 +310,14 @@ let writev t f ~off slices =
       (* Sub-block writes to on-disk blocks must read the old contents. *)
       let covers_whole = within = 0 && n = t.bs in
       let cb = get_block t f idx ~need_old:(not covers_whole) in
+      (* The memcpy charge can yield; pin so that an eviction during the
+         yield defers the buffer's recycle past our blit. (The write into
+         an evicted block is lost either way, as before pooling.) *)
+      pin cb;
       Sched.cpu (Costs.memcpy n);
       copy_into cb.cb_data within n;
       cb.cb_dirty <- true;
+      unpin cb;
       go (off + n) (remaining - n)
     end
   in
@@ -305,9 +344,11 @@ let write_sub t f ~off data ~pos ~len =
       let n = min remaining (t.bs - within) in
       let covers_whole = within = 0 && n = t.bs in
       let cb = get_block t f idx ~need_old:(not covers_whole) in
+      pin cb;
       Sched.cpu (Costs.memcpy n);
       Bytes.blit data pos cb.cb_data within n;
       cb.cb_dirty <- true;
+      unpin cb;
       go (off + n) (pos + n) (remaining - n)
     end
   in
@@ -317,9 +358,14 @@ let write_sub t f ~off data ~pos ~len =
     Trace.complete Probe.fs_write ~dur:(Sched.now () - trace_t0)
       ~argi:("bytes", len)
 
-let read t f ~off ~len =
+(* Read into a caller-owned buffer — the exact charges of [read], which
+   is this plus the output allocation. Every chunk is either blitted from
+   the cache or zero-filled (holes), so the buffer need not be zeroed on
+   entry. *)
+let read_into t f ~off buf ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > Bytes.length buf then
+    invalid_arg "Fs.read_into: bad slice";
   Sched.cpu (Costs.syscall + Costs.vfs_call);
-  let out = Bytes.make len '\000' in
   let rec go off pos remaining =
     if remaining > 0 then begin
       let idx = off / t.bs in
@@ -329,14 +375,20 @@ let read t f ~off ~len =
       let on_disk = Hashtbl.mem f.f_blocks idx in
       if cached || on_disk then begin
         let cb = get_block t f idx ~need_old:true in
+        pin cb;
         Sched.cpu (Costs.memcpy n);
-        Bytes.blit cb.cb_data within out pos n
-      end;
-      (* else: hole, stays zero *)
+        Bytes.blit cb.cb_data within buf pos n;
+        unpin cb
+      end
+      else Bytes.fill buf pos n '\000' (* hole, like read(2) past sparse regions *);
       go (off + n) (pos + n) (remaining - n)
     end
   in
-  go off 0 len;
+  go off pos len
+
+let read t f ~off ~len =
+  let out = Bytes.create len in
+  read_into t f ~off out ~pos:0 ~len;
   out
 
 let truncate t f newsize =
@@ -354,12 +406,13 @@ let truncate t f newsize =
       !dropped;
     let drop_cache = ref [] in
     Hashtbl.iter
-      (fun idx _ -> if idx >= keep_blocks then drop_cache := idx :: !drop_cache)
+      (fun idx cb -> if idx >= keep_blocks then drop_cache := (idx, cb) :: !drop_cache)
       f.f_cache;
     List.iter
-      (fun idx ->
+      (fun (idx, cb) ->
         Hashtbl.remove f.f_cache idx;
-        t.cached_count <- t.cached_count - 1)
+        t.cached_count <- t.cached_count - 1;
+        discard_block cb)
       !drop_cache
   end;
   f.f_size <- newsize
@@ -412,14 +465,18 @@ let fsync_ffs t f dirty =
       let len = used_len t f idx in
       if len > 0 then begin
         let iv = Sync.Ivar.create () in
-        (* Slice over the cache block itself: dirty blocks are pinned in
-           the cache, and writeback completes before fsync returns, so
-           the ownership rule holds without a staging copy. *)
+        (* Slice over the cache block itself: dirty blocks stay in the
+           cache, and writeback completes before fsync returns, so the
+           ownership rule holds without a staging copy. Marking the block
+           clean below makes it evictable mid-writeback, so the command
+           pins the buffer until the device is done with it. *)
         let data = Slice.make cb.cb_data ~pos:0 ~len in
+        pin cb;
         ignore
           (Sched.spawn ~name:"ffs-write" (fun () ->
                dev_write t ~off:(first * dev_bs) data;
-               Sync.Ivar.fill iv ()));
+               Sync.Ivar.fill iv ();
+               unpin cb));
         pending := iv :: !pending;
         if List.length !pending >= qd then flush_pending ()
       end;
@@ -448,12 +505,16 @@ let fsync_zfs t f dirty =
         (match old with
         | Some o -> Balloc.free_now t.alloc (List.init (t.bs / dev_bs) (fun i -> o + i))
         | None -> ());
+        (* Clean (hence evictable) as soon as dirty is cleared; pin the
+           buffer until the vectored command below has committed it. *)
         cb.cb_dirty <- false;
+        pin cb;
         let len = used_len t f idx in
         (first * dev_bs, Slice.make cb.cb_data ~pos:0 ~len:(max dev_bs len)))
       dirty
   in
   dev_writev t segs;
+  List.iter (fun (_, cb) -> unpin cb) dirty;
   (* Indirect blocks: one per record (they are scattered for random
      updates), written COW as well, then the uberblock. *)
   let n = List.length dirty in
@@ -508,7 +569,19 @@ let mmap t f aspace ~va ~len =
           else begin
             let cb = get_block t f (off / t.bs) ~need_old:true in
             let within = off mod t.bs in
-            `Slice (Slice.make cb.cb_data ~pos:within ~len:Addr.page_size)
+            (* Fill the frame here instead of handing Aspace a slice over
+               the cache block: the charge sequence (frame alloc, then a
+               page-sized memcpy) is exactly what Aspace performs for a
+               [`Slice], and doing the blit under a pin keeps the buffer
+               alive if the alloc/memcpy charges yield into an eviction. *)
+            pin cb;
+            Fun.protect
+              ~finally:(fun () -> unpin cb)
+              (fun () ->
+                let p = Phys.alloc (Aspace.phys aspace) in
+                Sched.cpu (Costs.memcpy Addr.page_size);
+                Bytes.blit cb.cb_data within p.Phys.data 0 Addr.page_size;
+                `Page p)
           end)
     }
   in
@@ -537,9 +610,11 @@ let msync t f =
           let page = Aspace.page_for_read mm.mm_aspace ~va in
           let off = rel * Addr.page_size in
           let cb = get_block t f (off / t.bs) ~need_old:true in
+          pin cb;
           Sched.cpu (Costs.memcpy Addr.page_size);
           Bytes.blit page.Phys.data 0 cb.cb_data (off mod t.bs) Addr.page_size;
           cb.cb_dirty <- true;
+          unpin cb;
           if off + Addr.page_size > f.f_size then f.f_size <- off + Addr.page_size;
           Aspace.protect_page mm.mm_aspace ~vpn:(Addr.vpn_of_va va);
           Sched.cpu Costs.pte_update)
@@ -566,9 +641,25 @@ let sync_meta t =
       Hashtbl.iter (fun idx first -> Buffer.add_string buf (Printf.sprintf "%d:%d" idx first)) f.f_blocks)
     t.files;
   let len = min (Buffer.length buf) ((meta_blocks - 1) * dev_bs) in
-  let data = Bytes.make (Msnap_util.Bits.round_up (max len dev_bs) dev_bs) '\000' in
-  Bytes.blit_string (Buffer.contents buf) 0 data 0 len;
-  dev_write t ~off:dev_bs (Slice.of_bytes data)
+  let data = Pool.alloc_zeroed (Msnap_util.Bits.round_up (max len dev_bs) dev_bs) in
+  Fun.protect
+    ~finally:(fun () -> Pool.recycle data)
+    (fun () ->
+      Bytes.blit_string (Buffer.contents buf) 0 data 0 len;
+      (* [dev_write] commits before returning, so the staging buffer can
+         go straight back to the pool. *)
+      dev_write t ~off:dev_bs (Slice.of_bytes data))
+
+(* End-of-run teardown: every cache block and the zero scratch go back to
+   the buffer pool. The filesystem must never be used again. *)
+let dispose t =
+  Hashtbl.iter
+    (fun _ f -> Hashtbl.iter (fun _ cb -> discard_block cb) f.f_cache)
+    t.files;
+  Hashtbl.reset t.files;
+  t.cached_count <- 0;
+  Pool.recycle t.scratch_zeros;
+  t.scratch_zeros <- Bytes.empty
 
 let debug_resident _t f =
   Hashtbl.fold (fun idx cb acc -> Printf.sprintf "%d(lru%d,%b) %s" idx cb.cb_lru cb.cb_dirty acc) f.f_cache ""

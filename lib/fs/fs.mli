@@ -60,6 +60,11 @@ val writev : t -> file -> off:int -> Msnap_util.Slice.t list -> unit
 val read : t -> file -> off:int -> len:int -> Bytes.t
 (** Zero-fills holes, like read(2) past sparse regions. *)
 
+val read_into : t -> file -> off:int -> Bytes.t -> pos:int -> len:int -> unit
+(** [read] into [buf[pos..pos+len)] — identical charges, no output
+    allocation. Holes are zero-filled; other bytes of [buf] are
+    untouched. *)
+
 val fsync : t -> file -> unit
 val fdatasync : t -> file -> unit
 (** Like [fsync] minus the metadata update IO. *)
@@ -85,6 +90,10 @@ val msync : t -> file -> unit
 
 val sync_meta : t -> unit
 (** Persist the inode table (unmount-time metadata flush). *)
+
+val dispose : t -> unit
+(** End-of-run teardown: return every cache block's buffer to
+    [Msnap_util.Pool]. The file system must never be used again. *)
 
 (** {2 Statistics} *)
 

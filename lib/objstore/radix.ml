@@ -2,9 +2,13 @@ type node = int array
 
 let fanout = Layout.radix_fanout
 
+let node_to_bytes_into n b =
+  Bytes.fill b 0 Layout.block_size '\000';
+  Array.iteri (fun i v -> Bytes.set_int64_le b (i * 8) (Int64.of_int v)) n
+
 let node_to_bytes n =
-  let b = Bytes.make Layout.block_size '\000' in
-  Array.iteri (fun i v -> Bytes.set_int64_le b (i * 8) (Int64.of_int v)) n;
+  let b = Bytes.create Layout.block_size in
+  node_to_bytes_into n b;
   b
 
 let node_of_bytes b =

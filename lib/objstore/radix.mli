@@ -15,6 +15,10 @@ type node = int array
 (** 512 block pointers; 0 = hole. *)
 
 val node_to_bytes : node -> Bytes.t
+
+val node_to_bytes_into : node -> Bytes.t -> unit
+(** Serialize into a caller-provided (e.g. pooled) block-sized buffer. *)
+
 val node_of_bytes : Bytes.t -> node
 
 val capacity : height:int -> int

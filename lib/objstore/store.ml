@@ -1,5 +1,6 @@
 module Device = Msnap_blockdev.Device
 module Slice = Msnap_util.Slice
+module Pool = Msnap_util.Pool
 module Sync = Msnap_sim.Sync
 module Sched = Msnap_sim.Sched
 module Costs = Msnap_sim.Costs
@@ -67,7 +68,16 @@ let read_node t b =
   match Hashtbl.find_opt t.cache b with
   | Some n -> n
   | None ->
-    let n = Radix.node_of_bytes (read_block_raw t.dev b) in
+    (* Pooled staging: the raw block bytes only live until they are
+       parsed into the cached int-array node. *)
+    let staging = Pool.alloc bsz in
+    let n =
+      Fun.protect
+        ~finally:(fun () -> Pool.recycle staging)
+        (fun () ->
+          read_block_raw_into t.dev b staging;
+          Radix.node_of_bytes staging)
+    in
     Hashtbl.replace t.cache b n;
     n
 
@@ -278,17 +288,38 @@ and drain_batch t o batch =
     List.iter
       (fun (b, n) -> Hashtbl.replace t.cache b n)
       result.Radix.node_writes;
+    (* Node payloads are pooled: they only need to outlive the vectored
+       write below (the cache holds the parsed int-array nodes). *)
     let node_segs =
       List.map
-        (fun (b, n) -> (block_off b, Slice.of_bytes (Radix.node_to_bytes n)))
+        (fun (b, n) ->
+          let buf = Pool.alloc bsz in
+          Radix.node_to_bytes_into n buf;
+          (block_off b, Slice.of_bytes buf))
         result.Radix.node_writes
     in
     (* One vectored command carries every data page and COW node of the
        batch; the header flip is a second, dependent command. Built as
        data segments in batch order with the node segments as the tail,
-       directly — no intermediate concat + append copy. *)
-    Device.writev t.dev
-      (List.fold_right (fun p acc -> p.p_segs @ acc) batch node_segs);
+       directly — no intermediate concat + append copy.
+
+       Write coalescing: sort the batch by device offset once. Every
+       segment targets a freshly COW-allocated block, so offsets are
+       distinct and the sort is a pure reordering within one command —
+       same total bytes, same single latency charge — but it turns
+       [Alloc.alloc_run]'s contiguous runs into sector-adjacent runs the
+       device and stripe layers merge into fused commits. A torn command
+       leaves the previous epoch intact either way: nothing in this
+       command is reachable until the header flip after it. *)
+    let segs =
+      List.sort
+        (fun (a, _) (b, _) -> compare (a : int) b)
+        (List.fold_right (fun p acc -> p.p_segs @ acc) batch node_segs)
+    in
+    Fun.protect
+      ~finally:(fun () ->
+        List.iter (fun (_, s) -> Pool.recycle (Slice.buf s)) node_segs)
+      (fun () -> Device.writev t.dev segs);
     write_header t o
       { o.hdr with
         Layout.epoch;

@@ -1,0 +1,99 @@
+(** Size-classed, per-domain free lists of large [Bytes.t] buffers.
+
+    The data plane's big allocations — 4 KiB page frames, FS cache
+    blocks, WAL/journal staging, object-store payload copies, disk
+    medium chunks — are all long-lived enough to land on the major heap,
+    and PRs 2/4 left them as the dominant host cost. The pool recycles
+    them explicitly: [alloc] pops a parked buffer of the exact size when
+    one is available (a {e hit}), otherwise falls back to [Bytes.create]
+    (a {e miss}); [recycle] parks a buffer for reuse once its owner is
+    done with it.
+
+    {2 Rules}
+
+    - Pooling is host-only. A pooled buffer carries no simulated cost of
+      its own; every [Sched.cpu] charge made around an allocation must
+      be identical whether the buffer came from the free list or from
+      [Bytes.create].
+    - [alloc] has [Bytes.create] semantics: the contents are
+      unspecified. Callers that relied on [Bytes.make n '\000'] must
+      use [alloc_zeroed] (or fill explicitly).
+    - A buffer may be recycled only by its unique owner, only once, and
+      never while any live reference can still read or write it. For
+      device-visible buffers the Slice ownership rule marks the safe
+      point: recycle at (or after) command completion, never while a
+      slice over the buffer is lent to an in-flight command.
+    - Buffers smaller than [min_pooled] are not pooled: [alloc] is a
+      plain [Bytes.create] and [recycle] a no-op. Small buffers are
+      minor-heap business the GC already handles well.
+
+    Free lists are per-domain ([Domain.DLS]), like [Metrics]: bench
+    experiments running on a `-j` pool never contend or share buffers
+    across domains.
+
+    {2 Debug checks}
+
+    Under {!debug_checks} (the same switch as [Slice.debug_checks]) the
+    pool poisons every recycled buffer and re-verifies the poison when
+    the buffer is next handed out, so a stale writer that mutates a
+    buffer after recycling it is caught at the next [alloc]; recycling
+    the same buffer twice raises immediately. Both raise {!Violation}. *)
+
+type class_stats = {
+  cs_size : int;  (** class buffer size in bytes (classes are exact-size) *)
+  cs_hits : int;  (** allocs served from the free list *)
+  cs_misses : int;  (** allocs that fell back to [Bytes.create] *)
+  cs_recycles : int;  (** buffers returned *)
+  cs_outstanding : int;  (** allocs minus recycles (still with callers) *)
+  cs_retained : int;  (** buffers currently parked on the free list *)
+  cs_dropped : int;  (** recycles dropped because the class was at cap *)
+}
+
+type totals = {
+  t_hits : int;
+  t_misses : int;
+  t_recycles : int;
+  t_outstanding : int;
+  t_retained_bytes : int;
+}
+
+exception Violation of string
+(** Raised under {!debug_checks} on a double recycle or on a mutation of
+    a buffer after it was recycled (use-after-recycle). *)
+
+val min_pooled : int
+(** Smallest buffer size the pool manages (4096 bytes). *)
+
+val debug_checks : bool ref
+(** The same ref as [Slice.debug_checks] — one switch arms every
+    data-plane integrity check. *)
+
+val alloc : int -> Bytes.t
+(** [alloc n] returns a buffer of exactly [n] bytes with {e unspecified}
+    contents ([Bytes.create] semantics; poisoned under debug). *)
+
+val alloc_zeroed : int -> Bytes.t
+(** [alloc n] followed by a zero fill — drop-in for [Bytes.make n '\000']. *)
+
+val recycle : Bytes.t -> unit
+(** Park a buffer for reuse by a later [alloc] of the same size. The
+    caller must own the buffer exclusively and must not touch it again.
+    No-op for buffers smaller than [min_pooled]. *)
+
+val stats : unit -> class_stats list
+(** Per-class counters for this domain, sorted by class size. *)
+
+val totals : unit -> totals
+(** Aggregate counters for this domain. *)
+
+val clear : unit -> unit
+(** Drop every parked buffer (they fall back to the GC) and reset the
+    counters. Test isolation helper. *)
+
+type event = Hit | Miss | Recycle
+
+val set_observer : (event -> int -> unit) -> unit
+(** [set_observer f] installs a process-wide hook called as [f ev size]
+    on every pooled alloc/recycle. The sim layer uses it to mirror pool
+    activity into [Probe]/[Metrics] counters; host-only. Install before
+    spawning domains. *)

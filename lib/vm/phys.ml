@@ -1,6 +1,7 @@
 module Costs = Msnap_sim.Costs
 module Sched = Msnap_sim.Sched
 module Fvec = Msnap_util.Fvec
+module Pool = Msnap_util.Pool
 
 type page = {
   frame : int;
@@ -55,7 +56,10 @@ let alloc t =
     let p =
       {
         frame;
-        data = Bytes.make Addr.page_size '\000';
+        (* Pooled: a fresh frame reuses a buffer recycled by an earlier
+           run's [dispose] when one is parked. Host-only — the
+           [page_alloc] charge above is identical either way. *)
+        data = Pool.alloc_zeroed Addr.page_size;
         ckpt_in_progress = false;
         rmap = Fvec.create ();
         owner = -1;
@@ -86,6 +90,20 @@ let copy_page t src =
 
 let live_frames t = t.live
 let peak_frames t = t.peak
+
+(* End-of-run teardown: every frame's backing buffer goes back to the
+   buffer pool. The physical map must never be touched again. *)
+let dispose t =
+  for i = 0 to t.next - 1 do
+    let p = t.pages.(i) in
+    if not (is_null p) then begin
+      t.pages.(i) <- null_page;
+      Pool.recycle p.data
+    end
+  done;
+  t.next <- 0;
+  Fvec.clear t.free_frames;
+  t.live <- 0
 
 let rmap_add page loc = Fvec.push page.rmap loc
 

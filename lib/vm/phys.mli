@@ -48,6 +48,10 @@ val copy_page : t -> page -> page
 val live_frames : t -> int
 val peak_frames : t -> int
 
+val dispose : t -> unit
+(** End-of-run teardown: return every frame's backing buffer to
+    [Msnap_util.Pool]. The physical map must never be used again. *)
+
 val rmap_add : page -> Ptloc.t -> unit
 
 val rmap_remove : page -> Ptloc.t -> unit

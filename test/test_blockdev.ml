@@ -344,6 +344,50 @@ let prop_zero_copy_crash_equivalence =
       in
       Bytes.equal zc ref_)
 
+(* Property: splitting one contiguous write into adjacent segments (the
+   shape the object store's sorted batches produce) must be equivalent to
+   the single merged write — same recovered image AND same virtual-time
+   cost — no matter where the cuts fall or where the run lands relative
+   to stripe-unit and device boundaries. This pins down the write
+   coalescing in Stripe/Disk: merging is a host-side optimization. *)
+let prop_coalesce_equivalence =
+  let open QCheck in
+  let gen =
+    Gen.(
+      let* total_sec = int_range 1 64 in
+      let* ncuts = int_range 0 6 in
+      let* cuts = list_repeat ncuts (int_range 1 (max 1 ((total_sec * Costs.sector) - 1))) in
+      let* off_sec = int_range 0 192 in
+      let* seed = int_range 0 1_000_000 in
+      return (total_sec, cuts, off_sec, seed))
+  in
+  QCheck.Test.make ~count:100
+    ~name:"adjacent split writev = merged write (image and cost)"
+    (make gen)
+    (fun (total_sec, cuts, off_sec, seed) ->
+      let len = total_sec * Costs.sector in
+      let off = off_sec * Costs.sector in
+      let backing = Msnap_util.Rng.bytes (Msnap_util.Rng.create seed) len in
+      let bounds =
+        List.sort_uniq compare ((0 :: List.filter (fun c -> c < len) cuts) @ [ len ])
+      in
+      let rec to_segs = function
+        | a :: (b :: _ as tl) ->
+          (off + a, Slice.make backing ~pos:a ~len:(b - a)) :: to_segs tl
+        | _ -> []
+      in
+      let run segs =
+        Sched.run (fun () ->
+            let s = mk_stripe ~disk_size:(Size.kib 256) () in
+            let t0 = Sched.now () in
+            Stripe.writev s segs;
+            let dur = Sched.now () - t0 in
+            (dur, Stripe.read s ~off ~len))
+      in
+      let split = run (to_segs bounds) in
+      let merged = run [ (off, Slice.make backing ~pos:0 ~len) ] in
+      fst split = fst merged && Bytes.equal (snd split) (snd merged))
+
 (* --- Device: one interface over both backends --- *)
 
 (* The packed Device must forward every operation unchanged: same data,
@@ -442,6 +486,7 @@ let () =
           tc "parallelism" test_stripe_parallelism;
           tc "single unit" test_stripe_single_unit_one_device;
           tc "crash" test_stripe_crash;
+          QCheck_alcotest.to_alcotest prop_coalesce_equivalence;
         ] );
       ( "device",
         [

@@ -523,6 +523,131 @@ let test_slice_of_string () =
   check Alcotest.string "view" "hello" (Slice.to_string s);
   checki "len" 5 (Slice.length s)
 
+(* --- Pool --- *)
+
+module Pool = Msnap_util.Pool
+
+(* Run [f] with pool state of this domain reset around it and the debug
+   checks pinned to [debug]. *)
+let with_pool ?(debug = false) f =
+  Pool.clear ();
+  let saved = !Pool.debug_checks in
+  Pool.debug_checks := debug;
+  Fun.protect
+    ~finally:(fun () ->
+      Pool.debug_checks := saved;
+      Pool.clear ())
+    f
+
+let test_pool_reuse_and_stats () =
+  with_pool (fun () ->
+      let n = 3 * 4096 in
+      let a = Pool.alloc n in
+      let b = Pool.alloc n in
+      checki "sized" n (Bytes.length a);
+      Pool.recycle a;
+      let c = Pool.alloc n in
+      checkb "hit returns the parked buffer" true (c == a);
+      let st = List.find (fun s -> s.Pool.cs_size = n) (Pool.stats ()) in
+      checki "misses" 2 st.Pool.cs_misses;
+      checki "hits" 1 st.Pool.cs_hits;
+      checki "recycles" 1 st.Pool.cs_recycles;
+      checki "outstanding" 2 st.Pool.cs_outstanding;
+      checki "retained" 0 st.Pool.cs_retained;
+      Pool.recycle b;
+      Pool.recycle c;
+      let t = Pool.totals () in
+      checki "none outstanding" 0 t.Pool.t_outstanding;
+      checki "retained bytes" (2 * n) t.Pool.t_retained_bytes)
+
+let test_pool_small_not_pooled () =
+  with_pool (fun () ->
+      let a = Pool.alloc 64 in
+      Pool.recycle a;
+      let b = Pool.alloc 64 in
+      checkb "small buffers are plain allocations" true (a != b);
+      checki "no class created" 0 (List.length (Pool.stats ())))
+
+let test_pool_alloc_zeroed () =
+  with_pool (fun () ->
+      let all_zero b = Bytes.for_all (fun c -> c = '\000') b in
+      let a = Pool.alloc 8192 in
+      Bytes.fill a 0 8192 'x';
+      Pool.recycle a;
+      let b = Pool.alloc_zeroed 8192 in
+      checkb "reuses the dirty buffer" true (b == a);
+      checkb "zeroed on reuse" true (all_zero b);
+      checkb "small zeroed" true (all_zero (Pool.alloc_zeroed 100)))
+
+let test_pool_double_recycle_detected () =
+  with_pool ~debug:true (fun () ->
+      let b = Pool.alloc 8192 in
+      Pool.recycle b;
+      checkb "double recycle raises" true
+        (match Pool.recycle b with
+        | () -> false
+        | exception Pool.Violation _ -> true))
+
+let test_pool_use_after_recycle_detected () =
+  with_pool ~debug:true (fun () ->
+      let b = Pool.alloc 8192 in
+      Pool.recycle b;
+      (* A stale holder writes through the parked buffer... *)
+      Bytes.set b 4097 '!';
+      (* ...and the next alloc of that class catches the torn poison. *)
+      checkb "use-after-recycle raises at realloc" true
+        (match Pool.alloc 8192 with
+        | _ -> false
+        | exception Pool.Violation _ -> true))
+
+(* Differential property: a program that funnels its buffers through the
+   pool sees exactly the bytes a fresh-allocation version sees, live
+   buffers never alias, and the debug poison never leaks into allocated
+   buffers — across random alloc/recycle interleavings, both with and
+   without the checks enabled. *)
+let prop_pool_differential =
+  let open QCheck in
+  let sizes = [| 4096; 8192; 512; 3 * 4096 |] in
+  let gen =
+    Gen.(
+      pair bool
+        (list_size (int_range 1 80) (pair (int_range 0 3) (int_range 0 255))))
+  in
+  QCheck.Test.make ~count:200
+    ~name:"pooled buffers are indistinguishable from fresh allocations"
+    (make gen)
+    (fun (debug, ops) ->
+      with_pool ~debug (fun () ->
+          (* Each live entry pairs a pooled buffer with a fresh-alloc
+             model holding the same expected contents. *)
+          let live = ref [] in
+          let ok = ref true in
+          List.iter
+            (fun (si, x) ->
+              if x land 1 = 0 || !live = [] then begin
+                let n = sizes.(si) in
+                let b = if x land 2 = 0 then Pool.alloc n else Pool.alloc_zeroed n in
+                if x land 2 <> 0 then
+                  ok := !ok && Bytes.for_all (fun c -> c = '\000') b;
+                (* Live buffers must never alias each other. *)
+                List.iter (fun (b', _) -> ok := !ok && b != b') !live;
+                let fill = Char.chr x in
+                Bytes.fill b 0 n fill;
+                live := (b, Bytes.make n fill) :: !live
+              end
+              else begin
+                match !live with
+                | (b, model) :: rest ->
+                  ok := !ok && Bytes.equal b model;
+                  live := rest;
+                  Pool.recycle b
+                | [] -> ()
+              end)
+            ops;
+          List.iter (fun (b, model) -> ok := !ok && Bytes.equal b model) !live;
+          List.iter (fun (b, _) -> Pool.recycle b) !live;
+          !ok && (Pool.totals ()).Pool.t_outstanding = 0))
+
 let () =
   let tc name f = Alcotest.test_case name `Quick f in
   Alcotest.run "util"
@@ -585,6 +710,15 @@ let () =
           tc "blits" test_slice_blits;
           tc "ownership: borrow blocks mutation" test_slice_ownership;
           tc "of_string view" test_slice_of_string;
+        ] );
+      ( "pool",
+        [
+          tc "reuse and stats" test_pool_reuse_and_stats;
+          tc "small buffers bypass" test_pool_small_not_pooled;
+          tc "alloc_zeroed" test_pool_alloc_zeroed;
+          tc "double recycle detected" test_pool_double_recycle_detected;
+          tc "use-after-recycle detected" test_pool_use_after_recycle_detected;
+          QCheck_alcotest.to_alcotest prop_pool_differential;
         ] );
       ( "tbl",
         [
