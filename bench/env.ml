@@ -161,3 +161,173 @@ let captured buf f =
   Fun.protect ~finally:(fun () -> slot := saved) f
 
 let section title = printf "\n=== %s ===\n" title
+
+(* --- host accounting frames ---
+
+   Per-experiment wall/allocation/pool numbers in BENCH_sim.json must
+   stay attributable to *that* experiment even though a domain awaiting
+   its own cells helps run other tasks (its own cells, or another
+   experiment's). A frame brackets a region of host work; closing it
+   yields deltas exclusive of any frame nested inside it (a helped
+   task opens its own frame), and records which cells were forced under
+   it so the experiment can add exactly its own cells' costs back in —
+   wherever those cells actually ran. *)
+
+type hostm = {
+  h_wall_s : float;
+  h_minor : float;
+  h_major : float;
+  h_hits : int;
+  h_misses : int;
+}
+
+type frame = {
+  fr_t0 : float;
+  fr_minor0 : float;
+  fr_major0 : float;
+  fr_hits0 : int;
+  fr_misses0 : int;
+  (* raw totals of directly-nested frames, to subtract *)
+  mutable fr_n_wall : float;
+  mutable fr_n_minor : float;
+  mutable fr_n_major : float;
+  mutable fr_n_hits : int;
+  mutable fr_n_misses : int;
+  mutable fr_cells : hostm list; (* forced under this frame, reversed *)
+}
+
+module Pool = Msnap_util.Pool
+
+let frames_key : frame list ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [])
+
+let frame_begin () =
+  (* [Gc.counters] (unlike [Gc.quick_stat]'s word counts, which are
+     process-wide in OCaml 5) is domain-local, so frames measure only
+     this domain's allocation no matter what other domains do
+     concurrently. *)
+  let minor, _, major = Gc.counters () in
+  let p = Pool.totals () in
+  let fr =
+    {
+      fr_t0 = Unix.gettimeofday ();
+      fr_minor0 = minor;
+      fr_major0 = major;
+      fr_hits0 = p.Pool.t_hits;
+      fr_misses0 = p.Pool.t_misses;
+      fr_n_wall = 0.0;
+      fr_n_minor = 0.0;
+      fr_n_major = 0.0;
+      fr_n_hits = 0;
+      fr_n_misses = 0;
+      fr_cells = [];
+    }
+  in
+  let slot = Domain.DLS.get frames_key in
+  slot := fr :: !slot
+
+(* Returns (exclusive host deltas, cells forced under the frame in
+   force order). *)
+let frame_end () =
+  let slot = Domain.DLS.get frames_key in
+  match !slot with
+  | [] -> invalid_arg "Env.frame_end: no open frame"
+  | fr :: rest ->
+    slot := rest;
+    let minor1, _, major1 = Gc.counters () in
+    let p = Pool.totals () in
+    let wall = Unix.gettimeofday () -. fr.fr_t0 in
+    let minor = minor1 -. fr.fr_minor0 in
+    let major = major1 -. fr.fr_major0 in
+    let hits = p.Pool.t_hits - fr.fr_hits0 in
+    let misses = p.Pool.t_misses - fr.fr_misses0 in
+    (match rest with
+    | parent :: _ ->
+      parent.fr_n_wall <- parent.fr_n_wall +. wall;
+      parent.fr_n_minor <- parent.fr_n_minor +. minor;
+      parent.fr_n_major <- parent.fr_n_major +. major;
+      parent.fr_n_hits <- parent.fr_n_hits + hits;
+      parent.fr_n_misses <- parent.fr_n_misses + misses
+    | [] -> ());
+    ( {
+        h_wall_s = wall -. fr.fr_n_wall;
+        h_minor = minor -. fr.fr_n_minor;
+        h_major = major -. fr.fr_n_major;
+        h_hits = hits - fr.fr_n_hits;
+        h_misses = misses - fr.fr_n_misses;
+      },
+      List.rev fr.fr_cells )
+
+(* --- simulation cells ---
+
+   [cell f] declares one independent measurement — [f] must be a
+   self-contained deterministic simulation (fixed seeds, own machines,
+   no state shared with other cells or the enclosing experiment) — and
+   queues it on the task pool. [force] waits for it, replays its [emit]
+   output here, folds its metrics/trace into this domain (in force
+   order — see Msnap_sim.Cell), books its host costs to the enclosing
+   frame, and returns its value. With zero pool workers the body runs
+   inline at [force]: `-j 1` is exactly the old serial execution. *)
+
+module Cell = Msnap_sim.Cell
+module Taskpool = Msnap_util.Taskpool
+
+type 'a cell_outcome = { co_v : 'a; co_out : string; co_host : hostm }
+type 'a pending = 'a cell_outcome Cell.t
+
+let cell f : _ pending =
+  Cell.submit (fun () ->
+      frame_begin ();
+      let buf = Buffer.create 256 in
+      let slot = Domain.DLS.get disposals_key in
+      let saved = !slot in
+      slot := [];
+      match captured buf f with
+      | v ->
+        slot := saved;
+        let host, _ = frame_end () in
+        { co_v = v; co_out = Buffer.contents buf; co_host = host }
+      | exception e ->
+        slot := saved;
+        ignore (frame_end ());
+        raise e)
+
+let force (p : _ pending) =
+  let o = Cell.force p in
+  emit o.co_out;
+  (match !(Domain.DLS.get frames_key) with
+  | fr :: _ -> fr.fr_cells <- o.co_host :: fr.fr_cells
+  | [] -> ());
+  o.co_v
+
+(* --- buffer-pool pre-warming ---
+
+   Single-shot experiments (table1 runs one simulation) otherwise pay a
+   miss for every buffer of their working set: nothing was ever
+   recycled on a cold domain. Build-and-dispose a small file-system
+   machine and a small MemSnap machine once per domain, outside any
+   accounting frame, so the first real experiment finds the machine-
+   building size classes (fs cache blocks, disk medium chunks, page
+   frames) already parked. Host-only: pool warmth affects hit/miss
+   counters, never a simulated value. *)
+
+let warm () =
+  ignore
+    (Sched.run (fun () ->
+         let _, fs = mk_fs Fs.Ffs in
+         let f = Fs.open_file fs "warm" in
+         let bs = Fs.fs_block_size fs in
+         let block = Bytes.make bs 'w' in
+         for i = 0 to 127 do
+           Fs.write fs f ~off:(i * bs) block
+         done;
+         Fs.fsync fs f));
+  ignore
+    (Sched.run (fun () ->
+         let _, k, _, _ = mk_msnap () in
+         let md = Msnap.open_region k ~name:"warm" ~len:(Size.mib 1) () in
+         let b = Bytes.make 64 'w' in
+         for i = 0 to 255 do
+           Msnap.write k md ~off:(i * 4096) b
+         done;
+         ignore (Msnap.persist k ~region:md ())))

@@ -63,6 +63,7 @@ type timing = {
   t_trace_events : int; (* events exported; 0 when tracing is off *)
   t_trace_dropped : int; (* events past the buffer cap, counted not kept *)
   t_trace_s : float; (* host seconds spent dumping + exporting the trace *)
+  t_cell_wall_s : float list; (* per-cell host wall, in force order *)
 }
 
 let pool_hit_rate t =
@@ -81,20 +82,22 @@ let trace_path_for ~trace ~multi name =
       | Some base -> Some (Printf.sprintf "%s.%s.json" base name)
       | None -> Some (Printf.sprintf "%s.%s" path name))
 
-(* Time [f] and record its allocation via [Gc.quick_stat] deltas. The
-   counters are per-domain, so the deltas are accurate whether the
-   experiment runs on the main domain or a pool helper — and so is the
-   trace buffer, so collection and export happen right here, on whichever
-   domain ran the experiment. *)
+(* Time [f] inside a host accounting frame (Env.frame_begin/end). The
+   frame's exclusive deltas plus the deltas of the cells this
+   experiment forced — wherever those cells actually ran — attribute
+   allocation and pool traffic to this experiment even when its domain
+   helped run other tasks while awaiting, or its cells ran on workers.
+   Wall clock stays the raw elapsed span: the experiment's critical
+   path. Trace collection and export happen right here, on whichever
+   domain ran the experiment (cells merge into this domain's buffer at
+   force time). *)
 let timed ?trace_path name f =
   if trace_path <> None then Trace.enable ();
-  let p0 = Msnap_util.Pool.totals () in
-  let g0 = Gc.quick_stat () in
+  Env.frame_begin ();
   let t0 = Unix.gettimeofday () in
   f ();
   let wall = Unix.gettimeofday () -. t0 in
-  let g1 = Gc.quick_stat () in
-  let p1 = Msnap_util.Pool.totals () in
+  let host, cells = Env.frame_end () in
   let trace_events, trace_dropped, trace_s =
     match trace_path with
     | None -> (0, 0, 0.0)
@@ -118,16 +121,19 @@ let timed ?trace_path name f =
           name d.Trace.d_dropped;
       (n, d.Trace.d_dropped, Unix.gettimeofday () -. e0)
   in
+  let sumf sel = List.fold_left (fun a c -> a +. sel c) 0.0 cells in
+  let sumi sel = List.fold_left (fun a c -> a + sel c) 0 cells in
   {
     t_name = name;
     t_wall_s = wall;
-    t_minor_words = g1.Gc.minor_words -. g0.Gc.minor_words;
-    t_major_words = g1.Gc.major_words -. g0.Gc.major_words;
-    t_pool_hits = p1.Msnap_util.Pool.t_hits - p0.Msnap_util.Pool.t_hits;
-    t_pool_misses = p1.Msnap_util.Pool.t_misses - p0.Msnap_util.Pool.t_misses;
+    t_minor_words = host.Env.h_minor +. sumf (fun c -> c.Env.h_minor);
+    t_major_words = host.Env.h_major +. sumf (fun c -> c.Env.h_major);
+    t_pool_hits = host.Env.h_hits + sumi (fun c -> c.Env.h_hits);
+    t_pool_misses = host.Env.h_misses + sumi (fun c -> c.Env.h_misses);
     t_trace_events = trace_events;
     t_trace_dropped = trace_dropped;
     t_trace_s = trace_s;
+    t_cell_wall_s = List.map (fun c -> c.Env.h_wall_s) cells;
   }
 
 (* Run [selected] serially on this domain, printing as we go. *)
@@ -138,10 +144,14 @@ let run_serial ~trace selected =
       timed ?trace_path:(trace_path_for ~trace ~multi name) name f)
     selected
 
-(* Run [selected] on a pool of [jobs] domains. Output is captured per
-   experiment and printed in experiment order once everything finished,
-   so stdout is byte-identical to a serial run. *)
+(* Run [selected] on the shared task pool with a total budget of [jobs]
+   domains: jobs-1 workers plus this one, which helps while awaiting.
+   Experiments are Heavy tasks; the cells they submit are Light tasks
+   on the same pool, so -j N bounds all simulation work at once. Output
+   is captured per experiment and printed in experiment order once
+   everything finished, so stdout is byte-identical to a serial run. *)
 let run_parallel ~trace jobs selected =
+  let module Taskpool = Msnap_util.Taskpool in
   let arr = Array.of_list selected in
   let n = Array.length arr in
   let multi = n > 1 in
@@ -150,7 +160,8 @@ let run_parallel ~trace jobs selected =
     Array.make n
       { t_name = ""; t_wall_s = 0.0; t_minor_words = 0.0; t_major_words = 0.0;
         t_pool_hits = 0; t_pool_misses = 0;
-        t_trace_events = 0; t_trace_dropped = 0; t_trace_s = 0.0 }
+        t_trace_events = 0; t_trace_dropped = 0; t_trace_s = 0.0;
+        t_cell_wall_s = [] }
   in
   let run_one i =
     let name, (_, f) = arr.(i) in
@@ -160,28 +171,19 @@ let run_parallel ~trace jobs selected =
           Env.captured buf f);
     outputs.(i) <- Buffer.contents buf
   in
-  let pool_idx =
-    Array.of_list
-      (List.filter
-         (fun i -> not (serial_only (fst arr.(i))))
-         (List.init n Fun.id))
+  Taskpool.on_worker_init Env.warm;
+  Taskpool.ensure_workers (jobs - 1);
+  let tasks =
+    Array.mapi
+      (fun i (name, _) ->
+        if serial_only name then None
+        else Some (Taskpool.submit ~cls:Taskpool.Heavy (fun () -> run_one i)))
+      arr
   in
-  let next = Atomic.make 0 in
-  let rec worker () =
-    let k = Atomic.fetch_and_add next 1 in
-    if k < Array.length pool_idx then begin
-      run_one pool_idx.(k);
-      worker ()
-    end
-  in
-  let helpers =
-    List.init
-      (max 0 (min jobs (Array.length pool_idx) - 1))
-      (fun _ -> Domain.spawn worker)
-  in
-  worker ();
-  List.iter Domain.join helpers;
-  (* Wall-clock-sensitive experiments run alone, after the pool drains. *)
+  Array.iter (function Some t -> Taskpool.await t | None -> ()) tasks;
+  (* Wall-clock-sensitive experiments run alone, after the pool drains
+     and its domains are joined. *)
+  Taskpool.shutdown ();
   Array.iteri (fun i (name, _) -> if serial_only name then run_one i) arr;
   Array.iter print_string outputs;
   Array.to_list times
@@ -190,8 +192,11 @@ let write_timings ~path ~jobs ~total timings =
   let oc = open_out path in
   let p fmt = Printf.fprintf oc fmt in
   p "{\n";
-  p "  \"schema\": \"memsnap-bench-sim/5\",\n";
+  p "  \"schema\": \"memsnap-bench-sim/6\",\n";
   p "  \"jobs\": %d,\n" jobs;
+  (* Cells share the experiment pool, so the budgets coincide; the field
+     is separate so readers need not infer it from "jobs". *)
+  p "  \"cell_jobs\": %d,\n" jobs;
   p "  \"total_wall_s\": %.3f,\n" total;
   p "  \"experiments\": [\n";
   List.iteri
@@ -200,10 +205,14 @@ let write_timings ~path ~jobs ~total timings =
         "    { \"name\": %S, \"wall_s\": %.3f, \"minor_words\": %.0f, \
          \"major_words\": %.0f, \"pool_hits\": %d, \"pool_misses\": %d, \
          \"pool_hit_rate\": %.3f, \"trace_events\": %d, \
-         \"trace_dropped\": %d, \"trace_overhead_s\": %.3f }%s\n"
+         \"trace_dropped\": %d, \"trace_overhead_s\": %.3f, \
+         \"cells\": %d, \"cell_wall_s\": [%s] }%s\n"
         t.t_name t.t_wall_s t.t_minor_words t.t_major_words t.t_pool_hits
         t.t_pool_misses (pool_hit_rate t) t.t_trace_events
         t.t_trace_dropped t.t_trace_s
+        (List.length t.t_cell_wall_s)
+        (String.concat ", "
+           (List.map (fun w -> Printf.sprintf "%.3f" w) t.t_cell_wall_s))
         (if i = List.length timings - 1 then "" else ","))
     timings;
   p "  ]\n}\n";
@@ -227,6 +236,9 @@ let run names jobs timings_path trace partial =
   end;
   if names = [] then
     print_endline "MemSnap reproduction: regenerating every table and figure";
+  (* Park the machine-building buffer classes before any timed window
+     (workers do the same via Taskpool.on_worker_init). *)
+  Env.warm ();
   let t0 = Unix.gettimeofday () in
   let timings =
     if jobs <= 1 then run_serial ~trace selected

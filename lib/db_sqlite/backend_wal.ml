@@ -110,3 +110,11 @@ let backend t =
 
 let checkpoints_done t = t.ckpts
 let wal_bytes t = t.wal_size
+
+(* Host-side teardown: frames still logged but not yet checkpointed go
+   back to the pool (the WAL file's blocks belong to the Fs and are
+   returned by [Fs.dispose]). *)
+let dispose t =
+  Hashtbl.iter (fun _ b -> Pool.recycle b) t.wal_frames;
+  Hashtbl.reset t.wal_frames;
+  t.wal_size <- 0

@@ -17,3 +17,7 @@ val backend : t -> Pager.backend
 
 val checkpoints_done : t -> int
 val wal_bytes : t -> int
+
+val dispose : t -> unit
+(** Return un-checkpointed WAL frame buffers to [Msnap_util.Pool].
+    Host-side teardown; the backend must not be used afterwards. *)

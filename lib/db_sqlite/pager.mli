@@ -58,3 +58,9 @@ val restore_hwm : t -> int -> unit
 
 val hwm_changed_in_txn : t -> bool
 (** Did the open transaction allocate pages? *)
+
+val dispose : t -> unit
+(** Return every cached page buffer to [Msnap_util.Pool] and empty the
+    cache. Host-side teardown for the bench harness; call only with no
+    open transaction, after the simulation is done with the
+    database. *)

@@ -1,0 +1,40 @@
+(** Parallel simulation cells: independent [Sched.run] measurements
+    executed on the [Msnap_util.Taskpool] domains while their results
+    are consumed in program order.
+
+    A cell is the unit of intra-experiment parallelism. Each cell body
+    is one (or more) self-contained deterministic simulation — own
+    seeds, own machines, no shared mutable state — so {e which} domain
+    runs it and {e when} are pure host decisions. The cell layer makes
+    that safe by construction:
+
+    - the body runs with fresh domain-local [Metrics] and [Trace]
+      stores and a base-0 trace timeline, swapped in around the body
+      and swapped back out after, so a worker (or an await-helping
+      experiment domain) never leaks cell state into whatever else it
+      was doing;
+    - {!force} splices the cell's recordings back into the calling
+      domain's stores in force order, exactly where a serial run would
+      have put them.
+
+    With zero pool workers a cell runs inline at {!force} — serial
+    execution is the degenerate case, and its observable output is the
+    contract: parallel runs must be byte-identical to it.
+
+    Do not call {!submit} or {!force} from inside [Sched.run], and do
+    not call {!force} from inside another cell's body: cells are
+    siblings, not a nesting structure. *)
+
+type 'a t
+
+val submit : (unit -> 'a) -> 'a t
+(** Queue the body on the task pool. Tracing configuration (on/off,
+    verbosity, buffer cap) is inherited from the submitting domain at
+    submit time. *)
+
+val force : 'a t -> 'a
+(** Wait for the body (running it inline if no domain picked it up),
+    merge its metrics/trace recordings into this domain, and return
+    its value. Idempotent: only the first call merges. Re-raises the
+    body's exception, in which case the cell's recordings are
+    discarded. *)

@@ -61,6 +61,41 @@ let counters () =
   Hashtbl.fold (fun k v acc -> (k, !v) :: acc) (store ()).counters []
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
+(* --- cell isolation (see Msnap_sim.Cell) ---
+
+   A cell runs with a private store so that (a) its samples cannot leak
+   into whatever experiment happens to share the domain, and (b) the
+   experiment sees the cell's samples only at force time, in submission
+   order, regardless of which domain ran the body when. *)
+
+type snapshot = store
+
+let cell_begin () =
+  let saved = store () in
+  Domain.DLS.set store_key
+    { counters = Hashtbl.create 32; hists = Hashtbl.create 32 };
+  saved
+
+let cell_end saved =
+  let cell = store () in
+  Domain.DLS.set store_key saved;
+  cell
+
+let cell_merge cell =
+  let s = store () in
+  Hashtbl.iter
+    (fun name r ->
+      match Hashtbl.find s.counters name with
+      | cur -> cur := !cur + !r
+      | exception Not_found -> Hashtbl.add s.counters name (ref !r))
+    cell.counters;
+  Hashtbl.iter
+    (fun name h ->
+      match Hashtbl.find s.hists name with
+      | cur -> Histogram.merge cur h
+      | exception Not_found -> Hashtbl.add s.hists name h)
+    cell.hists
+
 (* Closure-free form of {!timed} for hot call sites: bracket the section
    with [timed_begin]/[timed_end] instead of wrapping it in a lambda. *)
 let timed_begin () = Sched.now ()

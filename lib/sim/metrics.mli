@@ -37,6 +37,27 @@ val samples : Probe.t -> int
 val counters : unit -> (string * int) list
 (** All counters, sorted by name. *)
 
+(** {2 Cell isolation}
+
+    Used by [Msnap_sim.Cell] to give each parallel simulation cell a
+    private registry, merged back into the submitting experiment's
+    registry at force time in submission order (counters add,
+    histograms fold sample-exactly). Bracket, don't interleave. *)
+
+type snapshot
+
+val cell_begin : unit -> snapshot
+(** Install a fresh empty store on this domain; returns the displaced
+    one. *)
+
+val cell_end : snapshot -> snapshot
+(** Restore the displaced store; returns the cell's store for a later
+    {!cell_merge}. *)
+
+val cell_merge : snapshot -> unit
+(** Fold a finished cell's counters and histograms into the current
+    store. The snapshot must not be used again. *)
+
 val timed : Probe.t -> (unit -> 'a) -> 'a
 (** Run the callback, recording its elapsed virtual time as a sample.
     When tracing is enabled, also emits the section as a trace span in

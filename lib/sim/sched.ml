@@ -259,6 +259,10 @@ let account_report () =
 let account_total () =
   List.fold_left (fun acc (_, v) -> acc + v) 0 (account_report ())
 
+let running () = !(engine_slot ()) <> None
+let trace_base () = !(Domain.DLS.get trace_base_key)
+let set_trace_base v = Domain.DLS.get trace_base_key := v
+
 let run main =
   let slot = engine_slot () in
   if !slot <> None then invalid_arg "Sched.run: nested run";

@@ -227,6 +227,92 @@ let counter probe v =
     emit s ~args:[ (Probe.name probe, I v) ] probe ~ts:(!time_source ())
       ~dur:(-2)
 
+(* --- cell isolation (see Msnap_sim.Cell) ---
+
+   A simulation cell records into a private store over a private base-0
+   timeline; at force time the submitting experiment splices the cell's
+   events into its own store with a timestamp shift, remapped flow ids,
+   and an exact per-probe stats merge — so an exported trace is
+   identical in shape whether the cells ran serially or on workers. *)
+
+type snapshot = store
+
+let buffer_limit () = (store ()).limit
+
+let cell_begin ~enabled ~verbose ~limit =
+  let saved = store () in
+  Domain.DLS.set store_key
+    {
+      enabled;
+      verbose;
+      limit;
+      b_probe = [||];
+      b_ts = [||];
+      b_dur = [||];
+      b_tid = [||];
+      b_args = [||];
+      b_ak = [||];
+      b_av = [||];
+      b_flow = [||];
+      len = 0;
+      dropped = 0;
+      next_flow = 0;
+      tnames = Hashtbl.create 32;
+      st_count = [||];
+      st_total = [||];
+      st_max = [||];
+    };
+  saved
+
+let cell_end saved =
+  let cell = store () in
+  cell.enabled <- false;
+  Domain.DLS.set store_key saved;
+  cell
+
+let cell_merge ~shift cell =
+  let s = store () in
+  if Array.length cell.st_count > 0 then begin
+    if Array.length s.st_count < Array.length cell.st_count then
+      ensure_stats s;
+    Array.iteri
+      (fun i c ->
+        if c > 0 then begin
+          s.st_count.(i) <- s.st_count.(i) + c;
+          s.st_total.(i) <- s.st_total.(i) + cell.st_total.(i);
+          if cell.st_max.(i) > s.st_max.(i) then s.st_max.(i) <- cell.st_max.(i)
+        end)
+      cell.st_count
+  end;
+  s.dropped <- s.dropped + cell.dropped;
+  (* Flow ids are only unique within a store; rebase the cell's ids
+     past everything already issued here. *)
+  let fbase = s.next_flow in
+  s.next_flow <- s.next_flow + cell.next_flow;
+  for i = 0 to cell.len - 1 do
+    if s.len >= s.limit then s.dropped <- s.dropped + 1
+    else begin
+      if s.len >= Array.length s.b_probe then grow_buf s;
+      let j = s.len in
+      s.len <- j + 1;
+      let tid = cell.b_tid.(i) in
+      s.b_probe.(j) <- cell.b_probe.(i);
+      s.b_ts.(j) <- cell.b_ts.(i) + shift;
+      s.b_dur.(j) <- cell.b_dur.(i);
+      s.b_tid.(j) <- tid;
+      s.b_args.(j) <- cell.b_args.(i);
+      s.b_ak.(j) <- cell.b_ak.(i);
+      s.b_av.(j) <- cell.b_av.(i);
+      (let packed = cell.b_flow.(i) in
+       s.b_flow.(j) <-
+         (if packed = 0 then 0
+          else (((packed lsr 2) + fbase) * 4) lor (packed land 3)));
+      if not (Hashtbl.mem s.tnames tid) then
+        Hashtbl.add s.tnames tid
+          (try Hashtbl.find cell.tnames tid with Not_found -> "?")
+    end
+  done
+
 type dump = {
   d_count : int;
   d_dropped : int;

@@ -107,6 +107,34 @@ val with_span :
 val counter : Probe.t -> int -> unit
 (** A counter track sample (rendered as a stacked chart). *)
 
+(** {2 Cell isolation}
+
+    Used by [Msnap_sim.Cell]: a parallel simulation cell records into a
+    private store over a private base-0 timeline, spliced back into the
+    submitting experiment's store at force time in submission order, so
+    the export is identical in shape whether cells ran serially or on
+    worker domains. *)
+
+type snapshot
+
+val buffer_limit : unit -> int
+(** The current store's event cap (propagated into cell stores). *)
+
+val cell_begin : enabled:bool -> verbose:bool -> limit:int -> snapshot
+(** Install a fresh store on this domain (recording iff [enabled]);
+    returns the displaced one. *)
+
+val cell_end : snapshot -> snapshot
+(** Restore the displaced store; returns the cell's store (recording
+    stopped) for a later {!cell_merge}. *)
+
+val cell_merge : shift:int -> snapshot -> unit
+(** Splice a finished cell's events into the current store: timestamps
+    shifted by [shift] ns, flow ids rebased past the current store's,
+    per-probe summary stats added exactly (even past the buffer cap —
+    events that don't fit count as dropped). The snapshot must not be
+    used again. *)
+
 (** {2 Collecting}
 
     The live buffer is structs-of-arrays (one int column per event

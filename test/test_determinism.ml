@@ -68,6 +68,52 @@ type trace = {
   crashes : (string * string) list; (* crash scenario -> recovery digest *)
 }
 
+(* One self-contained MemSnap persist measurement: mean persist latency
+   over 3 dirtyings of [dirty_pages] random pages. Body of a [Sched.run];
+   also used as a parallel-cell body below. *)
+let ms_measure ~region_pages ~dirty_pages () =
+  let k = mk_msnap () in
+  let md = Msnap.open_region k ~name:"bench" ~len:(region_pages * page) () in
+  for i = 0 to region_pages - 1 do
+    Msnap.write k md ~off:(i * page) (Bytes.make 16 'p')
+  done;
+  ignore (Msnap.persist k ~region:md ());
+  let rng = Rng.create 7 in
+  let total = ref 0 in
+  for _ = 1 to 3 do
+    dirty_random_pages k md rng ~region_pages ~pages:dirty_pages;
+    let t0 = Sched.now () in
+    ignore (Msnap.persist k ~region:md ());
+    total := !total + (Sched.now () - t0)
+  done;
+  (!total / 3, Sched.account_report ())
+
+(* The Aurora counterpart: time 3 region checkpoints. *)
+let au_measure ~region_pages ~dirty_pages () =
+  let k = mk_aurora () in
+  Aurora.Kernel.register_thread k;
+  let r =
+    Aurora.Region.create k ~name:"bench" ~va:0x5000_0000_0000
+      ~len:(region_pages * page)
+  in
+  for i = 0 to region_pages - 1 do
+    Aurora.Region.write r ~off:(i * page) (Bytes.make 16 'p')
+  done;
+  Aurora.Region.checkpoint r;
+  let rng = Rng.create 8 in
+  let t0 = Sched.now () in
+  for _ = 1 to 3 do
+    let chosen = Hashtbl.create dirty_pages in
+    while Hashtbl.length chosen < dirty_pages do
+      Hashtbl.replace chosen (Rng.int rng region_pages) ()
+    done;
+    Hashtbl.iter
+      (fun p () -> Aurora.Region.write r ~off:(p * page) (Bytes.make 64 'd'))
+      chosen;
+    Aurora.Region.checkpoint r
+  done;
+  (Sched.now () - t0, Sched.account_report ())
+
 (* A reduced fig3: sweep dirty-set sizes over MemSnap persist and Aurora
    region checkpoints, plus a multi-threaded MemSnap phase, recording
    everything observable. *)
@@ -85,51 +131,10 @@ let fig3_reduced () =
   List.iter
     (fun dirty_pages ->
       let ms, ms_report =
-        Sched.run (fun () ->
-            let k = mk_msnap () in
-            let md =
-              Msnap.open_region k ~name:"bench" ~len:(region_pages * page) ()
-            in
-            for i = 0 to region_pages - 1 do
-              Msnap.write k md ~off:(i * page) (Bytes.make 16 'p')
-            done;
-            ignore (Msnap.persist k ~region:md ());
-            let rng = Rng.create 7 in
-            let total = ref 0 in
-            for _ = 1 to 3 do
-              dirty_random_pages k md rng ~region_pages ~pages:dirty_pages;
-              let t0 = Sched.now () in
-              ignore (Msnap.persist k ~region:md ());
-              total := !total + (Sched.now () - t0)
-            done;
-            (!total / 3, Sched.account_report ()))
+        Sched.run (fun () -> ms_measure ~region_pages ~dirty_pages ())
       in
       let au, au_report =
-        Sched.run (fun () ->
-            let k = mk_aurora () in
-            Aurora.Kernel.register_thread k;
-            let r =
-              Aurora.Region.create k ~name:"bench" ~va:0x5000_0000_0000
-                ~len:(region_pages * page)
-            in
-            for i = 0 to region_pages - 1 do
-              Aurora.Region.write r ~off:(i * page) (Bytes.make 16 'p')
-            done;
-            Aurora.Region.checkpoint r;
-            let rng = Rng.create 8 in
-            let t0 = Sched.now () in
-            for _ = 1 to 3 do
-              let chosen = Hashtbl.create dirty_pages in
-              while Hashtbl.length chosen < dirty_pages do
-                Hashtbl.replace chosen (Rng.int rng region_pages) ()
-              done;
-              Hashtbl.iter
-                (fun p () ->
-                  Aurora.Region.write r ~off:(p * page) (Bytes.make 64 'd'))
-                chosen;
-              Aurora.Region.checkpoint r
-            done;
-            (Sched.now () - t0, Sched.account_report ()))
+        Sched.run (fun () -> au_measure ~region_pages ~dirty_pages ())
       in
       record (Printf.sprintf "memsnap/%d" dirty_pages) ms ms_report;
       record (Printf.sprintf "aurora/%d" dirty_pages) au au_report;
@@ -288,6 +293,121 @@ let test_identical_twice () =
   Alcotest.(check (list (pair string string)))
     "crash-injection recovery digests" a.crashes b.crashes
 
+(* --- cell-level parallelism ---
+
+   The same sweep expressed as independent simulation cells on the
+   domain task pool. The contract under test: how many pool workers
+   exist (0 = serial inline execution, the reference) is pure host
+   policy — every simulated value, CPU account, merged metric, and
+   merged trace byte must be identical at any worker count, traced or
+   not. *)
+
+module Cell = Msnap_sim.Cell
+module Taskpool = Msnap_util.Taskpool
+
+type cellrun = {
+  c_vals : (string * int) list; (* cell label -> simulated ns *)
+  c_accounts : (string * (string * int) list) list;
+  c_counters : (string * int) list;
+  c_trace_events : int;
+  c_trace_digest : string;
+}
+
+(* Digest everything a merged trace exposes: the exact per-probe
+   summary plus every event's probe/timestamp/duration/tid/flow/arg
+   columns, in buffer order. *)
+let trace_digest () =
+  let d = Trace.dump () in
+  let b = Buffer.create 65536 in
+  Buffer.add_string b (Trace.render_summary d);
+  let addi v =
+    Buffer.add_string b (string_of_int v);
+    Buffer.add_char b ';'
+  in
+  Array.iter addi d.Trace.d_probe;
+  Array.iter addi d.Trace.d_ts;
+  Array.iter addi d.Trace.d_dur;
+  Array.iter addi d.Trace.d_tid;
+  Array.iter addi d.Trace.d_flow;
+  Array.iter (fun k -> Buffer.add_string b k) d.Trace.d_ak;
+  Array.iter addi d.Trace.d_av;
+  Digest.to_hex (Digest.string (Buffer.contents b))
+
+let cell_run ~workers ~traced =
+  Taskpool.shutdown ();
+  Taskpool.ensure_workers workers;
+  Metrics.reset ();
+  Sched.set_trace_base 0;
+  if traced then Trace.enable ~verbose:true ();
+  let region_pages = 256 in
+  let pend =
+    List.concat_map
+      (fun dirty_pages ->
+        [
+          ( Printf.sprintf "memsnap/%d" dirty_pages,
+            Cell.submit (fun () ->
+                Sched.run (fun () -> ms_measure ~region_pages ~dirty_pages ()))
+          );
+          ( Printf.sprintf "aurora/%d" dirty_pages,
+            Cell.submit (fun () ->
+                Sched.run (fun () -> au_measure ~region_pages ~dirty_pages ()))
+          );
+        ])
+      [ 1; 4; 16 ]
+  in
+  (* Force in submission order — the program order a serial run has. *)
+  let forced = List.map (fun (n, p) -> (n, Cell.force p)) pend in
+  let counters =
+    List.filter
+      (fun (name, _) -> not (String.starts_with ~prefix:"pool." name))
+      (Metrics.counters ())
+  in
+  let n_ev = if traced then Trace.event_count () else 0 in
+  let td = if traced then trace_digest () else "" in
+  if traced then Trace.disable ();
+  Taskpool.shutdown ();
+  {
+    c_vals = List.map (fun (n, (v, _)) -> (n, v)) forced;
+    c_accounts = List.map (fun (n, (_, r)) -> (n, r)) forced;
+    c_counters = counters;
+    c_trace_events = n_ev;
+    c_trace_digest = td;
+  }
+
+let check_cellrun name a b =
+  Alcotest.(check (list (pair string int)))
+    (name ^ ": simulated values") a.c_vals b.c_vals;
+  List.iter2
+    (fun (na, ra) (nb, rb) ->
+      Alcotest.(check string) (name ^ ": cell label") na nb;
+      Alcotest.(check (list (pair string int)))
+        (Printf.sprintf "%s: account report (%s)" name na)
+        ra rb)
+    a.c_accounts b.c_accounts;
+  Alcotest.(check (list (pair string int)))
+    (name ^ ": merged metrics") a.c_counters b.c_counters;
+  Alcotest.(check int) (name ^ ": trace events") a.c_trace_events
+    b.c_trace_events;
+  Alcotest.(check string)
+    (name ^ ": trace digest") a.c_trace_digest b.c_trace_digest
+
+let test_cells_parallel_identical () =
+  let serial = cell_run ~workers:0 ~traced:false in
+  check_cellrun "1 worker vs serial" serial (cell_run ~workers:1 ~traced:false);
+  check_cellrun "3 workers vs serial" serial (cell_run ~workers:3 ~traced:false)
+
+let test_cells_traced_identical () =
+  let serial = cell_run ~workers:0 ~traced:true in
+  Alcotest.(check bool)
+    "trace actually recorded" true
+    (serial.c_trace_events > 0);
+  check_cellrun "3 workers vs serial (traced)" serial
+    (cell_run ~workers:3 ~traced:true);
+  (* Tracing itself must not move a simulated value. *)
+  let untraced = cell_run ~workers:0 ~traced:false in
+  Alcotest.(check (list (pair string int)))
+    "traced vs untraced: simulated values" untraced.c_vals serial.c_vals
+
 let () =
   Alcotest.run "determinism"
     [
@@ -297,5 +417,12 @@ let () =
             test_identical_twice;
           Alcotest.test_case "identical with tracing on vs off" `Quick
             test_identical_traced_untraced;
+        ] );
+      ( "cells",
+        [
+          Alcotest.test_case "cell-parallel identical at any worker count"
+            `Quick test_cells_parallel_identical;
+          Alcotest.test_case "cell-parallel identical under tracing" `Quick
+            test_cells_traced_identical;
         ] );
     ]

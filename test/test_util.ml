@@ -648,6 +648,101 @@ let prop_pool_differential =
           List.iter (fun (b, _) -> Pool.recycle b) !live;
           !ok && (Pool.totals ()).Pool.t_outstanding = 0))
 
+(* --- Taskpool --- *)
+
+module Taskpool = Msnap_util.Taskpool
+
+(* With zero workers nothing runs until [await]; then each task runs
+   inline, in program order — serial execution is the degenerate case,
+   not a separate code path. *)
+let test_tp_inline_serial () =
+  Taskpool.shutdown ();
+  let order = ref [] in
+  let ts =
+    List.init 5 (fun i ->
+        Taskpool.submit (fun () ->
+            order := i :: !order;
+            i * i))
+  in
+  checki "nothing ran before await" 0 (List.length !order);
+  let rs = List.map Taskpool.await ts in
+  check Alcotest.(list int) "results" [ 0; 1; 4; 9; 16 ] rs;
+  check
+    Alcotest.(list int)
+    "inline execution order = program order" [ 0; 1; 2; 3; 4 ]
+    (List.rev !order)
+
+exception Boom of int
+
+let test_tp_exception () =
+  Fun.protect ~finally:Taskpool.shutdown (fun () ->
+      Taskpool.ensure_workers 2;
+      checkb "worker_count grew" true (Taskpool.worker_count () >= 2);
+      let bad = Taskpool.submit (fun () -> raise (Boom 7)) in
+      let good = Taskpool.submit (fun () -> 41 + 1) in
+      (match Taskpool.await bad with
+      | _ -> Alcotest.fail "expected Boom"
+      | exception Boom 7 -> ()
+      | exception e -> raise e);
+      checki "other tasks unaffected" 42 (Taskpool.await good);
+      (* The pool stays usable after a task raised. *)
+      checki "pool survives" 5 (Taskpool.await (Taskpool.submit (fun () -> 5))))
+
+(* Fork/join nesting: Heavy tasks submit and await Light subtasks — the
+   shape the bench runner uses (experiments awaiting their cells while
+   helping run other queued cells). *)
+let test_tp_nested () =
+  Fun.protect ~finally:Taskpool.shutdown (fun () ->
+      Taskpool.ensure_workers 2;
+      let outer =
+        List.init 4 (fun i ->
+            Taskpool.submit ~cls:Taskpool.Heavy (fun () ->
+                let subs =
+                  List.init 5 (fun j ->
+                      Taskpool.submit (fun () -> (i * 10) + j))
+                in
+                List.fold_left (fun a t -> a + Taskpool.await t) 0 subs))
+      in
+      List.iteri
+        (fun i t ->
+          checki "nested fork/join sum" ((5 * (i * 10)) + 10)
+            (Taskpool.await t))
+        outer)
+
+(* Model property: for any worker count and task list, awaiting in
+   submission order yields exactly the submitted computations' results
+   (none lost, duplicated, or reordered) and every body ran exactly
+   once — whether tasks ran inline, on a worker, or were stolen. *)
+let prop_tp_model =
+  let open QCheck in
+  let gen =
+    Gen.(pair (int_range 0 3) (list_size (int_range 0 40) small_int))
+  in
+  let chew x =
+    let h = ref x in
+    for i = 1 to 50 do
+      h := (!h * 31) + i
+    done;
+    !h
+  in
+  QCheck.Test.make ~count:25
+    ~name:"taskpool delivers every result in submission order" (make gen)
+    (fun (workers, xs) ->
+      Fun.protect ~finally:Taskpool.shutdown (fun () ->
+          Taskpool.ensure_workers workers;
+          let ran = Atomic.make 0 in
+          let ts =
+            List.map
+              (fun x ->
+                Taskpool.submit (fun () ->
+                    Atomic.incr ran;
+                    (x, chew x)))
+              xs
+          in
+          let rs = List.map Taskpool.await ts in
+          rs = List.map (fun x -> (x, chew x)) xs
+          && Atomic.get ran = List.length xs))
+
 let () =
   let tc name f = Alcotest.test_case name `Quick f in
   Alcotest.run "util"
@@ -719,6 +814,13 @@ let () =
           tc "double recycle detected" test_pool_double_recycle_detected;
           tc "use-after-recycle detected" test_pool_use_after_recycle_detected;
           QCheck_alcotest.to_alcotest prop_pool_differential;
+        ] );
+      ( "taskpool",
+        [
+          tc "zero workers run inline at await" test_tp_inline_serial;
+          tc "exception propagation" test_tp_exception;
+          tc "fork/join nesting" test_tp_nested;
+          QCheck_alcotest.to_alcotest prop_tp_model;
         ] );
       ( "tbl",
         [
