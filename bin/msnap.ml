@@ -1,9 +1,10 @@
 (* msnap: a small CLI for poking at the simulated MemSnap machine.
 
    Subcommands:
-     costs      print the calibrated hardware cost model
-     persist    time msnap_persist for a dirty-set size sweep
-     torture    crash-inject a region under load and verify recovery
+     costs       print the calibrated hardware cost model
+     persist     time msnap_persist for a dirty-set size sweep
+     torture     crash-inject a region under load and verify recovery
+     crashcheck  run the crash-schedule model checker over every engine
 *)
 
 module Sched = Msnap_sim.Sched
@@ -105,13 +106,19 @@ let persist_sweep trace =
     [ 4; 16; 64; 256; 1024 ];
   Tbl.print t
 
-let torture trace =
+let torture trace record_mode =
   with_trace trace @@ fun () ->
   let survived = ref 0 in
   for round = 1 to 10 do
     let ok =
       Sched.run (fun () ->
           let dev = mk_dev () in
+          (* --record attaches an (unarmed) crash-schedule recorder:
+             host-only observability, so every simulated value printed
+             below must be identical with or without it — CI cmps the
+             two stdouts. *)
+          if record_mode then
+            Device.attach_record dev (Msnap_blockdev.Record.create ());
           let k = mk_machine dev in
           let md = Msnap.open_region k ~name:"t" ~len:(Size.mib 1) () in
           let committed = ref 0 in
@@ -147,6 +154,39 @@ let torture trace =
   Printf.printf "%d/10 crash rounds recovered consistently\n" !survived;
   if !survived < 10 then exit 1
 
+(* The crash-schedule model checker over the scripted engine workloads:
+   record one crash-free run, then crash it at every durable boundary
+   (three torn seeds each) and demand recovery lands on a candidate
+   history step. Deterministic: the report for a given option set is
+   byte-identical serially and with [-j]. *)
+let crashcheck engines jobs max_points =
+  let module Checker = Msnap_faults.Checker in
+  let module W = Msnap_crashwl.Workloads in
+  let workloads =
+    match engines with
+    | [] -> W.all
+    | names ->
+      List.map
+        (fun n ->
+          match W.by_name n with
+          | Some w -> w
+          | None ->
+            Printf.eprintf "unknown engine %S (have: %s)\n" n
+              (String.concat ", " W.names);
+            exit 2)
+        names
+  in
+  let opts = { Checker.default_opts with jobs; max_points } in
+  let failed = ref false in
+  List.iter
+    (fun w ->
+      let r = Checker.run ~opts w in
+      print_string (Checker.pp_report r);
+      flush stdout;
+      if r.Checker.r_failures <> [] then failed := true)
+    workloads;
+  if !failed then exit 1
+
 open Cmdliner
 
 let trace =
@@ -161,8 +201,39 @@ let cmd =
         Term.(const costs $ const ());
       Cmd.v (Cmd.info "persist" ~doc:"Sweep msnap_persist latency")
         Term.(const persist_sweep $ trace);
-      Cmd.v (Cmd.info "torture" ~doc:"Crash-inject and verify recovery")
-        Term.(const torture $ trace);
+      (let record_mode =
+         Arg.(value & flag
+              & info [ "record" ]
+                  ~doc:"Attach a crash-schedule recorder to the device \
+                        (host-side only; output must be unchanged).")
+       in
+       Cmd.v (Cmd.info "torture" ~doc:"Crash-inject and verify recovery")
+         Term.(const torture $ trace $ record_mode));
+      (let engines =
+         Arg.(value & opt_all string []
+              & info [ "e"; "engine" ]
+                  ~doc:"Check only $(docv) (repeatable; default: all engines)."
+                  ~docv:"NAME")
+       in
+       let jobs =
+         Arg.(value & opt int 0
+              & info [ "j"; "jobs" ]
+                  ~doc:"Check crash points on $(docv) worker domains (0 = \
+                        serial; the report is identical either way)."
+                  ~docv:"N")
+       in
+       let max_points =
+         Arg.(value & opt int Msnap_faults.Checker.default_opts.max_points
+              & info [ "max-points" ]
+                  ~doc:"Sample down to at most $(docv) crash points per \
+                        engine (seeded, deterministic)."
+                  ~docv:"N")
+       in
+       Cmd.v
+         (Cmd.info "crashcheck"
+            ~doc:"Crash every durable boundary of each engine's scripted \
+                  workload and verify its recovery invariant")
+         Term.(const crashcheck $ engines $ jobs $ max_points));
     ]
 
 let () = exit (Cmd.eval cmd)

@@ -22,10 +22,10 @@ module Rocks = Msnap_rocks.Rocks
 
 let say fmt = Printf.printf (fmt ^^ "\n%!")
 
-let boot ?(format = false) dev =
+let boot dev =
   let phys = Phys.create () in
   let aspace = Aspace.create phys in
-  if format then Store.format dev;
+  Store.format dev;
   let kernel = Msnap.init ~store:(Store.mount dev) in
   Msnap.attach kernel aspace;
   kernel
@@ -38,7 +38,7 @@ let () =
     Device.of_stripe
     (Stripe.create [ Disk.create ~size:(Size.mib 128) (); Disk.create ~size:(Size.mib 128) () ])
   in
-  let k = boot ~format:true dev in
+  let k = boot dev in
   let db = Rocks.open_db ~config (Rocks.Memsnap k) ~name:"kv" in
 
   say "== loading 1000 keys (each put is one durable μCheckpoint) ==";
@@ -68,10 +68,11 @@ let () =
   Device.fail_power dev ~torn_seed:3;
   Device.restore_power dev;
 
-  say "== recover: remap region, rebuild skip pointers from the list ==";
-  let k2 = boot dev in
+  say "== recover: remount the store, remap the region, rebuild skip pointers ==";
+  let module RR = (val Rocks.recoverable ~config ~name:"kv" ()) in
   let t0 = Sched.now () in
-  let db2 = Rocks.recover ~config (Rocks.Memsnap k2) ~name:"kv" in
+  let r = RR.recover dev in
+  let db2 = r.Rocks.db in
   say "recovered %d keys in %.2f ms" (Rocks.count db2)
     (float_of_int (Sched.now () - t0) /. 1e6);
   say "user:0001 = %s" (Option.get (Rocks.get db2 "user:0001"));

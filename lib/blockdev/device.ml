@@ -17,6 +17,12 @@ module type S = sig
   val stats : t -> Disk.stats
   val reset_stats : t -> unit
   val dispose : t -> unit
+  val attach_record : t -> Record.t -> unit
+  val detach_record : t -> unit
+  val members : t -> int
+  val member_size : t -> member:int -> int
+  val peek : t -> member:int -> off:int -> len:int -> Bytes.t
+  val poke : t -> member:int -> off:int -> data:Bytes.t -> unit
 end
 
 type t = Dev : (module S with type t = 'a) * 'a -> t
@@ -28,6 +34,23 @@ module Disk_backend = struct
   include Disk
 
   let barrier = Disk.flush
+  let members _ = 1
+
+  let check_member d member =
+    if member <> 0 then
+      invalid_arg (Printf.sprintf "%s: no member %d" (Disk.name d) member)
+
+  let member_size d ~member =
+    check_member d member;
+    Disk.size d
+
+  let peek d ~member ~off ~len =
+    check_member d member;
+    Disk.peek d ~off ~len
+
+  let poke d ~member ~off ~data =
+    check_member d member;
+    Disk.poke d ~off ~data
 end
 
 module Stripe_backend = struct
@@ -53,3 +76,9 @@ let restore_power (Dev ((module D), d)) = D.restore_power d
 let stats (Dev ((module D), d)) = D.stats d
 let reset_stats (Dev ((module D), d)) = D.reset_stats d
 let dispose (Dev ((module D), d)) = D.dispose d
+let attach_record (Dev ((module D), d)) r = D.attach_record d r
+let detach_record (Dev ((module D), d)) = D.detach_record d
+let members (Dev ((module D), d)) = D.members d
+let member_size (Dev ((module D), d)) ~member = D.member_size d ~member
+let peek (Dev ((module D), d)) ~member ~off ~len = D.peek d ~member ~off ~len
+let poke (Dev ((module D), d)) ~member ~off ~data = D.poke d ~member ~off ~data

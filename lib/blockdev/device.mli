@@ -42,6 +42,22 @@ module type S = sig
   val dispose : t -> unit
   (** End-of-run teardown: return pooled host buffers (medium chunks) to
       [Msnap_util.Pool]. The device must be idle and never used again. *)
+
+  (** {2 Crash-schedule capture (host-only)}
+
+      A backend exposes its member disks — the units {!fail_power}
+      tears independently — for history recording and raw-media access.
+      Member [i] of a recorded run corresponds to live crash seed
+      [torn_seed + i]. These operations are host work: attaching a
+      recorder, peeking or poking the medium never changes a simulated
+      value. *)
+
+  val attach_record : t -> Record.t -> unit
+  val detach_record : t -> unit
+  val members : t -> int
+  val member_size : t -> member:int -> int
+  val peek : t -> member:int -> off:int -> len:int -> Bytes.t
+  val poke : t -> member:int -> off:int -> data:Bytes.t -> unit
 end
 
 type t = Dev : (module S with type t = 'a) * 'a -> t
@@ -68,3 +84,9 @@ val restore_power : t -> unit
 val stats : t -> Disk.stats
 val reset_stats : t -> unit
 val dispose : t -> unit
+val attach_record : t -> Record.t -> unit
+val detach_record : t -> unit
+val members : t -> int
+val member_size : t -> member:int -> int
+val peek : t -> member:int -> off:int -> len:int -> Bytes.t
+val poke : t -> member:int -> off:int -> data:Bytes.t -> unit

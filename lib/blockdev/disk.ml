@@ -117,6 +117,7 @@ type t = {
   channels : Sync.Semaphore.t;
   mutable powered : bool;
   mutable inflight : inflight list;
+  mutable recorder : (Record.t * int) option; (* recorder, member index *)
   mutable s_reads : int;
   mutable s_writes : int;
   mutable s_bytes_read : int;
@@ -132,6 +133,7 @@ let create ?(name = "nvme") ~size () =
     channels = Sync.Semaphore.create Costs.disk_channels;
     powered = true;
     inflight = [];
+    recorder = None;
     s_reads = 0;
     s_writes = 0;
     s_bytes_read = 0;
@@ -235,6 +237,14 @@ let writev t segs =
       List.iter (fun (_, s) -> Slice.borrow s) segs;
       let fl = { segs; checksums; t0 = Sched.now (); dur; torn = false } in
       t.inflight <- fl :: t.inflight;
+      (* Host-only history capture: the snapshot taken here equals the
+         commit-time bytes by the slice ownership rule. *)
+      let rcmd =
+        match t.recorder with
+        | None -> None
+        | Some (r, member) ->
+          Some (r, Record.issued r ~member ~segs ~t0:fl.t0 ~dur)
+      in
       Sched.delay dur;
       t.inflight <- List.filter (fun f -> f != fl) t.inflight;
       if fl.torn then raise Powered_off;
@@ -242,7 +252,10 @@ let writev t segs =
       commit_segs t segs;
       List.iter (fun (_, s) -> Slice.release s) segs;
       t.s_writes <- t.s_writes + 1;
-      t.s_bytes_written <- t.s_bytes_written + total)
+      t.s_bytes_written <- t.s_bytes_written + total;
+      match rcmd with
+      | None -> ()
+      | Some (r, c) -> Record.committed r c ~now:(Sched.now ()))
 
 let write_slice t ~off s = writev t [ (off, s) ]
 
@@ -285,7 +298,26 @@ let flush t =
   done;
   for _ = 1 to n do
     Sync.Semaphore.release t.channels
-  done
+  done;
+  (* The drain is a durable-prefix boundary: this disk's queue is empty
+     (no scheduling point separates the releases from here). *)
+  match t.recorder with
+  | None -> ()
+  | Some (r, member) -> Record.flushed r ~member ~now:(Sched.now ())
+
+(* The torn-sector budget of one in-flight command: whole sectors of a
+   prefix whose length reflects how far the transfer had progressed,
+   perturbed deterministically by the rng. Shared with
+   [Msnap_faults.Image] so the offline reconstruction of a crash point
+   can never drift from the live [fail_power] semantics. *)
+let torn_sector_budget ~rng ~elapsed ~dur ~total_sectors =
+  let frac =
+    if dur <= 0 then 1.0
+    else Float.min 1.0 (float_of_int elapsed /. float_of_int dur)
+  in
+  let base = int_of_float (frac *. float_of_int total_sectors) in
+  let jitter = if total_sectors > 0 then Rng.int rng (total_sectors + 1) else 0 in
+  min total_sectors (min base jitter + (max base jitter - min base jitter) / 2)
 
 (* Tear each in-flight command: commit whole sectors of a prefix whose
    length reflects how far the transfer had progressed, perturbed
@@ -299,19 +331,15 @@ let fail_power t ~torn_seed =
     fl.torn <- true;
     verify_checksums t fl;
     let elapsed = Sched.now () - fl.t0 in
-    let frac =
-      if fl.dur <= 0 then 1.0
-      else Float.min 1.0 (float_of_int elapsed /. float_of_int fl.dur)
-    in
     let total_sectors =
       List.fold_left
         (fun a (_, s) ->
           a + ((Slice.length s + Costs.sector - 1) / Costs.sector))
         0 fl.segs
     in
-    let base = int_of_float (frac *. float_of_int total_sectors) in
-    let jitter = if total_sectors > 0 then Rng.int rng (total_sectors + 1) else 0 in
-    let committed = min total_sectors (min base jitter + (max base jitter - min base jitter) / 2) in
+    let committed =
+      torn_sector_budget ~rng ~elapsed ~dur:fl.dur ~total_sectors
+    in
     (* Commit the first [committed] sectors across segments in order. *)
     let remaining = ref committed in
     List.iter
@@ -353,3 +381,23 @@ let reset_stats t =
    so the next simulated machine reuses them. Only valid once the device
    is idle and nothing will read it again. *)
 let dispose t = Medium.dispose t.medium
+
+(* --- crash-schedule capture (host-only) --- *)
+
+let attach_record t r =
+  if t.recorder <> None then invalid_arg (t.dname ^ ": recorder already attached");
+  let member = Record.register r (fun ~torn_seed -> fail_power t ~torn_seed) in
+  t.recorder <- Some (r, member)
+
+let detach_record t = t.recorder <- None
+
+(* Raw media access for crash-image reconstruction and comparison: no
+   power check, no charge, no stats — this is the test harness looking
+   at the platters, not a simulated IO. *)
+let peek t ~off ~len =
+  let out = Bytes.create len in
+  Medium.read_into t.medium ~off out ~pos:0 ~len;
+  out
+
+let poke t ~off ~data =
+  Medium.write t.medium ~off data ~pos:0 ~len:(Bytes.length data)

@@ -75,6 +75,26 @@ val restore_power : t -> unit
 
 exception Powered_off
 
+val torn_sector_budget :
+  rng:Msnap_util.Rng.t -> elapsed:int -> dur:int -> total_sectors:int -> int
+(** The number of whole sectors an in-flight command commits when power
+    fails [elapsed] virtual ns into its [dur]-ns transfer — the exact
+    arithmetic {!fail_power} applies, exported so the crash-schedule
+    checker's offline image reconstruction cannot drift from it. Draws
+    one value from [rng] iff [total_sectors > 0]. *)
+
+(** {2 Crash-schedule capture (host-only)}
+
+    See {!Record}. Attaching a recorder never changes a simulated
+    value; [peek]/[poke] access the medium directly with no power
+    check, no latency and no stats, for use by the crash checker's
+    image reconstruction and the parity tests. *)
+
+val attach_record : t -> Record.t -> unit
+val detach_record : t -> unit
+val peek : t -> off:int -> len:int -> Bytes.t
+val poke : t -> off:int -> data:Bytes.t -> unit
+
 (** {2 Statistics} *)
 
 type stats = {

@@ -1,0 +1,140 @@
+(* Crash-schedule recording: a host-side log of every durable-prefix
+   boundary a device run passes through.
+
+   A recorder is attached to a device (Device.attach_record); each member
+   disk then reports two kinds of events:
+
+   - a write command being issued (the moment it enters the disk's
+     in-flight list), with an issue-time snapshot of its payload — by the
+     slice ownership rule the snapshot equals the bytes the command will
+     commit;
+   - a command completing (write commit, flush or barrier drain), which
+     defines one *boundary*: a point in the schedule where the media
+     holds exactly the commits so far plus whatever in-flight commands
+     would tear to.
+
+   Everything here is host work: no scheduler calls, no simulated RNG,
+   no charges. Attaching a recorder cannot change any simulated value.
+
+   The recorder can also be *armed* with a crash point [(prefix,
+   torn_seed)]: the instant boundary [prefix] is appended, every
+   registered member's [fail_power] fires with seed [torn_seed + member]
+   — exactly the live power failure [Msnap_faults.Image] reconstructs
+   offline. *)
+
+type seg = { g_off : int; g_data : Bytes.t }
+
+type cmd = {
+  c_member : int;
+  c_segs : seg array;
+  c_t0 : int; (* virtual issue time *)
+  c_dur : int; (* simulated transfer duration *)
+  c_issue_seq : int; (* global event sequence at issue *)
+  mutable c_commit_boundary : int; (* boundary index; -1 = never committed *)
+}
+
+type boundary = {
+  b_seq : int; (* global event sequence of the completion *)
+  b_time : int; (* virtual time of the completion *)
+  b_cmd : cmd option; (* the committed write; None for flush/barrier *)
+}
+
+type t = {
+  mutable r_seq : int;
+  mutable r_cmds : cmd list; (* newest first *)
+  mutable r_ncmds : int;
+  mutable r_bounds : boundary array;
+  mutable r_nbounds : int;
+  mutable r_members : (torn_seed:int -> unit) array;
+  mutable r_nmembers : int;
+  mutable r_armed : (int * int) option; (* (prefix, torn_seed) *)
+  mutable r_fired : bool;
+}
+
+let create () =
+  {
+    r_seq = 0;
+    r_cmds = [];
+    r_ncmds = 0;
+    r_bounds = Array.make 64 { b_seq = 0; b_time = 0; b_cmd = None };
+    r_nbounds = 0;
+    r_members = Array.make 4 (fun ~torn_seed:_ -> ());
+    r_nmembers = 0;
+    r_armed = None;
+    r_fired = false;
+  }
+
+(* Members register in [fail_power] order (a stripe registers its disks
+   ascending), so member [i]'s live tear seed is [torn_seed + i]. *)
+let register t fail =
+  let ix = t.r_nmembers in
+  if ix = Array.length t.r_members then begin
+    let bigger = Array.make (2 * ix) t.r_members.(0) in
+    Array.blit t.r_members 0 bigger 0 ix;
+    t.r_members <- bigger
+  end;
+  t.r_members.(ix) <- fail;
+  t.r_nmembers <- ix + 1;
+  ix
+
+let members t = t.r_nmembers
+
+let arm t ~prefix ~torn_seed =
+  t.r_armed <- Some (prefix, torn_seed);
+  t.r_fired <- false
+
+let fired t = t.r_fired
+
+let next_seq t =
+  let s = t.r_seq in
+  t.r_seq <- s + 1;
+  s
+
+let issued t ~member ~segs ~t0 ~dur =
+  let segs =
+    Array.of_list
+      (List.map
+         (fun (off, s) ->
+           let len = Msnap_util.Slice.length s in
+           let data = Bytes.create len in
+           Msnap_util.Slice.blit_to_bytes s ~src_pos:0 data ~dst_pos:0 ~len;
+           { g_off = off; g_data = data })
+         segs)
+  in
+  let c =
+    { c_member = member; c_segs = segs; c_t0 = t0; c_dur = dur;
+      c_issue_seq = next_seq t; c_commit_boundary = -1 }
+  in
+  t.r_cmds <- c :: t.r_cmds;
+  t.r_ncmds <- t.r_ncmds + 1;
+  c
+
+let push_boundary t b =
+  if t.r_nbounds = Array.length t.r_bounds then begin
+    let bigger = Array.make (2 * t.r_nbounds) b in
+    Array.blit t.r_bounds 0 bigger 0 t.r_nbounds;
+    t.r_bounds <- bigger
+  end;
+  t.r_bounds.(t.r_nbounds) <- b;
+  t.r_nbounds <- t.r_nbounds + 1;
+  match t.r_armed with
+  | Some (prefix, torn_seed) when prefix = t.r_nbounds - 1 && not t.r_fired ->
+    t.r_fired <- true;
+    for i = 0 to t.r_nmembers - 1 do
+      t.r_members.(i) ~torn_seed:(torn_seed + i)
+    done
+  | _ -> ()
+
+let committed t cmd ~now =
+  cmd.c_commit_boundary <- t.r_nbounds;
+  push_boundary t { b_seq = next_seq t; b_time = now; b_cmd = Some cmd }
+
+let flushed t ~member:_ ~now =
+  push_boundary t { b_seq = next_seq t; b_time = now; b_cmd = None }
+
+let boundaries t = t.r_nbounds
+let commands t = t.r_ncmds
+let boundary t i = t.r_bounds.(i)
+
+(* Commands in issue order (oldest first). *)
+let all_commands t = List.rev t.r_cmds

@@ -1,0 +1,75 @@
+(** Crash-schedule recording: the host-side history a device run leaves
+    behind, one entry per durable-prefix boundary.
+
+    Attach a recorder with {!Device.attach_record} before running a
+    scripted workload. Every member disk reports write issues (with an
+    issue-time payload snapshot — equal to the commit-time bytes by the
+    slice ownership rule) and command completions. Each completion
+    (write commit, flush, barrier) is one {e boundary}: a crash point at
+    which [Msnap_faults.Image] can rebuild the exact post-crash media
+    image, including the seeded torn tails of the commands that were
+    still in flight.
+
+    Recording is host-only by construction: it performs no scheduler
+    calls, draws no simulated randomness and charges nothing, so a
+    recorded run produces byte-identical simulated values to an
+    unrecorded one.
+
+    A recorder may also be {!arm}ed with a crash point: the moment the
+    given boundary is appended, every member's [fail_power] fires with
+    seed [torn_seed + member] — a live crash at exactly the instant the
+    offline reconstruction models. *)
+
+type t
+
+(** One recorded payload segment: member-disk offset plus an issue-time
+    copy of the bytes. *)
+type seg = { g_off : int; g_data : Bytes.t }
+
+(** One recorded write command. *)
+type cmd = {
+  c_member : int;  (** member-disk index, in [fail_power] order *)
+  c_segs : seg array;
+  c_t0 : int;  (** virtual issue time *)
+  c_dur : int;  (** simulated transfer duration *)
+  c_issue_seq : int;  (** global event sequence at issue *)
+  mutable c_commit_boundary : int;  (** boundary index; -1 = uncommitted *)
+}
+
+type boundary = {
+  b_seq : int;  (** global event sequence of the completion *)
+  b_time : int;  (** virtual completion time *)
+  b_cmd : cmd option;  (** committed write; [None] for flush/barrier *)
+}
+
+val create : unit -> t
+
+val register : t -> (torn_seed:int -> unit) -> int
+(** Called by a member disk at attach time with its power-failure
+    callback; returns the member index. Members register in
+    [fail_power] order, so a stripe's member [i] tears with seed
+    [torn_seed + i]. *)
+
+val members : t -> int
+
+val arm : t -> prefix:int -> torn_seed:int -> unit
+(** Fire a live power failure the instant boundary [prefix] is
+    appended. *)
+
+val fired : t -> bool
+
+(** {2 Hooks called by member disks} *)
+
+val issued : t -> member:int -> segs:(int * Msnap_util.Slice.t) list ->
+  t0:int -> dur:int -> cmd
+
+val committed : t -> cmd -> now:int -> unit
+val flushed : t -> member:int -> now:int -> unit
+
+(** {2 Reading the history back} *)
+
+val boundaries : t -> int
+val commands : t -> int
+val boundary : t -> int -> boundary
+val all_commands : t -> cmd list
+(** Issue order (oldest first). *)

@@ -155,3 +155,14 @@ let stats t =
 
 let reset_stats t = Array.iter Disk.reset_stats t.disks
 let dispose t = Array.iter Disk.dispose t.disks
+
+(* --- crash-schedule capture (host-only) --- *)
+
+(* Members register ascending, so recorded member [i] tears with seed
+   [torn_seed + i] — the same mapping [fail_power] uses. *)
+let attach_record t r = Array.iter (fun d -> Disk.attach_record d r) t.disks
+let detach_record t = Array.iter Disk.detach_record t.disks
+let members t = ndisks t
+let member_size t ~member = Disk.size t.disks.(member)
+let peek t ~member ~off ~len = Disk.peek t.disks.(member) ~off ~len
+let poke t ~member ~off ~data = Disk.poke t.disks.(member) ~off ~data

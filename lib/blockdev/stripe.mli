@@ -57,3 +57,16 @@ val reset_stats : t -> unit
 
 val dispose : t -> unit
 (** {!Disk.dispose} every member. *)
+
+(** {2 Crash-schedule capture (host-only)}
+
+    Members register with the recorder in ascending order — the order
+    {!fail_power} tears them in, so recorded member [i] corresponds to
+    live seed [torn_seed + i]. *)
+
+val attach_record : t -> Record.t -> unit
+val detach_record : t -> unit
+val members : t -> int
+val member_size : t -> member:int -> int
+val peek : t -> member:int -> off:int -> len:int -> Bytes.t
+val poke : t -> member:int -> off:int -> data:Bytes.t -> unit

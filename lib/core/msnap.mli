@@ -116,3 +116,34 @@ val set_strict : t -> bool -> unit
 
 val region_by_name : t -> string -> md option
 (** Already-open region by name. *)
+
+(** {2 Crash recovery ({!Msnap_faults})} *)
+
+val cell_max : int
+(** Longest value {!cell_write} accepts (the 256-byte slot minus its
+    length prefix). *)
+
+val cell_write : t -> md -> off:int -> string -> unit
+(** Store a value in the fixed-size cell at [off]: every update writes
+    the full 256-byte slot, so the command stream a crash workload
+    issues is independent of the value lengths. *)
+
+val cell_read : t -> md -> off:int -> string option
+(** [None] when the slot's length prefix is out of range (torn or
+    unwritten media that slipped past recovery). *)
+
+type recovered = {
+  rec_kernel : t;
+  rec_md : md;
+  rec_phys : Msnap_vm.Phys.t;
+}
+(** A kernel+region rebuilt from a post-crash device, with the physical
+    memory [recover] allocated for it. *)
+
+val recoverable :
+  region:string -> len:int -> cells:(string * int) list ->
+  (module Msnap_faults.Recoverable.S with type t = recovered)
+(** The crash-recovery contract for MemSnap itself: [recover] mounts
+    the store, boots a fresh kernel and remaps [region];
+    [check] reads every [(label, offset)] cell and compares against the
+    history's candidate steps. *)

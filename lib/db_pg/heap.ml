@@ -66,6 +66,20 @@ let block_meta t blockno =
 
 let free_space ~nitems ~content = content - (slot_base + (2 * nitems))
 
+(* Rebuild the volatile block count from storage after a crash: blocks
+   fill front to back and a block becomes visible only once its [nitems]
+   header is written, so the population is the longest prefix of blocks
+   with [nitems > 0]. *)
+let recover st ~rel =
+  let t = create st ~rel in
+  let n = ref 0 in
+  let continue = ref true in
+  while !continue && !n < Storage.rel_block_limit do
+    if read_u16 t ~blockno:!n ~off:0 > 0 then incr n else continue := false
+  done;
+  t.hblocks <- !n;
+  t
+
 let insert t ~xmin data =
   let need = tuple_header + String.length data in
   if need + 2 > bs - slot_base then invalid_arg "Heap.insert: tuple too large";

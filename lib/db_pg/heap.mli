@@ -18,6 +18,10 @@ type tid = int * int
 
 val create : Storage.t -> rel:string -> t
 
+val recover : Storage.t -> rel:string -> t
+(** Open over recovered storage, rebuilding the volatile block count:
+    the longest prefix of blocks whose [nitems] header is non-zero. *)
+
 val insert : t -> xmin:int -> string -> tid
 
 val fetch : t -> tid -> (int * int * string) option

@@ -1,0 +1,29 @@
+(** Crash redo for the buffered (classic WAL) storage variant. *)
+
+val recover :
+  Msnap_fs.Fs.t -> ?wal_checkpoint_bytes:int -> unit ->
+  Storage.t * int
+(** Replay the WAL's longest intact prefix over a fresh buffered
+    storage; returns it with the number of records applied. The heap
+    files' on-disk bytes are never trusted: every replayed block is
+    rebased from its full-page image first. Raises
+    [Storage.Redo_unsupported] on a log written by a mapped variant. *)
+
+(** {2 Crash recovery ({!Msnap_faults})} *)
+
+type recovered = {
+  rec_storage : Storage.t;
+  rec_heap : Heap.t;
+  rec_fs : Msnap_fs.Fs.t;
+}
+(** A buffered storage rebuilt from a post-crash device by WAL replay,
+    with the tracked relation's heap re-opened over it. *)
+
+val recoverable :
+  table:string -> ?wal_checkpoint_bytes:int -> unit ->
+  (module Msnap_faults.Recoverable.S with type t = recovered)
+(** The crash-recovery contract for the buffered variant: [recover]
+    mounts the FFS volume ([Fs.Mount_error] becomes [Unmountable]) and
+    runs {!recover}; [check] dumps the relation's live tuples as
+    "key=value" rows and compares against the history's candidate
+    steps. *)

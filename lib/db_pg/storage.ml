@@ -7,29 +7,53 @@ module Metrics = Msnap_sim.Metrics
 module Probe = Msnap_sim.Probe
 module Size = Msnap_util.Size
 
+module Wire = Msnap_util.Wire
+
 let rel_block_limit = 4096 (* 32 MiB per relation *)
 let bs = Bufmgr.block_size
 let wal_record_header = 64
 let mmap_arena = 0x6000 lsl 32
 
+(* WAL record layout: u32 magic, u32 flags (bit 0 = carries a full-page
+   image, bit 1 = the image bytes are real — the buffered variant has
+   the post-write block in hand; the mapped variants log a zero image
+   and are not redo-recoverable), u32 blockno, u32 off, u32 len, u16
+   relation-name length, the name, and at offset 56 a u64 checksum over
+   header[0,56) plus payloads, chained from the previous record — redo
+   replays the longest intact prefix. Then [len] delta bytes and, with
+   bit 0, [bs] image bytes. *)
+let wal_magic = 0x5750534D (* "MSPW" *)
+let wal_cksum_seed = 0x70675F77
+let wal_flag_image = 1
+let wal_flag_real = 2
+let wal_name_max = 34
+let wal_file_name = "pg_wal"
+
 type wal = {
   w_fs : Fs.t;
   w_file : Fs.file;
   mutable w_off : int;
+  mutable w_cksum : int; (* chain state after the last appended record *)
   (* Blocks whose full image was already logged since the last
      checkpoint: the full_page_writes bookkeeping. Nested rel -> blockno
      tables so the per-append membership test builds no tuple key; only
      reset/mem/replace are used, so iteration order never matters. *)
   fpw : (string, (int, unit) Hashtbl.t) Hashtbl.t;
   ckpt_bytes : int;
-  mutable w_zeros : Bytes.t; (* shared backing for zero-payload records *)
+  mutable w_scratch : Bytes.t; (* staging for one record *)
 }
 
 let wal_create fs ckpt_bytes =
-  { w_fs = fs; w_file = Fs.open_file fs "pg_wal"; w_off = 0;
-    fpw = Hashtbl.create 16; ckpt_bytes; w_zeros = Bytes.empty }
+  { w_fs = fs; w_file = Fs.open_file fs wal_file_name; w_off = 0;
+    w_cksum = wal_cksum_seed; fpw = Hashtbl.create 16; ckpt_bytes;
+    w_scratch = Bytes.empty }
 
-let wal_append w ~rel ~blockno ~len =
+(* Append one record for a write of [data] at [(rel, blockno, off)].
+   [block] is the whole block after the write (the full-page-write image
+   source) when the variant has it in a buffer; record sizes are
+   identical either way, so the cost model cannot tell. *)
+let wal_append w ~rel ~blockno ~off ~data ~block =
+  let len = Bytes.length data in
   let blocks =
     match Hashtbl.find w.fpw rel with
     | blocks -> blocks
@@ -46,11 +70,38 @@ let wal_append w ~rel ~blockno ~len =
     end
   in
   let rec_len = wal_record_header + len + image in
-  (* The simulated record carries no payload; reference one shared zero
-     buffer instead of allocating per append. *)
-  if Bytes.length w.w_zeros < rec_len then w.w_zeros <- Bytes.make rec_len '\000';
+  if Bytes.length w.w_scratch < rec_len then
+    w.w_scratch <- Bytes.make rec_len '\000';
+  let buf = w.w_scratch in
+  Bytes.fill buf 0 wal_record_header '\000';
+  let name_len = String.length rel in
+  if name_len > wal_name_max then
+    invalid_arg ("Storage: relation name too long for WAL: " ^ rel);
+  let flags =
+    (if image > 0 then wal_flag_image else 0)
+    lor (match block with Some _ -> wal_flag_real | None -> 0)
+  in
+  Wire.set_u32 buf 0 wal_magic;
+  Wire.set_u32 buf 4 flags;
+  Wire.set_u32 buf 8 blockno;
+  Wire.set_u32 buf 12 off;
+  Wire.set_u32 buf 16 len;
+  Wire.set_u16 buf 20 name_len;
+  Bytes.blit_string rel 0 buf 22 name_len;
+  Bytes.blit data 0 buf wal_record_header len;
+  if image > 0 then begin
+    match block with
+    | Some b -> Bytes.blit b 0 buf (wal_record_header + len) bs
+    | None -> Bytes.fill buf (wal_record_header + len) bs '\000'
+  end;
+  let ck =
+    Wire.checksum buf ~pos:wal_record_header ~len:(rec_len - wal_record_header)
+      ~init:(Wire.checksum buf ~pos:0 ~len:56 ~init:w.w_cksum)
+  in
+  Wire.set_u64 buf 56 ck;
+  w.w_cksum <- ck;
   let t0 = Metrics.timed_begin () in
-  Fs.write_sub w.w_fs w.w_file ~off:w.w_off w.w_zeros ~pos:0 ~len:rec_len;
+  Fs.write_sub w.w_fs w.w_file ~off:w.w_off buf ~pos:0 ~len:rec_len;
   Metrics.timed_end Probe.db_write t0;
   w.w_off <- w.w_off + rec_len
 
@@ -60,7 +111,8 @@ let wal_commit w =
 let wal_reset_after_checkpoint w =
   Hashtbl.reset w.fpw;
   Fs.truncate w.w_fs w.w_file 0;
-  w.w_off <- 0
+  w.w_off <- 0;
+  w.w_cksum <- wal_cksum_seed
 
 type mapped_state = {
   m_fs : Fs.t;
@@ -223,14 +275,14 @@ let write t ~rel ~blockno ~off data =
     Sched.cpu (Costs.memcpy len);
     Bytes.blit data 0 b off len;
     Bufmgr.mark_dirty buf ~rel ~blockno;
-    wal_append wal ~rel ~blockno ~len
+    wal_append wal ~rel ~blockno ~off ~data ~block:(Some b)
   | Mapped m ->
     let va = rel_va m ~rel in
     if m.buffer_copies then
       (* ffs-mmap: the write is staged through a buffer page first. *)
       Sched.cpu (Costs.buffer_cache_lookup + Costs.memcpy len);
     Aspace.write m.m_aspace ~va:(va + (blockno * bs) + off) data;
-    wal_append m.m_wal ~rel ~blockno ~len
+    wal_append m.m_wal ~rel ~blockno ~off ~data ~block:None
   | Region rs ->
     let md = region_of rs ~rel in
     Msnap.write rs.k md ~off:((blockno * bs) + off) data
@@ -259,3 +311,93 @@ let checkpoint_tick t =
       wal_reset_after_checkpoint m.m_wal
     end
   | Region _ -> ()
+
+(* --- redo hooks (used by {!Redo}) --- *)
+
+type wal_record = {
+  r_rel : string;
+  r_blockno : int;
+  r_off : int;
+  r_delta : Bytes.t;
+  r_image : Bytes.t option; (* [Some] iff a real full-page image *)
+  r_end : int; (* file offset just past this record *)
+  r_cksum : int; (* chain state after this record *)
+}
+
+exception Redo_unsupported of string
+
+(* Parse the record at [off], whose predecessor left chain state
+   [cksum]. [None] when the file ends or the record fails validation.
+   Raises [Redo_unsupported] on a record whose image bytes were not
+   logged (the mapped variants). *)
+let wal_read_record fs file ~off ~cksum =
+  let fsize = Fs.size fs file in
+  if off + wal_record_header > fsize then None
+  else begin
+    let hdr = Bytes.create wal_record_header in
+    Fs.read_into fs file ~off hdr ~pos:0 ~len:wal_record_header;
+    if Wire.get_u32 hdr 0 <> wal_magic then None
+    else begin
+      let flags = Wire.get_u32 hdr 4 in
+      let blockno = Wire.get_u32 hdr 8 in
+      let woff = Wire.get_u32 hdr 12 in
+      let len = Wire.get_u32 hdr 16 in
+      let name_len = Wire.get_u16 hdr 20 in
+      let image = if flags land wal_flag_image <> 0 then bs else 0 in
+      let rec_len = wal_record_header + len + image in
+      if
+        name_len > wal_name_max || woff + len > bs
+        || blockno >= rel_block_limit || off + rec_len > fsize
+      then None
+      else begin
+        let payload = Bytes.create (len + image) in
+        Fs.read_into fs file ~off:(off + wal_record_header) payload ~pos:0
+          ~len:(len + image);
+        let ck =
+          Wire.checksum payload ~pos:0 ~len:(len + image)
+            ~init:(Wire.checksum hdr ~pos:0 ~len:56 ~init:cksum)
+        in
+        if Wire.get_u64 hdr 56 <> ck then None
+        else if image > 0 && flags land wal_flag_real = 0 then
+          raise
+            (Redo_unsupported
+               "pg WAL written by a mapped variant carries no images")
+        else
+          Some
+            {
+              r_rel = Bytes.sub_string hdr 22 name_len;
+              r_blockno = blockno;
+              r_off = woff;
+              r_delta = Bytes.sub payload 0 len;
+              r_image =
+                (if image > 0 then Some (Bytes.sub payload len bs) else None);
+              r_end = off + rec_len;
+              r_cksum = ck;
+            }
+      end
+    end
+  end
+
+(* A redo write: lands in the buffer pool like a normal write but logs
+   nothing. Buffered variant only. *)
+let redo_apply t ~rel ~blockno ~off data =
+  check_block blockno;
+  match t.v with
+  | Buffered { buf; _ } ->
+    let len = Bytes.length data in
+    let b = Bufmgr.read_buffer buf ~rel ~blockno in
+    Sched.cpu (Costs.memcpy len);
+    Bytes.blit data 0 b off len;
+    Bufmgr.mark_dirty buf ~rel ~blockno
+  | Mapped _ | Region _ -> invalid_arg "Storage.redo_apply: buffered only"
+
+(* Restore the WAL appender to the end of the replayed prefix so the
+   recovered storage can keep committing. The full-page-write table is
+   left empty: the first post-recovery touch of any block re-images it,
+   as PostgreSQL does after crash redo. *)
+let redo_restore_wal t ~off ~cksum =
+  match t.v with
+  | Buffered { wal; _ } ->
+    wal.w_off <- off;
+    wal.w_cksum <- cksum
+  | Mapped _ | Region _ -> invalid_arg "Storage.redo_restore_wal: buffered only"

@@ -51,3 +51,29 @@ val checkpoint_tick : t -> unit
 val rel_block_limit : int
 (** Maximum blocks per relation (fixed mapping size for the direct
     variants). *)
+
+(**/**)
+
+(** Redo hooks — the {!Redo} driver's interface to the WAL format. *)
+
+type wal_record = {
+  r_rel : string;
+  r_blockno : int;
+  r_off : int;
+  r_delta : Bytes.t;
+  r_image : Bytes.t option;
+  r_end : int;
+  r_cksum : int;
+}
+
+exception Redo_unsupported of string
+
+val wal_file_name : string
+val wal_cksum_seed : int
+
+val wal_read_record :
+  Msnap_fs.Fs.t -> Msnap_fs.Fs.file -> off:int -> cksum:int ->
+  wal_record option
+
+val redo_apply : t -> rel:string -> blockno:int -> off:int -> Bytes.t -> unit
+val redo_restore_wal : t -> off:int -> cksum:int -> unit

@@ -4,6 +4,10 @@ module Aurora = Msnap_aurora.Aurora
 module Sync = Msnap_sim.Sync
 module Metrics = Msnap_sim.Metrics
 module Probe = Msnap_sim.Probe
+module Store = Msnap_objstore.Store
+module Phys = Msnap_vm.Phys
+module Aspace = Msnap_vm.Aspace
+module Recoverable = Msnap_faults.Recoverable
 
 type backend =
   | Baseline of Msnap_fs.Fs.t
@@ -113,13 +117,6 @@ let open_state ~recovering ?(config = default_config) backend ~name =
 
 let open_db ?config backend ~name =
   { st = open_state ~recovering:false ?config backend ~name; db_name = name }
-
-let recover ?config backend ~name =
-  match backend with
-  | Baseline _ ->
-    invalid_arg "Rocks.recover: baseline recovery (WAL replay) not modelled"
-  | Memsnap _ | Aurora _ ->
-    { st = open_state ~recovering:true ?config backend ~name; db_name = name }
 
 (* --- baseline paths --- *)
 
@@ -279,3 +276,45 @@ let backend_label t =
 
 let flushes t = match t.st with B b -> b.n_flushes | R _ -> 0
 let compactions t = match t.st with B b -> Lsm.compactions b.lsm | R _ -> 0
+
+(* --- crash recovery --- *)
+
+type recovered = { db : t; teardown : unit -> unit }
+
+(* The full recovered state, sorted by key — what a history step records. *)
+let dump db = seek db "" ~n:max_int
+
+let recoverable ?(config = default_config) ~name () =
+  (module struct
+    type t = recovered
+
+    let label = "rocks"
+
+    (* Rebuild the whole machine from the raw post-crash device: mount
+       the object store, boot a fresh MemSnap kernel over it, remap the
+       region and recompute the skip pointers from the persisted list.
+       The baseline would replay its WAL; recovery is only modelled for
+       the region-backed design, which is what the paper's crash
+       experiments exercise. *)
+    let recover dev =
+      let phys = Phys.create () in
+      let aspace = Aspace.create phys in
+      let store =
+        try Store.mount dev
+        with Store.Corrupt msg ->
+          Phys.dispose phys;
+          raise (Recoverable.Unmountable msg)
+      in
+      let k = Msnap.init ~store in
+      Msnap.attach k aspace;
+      let db =
+        { st = open_state ~recovering:true ~config (Memsnap k) ~name;
+          db_name = name }
+      in
+      { db; teardown = (fun () -> Phys.dispose phys) }
+
+    let check r history =
+      Recoverable.check_state ~label history (dump r.db)
+
+    let dispose r = r.teardown ()
+  end : Msnap_faults.Recoverable.S with type t = recovered)

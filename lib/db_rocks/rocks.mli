@@ -29,11 +29,21 @@ val default_config : config
 
 val open_db : ?config:config -> backend -> name:string -> t
 
-val recover : ?config:config -> backend -> name:string -> t
-(** Re-open after a crash: Memsnap/Aurora rebuild the skip list from the
-    persisted region (skip pointers recomputed). The baseline would replay
-    its WAL; recovery is only implemented for the region-backed designs,
-    which are what the paper's crash experiments exercise. *)
+type recovered = { db : t; teardown : unit -> unit }
+(** A database rebuilt from a post-crash device, with the host-side
+    teardown for the machine [recover] booted around it. *)
+
+val recoverable :
+  ?config:config -> name:string -> unit ->
+  (module Msnap_faults.Recoverable.S with type t = recovered)
+(** The crash-recovery contract for the MemSnap-backed design: [recover]
+    mounts the object store on the raw device, boots a fresh kernel,
+    remaps the region and rebuilds the skip pointers from the persisted
+    list ({!Msnap_faults.Recoverable.Unmountable} when no valid
+    superblock survives). [check] compares the full key-value contents
+    against the history's candidate steps. The baseline would replay its
+    WAL; recovery is only modelled for the region-backed design, which
+    is what the paper's crash experiments exercise. *)
 
 val put : t -> key:string -> value:string -> unit
 val put_batch : t -> (string * string) list -> unit

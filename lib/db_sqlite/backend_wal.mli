@@ -13,6 +13,12 @@ type t
 
 val create : Msnap_fs.Fs.t -> db_name:string -> ?checkpoint_threshold:int -> unit -> t
 
+val recover : Msnap_fs.Fs.t -> db_name:string -> ?checkpoint_threshold:int -> unit -> t
+(** Open over a crash-recovered file system: rebuilds the WAL index
+    from the log's longest intact checksum-chained prefix, applying
+    frames only up to the last commit-flagged one — a transaction with
+    a torn tail contributes nothing. *)
+
 val backend : t -> Pager.backend
 
 val checkpoints_done : t -> int

@@ -1,0 +1,55 @@
+(** The crash-schedule model checker: record one crash-free run of a
+    scripted workload, then systematically crash it at every durable
+    boundary (with seeded torn tails) and demand that the engine's
+    recovery lands on a candidate step of the value history.
+
+    Every crash point is the replayable integer pair
+    [(prefix, torn_seed)]; checking is deterministic host work, so a
+    [-j] run produces bit-for-bit the serial report. *)
+
+type workload = {
+  w_name : string;
+  w_device : unit -> Msnap_blockdev.Device.t;
+  w_run :
+    Msnap_blockdev.Device.t -> Msnap_blockdev.Record.t -> History.t;
+  w_recoverable : (module Recoverable.S);
+}
+
+type failure = { f_prefix : int; f_torn_seed : int; f_msg : string }
+
+type report = {
+  r_workload : string;
+  r_boundaries : int;
+  r_steps : int;
+  r_points : int;
+  r_failures : failure list;
+}
+
+type opts = {
+  seeds : int list;
+  max_points : int;
+  sample_seed : int;
+  jobs : int;
+}
+
+val default_opts : opts
+(** [{seeds = [1;2;3]; max_points = 600; sample_seed = 1; jobs = 0}] *)
+
+val record_run :
+  workload -> Msnap_blockdev.Record.t * History.t
+(** The recording pass alone (one [Sched.run]); exposed for tests. *)
+
+val points : boundaries:int -> opts:opts -> (int * int) list
+(** The crash points the checker will visit, canonical order:
+    exhaustive cross product when it fits [max_points], else a seeded
+    reservoir sample. *)
+
+val check_point :
+  workload -> Msnap_blockdev.Record.t -> History.t ->
+  prefix:int -> torn_seed:int -> failure option
+(** Check one crash point in its own simulation cell. *)
+
+val run : ?opts:opts -> workload -> report
+
+val pp_failure : string -> failure -> string
+val pp_report : report -> string

@@ -1,0 +1,15 @@
+(** Offline reconstruction of post-crash media images.
+
+    Replays a recorded schedule's committed payloads and seeded torn
+    tails onto a fresh device, producing bytes identical to a live
+    [Device.fail_power ~torn_seed] at the same boundary (pinned by the
+    parity property in [test/test_faults.ml]). Host work only. *)
+
+val materialize :
+  Msnap_blockdev.Record.t -> prefix:int -> torn_seed:int ->
+  Msnap_blockdev.Device.t -> unit
+(** [materialize record ~prefix ~torn_seed dev] rebuilds onto [dev] the
+    exact media image of a power failure at recorded boundary [prefix]
+    with the given tear seed. [dev] must be a fresh device with the
+    recorded run's geometry. Raises [Invalid_argument] when [prefix] is
+    out of range. *)

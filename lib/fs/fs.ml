@@ -68,14 +68,20 @@ type t = {
   alloc : Balloc.t;
   files : (string, file) Hashtbl.t;
   mutable journal_cursor : int; (* device block within the journal area *)
+  mutable txn_seq : int; (* FFS: last journal transaction sequence *)
+  mutable meta_slot : int; (* FFS: next snapshot slot (0 or 1) *)
   mutable lru_clock : int;
   mutable capacity : int; (* cache capacity in fs blocks, across files *)
   mutable cached_count : int;
   fsync_lock : Sync.Mutex.t;
   mutable scratch_zeros : Bytes.t;
-      (* shared all-zero backing for journal records, indirect blocks and
-         metadata padding: those writes carry zeros, so every command can
+      (* shared all-zero backing for ZFS intent records, indirect blocks
+         and padding: those writes carry zeros, so every command can
          reference one read-only buffer instead of allocating. *)
+  mutable scratch_journal : Bytes.t;
+      (* staging for FFS journal records and commit records: real
+         content, same write sizes as the zero-filled records had. Users
+         write synchronously under [fsync_lock], so one buffer serves. *)
   mutable s_disk_bytes : int;
   mutable s_rmw_reads : int;
 }
@@ -92,11 +98,14 @@ let mkfs dev ~kind =
         ~reserved:reserved_blocks;
     files = Hashtbl.create 16;
     journal_cursor = meta_blocks;
+    txn_seq = 0;
+    meta_slot = 0;
     lru_clock = 0;
     capacity = 2048;
     cached_count = 0;
     fsync_lock = Sync.Mutex.create ();
     scratch_zeros = Bytes.empty;
+    scratch_journal = Bytes.empty;
     s_disk_bytes = 0;
     s_rmw_reads = 0;
   }
@@ -159,8 +168,10 @@ let zero_slice t n =
   end;
   Slice.make t.scratch_zeros ~pos:0 ~len:n
 
-let journal_write t nbytes =
-  (* Sequential append into the journal ring. *)
+(* Claim [blocks] ring blocks for a record of [nbytes] logical bytes,
+   wrapping when the tail doesn't fit. Returns the device byte offset;
+   every record therefore starts on a device-block boundary. *)
+let journal_place t nbytes =
   if Trace.is_on () then
     Trace.instant Probe.fs_journal ~argi:("bytes", nbytes);
   let blocks = max 1 ((nbytes + dev_bs - 1) / dev_bs) in
@@ -168,13 +179,104 @@ let journal_write t nbytes =
     t.journal_cursor <- meta_blocks;
   let off = t.journal_cursor * dev_bs in
   t.journal_cursor <- t.journal_cursor + blocks;
+  (off, blocks)
+
+(* ZFS intent log: content-free, as before. *)
+let journal_write t nbytes =
+  let off, blocks = journal_place t nbytes in
   dev_write t ~off (zero_slice t (blocks * dev_bs))
 
-let journal_commit t =
+let journal_scratch t n =
+  if Bytes.length t.scratch_journal < n then begin
+    Pool.recycle t.scratch_journal;
+    t.scratch_journal <- Pool.alloc_zeroed n
+  end;
+  Bytes.fill t.scratch_journal 0 n '\000';
+  t.scratch_journal
+
+(* --- FFS journal record formats ---
+
+   The ring holds, per transaction [seq], [n] 128-byte intent entries
+   (packed into whole device blocks) followed by one 512-byte commit
+   record in its own block. Only commit records matter to recovery: the
+   transaction's data and inode writes complete strictly before the
+   commit record is issued, so a durable commit record implies durable
+   data — FFS transactions are valid iff their commit record is intact,
+   and the 512-byte record is sector-atomic under torn writes. Intent
+   entries exist for media realism (and debugging) only.
+
+   Write sizes are exactly those of the old zero-filled records, but
+   the commit record now occupies its own ring block (the old cursor
+   never advanced past it, so the next transaction overwrote it — fatal
+   once recovery actually reads them). The extra block per transaction
+   shifts subsequent ring offsets, and on a stripe the offset picks the
+   member disk, so FFS-heavy latencies move by a hair vs the
+   pre-journal-format baseline. That is a semantic fix, not drift:
+   within this format, all simulated values are deterministic as
+   ever. *)
+
+let entry_magic = 0x4645534A (* "JSEF" *)
+let commit_magic = 0x4643534A (* "JSCF" *)
+let commit_name_max = 120
+let commit_maps_off = 146
+let commit_cksum_off = 504
+let commit_maps_max = (commit_cksum_off - commit_maps_off) / 8 (* 44 *)
+let commit_overflow = 0xFFFFFFFF
+
+module Wire = Msnap_util.Wire
+
+(* Intent entries for one transaction: n * 128 logical bytes. *)
+let journal_entries t ~seq dirty =
+  let n = List.length dirty in
+  let off, blocks = journal_place t (n * 128) in
+  let buf = journal_scratch t (blocks * dev_bs) in
+  List.iteri
+    (fun ord (idx, _) ->
+      let p = ord * 128 in
+      (* Entries past the first device block of a huge transaction are
+         truncated silently: recovery never reads them. *)
+      if p + 128 <= blocks * dev_bs then begin
+        Wire.set_u32 buf p entry_magic;
+        Wire.set_u32 buf (p + 4) idx;
+        Wire.set_u64 buf (p + 8) seq;
+        Wire.set_u64 buf (p + 16) ord
+      end)
+    dirty;
+  dev_write t ~off (Slice.make buf ~pos:0 ~len:(blocks * dev_bs))
+
+(* The 512-byte commit record: transaction seq, file name, new size and
+   the transaction's (fs-block -> device-block) mappings. A transaction
+   with more mappings than fit is stamped with an overflow marker —
+   recovery refuses to mount past it rather than replay half a
+   transaction. *)
+let journal_commit t ~seq f dirty =
   if t.journal_cursor >= meta_blocks + journal_blocks then
     t.journal_cursor <- meta_blocks;
   let off = t.journal_cursor * dev_bs in
-  dev_write t ~off (zero_slice t 512)
+  t.journal_cursor <- t.journal_cursor + 1;
+  let buf = journal_scratch t 512 in
+  let nmaps = List.length dirty in
+  Wire.set_u32 buf 0 commit_magic;
+  Wire.set_u64 buf 8 seq;
+  Wire.set_u64 buf 16 f.f_size;
+  let name_len = String.length f.f_name in
+  if name_len > commit_name_max then
+    invalid_arg ("Fs: file name too long for journal: " ^ f.f_name);
+  Wire.set_u16 buf 24 name_len;
+  Bytes.blit_string f.f_name 0 buf 26 name_len;
+  if nmaps > commit_maps_max then Wire.set_u32 buf 4 commit_overflow
+  else begin
+    Wire.set_u32 buf 4 nmaps;
+    List.iteri
+      (fun i (idx, _) ->
+        let first = Hashtbl.find f.f_blocks idx in
+        Wire.set_u32 buf (commit_maps_off + (i * 8)) idx;
+        Wire.set_u32 buf (commit_maps_off + (i * 8) + 4) first)
+      dirty
+  end;
+  Wire.set_u64 buf commit_cksum_off
+    (Wire.checksum buf ~pos:0 ~len:commit_cksum_off);
+  dev_write t ~off (Slice.make buf ~pos:0 ~len:512)
 
 (* --- buffer cache --- *)
 
@@ -451,7 +553,9 @@ let ensure_allocated t f idx =
 let fsync_ffs t f dirty =
   let n = List.length dirty in
   Sched.cpu (n * Costs.journal_entry);
-  journal_write t (n * 128);
+  let seq = t.txn_seq + 1 in
+  t.txn_seq <- seq;
+  journal_entries t ~seq dirty;
   (* Soft-updates dependency ordering allows only shallow overlap. *)
   let qd = 2 in
   let pending = ref [] in
@@ -485,7 +589,7 @@ let fsync_ffs t f dirty =
   flush_pending ();
   (* Inode + block bitmap update, then the journal commit record. *)
   dev_write t ~off:0 (zero_slice t dev_bs);
-  journal_commit t
+  journal_commit t ~seq f dirty
 
 (* ZFS: intent log for small syncs, then COW data, indirect chain and
    uberblock. *)
@@ -628,11 +732,88 @@ let msync t f =
     Trace.complete Probe.fs_msync ~dur:(Sched.now () - trace_t0)
       ~args:[ ("file", Trace.S f.f_name) ]
 
-(* --- metadata --- *)
+(* --- metadata ---
+
+   The inode-table snapshot is a real parseable record now, written
+   into one of two alternating slots (device blocks 1 and 32) so a
+   crash mid-snapshot always leaves the previous one intact. The write
+   size is still derived from the legacy string serialization, so
+   existing callers issue byte-for-byte the same IO they always did;
+   only the payload and (between slots) the offset differ, neither of
+   which a simulated value depends on. *)
+
+let snap_magic = 0x50534E46 (* "FNSP" *)
+let snap_flag_overflow = 1
+let snap_header = 28
+let snap_slot_cap = 31 * dev_bs (* slots at blocks 1 and 32 *)
+
+(* Mappings of [f] as (first fs-block idx, first device block, count)
+   extents, idx-sorted. *)
+let extents_of t f =
+  let step = t.bs / dev_bs in
+  let maps =
+    List.sort compare
+      (Hashtbl.fold (fun idx first acc -> (idx, first) :: acc) f.f_blocks [])
+  in
+  List.rev
+    (List.fold_left
+       (fun acc (idx, first) ->
+         match acc with
+         | (i0, f0, n) :: tl when idx = i0 + n && first = f0 + (n * step) ->
+           (i0, f0, n + 1) :: tl
+         | _ -> (idx, first, 1) :: acc)
+       [] maps)
+
+(* Fill [buf] with the snapshot record: header, name-sorted file table,
+   trailing checksum. A table that does not fit leaves an empty,
+   overflow-flagged (hence unusable for recovery) snapshot. *)
+let encode_snapshot t buf =
+  let cap = Bytes.length buf in
+  let names =
+    List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) t.files [])
+  in
+  let pos = ref snap_header in
+  let ok = ref true in
+  List.iter
+    (fun name ->
+      if !ok then begin
+        let f = Hashtbl.find t.files name in
+        let exts = extents_of t f in
+        let need = 2 + String.length name + 8 + 4 + (12 * List.length exts) in
+        if !pos + need + 8 > cap then ok := false
+        else begin
+          let p = !pos in
+          Wire.set_u16 buf p (String.length name);
+          Bytes.blit_string name 0 buf (p + 2) (String.length name);
+          let p = p + 2 + String.length name in
+          Wire.set_u64 buf p f.f_size;
+          Wire.set_u32 buf (p + 8) (List.length exts);
+          List.iteri
+            (fun i (idx, first, count) ->
+              let q = p + 12 + (i * 12) in
+              Wire.set_u32 buf q idx;
+              Wire.set_u32 buf (q + 4) first;
+              Wire.set_u32 buf (q + 8) count)
+            exts;
+          pos := !pos + need
+        end
+      end)
+    names;
+  if not !ok then begin
+    Bytes.fill buf 0 cap '\000';
+    pos := snap_header
+  end;
+  Wire.set_u32 buf 0 snap_magic;
+  Wire.set_u32 buf 4 (if !ok then 0 else snap_flag_overflow);
+  Wire.set_u64 buf 8 t.txn_seq;
+  Wire.set_u32 buf 16 (if !ok then List.length names else 0);
+  Wire.set_u32 buf 20 t.journal_cursor;
+  Wire.set_u32 buf 24 !pos;
+  Wire.set_u64 buf !pos (Wire.checksum buf ~pos:0 ~len:!pos)
 
 let sync_meta t =
-  (* Serialize the inode table into the metadata area. The exact encoding
-     is irrelevant to the cost model; the IO is what matters. *)
+  (* The legacy string serialization still determines the IO size — the
+     cost model is pinned by it. *)
   let buf = Buffer.create 4096 in
   Hashtbl.iter
     (fun name f ->
@@ -645,10 +826,196 @@ let sync_meta t =
   Fun.protect
     ~finally:(fun () -> Pool.recycle data)
     (fun () ->
-      Bytes.blit_string (Buffer.contents buf) 0 data 0 len;
+      encode_snapshot t data;
+      let off =
+        if Bytes.length data <= snap_slot_cap then begin
+          let slot = t.meta_slot in
+          t.meta_slot <- 1 - slot;
+          if slot = 0 then dev_bs else 32 * dev_bs
+        end
+        else dev_bs (* legacy-size monster snapshot: single slot *)
+      in
       (* [dev_write] commits before returning, so the staging buffer can
          go straight back to the pool. *)
-      dev_write t ~off:dev_bs (Slice.of_bytes data))
+      dev_write t ~off (Slice.of_bytes data))
+
+(* --- mount / recovery (FFS) --- *)
+
+exception Mount_error of string
+
+let mount_error fmt = Printf.ksprintf (fun s -> raise (Mount_error s)) fmt
+
+(* (seq, cursor, slot, files) of a valid non-overflow snapshot. *)
+let parse_snapshot buf ~slot =
+  let len = Bytes.length buf in
+  if len < snap_header + 8 then None
+  else if Wire.get_u32 buf 0 <> snap_magic then None
+  else
+    let content_len = Wire.get_u32 buf 24 in
+    if content_len < snap_header || content_len + 8 > len then None
+    else if
+      Wire.get_u64 buf content_len
+      <> Wire.checksum buf ~pos:0 ~len:content_len
+    then None
+    else if Wire.get_u32 buf 4 land snap_flag_overflow <> 0 then None
+    else begin
+      let nfiles = Wire.get_u32 buf 16 in
+      let pos = ref snap_header in
+      let files = ref [] in
+      (try
+         for _ = 1 to nfiles do
+           let name_len = Wire.get_u16 buf !pos in
+           let name = Bytes.sub_string buf (!pos + 2) name_len in
+           let p = !pos + 2 + name_len in
+           let size = Wire.get_u64 buf p in
+           let nexts = Wire.get_u32 buf (p + 8) in
+           let exts =
+             List.init nexts (fun i ->
+                 let q = p + 12 + (i * 12) in
+                 (Wire.get_u32 buf q, Wire.get_u32 buf (q + 4),
+                  Wire.get_u32 buf (q + 8)))
+           in
+           files := (name, size, exts) :: !files;
+           pos := p + 12 + (nexts * 12)
+         done
+       with Invalid_argument _ -> files := []);
+      Some
+        (Wire.get_u64 buf 8, Wire.get_u32 buf 20, slot, List.rev !files)
+    end
+
+type commit_rec = {
+  jc_seq : int;
+  jc_block : int; (* device block holding the record *)
+  jc_name : string;
+  jc_size : int;
+  jc_maps : (int * int) list option; (* None = overflow marker *)
+}
+
+let parse_commit buf ~pos ~block =
+  if Wire.get_u32 buf pos <> commit_magic then None
+  else if
+    Wire.get_u64 buf (pos + commit_cksum_off)
+    <> Wire.checksum buf ~pos ~len:commit_cksum_off
+  then None
+  else begin
+    let nmaps = Wire.get_u32 buf (pos + 4) in
+    let name_len = Wire.get_u16 buf (pos + 24) in
+    if name_len > commit_name_max then None
+    else
+      let maps =
+        if nmaps = commit_overflow then None
+        else
+          Some
+            (List.init nmaps (fun i ->
+                 let q = pos + commit_maps_off + (i * 8) in
+                 (Wire.get_u32 buf q, Wire.get_u32 buf (q + 4))))
+      in
+      Some
+        {
+          jc_seq = Wire.get_u64 buf (pos + 8);
+          jc_block = block;
+          jc_name = Bytes.sub_string buf (pos + 26) name_len;
+          jc_size = Wire.get_u64 buf (pos + 16);
+          jc_maps = maps;
+        }
+  end
+
+(* Mount an FFS image: newest intact metadata snapshot, plus the replay
+   of every committed journal transaction younger than it. Fails loudly
+   ([Mount_error]) when acknowledged transactions cannot be
+   reconstructed — a seq gap (ring wrap past un-snapshotted commits) or
+   an overflow commit record in the replay range. A blank device mounts
+   as an empty file system. *)
+let mount dev ~kind =
+  if kind <> Ffs then invalid_arg "Fs.mount: recovery is FFS-only";
+  Sched.cpu (Costs.syscall + Costs.vfs_call);
+  let t = mkfs dev ~kind in
+  let step = t.bs / dev_bs in
+  (* Newest usable snapshot from the two slots (slot 0 may legacy-spill
+     past slot 1's blocks, so read its full possible extent). *)
+  let snap =
+    let s0 =
+      parse_snapshot (Device.read dev ~off:dev_bs ~len:((meta_blocks - 1) * dev_bs)) ~slot:0
+    in
+    let s1 =
+      parse_snapshot (Device.read dev ~off:(32 * dev_bs) ~len:(32 * dev_bs)) ~slot:1
+    in
+    match (s0, s1) with
+    | None, s | s, None -> s
+    | Some ((q0, _, _, _) as a), Some ((q1, _, _, _) as b) ->
+      Some (if q0 > q1 then a else b)
+  in
+  let snap_seq, snap_cursor, snap_slot =
+    match snap with
+    | None -> (0, meta_blocks, None)
+    | Some (seq, cursor, slot, files) ->
+      List.iter
+        (fun (name, size, exts) ->
+          let f = open_file t name in
+          f.f_size <- size;
+          List.iter
+            (fun (idx, first, count) ->
+              for k = 0 to count - 1 do
+                Hashtbl.replace f.f_blocks (idx + k) (first + (k * step));
+                for j = 0 to step - 1 do
+                  Balloc.mark_allocated t.alloc (first + (k * step) + j)
+                done
+              done)
+            exts)
+        files;
+      (seq, cursor, Some slot)
+  in
+  (* Scan the whole ring for intact commit records. *)
+  let jbuf =
+    Device.read dev ~off:(meta_blocks * dev_bs) ~len:(journal_blocks * dev_bs)
+  in
+  let records = ref [] in
+  for b = 0 to journal_blocks - 1 do
+    match parse_commit jbuf ~pos:(b * dev_bs) ~block:(meta_blocks + b) with
+    | Some r -> records := r :: !records
+    | None -> ()
+  done;
+  let newer =
+    List.sort
+      (fun a b -> compare a.jc_seq b.jc_seq)
+      (List.filter (fun r -> r.jc_seq > snap_seq) !records)
+  in
+  (* Acked transactions must replay completely and in order. *)
+  let expect = ref (snap_seq + 1) in
+  List.iter
+    (fun r ->
+      if r.jc_seq <> !expect then
+        mount_error "journal gap: expected txn %d, found %d (snapshot at %d)"
+          !expect r.jc_seq snap_seq;
+      incr expect;
+      match r.jc_maps with
+      | None ->
+        mount_error "journal txn %d overflowed its commit record" r.jc_seq
+      | Some maps ->
+        let f = open_file t r.jc_name in
+        f.f_size <- r.jc_size;
+        List.iter
+          (fun (idx, first) ->
+            Hashtbl.replace f.f_blocks idx first;
+            for j = 0 to step - 1 do
+              Balloc.mark_allocated t.alloc (first + j)
+            done)
+          maps)
+    newer;
+  (match List.rev newer with
+  | last :: _ ->
+    t.txn_seq <- last.jc_seq;
+    t.journal_cursor <- last.jc_block + 1
+  | [] ->
+    t.txn_seq <- snap_seq;
+    t.journal_cursor <-
+      (if snap_cursor >= meta_blocks && snap_cursor <= meta_blocks + journal_blocks
+       then snap_cursor
+       else meta_blocks));
+  (match snap_slot with
+  | Some slot -> t.meta_slot <- 1 - slot
+  | None -> t.meta_slot <- 0);
+  t
 
 (* End-of-run teardown: every cache block and the zero scratch go back to
    the buffer pool. The filesystem must never be used again. *)
@@ -659,7 +1026,38 @@ let dispose t =
   Hashtbl.reset t.files;
   t.cached_count <- 0;
   Pool.recycle t.scratch_zeros;
-  t.scratch_zeros <- Bytes.empty
+  t.scratch_zeros <- Bytes.empty;
+  Pool.recycle t.scratch_journal;
+  t.scratch_journal <- Bytes.empty
 
 let debug_resident _t f =
   Hashtbl.fold (fun idx cb acc -> Printf.sprintf "%d(lru%d,%b) %s" idx cb.cb_lru cb.cb_dirty acc) f.f_cache ""
+
+(* --- crash recovery contract --- *)
+
+let recoverable ~kind ~files =
+  (module struct
+    type nonrec t = t
+
+    let label = "fs"
+
+    let recover dev =
+      try mount dev ~kind
+      with Mount_error msg -> raise (Msnap_faults.Recoverable.Unmountable msg)
+
+    (* The recovered state is each tracked file's full contents: the FFS
+       journal replays whole transactions, so every file must read back
+       exactly as it did after some acked fsync. *)
+    let check fs history =
+      let state =
+        List.map
+          (fun name ->
+            let f = open_file fs name in
+            let n = size fs f in
+            (name, Bytes.to_string (read fs f ~off:0 ~len:n)))
+          files
+      in
+      Msnap_faults.Recoverable.check_state ~label history state
+
+    let dispose = dispose
+  end : Msnap_faults.Recoverable.S with type t = t)

@@ -20,8 +20,14 @@
 
     Durability model: data blocks genuinely persist to the device at
     [fsync]; the volatile inode table persists on [sync_meta] (called by
-    unmount). Crash-recovery fidelity is a non-goal for the baselines — the
-    paper's crash experiments target MemSnap. *)
+    unmount). FFS additionally journals real commit records (one per
+    fsync transaction) and writes parseable metadata snapshots, so an
+    FFS image can be {!mount}ed after a crash: the newest snapshot plus
+    the committed journal suffix reconstruct every acknowledged
+    transaction's metadata. Data-block contents follow the
+    metadata-journaling model — in-place rewrites of existing blocks are
+    only crash-consistent for append-style workloads (the crash matrix
+    exercises exactly those). ZFS remains recovery-free. *)
 
 type t
 type file
@@ -32,6 +38,16 @@ val mkfs : Msnap_blockdev.Device.t -> kind:kind -> t
 (** Format a file system over any block device (see
     {!Msnap_blockdev.Device}); wrap a raw backend with [Device.of_disk]
     or [Device.of_stripe]. *)
+
+exception Mount_error of string
+(** Acked transactions cannot be reconstructed (journal seq gap past an
+    un-snapshotted commit, or an overflowed commit record). *)
+
+val mount : Msnap_blockdev.Device.t -> kind:kind -> t
+(** Recover an FFS image after a crash: newest intact metadata snapshot
+    plus replay of every younger committed journal transaction. A blank
+    device mounts as an empty file system; inconsistent media raises
+    {!Mount_error}. [kind] must be [Ffs]. *)
 
 val kind : t -> kind
 val fs_block_size : t -> int
@@ -105,3 +121,13 @@ val rmw_reads : t -> int
 
 val debug_resident : t -> file -> string
 (** Resident block indexes, for tests. *)
+
+(** {2 Crash recovery ({!Msnap_faults})} *)
+
+val recoverable :
+  kind:kind -> files:string list ->
+  (module Msnap_faults.Recoverable.S with type t = t)
+(** The crash-recovery contract for the file system itself ([Ffs]
+    only): [recover] is {!mount} ([Mount_error] becomes [Unmountable]);
+    [check] reads back every tracked file's full contents and compares
+    against the history's candidate steps. *)

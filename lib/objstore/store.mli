@@ -89,3 +89,21 @@ val nodes_written : t -> int
 (** Total COW tree nodes written since mount (write-amplification metric). *)
 
 val data_blocks_written : t -> int
+
+(** {2 Crash recovery ({!Msnap_faults})} *)
+
+val tag_page : string -> Bytes.t
+(** A fresh one-block page carrying a length-prefixed tag — what crash
+    workloads commit so {!page_tag} can identify the block's writer. *)
+
+val page_tag : Bytes.t -> string option
+(** [None] when the length prefix is out of range (garbage media). *)
+
+val recoverable :
+  objects:string list -> blocks:int ->
+  (module Msnap_faults.Recoverable.S with type t = t)
+(** The crash-recovery contract for the store itself: [recover] is
+    {!mount} ([Corrupt] becomes [Unmountable]); [check] dumps, for each
+    tracked object, its epoch (pair [("@name", epoch)]) and the tag of
+    every populated block below [blocks] (pair [("name:idx", tag)]),
+    and compares against the history's candidate steps. *)

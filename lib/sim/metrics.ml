@@ -3,9 +3,8 @@ module Histogram = Msnap_util.Histogram
 (* Counters and histograms are domain-local so that experiments running in
    parallel bench domains cannot observe each other's samples. Within a
    domain the behavior is identical to the old process-global tables.
-   Storage is keyed by the probe's wire name, so reports are unchanged
-   whether a value was recorded through a typed probe or the deprecated
-   string API. *)
+   Storage is keyed by the probe's wire name, so two probes that share a
+   name address the same counter regardless of subsystem. *)
 type store = {
   counters : (string, int ref) Hashtbl.t;
   hists : (string, Histogram.t) Hashtbl.t;
@@ -22,13 +21,13 @@ let reset () =
   Hashtbl.reset s.counters;
   Hashtbl.reset s.hists
 
-let incr_s ?(by = 1) name =
+let incr_name ?(by = 1) name =
   let s = store () in
   match Hashtbl.find s.counters name with
   | r -> r := !r + by
   | exception Not_found -> Hashtbl.add s.counters name (ref by)
 
-let count_s name =
+let count_name name =
   match Hashtbl.find_opt (store ()).counters name with
   | Some r -> !r
   | None -> 0
@@ -42,20 +41,20 @@ let get_hist name =
     Hashtbl.add s.hists name h;
     h
 
-let add_sample_s name ns =
-  incr_s name;
+let add_sample_name name ns =
+  incr_name name;
   Histogram.add (get_hist name) ns
 
-let hist_s name = Hashtbl.find_opt (store ()).hists name
-let mean_ns_s name = match hist_s name with Some h -> Histogram.mean h | None -> 0.0
-let samples_s name = match hist_s name with Some h -> Histogram.count h | None -> 0
+let hist_name name = Hashtbl.find_opt (store ()).hists name
+let mean_ns_name name = match hist_name name with Some h -> Histogram.mean h | None -> 0.0
+let samples_name name = match hist_name name with Some h -> Histogram.count h | None -> 0
 
-let incr ?by p = incr_s ?by (Probe.name p)
-let count p = count_s (Probe.name p)
-let add_sample p ns = add_sample_s (Probe.name p) ns
-let hist p = hist_s (Probe.name p)
-let mean_ns p = mean_ns_s (Probe.name p)
-let samples p = samples_s (Probe.name p)
+let incr ?by p = incr_name ?by (Probe.name p)
+let count p = count_name (Probe.name p)
+let add_sample p ns = add_sample_name (Probe.name p) ns
+let hist p = hist_name (Probe.name p)
+let mean_ns p = mean_ns_name (Probe.name p)
+let samples p = samples_name (Probe.name p)
 
 let counters () =
   Hashtbl.fold (fun k v acc -> (k, !v) :: acc) (store ()).counters []
@@ -113,7 +112,6 @@ let timed p f =
   timed_end p t0;
   r
 
-let timed_s name f = timed (Probe.make Probe.Host name) f
 
 (* Mirror buffer-pool activity into the (domain-local) counters, so pool
    behaviour shows up next to every other probe. Installed once at link

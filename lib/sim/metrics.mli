@@ -8,12 +8,9 @@
     Storage is keyed by the probe's wire name, so reported output is
     identical to the historical string-keyed registry.
 
-    State is domain-local — call {!reset} between experiments.
-
-    The [_s] variants take raw string names.
-    @deprecated the [_s] variants are an escape hatch for external
-    experiment code and will be removed after one release; use typed
-    probes ({!Probe.make} for ad-hoc names). *)
+    State is domain-local — call {!reset} between experiments. Every
+    entry point takes a typed {!Probe}; use {!Probe.make} for ad-hoc
+    names (tests, one-off experiments). *)
 
 val reset : unit -> unit
 
@@ -69,13 +66,3 @@ val timed_end : Probe.t -> int -> unit
     [let t0 = timed_begin () in ...; timed_end probe t0]. Not recorded
     if the section raises (same as {!timed}). *)
 
-(** {2 Deprecated string escape hatches} *)
-
-val incr_s : ?by:int -> string -> unit
-val count_s : string -> int
-val add_sample_s : string -> int -> unit
-val hist_s : string -> Msnap_util.Histogram.t option
-val mean_ns_s : string -> float
-val samples_s : string -> int
-val timed_s : string -> (unit -> 'a) -> 'a
-(** [timed_s name] records under [name] with the [Host] subsystem. *)

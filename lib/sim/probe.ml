@@ -133,7 +133,6 @@ module Bucket = struct
   type t = string
 
   let name b = b
-  let of_string s = s
   let user = "user"
   let io = "io"
   let log = "log"

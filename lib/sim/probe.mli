@@ -139,11 +139,6 @@ module Bucket : sig
 
   val name : t -> string
 
-  val of_string : string -> t
-  (** Escape hatch for ad-hoc bucket names.
-      @deprecated prefer the typed constants; this remains for one
-      release so external experiment code can migrate. *)
-
   val user : t          (* "user" *)
   val io : t            (* "io" *)
   val log : t           (* "log" *)

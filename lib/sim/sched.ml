@@ -237,7 +237,7 @@ let cpu ns =
     advance e ns
   end
 
-let with_bucket_s name f =
+let with_bucket_name name f =
   let t = self () in
   let saved = t.acct in
   let saved_cell = t.acct_cell in
@@ -249,7 +249,7 @@ let with_bucket_s name f =
       t.acct_cell <- saved_cell)
     f
 
-let with_bucket b f = with_bucket_s (Probe.Bucket.name b) f
+let with_bucket b f = with_bucket_name (Probe.Bucket.name b) f
 
 let account_report () =
   let e = engine () in

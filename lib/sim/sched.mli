@@ -80,11 +80,6 @@ val with_bucket : Probe.Bucket.t -> (unit -> 'a) -> 'a
 (** Attribute all {!cpu} time spent in the callback (on this thread) to the
     named bucket. Nests; the innermost bucket wins. *)
 
-val with_bucket_s : string -> (unit -> 'a) -> 'a
-(** [with_bucket] with a raw string key.
-    @deprecated use {!with_bucket} with a {!Probe.Bucket} constant (or
-    [Probe.Bucket.of_string]); kept one release for external callers. *)
-
 val bucket : unit -> string
 (** Current bucket name (["user"] at top level). *)
 

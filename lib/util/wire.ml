@@ -1,0 +1,38 @@
+(* Little-endian field codecs plus a 64-bit content checksum for the
+   on-media record formats (FFS journal, sqlite WAL frames, pg WAL
+   records, metadata snapshots). Host-only helpers: encoding and
+   decoding never touch the scheduler. *)
+
+let get_u16 b off = Bytes.get_uint16_le b off
+let set_u16 b off v = Bytes.set_uint16_le b off v
+let get_u32 b off = Int32.to_int (Bytes.get_int32_le b off) land 0xFFFFFFFF
+let set_u32 b off v = Bytes.set_int32_le b off (Int32.of_int v)
+
+(* 62-bit non-negative payloads (sizes, sequence numbers): the sign bit
+   and OCaml's tag bit are never needed on media. *)
+let get_u64 b off = Int64.to_int (Bytes.get_int64_le b off) land max_int
+let set_u64 b off v = Bytes.set_int64_le b off (Int64.of_int v)
+
+let mix64 z =
+  let open Int64 in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+(* splitmix64-fed fold over the bytes, word at a time; the result is a
+   non-negative OCaml int so it round-trips through {!set_u64}. An
+   [init] chains checksums (each WAL frame mixes in its predecessor's). *)
+let checksum ?(init = 0x5DEECE66D) b ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > Bytes.length b then
+    invalid_arg "Wire.checksum";
+  let h = ref (mix64 (Int64.of_int init)) in
+  let word = ref 0 in
+  let full = len / 8 in
+  for i = 0 to full - 1 do
+    h := mix64 (Int64.add !h (Bytes.get_int64_le b (pos + (i * 8))))
+  done;
+  for i = pos + (full * 8) to pos + len - 1 do
+    word := (!word lsl 8) lor Char.code (Bytes.get b i)
+  done;
+  if len mod 8 <> 0 then h := mix64 (Int64.add !h (Int64.of_int !word));
+  Int64.to_int (mix64 (Int64.add !h (Int64.of_int len))) land max_int

@@ -158,7 +158,8 @@ let fig3_reduced () =
                     let p = Rng.int rng region_pages in
                     Msnap.write k md ~off:(p * page) (Bytes.make 32 'm');
                     Sched.delay (Rng.int rng 2000);
-                    Metrics.incr_s "mt.writes"
+                    Metrics.incr
+                      (Msnap_sim.Probe.make Msnap_sim.Probe.Host "mt.writes")
                   done))
         in
         ignore (Msnap.persist k ~region:md ());

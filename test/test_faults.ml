@@ -1,0 +1,235 @@
+(* The crash-schedule checker's foundation: offline image reconstruction
+   must be byte-identical to a live power failure at the same boundary,
+   and recording must never perturb the simulation it observes. *)
+
+module Sched = Msnap_sim.Sched
+module Rng = Msnap_util.Rng
+module Size = Msnap_util.Size
+module Disk = Msnap_blockdev.Disk
+module Stripe = Msnap_blockdev.Stripe
+module Device = Msnap_blockdev.Device
+module Record = Msnap_blockdev.Record
+module History = Msnap_faults.History
+module Image = Msnap_faults.Image
+module Checker = Msnap_faults.Checker
+
+let checki = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+
+let mk_disk () = Device.of_disk (Disk.create ~size:(Size.mib 4) ())
+
+let mk_stripe () =
+  Device.of_stripe
+    (Stripe.create
+       [ Disk.create ~size:(Size.mib 2) (); Disk.create ~size:(Size.mib 2) () ])
+
+(* A deterministic raw-device script with genuine concurrency: three
+   writers with interleaved in-flight commands, so a crash at any
+   boundary tears a non-trivial set of outstanding writes. Flushes are
+   serialized through one mutex ([flush] drains every device channel,
+   so two concurrent drains would deadlock — same discipline the file
+   systems use). Every writer swallows [Powered_off]: the script runs
+   to completion whether or not a live crash fires mid-way. *)
+let script dev =
+  let sectors = Device.size dev / 512 in
+  let flush_lock = Msnap_sim.Sync.Mutex.create () in
+  let writer id =
+    let rng = Rng.create (40 + id) in
+    try
+      for i = 0 to 79 do
+        let nsec = 1 + Rng.int rng 8 in
+        let off = 512 * Rng.int rng (sectors - nsec) in
+        let b = Bytes.make (512 * nsec) (Char.chr (Char.code 'a' + ((id + i) mod 26))) in
+        Device.write dev ~off b;
+        if i mod 9 = id then
+          Msnap_sim.Sync.Mutex.with_lock flush_lock (fun () ->
+              Device.flush dev)
+      done
+    with Disk.Powered_off -> ()
+  in
+  let ts = List.init 3 (fun id -> Sched.spawn (fun () -> writer id)) in
+  List.iter Sched.join ts;
+  try Device.barrier dev with Disk.Powered_off -> ()
+
+(* Raw media of every member disk, concatenated in member order. *)
+let snapshot dev =
+  List.init (Device.members dev) (fun m ->
+      Device.peek dev ~member:m ~off:0
+        ~len:(Device.member_size dev ~member:m))
+
+(* The crash-free recording pass: the schedule history plus the final
+   media image and final virtual time. *)
+let record_pass mk =
+  Sched.run (fun () ->
+      let dev = mk () in
+      let record = Record.create () in
+      Device.attach_record dev record;
+      script dev;
+      Device.detach_record dev;
+      let img = snapshot dev in
+      let now = Sched.now () in
+      Device.dispose dev;
+      (record, img, now))
+
+(* A live armed crash: same script, recorder set to fire the power
+   failure the instant boundary [prefix] lands. *)
+let live_pass mk ~prefix ~torn_seed =
+  Sched.run (fun () ->
+      let dev = mk () in
+      let record = Record.create () in
+      Device.attach_record dev record;
+      Record.arm record ~prefix ~torn_seed;
+      script dev;
+      let fired = Record.fired record in
+      if fired then Device.restore_power dev;
+      Device.detach_record dev;
+      let img = snapshot dev in
+      Device.dispose dev;
+      (fired, img))
+
+(* Offline reconstruction of the same crash from the recorded run. *)
+let offline_pass mk record ~prefix ~torn_seed =
+  Sched.run (fun () ->
+      let dev = mk () in
+      Image.materialize record ~prefix ~torn_seed dev;
+      let img = snapshot dev in
+      Device.dispose dev;
+      img)
+
+let first_diff a b =
+  let rec go m =
+    match m with
+    | [] -> None
+    | (i, x, y) :: tl ->
+      if Bytes.equal x y then go tl
+      else
+        let n = min (Bytes.length x) (Bytes.length y) in
+        let off = ref 0 in
+        while !off < n && Bytes.get x !off = Bytes.get y !off do incr off done;
+        Some (i, !off)
+  in
+  go (List.mapi (fun i (x, y) -> (i, x, y)) (List.combine a b))
+
+(* The parity property pinning [Image.materialize]: for every boundary
+   prefix and torn seed, the reconstructed image equals the live
+   armed-crash image byte for byte. *)
+let prop_image_parity name mk =
+  let record, _, _ = record_pass mk in
+  let boundaries = Record.boundaries record in
+  let open QCheck in
+  let gen =
+    Gen.(
+      let* prefix = int_range 0 (boundaries - 1) in
+      let* torn_seed = int_range 0 999 in
+      return (prefix, torn_seed))
+  in
+  QCheck.Test.make ~count:60
+    ~name:(name ^ ": materialize = live fail_power at every boundary")
+    (make gen)
+    (fun (prefix, torn_seed) ->
+      let fired, live = live_pass mk ~prefix ~torn_seed in
+      let offline = offline_pass mk record ~prefix ~torn_seed in
+      if not fired then
+        QCheck.Test.fail_reportf "arm(%d,%d) never fired" prefix torn_seed;
+      match first_diff live offline with
+      | None -> true
+      | Some (m, off) ->
+        QCheck.Test.fail_reportf
+          "prefix=%d torn_seed=%d: member %d differs at byte %d" prefix
+          torn_seed m off)
+
+(* Recording is host-only observability: a recorded run must leave
+   byte-identical media and the identical virtual clock behind. *)
+let test_recording_is_invisible () =
+  let unrecorded mk =
+    Sched.run (fun () ->
+        let dev = mk () in
+        script dev;
+        let img = snapshot dev in
+        let now = Sched.now () in
+        Device.dispose dev;
+        (img, now))
+  in
+  List.iter
+    (fun (name, mk) ->
+      let _, rec_img, rec_now = record_pass mk in
+      let plain_img, plain_now = unrecorded mk in
+      checki (name ^ " virtual time unchanged by recording") plain_now rec_now;
+      checkb (name ^ " media unchanged by recording") true
+        (first_diff rec_img plain_img = None))
+    [ ("disk", mk_disk); ("stripe", mk_stripe) ]
+
+let test_record_boundaries () =
+  let record, _, _ = record_pass mk_stripe in
+  (* 3 writers x 80 writes, each commit one boundary, plus flushes. *)
+  checkb "every write commit is a boundary" true
+    (Record.boundaries record > 240);
+  checkb "commands recorded" true (Record.commands record >= 240)
+
+let test_materialize_prefix_range () =
+  let record, _, _ = record_pass mk_disk in
+  let boundaries = Record.boundaries record in
+  Sched.run (fun () ->
+      let dev = mk_disk () in
+      checkb "out-of-range prefix rejected" true
+        (match Image.materialize record ~prefix:boundaries ~torn_seed:1 dev with
+        | exception Invalid_argument _ -> true
+        | () -> false);
+      Device.dispose dev)
+
+(* Full-prefix reconstruction = the crash-free final image (modulo the
+   torn tails of commands that never committed, which the barrier at
+   script end drains — so there are none). *)
+let test_materialize_full_prefix () =
+  List.iter
+    (fun (name, mk) ->
+      let record, final, _ = record_pass mk in
+      let img =
+        offline_pass mk record
+          ~prefix:(Record.boundaries record - 1)
+          ~torn_seed:7
+      in
+      checkb (name ^ " full prefix = final image") true
+        (first_diff img final = None))
+    [ ("disk", mk_disk); ("stripe", mk_stripe) ]
+
+(* End-to-end checker smoke on a real engine workload: the serial and
+   parallel runs must produce the identical report, and the invariant
+   must hold at every point. *)
+let test_checker_end_to_end () =
+  let opts = { Checker.default_opts with max_points = 60 } in
+  let w = Msnap_crashwl.Workloads.objstore_workload in
+  let serial = Checker.run ~opts w in
+  let parallel = Checker.run ~opts:{ opts with jobs = 2 } w in
+  checkb "no failures" true (serial.Checker.r_failures = []);
+  checki "points visited" 60 serial.Checker.r_points;
+  checkb "serial = parallel report" true
+    (Checker.pp_report serial = Checker.pp_report parallel)
+
+let () =
+  Alcotest.run "faults"
+    [
+      ( "image-parity",
+        [
+          QCheck_alcotest.to_alcotest (prop_image_parity "disk" mk_disk);
+          QCheck_alcotest.to_alcotest (prop_image_parity "stripe" mk_stripe);
+        ] );
+      ( "recording",
+        [
+          Alcotest.test_case "recording invisible" `Quick
+            test_recording_is_invisible;
+          Alcotest.test_case "boundaries captured" `Quick
+            test_record_boundaries;
+        ] );
+      ( "materialize",
+        [
+          Alcotest.test_case "prefix range" `Quick
+            test_materialize_prefix_range;
+          Alcotest.test_case "full prefix" `Quick
+            test_materialize_full_prefix;
+        ] );
+      ( "checker",
+        [
+          Alcotest.test_case "end to end" `Quick test_checker_end_to_end;
+        ] );
+    ]

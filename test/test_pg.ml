@@ -227,8 +227,8 @@ let test_pg_wal_checkpointing () =
         Pg.with_txn db (fun txn ->
             Pg.insert db txn ~table:"t" ~key:(string_of_int i) data)
       done;
-      checkb "checkpoints ran" true (Msnap_sim.Metrics.count_s "pg_checkpoint" > 0);
-      checkb "wal fsyncs per commit" true (Msnap_sim.Metrics.count_s "fsync" >= 600);
+      checkb "checkpoints ran" true (Msnap_sim.Metrics.count Msnap_sim.Probe.db_pg_checkpoint > 0);
+      checkb "wal fsyncs per commit" true (Msnap_sim.Metrics.count Msnap_sim.Probe.db_fsync >= 600);
       (* Data still correct after checkpoints. *)
       Pg.with_txn db (fun txn ->
           check_opt "row survives" (Some data)
@@ -242,9 +242,9 @@ let test_pg_memsnap_no_wal () =
         Pg.with_txn db (fun txn ->
             Pg.insert db txn ~table:"t" ~key:(string_of_int i) "v")
       done;
-      checki "no wal writes" 0 (Msnap_sim.Metrics.count_s "write");
-      checki "no fsync" 0 (Msnap_sim.Metrics.count_s "fsync");
-      checkb "persists instead" true (Msnap_sim.Metrics.count_s "memsnap" >= 50))
+      checki "no wal writes" 0 (Msnap_sim.Metrics.count Msnap_sim.Probe.db_write);
+      checki "no fsync" 0 (Msnap_sim.Metrics.count Msnap_sim.Probe.db_fsync);
+      checkb "persists instead" true (Msnap_sim.Metrics.count Msnap_sim.Probe.db_memsnap >= 50))
 
 let test_pg_write_amplification_gap () =
   Sched.run (fun () ->

@@ -277,10 +277,12 @@ let test_rocks_memsnap_recovery () =
       for i = 0 to 299 do
         Rocks.put db ~key:(Printf.sprintf "%05d" i) ~value:(string_of_int i)
       done;
-      let k2 = mk_msnap ~format:false dev in
-      let db2 = Rocks.recover ~config:small_config (Rocks.Memsnap k2) ~name:"db" in
+      let module RR = (val Rocks.recoverable ~config:small_config ~name:"db" ()) in
+      let r = RR.recover dev in
+      let db2 = r.Rocks.db in
       checki "count" 300 (Rocks.count db2);
-      check_opt "value" (Some "123") (Rocks.get db2 "00123"))
+      check_opt "value" (Some "123") (Rocks.get db2 "00123");
+      RR.dispose r)
     ()
 
 (* §7.2's torture test: concurrent increment transactions, then verify
@@ -365,11 +367,13 @@ let test_increment_crash_consistency () =
          batch commits atomically, the recovered sum is the number of
          committed increments — necessarily <= issued ones, and readable
          without corruption. *)
-      let k2 = mk_msnap ~format:false dev in
-      let db2 = Rocks.recover ~config:small_config (Rocks.Memsnap k2) ~name:"db" in
+      let module RR = (val Rocks.recoverable ~config:small_config ~name:"db" ()) in
+      let r = RR.recover dev in
+      let db2 = r.Rocks.db in
       let sum = sum_values db2 32 in
       checkb "recovered uncorrupted, non-trivial prefix" true (sum >= 0);
-      checkb "made progress before crash" true (sum > 0))
+      checkb "made progress before crash" true (sum > 0);
+      RR.dispose r)
     ()
 
 let test_aurora_serializes_checkpoints () =

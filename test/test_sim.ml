@@ -32,14 +32,14 @@ let test_buckets () =
   let report =
     Sched.run (fun () ->
         Sched.cpu 10;
-        Sched.with_bucket_s "a" (fun () ->
+        Sched.with_bucket Probe.Bucket.log (fun () ->
             Sched.cpu 20;
-            Sched.with_bucket_s "b" (fun () -> Sched.cpu 30);
+            Sched.with_bucket Probe.Bucket.write (fun () -> Sched.cpu 30);
             Sched.cpu 5);
         Sched.account_report ())
   in
-  checki "a" 25 (List.assoc "a" report);
-  checki "b" 30 (List.assoc "b" report);
+  checki "log" 25 (List.assoc "log" report);
+  checki "write" 30 (List.assoc "write" report);
   checki "user" 10 (List.assoc "user" report)
 
 let test_spawn_join () =
@@ -245,17 +245,20 @@ let test_channel () =
 let test_metrics () =
   Metrics.reset ();
   Sched.run (fun () ->
-      Metrics.incr_s "x";
-      Metrics.incr_s ~by:4 "x";
-      Metrics.add_sample_s "lat" 100;
-      Metrics.add_sample_s "lat" 300;
-      Metrics.timed_s "op" (fun () -> Sched.delay 77));
-  checki "counter" 5 (Metrics.count_s "x");
-  checki "samples" 2 (Metrics.samples_s "lat");
-  Alcotest.(check (float 0.01)) "mean" 200.0 (Metrics.mean_ns_s "lat");
-  Alcotest.(check (float 0.01)) "timed" 77.0 (Metrics.mean_ns_s "op");
+      let x = Probe.make Probe.Host "x" in
+      Metrics.incr x;
+      Metrics.incr ~by:4 x;
+      Metrics.add_sample (Probe.make Probe.Host "lat") 100;
+      Metrics.add_sample (Probe.make Probe.Host "lat") 300;
+      Metrics.timed (Probe.make Probe.Host "op") (fun () -> Sched.delay 77));
+  checki "counter" 5 (Metrics.count (Probe.make Probe.Host "x"));
+  checki "samples" 2 (Metrics.samples (Probe.make Probe.Host "lat"));
+  Alcotest.(check (float 0.01)) "mean" 200.0
+    (Metrics.mean_ns (Probe.make Probe.Host "lat"));
+  Alcotest.(check (float 0.01)) "timed" 77.0
+    (Metrics.mean_ns (Probe.make Probe.Host "op"));
   Metrics.reset ();
-  checki "reset" 0 (Metrics.count_s "x")
+  checki "reset" 0 (Metrics.count (Probe.make Probe.Host "x"))
 
 (* --- Metrics: reset, nesting, histogram counts --- *)
 
@@ -313,11 +316,11 @@ let test_bucket_nesting_typed () =
   checki "outer keeps only its own time" 25 (List.assoc "io" report);
   checki "inner" 30 (List.assoc "fsync" report);
   checki "user" 2 (List.assoc "user" report);
-  (* Typed constants and the string escape hatch share one key space. *)
+  (* Separate sections charging the same bucket share one key. *)
   let r2 =
     Sched.run (fun () ->
         Sched.with_bucket Probe.Bucket.io (fun () -> Sched.cpu 1);
-        Sched.with_bucket_s "io" (fun () -> Sched.cpu 2);
+        Sched.with_bucket Probe.Bucket.io (fun () -> Sched.cpu 2);
         Sched.account_report ())
   in
   checki "same key" 3 (List.assoc "io" r2)
@@ -515,11 +518,11 @@ let test_account_report_only_charged_buckets () =
      without spending CPU must not materialize it. *)
   let report =
     Sched.run (fun () ->
-        Sched.with_bucket_s "silent" (fun () -> ());
+        Sched.with_bucket Probe.Bucket.page_faults (fun () -> ());
         Sched.cpu 5;
         Sched.account_report ())
   in
-  checkb "silent absent" true (List.assoc_opt "silent" report = None);
+  checkb "silent absent" true (List.assoc_opt "page faults" report = None);
   checki "user" 5 (List.assoc "user" report)
 
 let test_determinism_end_to_end () =

@@ -361,8 +361,8 @@ let test_msnap_fewer_calls_than_wal () =
       for i = 0 to 99 do
         Db.with_write_txn db (fun () -> Db.put tbl ~key:(Db.key_of_int i) ~value:"v")
       done;
-      let fsyncs = Msnap_sim.Metrics.count_s "fsync" in
-      let writes = Msnap_sim.Metrics.count_s "write" in
+      let fsyncs = Msnap_sim.Metrics.count Msnap_sim.Probe.db_fsync in
+      let writes = Msnap_sim.Metrics.count Msnap_sim.Probe.db_write in
       Msnap_sim.Metrics.reset ();
       let _, k = mk_msnap_env () in
       let be2 = Backend_msnap.create k ~db_name:"m.db" ~max_pages:8192 in
@@ -371,11 +371,11 @@ let test_msnap_fewer_calls_than_wal () =
       for i = 0 to 99 do
         Db.with_write_txn db2 (fun () -> Db.put tbl2 ~key:(Db.key_of_int i) ~value:"v")
       done;
-      let persists = Msnap_sim.Metrics.count_s "memsnap" in
+      let persists = Msnap_sim.Metrics.count Msnap_sim.Probe.db_memsnap in
       checkb "baseline fsyncs per txn" true (fsyncs >= 100);
       checkb "baseline writes amplified" true (writes > 100);
       checkb "memsnap single call per txn" true (persists <= 102);
-      checki "no fsync under memsnap" 0 (Msnap_sim.Metrics.count_s "fsync"))
+      checki "no fsync under memsnap" 0 (Msnap_sim.Metrics.count Msnap_sim.Probe.db_fsync))
     ()
 
 let () =
