@@ -43,6 +43,8 @@ module Costs = Msnap_sim.Costs
 module Metrics = Msnap_sim.Metrics
 module Probe = Msnap_sim.Probe
 module Rng = Msnap_util.Rng
+module Keyfmt = Msnap_util.Keyfmt
+module Intern = Msnap_util.Intern
 module Size = Msnap_util.Size
 module Tbl = Msnap_util.Tbl
 module Histogram = Msnap_util.Histogram

@@ -10,10 +10,72 @@ let warehouses = 4
 let connections = 8
 let txns = 3_000
 
-let k_wh w = Printf.sprintf "w%04d" w
-let k_dist w d = Printf.sprintf "w%04d-d%02d" w d
-let k_cust w d c = Printf.sprintf "w%04d-d%02d-c%05d" w d c
-let k_stock w i = Printf.sprintf "w%04d-i%06d" w i
+(* The TPC-C keyspaces are bounded by the scale constants above, so all
+   four sprintf key builders become precomputed tables (immutable
+   strings, shared across domains); only the ever-growing order /
+   order-line / history keys render per insert, into per-domain scratch
+   (one allocation: the key itself). Byte-identical to the sprintf
+   grammars they replace. *)
+let k_wh =
+  let t =
+    Keyfmt.table warehouses (fun b w ->
+        Keyfmt.char b 'w';
+        Keyfmt.dec b ~width:4 w)
+  in
+  fun w -> Array.unsafe_get t w
+
+let k_dist =
+  let t =
+    Keyfmt.table
+      (warehouses * Tpcc.districts_per_warehouse)
+      (fun b i ->
+        Keyfmt.char b 'w';
+        Keyfmt.dec b ~width:4 (i / Tpcc.districts_per_warehouse);
+        Keyfmt.lit b "-d";
+        Keyfmt.dec b ~width:2 (i mod Tpcc.districts_per_warehouse))
+  in
+  fun w d -> Array.unsafe_get t ((w * Tpcc.districts_per_warehouse) + d)
+
+let k_cust =
+  let per_wh = Tpcc.districts_per_warehouse * Tpcc.customers_per_district in
+  let t =
+    Keyfmt.table (warehouses * per_wh) (fun b i ->
+        Keyfmt.char b 'w';
+        Keyfmt.dec b ~width:4 (i / per_wh);
+        Keyfmt.lit b "-d";
+        Keyfmt.dec b ~width:2 (i mod per_wh / Tpcc.customers_per_district);
+        Keyfmt.lit b "-c";
+        Keyfmt.dec b ~width:5 (i mod Tpcc.customers_per_district))
+  in
+  fun w d c ->
+    Array.unsafe_get t
+      ((w * per_wh) + (d * Tpcc.customers_per_district) + c)
+
+let k_stock =
+  let t =
+    Keyfmt.table (warehouses * Tpcc.items) (fun b i ->
+        Keyfmt.char b 'w';
+        Keyfmt.dec b ~width:4 (i / Tpcc.items);
+        Keyfmt.lit b "-i";
+        Keyfmt.dec b ~width:6 (i mod Tpcc.items))
+  in
+  fun w i -> Array.unsafe_get t ((w * Tpcc.items) + i)
+
+(* "o%09d-l%02d" *)
+let k_order_line oid l =
+  let b = Keyfmt.scratch () in
+  Keyfmt.char b 'o';
+  Keyfmt.dec b ~width:9 oid;
+  Keyfmt.lit b "-l";
+  Keyfmt.dec b ~width:2 l;
+  Keyfmt.str b
+
+(* "%c%09d" *)
+let k_counter c id =
+  let b = Keyfmt.scratch () in
+  Keyfmt.char b c;
+  Keyfmt.dec b ~width:9 id;
+  Keyfmt.str b
 
 let load db =
   Pg.with_txn db (fun txn ->
@@ -61,12 +123,28 @@ let run_txn db rng txn_counter =
             ignore
               (Pg.update_with db txn ~table:"stock" ~key:(k_stock w item)
                  (fun v -> string_of_int (max 10 (parse_int "stock" v - qty))));
-            Pg.insert db txn ~table:"order_line"
-              ~key:(Printf.sprintf "o%09d-l%02d" oid i)
-              (Printf.sprintf "item=%d qty=%d" item qty))
+            let line =
+              let b = Keyfmt.scratch () in
+              Keyfmt.lit b "item=";
+              Keyfmt.dec b ~width:0 item;
+              Keyfmt.lit b " qty=";
+              Keyfmt.dec b ~width:0 qty;
+              Keyfmt.str b
+            in
+            Pg.insert db txn ~table:"order_line" ~key:(k_order_line oid i)
+              line)
           items;
-        Pg.insert db txn ~table:"orders" ~key:(Printf.sprintf "o%09d" oid)
-          (Printf.sprintf "w=%d d=%d c=%d" w d c))
+        let order =
+          let b = Keyfmt.scratch () in
+          Keyfmt.lit b "w=";
+          Keyfmt.dec b ~width:0 w;
+          Keyfmt.lit b " d=";
+          Keyfmt.dec b ~width:0 d;
+          Keyfmt.lit b " c=";
+          Keyfmt.dec b ~width:0 c;
+          Keyfmt.str b
+        in
+        Pg.insert db txn ~table:"orders" ~key:(k_counter 'o' oid) order)
   | Tpcc.Payment { w; d; c; amount } ->
     Pg.with_txn db (fun txn ->
         ignore (Pg.update_with db txn ~table:"warehouse" ~key:(k_wh w) incr_field);
@@ -76,7 +154,7 @@ let run_txn db rng txn_counter =
              (fun v -> string_of_int (parse_int "customer" v + amount)));
         let hid = !txn_counter in
         incr txn_counter;
-        Pg.insert db txn ~table:"history" ~key:(Printf.sprintf "h%09d" hid)
+        Pg.insert db txn ~table:"history" ~key:(k_counter 'h' hid)
           (string_of_int amount))
   | Tpcc.Order_status { w; d; c } ->
     Pg.with_txn db (fun txn ->
@@ -95,6 +173,12 @@ let run_txn db rng txn_counter =
           ignore threshold
         done)
 
+(* Thread names, hoisted out of the spawn loop. *)
+let conn_names =
+  Keyfmt.table connections (fun b c ->
+      Keyfmt.lit b "conn";
+      Keyfmt.dec b ~width:0 c)
+
 type result = { tps : float; mb_per_s : float; iops : float }
 
 let run_variant mk =
@@ -108,7 +192,7 @@ let run_variant mk =
       let txn_counter = ref 0 in
       let ts =
         List.init connections (fun c ->
-            Sched.spawn ~name:(Printf.sprintf "conn%d" c) (fun () ->
+            Sched.spawn ~name:(Array.unsafe_get conn_names c) (fun () ->
                 let rng = Rng.create (7_000 + c) in
                 for _ = 1 to txns / connections do
                   run_txn db rng txn_counter

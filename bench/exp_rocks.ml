@@ -10,7 +10,17 @@ let prefill = 4_096
 let value_size = 100
 let threads = 12
 
-let key_of i = Printf.sprintf "%020d" i
+(* The whole keyspace is bounded, so the "%020d" keys are a precomputed
+   table (shared across cells/domains: immutable strings) and the mix
+   loop never formats. *)
+let key_table = Keyfmt.table nkeys (fun b i -> Keyfmt.dec b ~width:20 i)
+let key_of i = Array.unsafe_get key_table i
+
+(* Thread names, hoisted out of the spawn loop. *)
+let thread_names =
+  Keyfmt.table threads (fun b t ->
+      Keyfmt.lit b "mix";
+      Keyfmt.dec b ~width:0 t)
 
 let mk_db backend =
   let config =
@@ -35,7 +45,7 @@ let prefill_db db =
     let n = min 64 (prefill - !i) in
     Rocks.put_batch db
       (List.init n (fun j ->
-           (key_of (!i + j), Msnap_util.Rng.bytes rng value_size |> Bytes.to_string)));
+           (key_of (!i + j), Msnap_util.Rng.string rng value_size)));
     i := !i + n
   done
 
@@ -59,7 +69,7 @@ let run_mixgraph backend ~ops =
       let per_thread = ops / threads in
       let ts =
         List.init threads (fun t ->
-            Sched.spawn ~name:(Printf.sprintf "mix%d" t) (fun () ->
+            Sched.spawn ~name:(Array.unsafe_get thread_names t) (fun () ->
                 let rng = Rng.create (1000 + t) in
                 for _ = 1 to per_thread do
                   let s = Sched.now () in

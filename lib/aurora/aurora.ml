@@ -167,6 +167,12 @@ module Region = struct
       invalid_arg "Aurora.Region.read: out of range";
     Aspace.read r.k.aspace ~va:(r.r_va + off) ~len
 
+  (* Same charges as [read], into a caller-owned buffer. *)
+  let read_into r ~off buf ~pos ~len =
+    if off < 0 || off + len > r.r_len then
+      invalid_arg "Aurora.Region.read_into: out of range";
+    Aspace.read_into r.k.aspace ~va:(r.r_va + off) buf ~pos ~len
+
   (* Shadow one region: collect the dirty set and COW-protect every
      present page. Returns the dirty (rel, frame) list. Runs with the
      world stopped. *)

@@ -57,6 +57,9 @@ module Region : sig
 
   val read : t -> off:int -> len:int -> Bytes.t
 
+  val read_into : t -> off:int -> Bytes.t -> pos:int -> len:int -> unit
+  (** [read] into a caller-owned buffer — same charges, no allocation. *)
+
   val checkpoint : t -> unit
   (** Synchronous region checkpoint (flat-combined across callers). *)
 

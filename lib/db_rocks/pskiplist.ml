@@ -4,7 +4,7 @@ module Rng = Msnap_util.Rng
 
 type region_ops = {
   ro_write : off:int -> Bytes.t -> unit;
-  ro_read : off:int -> len:int -> Bytes.t;
+  ro_read_into : off:int -> Bytes.t -> pos:int -> len:int -> unit;
   ro_persist : unit -> unit;
   ro_pages : int;
 }
@@ -43,14 +43,21 @@ let random_level t =
   let rec go l = if l < max_level && Rng.int t.rng 4 = 0 then go (l + 1) else l in
   go 1
 
+(* Encode/decode buffers are per-op, not per-list: region ops charge
+   [Sched.cpu] (and Aurora writes can park for a checkpoint), so a
+   fiber may yield inside one with the buffer still lent out — a shared
+   scratch would be clobbered by the next fiber's op. Each buffer is
+   sized exactly (the simulated transfer length must not change); only
+   the 7 header pad bytes need zeroing, the blits cover the rest. *)
 let write_node t ~id ~key ~value ~next_id =
   let klen = String.length key and vlen = String.length value in
   if klen + vlen > max_pair_size then invalid_arg "Pskiplist: pair too large";
-  let b = Bytes.make (header + klen + vlen) '\000' in
+  let b = Bytes.create (header + klen + vlen) in
   Bytes.set_uint16_le b 0 klen;
   Bytes.set_uint16_le b 2 vlen;
   Bytes.set_int32_le b 4 (Int32.of_int (next_id + 1));
   Bytes.set_uint8 b 8 1;
+  Bytes.fill b 9 (header - 9) '\000';
   Bytes.blit_string key 0 b header klen;
   Bytes.blit_string value 0 b (header + klen) vlen;
   t.ops.ro_write ~off:(node_off id) b
@@ -61,19 +68,27 @@ let write_next_field t ~id ~next_id =
   t.ops.ro_write ~off:(node_off id + 4) b
 
 let read_node_header t id =
-  let b = t.ops.ro_read ~off:(node_off id) ~len:header in
+  let b = Bytes.create header in
+  t.ops.ro_read_into ~off:(node_off id) b ~pos:0 ~len:header;
   let klen = Bytes.get_uint16_le b 0 in
   let vlen = Bytes.get_uint16_le b 2 in
   let next = Int32.to_int (Bytes.get_int32_le b 4) - 1 in
   let in_use = Bytes.get_uint8 b 8 = 1 in
   (klen, vlen, next, in_use)
 
-let read_key t id klen =
-  Bytes.to_string (t.ops.ro_read ~off:(node_off id + header) ~len:klen)
+(* Single-copy string reads: the region copies straight into the
+   result buffer, which becomes the string (the seed's ro_read +
+   [Bytes.to_string] copied twice and allocated twice). *)
+let read_string t ~off ~len =
+  let b = Bytes.create len in
+  t.ops.ro_read_into ~off b ~pos:0 ~len;
+  Bytes.unsafe_to_string b
+
+let read_key t id klen = read_string t ~off:(node_off id + header) ~len:klen
 
 let read_value t id =
   let klen, vlen, _, _ = read_node_header t id in
-  Bytes.to_string (t.ops.ro_read ~off:(node_off id + header + klen) ~len:vlen)
+  read_string t ~off:(node_off id + header + klen) ~len:vlen
 
 let create ?(seed = 0x5C1B) ops =
   let t =

@@ -19,7 +19,9 @@
 
 type region_ops = {
   ro_write : off:int -> Bytes.t -> unit;
-  ro_read : off:int -> len:int -> Bytes.t;
+  ro_read_into : off:int -> Bytes.t -> pos:int -> len:int -> unit;
+      (** Read into a caller-owned buffer — keys and values come back in
+          a single copy (the buffer becomes the result string). *)
   ro_persist : unit -> unit;
       (** Make the calling thread's writes durable (one transaction). *)
   ro_pages : int;  (** Region capacity in pages. *)

@@ -64,7 +64,8 @@ type t = { st : state; db_name : string }
 let region_ops_of_msnap k md =
   {
     Pskiplist.ro_write = (fun ~off b -> Msnap.write k md ~off b);
-    ro_read = (fun ~off ~len -> Msnap.read k md ~off ~len);
+    ro_read_into =
+      (fun ~off buf ~pos ~len -> Msnap.read_into k md ~off buf ~pos ~len);
     ro_persist =
       (fun () ->
         Metrics.timed Probe.db_memsnap (fun () ->
@@ -75,7 +76,8 @@ let region_ops_of_msnap k md =
 let region_ops_of_aurora r =
   {
     Pskiplist.ro_write = (fun ~off b -> Aurora.Region.write r ~off b);
-    ro_read = (fun ~off ~len -> Aurora.Region.read r ~off ~len);
+    ro_read_into =
+      (fun ~off buf ~pos ~len -> Aurora.Region.read_into r ~off buf ~pos ~len);
     ro_persist =
       (fun () -> Metrics.timed Probe.db_checkpoint (fun () -> Aurora.Region.checkpoint r));
     ro_pages = Aurora.Region.length r / 4096;

@@ -3,15 +3,27 @@ module Rng = Msnap_util.Rng
 
 let max_level = 12
 
+(* Links point at a per-list sentinel [nil] instead of holding
+   [node option]: the hot search loop chases bare pointers with no
+   Some-boxing, and end-of-level is a physical-equality test. [nil]'s
+   key is never compared — every probe guards [n != nil] first — and
+   its empty [next] makes an accidental dereference an immediate
+   error. *)
 type node = {
   key : string;
   mutable value : string;
   mutable deleted : bool;
-  next : node option array; (* length = node's level *)
+  next : node array; (* length = node's level *)
 }
 
 type t = {
   head : node;
+  nil : node;
+  (* Reusable predecessor scratch for the mutators ([insert]/[delete]).
+     Mutations must be externally serialized (Rocks runs them under the
+     write-group lock) — but a mutator may yield at [Sched.cpu] while
+     readers run: [find]/[iter_from]/[iter] never touch this scratch. *)
+  path : node array;
   rng : Rng.t;
   mutable level : int;
   mutable count : int;
@@ -22,9 +34,15 @@ type t = {
 let hop_cost = 25
 
 let create ?(seed = 0x5C1B) () =
+  let nil = { key = ""; value = ""; deleted = false; next = [||] } in
+  let head =
+    { key = ""; value = ""; deleted = false;
+      next = Array.make max_level nil }
+  in
   {
-    head = { key = ""; value = ""; deleted = false;
-             next = Array.make max_level None };
+    head;
+    nil;
+    path = Array.make max_level head;
     rng = Rng.create seed;
     level = 1;
     count = 0;
@@ -35,82 +53,100 @@ let random_level t =
   let rec go l = if l < max_level && Rng.int t.rng 4 = 0 then go (l + 1) else l in
   go 1
 
-(* Predecessors of [key] at every level. *)
-let find_path t key =
-  let update = Array.make max_level t.head in
+(* Level-0 predecessor of [key]: the full descent, charging one
+   [hop_cost] per probe including each level's failing one — the same
+   charge sequence as the seed's path walk. Allocation-free; used by
+   the read paths, which must not share the mutator scratch. *)
+let pred0 t key =
+  let nil = t.nil in
   let x = ref t.head in
   for lvl = t.level - 1 downto 0 do
     let continue_ = ref true in
     while !continue_ do
       Sched.cpu hop_cost;
-      match !x.next.(lvl) with
-      | Some n when n.key < key -> x := n
-      | Some _ | None -> continue_ := false
+      let n = (!x).next.(lvl) in
+      if n != nil && n.key < key then x := n else continue_ := false
+    done
+  done;
+  !x
+
+(* Predecessors of [key] at every level, in the per-list scratch.
+   Mutators only; see [path]. *)
+let find_path t key =
+  let update = t.path in
+  (* Levels the walk won't visit must read as [head]: an insert that
+     grows the list links them directly off the head. *)
+  for i = t.level to max_level - 1 do
+    update.(i) <- t.head
+  done;
+  let nil = t.nil in
+  let x = ref t.head in
+  for lvl = t.level - 1 downto 0 do
+    let continue_ = ref true in
+    while !continue_ do
+      Sched.cpu hop_cost;
+      let n = (!x).next.(lvl) in
+      if n != nil && n.key < key then x := n else continue_ := false
     done;
     update.(lvl) <- !x
   done;
   update
 
-let next_of_path update = update.(0).next.(0)
-
 let insert t ~key ~value =
   let update = find_path t key in
-  match next_of_path update with
-  | Some n when n.key = key ->
+  let n = update.(0).next.(0) in
+  if n != t.nil && n.key = key then begin
     t.bytes <- t.bytes + String.length value - String.length n.value;
     n.value <- value;
     if n.deleted then begin
       n.deleted <- false;
       t.count <- t.count + 1
     end
-  | Some _ | None ->
+  end
+  else begin
     let lvl = random_level t in
-    if lvl > t.level then begin
-      t.level <- lvl;
-      (* head already covers all levels *)
-    end;
-    let node =
-      { key; value; deleted = false; next = Array.make lvl None }
-    in
+    if lvl > t.level then t.level <- lvl (* head already covers all levels *);
+    let node = { key; value; deleted = false; next = Array.make lvl t.nil } in
     for i = 0 to lvl - 1 do
       node.next.(i) <- update.(i).next.(i);
-      update.(i).next.(i) <- Some node
+      update.(i).next.(i) <- node
     done;
     t.count <- t.count + 1;
     t.bytes <- t.bytes + String.length key + String.length value + (16 * lvl)
+  end
 
 let find t key =
-  let update = find_path t key in
-  match next_of_path update with
-  | Some n when n.key = key && not n.deleted -> Some n.value
-  | Some _ | None -> None
+  let n = (pred0 t key).next.(0) in
+  if n != t.nil && n.key = key && not n.deleted then Some n.value else None
 
 let delete t key =
-  let update = find_path t key in
-  match next_of_path update with
-  | Some n when n.key = key && not n.deleted ->
+  let n = (pred0 t key).next.(0) in
+  if n != t.nil && n.key = key && not n.deleted then begin
+    (* Logical delete: the node stays linked (the seed behaviour). *)
     n.deleted <- true;
     t.count <- t.count - 1;
     true
-  | Some _ | None -> false
+  end
+  else false
 
 let iter_from t key f =
-  let update = find_path t key in
-  let rec visit = function
-    | None -> ()
-    | Some n ->
+  let nil = t.nil in
+  let rec visit n =
+    if n != nil then begin
       Sched.cpu hop_cost;
       if n.deleted then visit n.next.(0)
       else if f n.key n.value then visit n.next.(0)
+    end
   in
-  visit update.(0).next.(0)
+  visit (pred0 t key).next.(0)
 
 let iter t f =
-  let rec go = function
-    | None -> ()
-    | Some n ->
+  let nil = t.nil in
+  let rec go n =
+    if n != nil then begin
       if not n.deleted then f n.key n.value;
       go n.next.(0)
+    end
   in
   go t.head.next.(0)
 
@@ -118,7 +154,7 @@ let count t = t.count
 let approximate_bytes t = t.bytes
 
 let clear t =
-  Array.fill t.head.next 0 max_level None;
+  Array.fill t.head.next 0 max_level t.nil;
   t.level <- 1;
   t.count <- 0;
   t.bytes <- 0

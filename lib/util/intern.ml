@@ -1,0 +1,48 @@
+(* Content-addressed value tables for the workload drivers.
+
+   Dbbench and Mixgraph write [String.make vsize c] values with only 26
+   distinct contents per run, and TATP re-renders the same bounded row
+   strings per op; allocating each occurrence fresh made the drivers
+   the dominant minor-heap users. Interning hands back one canonical
+   copy per distinct content. OCaml strings are immutable and the
+   engines copy values into their own media buffers rather than retain
+   them, so sharing is safe and the written bytes are identical —
+   host-only by construction.
+
+   Tables are per-domain (Domain.DLS): cells run concurrently on the
+   bench pool and a lock-free domain-local table costs at most one
+   extra copy of each value per domain. *)
+
+let fill_key : (int, string) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 64)
+
+(* [fill n c] = [String.make n c], allocated once per distinct [(n, c)]
+   per domain. The int-keyed table makes a hit allocation-free. *)
+let fill n c =
+  let tbl = Domain.DLS.get fill_key in
+  let k = (n lsl 8) lor Char.code c in
+  match Hashtbl.find_opt tbl k with
+  | Some s -> s
+  | None ->
+    let s = String.make n c in
+    Hashtbl.add tbl k s;
+    s
+
+(* [memo ~max f] memoizes [f] over the bounded keyspace [0..max-1]
+   (out-of-range keys fall through to [f] uncached). Lazy counterpart
+   of {!Keyfmt.table}: each row is rendered at most once per domain,
+   on first use. *)
+let memo ~max f =
+  let key : string option array Domain.DLS.key =
+    Domain.DLS.new_key (fun () -> Array.make max None)
+  in
+  fun i ->
+    if i < 0 || i >= max then f i
+    else
+      let tbl = Domain.DLS.get key in
+      match Array.unsafe_get tbl i with
+      | Some s -> s
+      | None ->
+        let s = f i in
+        Array.unsafe_set tbl i (Some s);
+        s

@@ -1,0 +1,16 @@
+(** Content-addressed value tables for the workload drivers.
+
+    One canonical copy per distinct content, per domain. Safe because
+    strings are immutable and the engines copy values into their own
+    buffers rather than retain them; the written bytes are identical
+    (content-identity is qcheck-pinned in test_util.ml). *)
+
+val fill : int -> char -> string
+(** [fill n c] is [String.make n c], allocated once per distinct
+    [(n, c)] per domain; a hit allocates nothing. *)
+
+val memo : max:int -> (int -> string) -> int -> string
+(** [memo ~max f] memoizes [f] over [0..max-1] per domain, rendering
+    each entry at most once on first use. Out-of-range keys fall
+    through to [f] uncached. Apply partially ([let g = memo ~max f]):
+    each call of [memo] itself allocates a fresh table key. *)

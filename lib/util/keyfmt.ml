@@ -1,0 +1,83 @@
+(* Allocation-free key/value rendering for the workload drivers.
+
+   The bench drivers format millions of keys per experiment
+   ("w%04d-d%02d-c%05d", "%020d", ...). [Printf.sprintf] allocates a
+   format interpreter, an internal buffer and intermediate boxes on
+   every call; rendering into a per-domain scratch buffer instead makes
+   the only allocation the final string — and for bounded keyspaces
+   {!table} precomputes even that, so the steady-state driver allocates
+   nothing per key. Host-only: keys are byte-identical with the sprintf
+   originals (differential-tested in test_util.ml), so engine charges
+   and on-media bytes cannot move. *)
+
+type t = { mutable buf : Bytes.t; mutable len : int }
+
+let scratch_key : t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> { buf = Bytes.create 64; len = 0 })
+
+(* One scratch per domain. Simulated threads are fibers multiplexed on
+   their domain, but rendering never crosses a scheduling point
+   (plain byte writes only), so a render is atomic with respect to
+   other fibers; don't hold a scratch across [Sched] calls. *)
+let scratch () =
+  let t = Domain.DLS.get scratch_key in
+  t.len <- 0;
+  t
+
+let ensure t n =
+  let cap = Bytes.length t.buf in
+  if t.len + n > cap then begin
+    let buf = Bytes.create (max (t.len + n) (2 * cap)) in
+    Bytes.blit t.buf 0 buf 0 t.len;
+    t.buf <- buf
+  end
+
+let lit t s =
+  let n = String.length s in
+  ensure t n;
+  Bytes.blit_string s 0 t.buf t.len n;
+  t.len <- t.len + n
+
+let char t c =
+  ensure t 1;
+  Bytes.unsafe_set t.buf t.len c;
+  t.len <- t.len + 1
+
+let rec digits v = if v < 10 then 1 else 1 + digits (v / 10)
+
+(* [dec t ~width v] renders [v] in decimal, zero-padded to [width]
+   (wider values keep all their digits) — exactly
+   [Printf.sprintf "%0*d" width v]. [~width:0] is plain ["%d"]. *)
+let rec dec t ~width v =
+  if v < 0 then begin
+    (* "%05d" (-42) = "-0042": the sign counts against the width. Route
+       min_int through a (cold, allocating) sprintf rather than negate. *)
+    if v = min_int then lit t (Printf.sprintf "%0*d" width v)
+    else begin
+      char t '-';
+      dec_abs t ~width:(max 0 (width - 1)) (-v)
+    end
+  end
+  else dec_abs t ~width v
+
+and dec_abs t ~width v =
+  let n = max width (digits v) in
+  ensure t n;
+  let base = t.len in
+  t.len <- base + n;
+  let v = ref v in
+  for i = n - 1 downto 0 do
+    Bytes.unsafe_set t.buf (base + i) (Char.unsafe_chr (48 + (!v mod 10)));
+    v := !v / 10
+  done
+
+let str t = Bytes.sub_string t.buf 0 t.len
+
+(* Precomputed key table for a bounded keyspace: [f] renders key [i]
+   into the given scratch. Strings are immutable, so a table built once
+   (typically at module init) is safe to share across domains. *)
+let table n f =
+  Array.init n (fun i ->
+      let b = scratch () in
+      f b i;
+      str b)

@@ -1,0 +1,35 @@
+(** Allocation-free key/value rendering for the workload drivers.
+
+    A render writes into a per-domain scratch buffer; the only
+    allocation is the final {!str} result, and {!table} precomputes
+    whole bounded keyspaces so steady-state drivers allocate nothing
+    per key. Byte-identical with the [Printf.sprintf] grammars it
+    replaces (see the differential suite in test_util.ml) — host-only
+    by construction. *)
+
+type t
+(** A render in progress over per-domain scratch. *)
+
+val scratch : unit -> t
+(** The calling domain's scratch, reset to empty. Do not hold one
+    across a scheduling point ([Sched.cpu], IO, [force]): fibers on the
+    same domain share it. *)
+
+val lit : t -> string -> unit
+(** Append a literal. *)
+
+val char : t -> char -> unit
+(** Append one character. *)
+
+val dec : t -> width:int -> int -> unit
+(** [dec t ~width v] appends [Printf.sprintf "%0*d" width v]:
+    zero-padded fixed-width decimal, keeping all digits when [v] is
+    wider. [~width:0] is plain ["%d"]. *)
+
+val str : t -> string
+(** Materialize the rendered bytes (the render's one allocation). *)
+
+val table : int -> (t -> int -> unit) -> string array
+(** [table n f] precomputes keys [0..n-1], rendering key [i] with
+    [f scratch i]. Immutable strings: safe to build once at module init
+    and share across domains. *)

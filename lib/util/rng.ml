@@ -1,27 +1,46 @@
-type t = { mutable state : int64 }
+(* splitmix64 carried as two untagged 32-bit halves. The simulator draws
+   from Rng.t inside every workload inner loop; the boxed-Int64
+   formulation allocated ~a dozen minor words per draw. State and
+   results live in native ints (plus a reusable 2-cell scratch for the
+   {!Splitmix} mix output), so a draw allocates nothing. Sequences are
+   bit-exact with the Int64 original — RNG draws are simulated values —
+   pinned by the differential suite in test_util.ml. *)
 
-let golden_gamma = 0x9E3779B97F4A7C15L
+let mask32 = Splitmix.mask32
 
-let create seed = { state = Int64.of_int seed }
+type t = { mutable hi : int; mutable lo : int; out : int array }
 
-let next_seed t =
-  t.state <- Int64.add t.state golden_gamma;
-  t.state
+(* golden gamma 0x9E3779B97F4A7C15 *)
+let gamma_hi = 0x9E3779B9
+let gamma_lo = 0x7F4A7C15
 
-(* splitmix64 finalizer *)
-let mix z =
-  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
-  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
-  Int64.logxor z (Int64.shift_right_logical z 31)
+let create seed =
+  (* Matches Int64.of_int: asr sign-extends negative seeds into the
+     high half exactly as two's complement does. *)
+  { hi = (seed asr 32) land mask32; lo = seed land mask32; out = [| 0; 0 |] }
 
-let bits64 t = mix (next_seed t)
+(* state += gamma; mix state into t.out. *)
+let[@inline] step t =
+  let s = t.lo + gamma_lo in
+  t.lo <- s land mask32;
+  t.hi <- (t.hi + gamma_hi + (s lsr 32)) land mask32;
+  Splitmix.mix t.hi t.lo t.out
 
-let split t = { state = bits64 t }
+let bits64 t =
+  step t;
+  Int64.logor
+    (Int64.shift_left (Int64.of_int t.out.(0)) 32)
+    (Int64.of_int t.out.(1))
+
+let split t =
+  step t;
+  { hi = t.out.(0); lo = t.out.(1); out = [| 0; 0 |] }
 
 let int t bound =
   assert (bound > 0);
-  (* Mask to 62 bits so the value fits OCaml's native positive int range. *)
-  let v = Int64.to_int (bits64 t) land max_int in
+  step t;
+  (* Low 62 bits, i.e. [Int64.to_int (bits64 t) land max_int]. *)
+  let v = ((t.out.(0) land 0x3FFFFFFF) lsl 32) lor t.out.(1) in
   v mod bound
 
 let int_in t lo hi =
@@ -29,10 +48,14 @@ let int_in t lo hi =
   lo + int t (hi - lo + 1)
 
 let float t =
-  let v = Int64.to_float (Int64.shift_right_logical (bits64 t) 11) in
-  v *. 0x1p-53
+  step t;
+  (* bits64 >>> 11 is a 53-bit value; exact in both int64 and float. *)
+  let v = (t.out.(0) lsl 21) lor (t.out.(1) lsr 11) in
+  float_of_int v *. 0x1p-53
 
-let bool t = Int64.logand (bits64 t) 1L = 1L
+let bool t =
+  step t;
+  t.out.(1) land 1 = 1
 
 let shuffle t a =
   for i = Array.length a - 1 downto 1 do
@@ -42,9 +65,17 @@ let shuffle t a =
     a.(j) <- tmp
   done
 
+let fill t b ~pos ~len =
+  for i = pos to pos + len - 1 do
+    Bytes.unsafe_set b i (Char.unsafe_chr (int t 256))
+  done
+
 let bytes t n =
   let b = Bytes.create n in
-  for i = 0 to n - 1 do
-    Bytes.unsafe_set b i (Char.unsafe_chr (int t 256))
-  done;
+  fill t b ~pos:0 ~len:n;
   b
+
+let string t n =
+  let b = Bytes.create n in
+  fill t b ~pos:0 ~len:n;
+  Bytes.unsafe_to_string b

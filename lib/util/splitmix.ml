@@ -1,0 +1,66 @@
+(* The splitmix64 finalizer on unboxed 32-bit halves.
+
+   Both the RNG ({!Rng}) and the on-media checksum ({!Wire.checksum})
+   run one full mix per drawn value / per 8 bytes hashed, deep inside
+   simulation hot loops. [Int64] arithmetic boxes every intermediate,
+   which made these two functions the dominant minor-heap allocators of
+   the WAL-backed experiments; carrying a 64-bit quantity as two
+   untagged native ints (its 32-bit halves) makes a mix allocate
+   nothing. Every step is bit-exact with the Int64 original — pinned by
+   the qcheck differential suites in test_util.ml, because RNG draw
+   sequences and on-media checksum bytes are simulated values that must
+   not move. *)
+
+let mask32 = 0xFFFFFFFF
+
+(* z ^= z >>> s for 0 < s < 32, in halves. *)
+let[@inline] xsr_hi hi s = hi lxor (hi lsr s)
+
+let[@inline] xsr_lo hi lo s =
+  lo lxor (((lo lsr s) lor ((hi lsl (32 - s)) land mask32)) land mask32)
+
+(* 64-bit multiply (mod 2^64) in halves. 16-bit limbs keep the partial
+   products of the low word inside OCaml's 63-bit int range; the cross
+   terms feed only the high word, where native-int wraparound (mod 2^63)
+   preserves the 32 bits that are kept. [mul64_lo] returns up to 34 bits:
+   the low 32 of the product plus the carry into the high half, which the
+   caller passes to [mul64_hi]. *)
+let[@inline] mul64_lo al bl =
+  let al0 = al land 0xFFFF and al1 = al lsr 16 in
+  let bl0 = bl land 0xFFFF and bl1 = bl lsr 16 in
+  (al0 * bl0)
+  + ((((al0 * bl1) land 0xFFFF) + ((al1 * bl0) land 0xFFFF)) lsl 16)
+
+let[@inline] mul64_hi ah al bh bl carry =
+  let al0 = al land 0xFFFF and al1 = al lsr 16 in
+  let bl0 = bl land 0xFFFF and bl1 = bl lsr 16 in
+  ((al1 * bl1) + ((al0 * bl1) lsr 16) + ((al1 * bl0) lsr 16) + carry
+  + (al * bh) + (ah * bl))
+  land mask32
+
+(* splitmix64's two multiplicative constants. *)
+let c1_hi = 0xBF58476D
+let c1_lo = 0x1CE4E5B9
+let c2_hi = 0x94D049BB
+let c2_lo = 0x133111EB
+
+(* One full mix: z ^= z >>> 30; z *= C1; z ^= z >>> 27; z *= C2;
+   z ^= z >>> 31. The result lands in [out.(0)] (high half) and
+   [out.(1)] (low half): OCaml cannot return an unboxed pair, so the
+   caller supplies a reusable 2-cell scratch. *)
+let mix hi lo out =
+  let lo1 = xsr_lo hi lo 30 and hi1 = xsr_hi hi 30 in
+  let t = mul64_lo lo1 c1_lo in
+  let lo2 = t land mask32 in
+  let hi2 = mul64_hi hi1 lo1 c1_hi c1_lo (t lsr 32) in
+  let lo3 = xsr_lo hi2 lo2 27 and hi3 = xsr_hi hi2 27 in
+  let t = mul64_lo lo3 c2_lo in
+  let lo4 = t land mask32 in
+  let hi4 = mul64_hi hi3 lo3 c2_hi c2_lo (t lsr 32) in
+  out.(0) <- xsr_hi hi4 31;
+  out.(1) <- xsr_lo hi4 lo4 31
+
+(* mix (a + b) where both are 64-bit values in halves. *)
+let[@inline] mix_add a_hi a_lo b_hi b_lo out =
+  let s = a_lo + b_lo in
+  mix ((a_hi + b_hi + (s lsr 32)) land mask32) (s land mask32) out

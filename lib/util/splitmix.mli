@@ -1,0 +1,21 @@
+(** splitmix64's finalizer over unboxed 32-bit halves — the shared,
+    allocation-free 64-bit core under {!Rng} (draws) and {!Wire}
+    (on-media checksums). A 64-bit quantity is carried as two untagged
+    native ints holding its high and low 32 bits; results land in a
+    caller-supplied 2-cell scratch array ([out.(0)] = high, [out.(1)] =
+    low) because OCaml cannot return an unboxed pair.
+
+    Bit-exact with the boxed Int64 formulation (see the differential
+    suites in test_util.ml): RNG sequences and checksum bytes are
+    simulated values, so this module changes host cost only. *)
+
+val mask32 : int
+(** [0xFFFFFFFF]. *)
+
+val mix : int -> int -> int array -> unit
+(** [mix hi lo out] applies the splitmix64 finalizer to the 64-bit value
+    [(hi, lo)]. *)
+
+val mix_add : int -> int -> int -> int -> int array -> unit
+(** [mix_add a_hi a_lo b_hi b_lo out] is [mix] of the 64-bit sum
+    [a + b] (mod 2^64). *)

@@ -1,5 +1,6 @@
 module Rng = Msnap_util.Rng
 module Dist = Msnap_util.Dist
+module Intern = Msnap_util.Intern
 
 module Dbbench = struct
   type t = {
@@ -27,7 +28,9 @@ module Dbbench = struct
             t.cursor <- (t.cursor + 1) mod t.nkeys;
             k
         in
-        (key, String.make t.vsize (Char.chr (65 + (key mod 26)))))
+        (* Only 26 distinct value contents per run: hand out the interned
+           copy instead of a fresh String.make per pair. *)
+        (key, Intern.fill t.vsize (Char.chr (65 + (key mod 26)))))
 
 end
 
@@ -81,7 +84,7 @@ module Mixgraph = struct
     if p < 83 then Get (Dist.sample t.get_dist rng)
     else if p < 97 then
       let k = Dist.sample t.put_dist rng in
-      Put (k, String.make t.vsize (Char.chr (97 + (k mod 26))))
+      Put (k, Intern.fill t.vsize (Char.chr (97 + (k mod 26))))
     else Seek (Dist.sample t.get_dist rng, 10 + Rng.int rng 40)
 end
 

@@ -90,6 +90,224 @@ let prop_skiplist_model =
           M.for_all (fun k v -> Skiplist.find s k = Some v) !model
           && Skiplist.count s = M.cardinal !model))
 
+(* Reference MemTable: the original option-boxed skip list, kept
+   verbatim as the oracle for the sentinel-node rewrite. Same RNG
+   stream (same seed, one [Rng.int _ 4] run per fresh insert), so the
+   tower heights — and therefore every [Sched.cpu] probe charge — must
+   line up exactly with the production structure. *)
+module Ref_skiplist = struct
+  let max_level = 12
+
+  type node = {
+    key : string;
+    mutable value : string;
+    mutable deleted : bool;
+    next : node option array;
+  }
+
+  type t = {
+    head : node;
+    rng : Rng.t;
+    mutable level : int;
+    mutable count : int;
+    mutable bytes : int;
+  }
+
+  let hop_cost = 25
+
+  let create ?(seed = 0x5C1B) () =
+    {
+      head = { key = ""; value = ""; deleted = false;
+               next = Array.make max_level None };
+      rng = Rng.create seed;
+      level = 1;
+      count = 0;
+      bytes = 0;
+    }
+
+  let random_level t =
+    let rec go l = if l < max_level && Rng.int t.rng 4 = 0 then go (l + 1) else l in
+    go 1
+
+  let find_path t key =
+    let update = Array.make max_level t.head in
+    let x = ref t.head in
+    for lvl = t.level - 1 downto 0 do
+      let continue_ = ref true in
+      while !continue_ do
+        Sched.cpu hop_cost;
+        match !x.next.(lvl) with
+        | Some n when n.key < key -> x := n
+        | Some _ | None -> continue_ := false
+      done;
+      update.(lvl) <- !x
+    done;
+    update
+
+  let insert t ~key ~value =
+    let update = find_path t key in
+    match update.(0).next.(0) with
+    | Some n when n.key = key ->
+      t.bytes <- t.bytes + String.length value - String.length n.value;
+      n.value <- value;
+      if n.deleted then begin
+        n.deleted <- false;
+        t.count <- t.count + 1
+      end
+    | Some _ | None ->
+      let lvl = random_level t in
+      if lvl > t.level then t.level <- lvl;
+      let node = { key; value; deleted = false; next = Array.make lvl None } in
+      for i = 0 to lvl - 1 do
+        node.next.(i) <- update.(i).next.(i);
+        update.(i).next.(i) <- Some node
+      done;
+      t.count <- t.count + 1;
+      t.bytes <- t.bytes + String.length key + String.length value + (16 * lvl)
+
+  let find t key =
+    let update = find_path t key in
+    match update.(0).next.(0) with
+    | Some n when n.key = key && not n.deleted -> Some n.value
+    | Some _ | None -> None
+
+  let delete t key =
+    let update = find_path t key in
+    match update.(0).next.(0) with
+    | Some n when n.key = key && not n.deleted ->
+      n.deleted <- true;
+      t.count <- t.count - 1;
+      true
+    | Some _ | None -> false
+
+  let iter_from t key f =
+    let update = find_path t key in
+    let rec visit = function
+      | None -> ()
+      | Some n ->
+        Sched.cpu hop_cost;
+        if n.deleted then visit n.next.(0)
+        else if f n.key n.value then visit n.next.(0)
+    in
+    visit update.(0).next.(0)
+
+  let iter t f =
+    let rec go = function
+      | None -> ()
+      | Some n ->
+        if not n.deleted then f n.key n.value;
+        go n.next.(0)
+    in
+    go t.head.next.(0)
+
+  let count t = t.count
+  let approximate_bytes t = t.bytes
+
+  let clear t =
+    Array.fill t.head.next 0 max_level None;
+    t.level <- 1;
+    t.count <- 0;
+    t.bytes <- 0
+end
+
+(* Op streams over a small key pool (forcing updates, deletes and
+   delete→reinsert cycles), long enough that [random_level] grows the
+   index past level 1. Every observable — results, dump order, count,
+   byte estimate, and the simulated nanoseconds each op charges via
+   [Sched.cpu] — must match the reference exactly. *)
+let prop_skiplist_vs_reference =
+  let op_gen =
+    QCheck.Gen.(
+      frequency
+        [
+          (5, map (fun k -> `Insert k) (int_bound 120));
+          (2, map (fun k -> `Delete k) (int_bound 120));
+          (2, map (fun k -> `Find k) (int_bound 120));
+          (1, map2 (fun k n -> `Iter_from (k, n)) (int_bound 120) (int_bound 20));
+          (1, return `Clear);
+        ])
+  in
+  let print_op = function
+    | `Insert k -> Printf.sprintf "ins %d" k
+    | `Delete k -> Printf.sprintf "del %d" k
+    | `Find k -> Printf.sprintf "find %d" k
+    | `Iter_from (k, n) -> Printf.sprintf "iter %d/%d" k n
+    | `Clear -> "clear"
+  in
+  QCheck.Test.make ~count:40 ~name:"skiplist matches reference op-for-op"
+    (QCheck.make ~print:QCheck.Print.(list print_op)
+       QCheck.Gen.(list_size (int_range 50 600) op_gen))
+    (fun ops ->
+      Sched.run (fun () ->
+          let seed = 0xD1FF in
+          let s = Skiplist.create ~seed () in
+          let r = Ref_skiplist.create ~seed () in
+          let serial = ref 0 in
+          let dump iter t =
+            let acc = ref [] in
+            iter t (fun k v -> acc := (k, v) :: !acc);
+            List.rev !acc
+          in
+          let timed f =
+            let t0 = Sched.now () in
+            let x = f () in
+            (x, Sched.now () - t0)
+          in
+          let ok = ref true in
+          let check_eq a b = if a <> b then ok := false in
+          List.iter
+            (fun op ->
+              (match op with
+              | `Insert k ->
+                let key = Printf.sprintf "%06d" k in
+                incr serial;
+                let value = Printf.sprintf "v%d" !serial in
+                let ((), tn) = timed (fun () -> Skiplist.insert s ~key ~value) in
+                let ((), tr) =
+                  timed (fun () -> Ref_skiplist.insert r ~key ~value)
+                in
+                check_eq tn tr
+              | `Delete k ->
+                let key = Printf.sprintf "%06d" k in
+                let bn, tn = timed (fun () -> Skiplist.delete s key) in
+                let br, tr = timed (fun () -> Ref_skiplist.delete r key) in
+                check_eq bn br;
+                check_eq tn tr
+              | `Find k ->
+                let key = Printf.sprintf "%06d" k in
+                let vn, tn = timed (fun () -> Skiplist.find s key) in
+                let vr, tr = timed (fun () -> Ref_skiplist.find r key) in
+                check_eq vn vr;
+                check_eq tn tr
+              | `Iter_from (k, n) ->
+                let key = Printf.sprintf "%06d" k in
+                let window iter_from t =
+                  let acc = ref [] and taken = ref 0 in
+                  iter_from t key (fun k v ->
+                      if !taken < n then begin
+                        acc := (k, v) :: !acc;
+                        incr taken;
+                        true
+                      end
+                      else false);
+                  List.rev !acc
+                in
+                let wn, tn = timed (fun () -> window Skiplist.iter_from s) in
+                let wr, tr =
+                  timed (fun () -> window Ref_skiplist.iter_from r)
+                in
+                check_eq wn wr;
+                check_eq tn tr
+              | `Clear ->
+                Skiplist.clear s;
+                Ref_skiplist.clear r);
+              check_eq (Skiplist.count s) (Ref_skiplist.count r);
+              check_eq (Skiplist.approximate_bytes s)
+                (Ref_skiplist.approximate_bytes r))
+            ops;
+          check_eq (dump Skiplist.iter s) (dump Ref_skiplist.iter r);
+          !ok))
+
 (* --- environments --- *)
 
 let mk_dev ?(mib = 256) () =
@@ -125,7 +343,8 @@ let mk_pskiplist () =
   let ops =
     {
       Pskiplist.ro_write = (fun ~off b -> Msnap.write k md ~off b);
-      ro_read = (fun ~off ~len -> Msnap.read k md ~off ~len);
+      ro_read_into =
+        (fun ~off buf ~pos ~len -> Msnap.read_into k md ~off buf ~pos ~len);
       ro_persist = (fun () -> ignore (Msnap.persist k ~region:md ()));
       ro_pages = 4096;
     }
@@ -154,7 +373,8 @@ let test_pskiplist_recovery () =
       let ops =
         {
           Pskiplist.ro_write = (fun ~off b -> Msnap.write k md ~off b);
-          ro_read = (fun ~off ~len -> Msnap.read k md ~off ~len);
+          ro_read_into =
+        (fun ~off buf ~pos ~len -> Msnap.read_into k md ~off buf ~pos ~len);
           ro_persist = (fun () -> ignore (Msnap.persist k ~region:md ()));
           ro_pages = 4096;
         }
@@ -169,7 +389,9 @@ let test_pskiplist_recovery () =
       let ops2 =
         {
           Pskiplist.ro_write = (fun ~off b -> Msnap.write k2 md2 ~off b);
-          ro_read = (fun ~off ~len -> Msnap.read k2 md2 ~off ~len);
+          ro_read_into =
+            (fun ~off buf ~pos ~len ->
+              Msnap.read_into k2 md2 ~off buf ~pos ~len);
           ro_persist = (fun () -> ignore (Msnap.persist k2 ~region:md2 ()));
           ro_pages = 4096;
         }
@@ -416,6 +638,7 @@ let () =
           tc "basic" test_skiplist_basic;
           tc "order" test_skiplist_order;
           QCheck_alcotest.to_alcotest prop_skiplist_model;
+          QCheck_alcotest.to_alcotest prop_skiplist_vs_reference;
         ] );
       ( "pskiplist",
         [

@@ -69,6 +69,191 @@ let test_rng_bytes_len () =
   let rng = Rng.create 1 in
   checki "length" 33 (Bytes.length (Rng.bytes rng 33))
 
+(* The unboxed splitmix64 (Rng, Wire.checksum) must be bit-exact with
+   the boxed Int64 formulation it replaced: RNG draw sequences and
+   on-media checksum bytes are simulated values. This is the Int64
+   reference. *)
+module Ref64 = struct
+  let mix z =
+    let open Int64 in
+    let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+    let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+    logxor z (shift_right_logical z 31)
+
+  type t = { mutable state : int64 }
+
+  let create seed = { state = Int64.of_int seed }
+
+  let bits64 t =
+    t.state <- Int64.add t.state 0x9E3779B97F4A7C15L;
+    mix t.state
+
+  let split t = { state = bits64 t }
+  let int t bound = Int64.to_int (bits64 t) land max_int mod bound
+  let int_in t lo hi = lo + int t (hi - lo + 1)
+
+  let float t =
+    Int64.to_float (Int64.shift_right_logical (bits64 t) 11) *. 0x1p-53
+
+  let bool t = Int64.logand (bits64 t) 1L = 1L
+
+  let checksum ?(init = 0x5DEECE66D) b ~pos ~len =
+    let h = ref (mix (Int64.of_int init)) in
+    let word = ref 0 in
+    let full = len / 8 in
+    for i = 0 to full - 1 do
+      h := mix (Int64.add !h (Bytes.get_int64_le b (pos + (i * 8))))
+    done;
+    for i = pos + (full * 8) to pos + len - 1 do
+      word := (!word lsl 8) lor Char.code (Bytes.get b i)
+    done;
+    if len mod 8 <> 0 then h := mix (Int64.add !h (Int64.of_int !word));
+    Int64.to_int (mix (Int64.add !h (Int64.of_int len))) land max_int
+end
+
+let prop_rng_differential =
+  QCheck.Test.make ~count:200 ~name:"rng matches Int64 reference"
+    QCheck.(small_int)
+    (fun seed ->
+      (* Exercise negative seeds too. *)
+      let seed = if seed mod 3 = 0 then -seed * 7919 else seed in
+      let a = Rng.create seed and r = Ref64.create seed in
+      let ok = ref true in
+      for i = 1 to 200 do
+        (match i mod 5 with
+        | 0 -> ok := !ok && Rng.bits64 a = Ref64.bits64 r
+        | 1 -> ok := !ok && Rng.int a (1 + i) = Ref64.int r (1 + i)
+        | 2 -> ok := !ok && Rng.float a = Ref64.float r
+        | 3 -> ok := !ok && Rng.bool a = Ref64.bool r
+        | _ -> ok := !ok && Rng.int_in a (-3) 999 = Ref64.int_in r (-3) 999)
+      done;
+      (* split: both the child stream and the advanced parent agree. *)
+      let a2 = Rng.split a and r2 = Ref64.split r in
+      for _ = 1 to 50 do
+        ok := !ok && Rng.bits64 a2 = Ref64.bits64 r2;
+        ok := !ok && Rng.bits64 a = Ref64.bits64 r
+      done;
+      (* bytes/string draw per-byte like [int _ 256]. *)
+      let s = Rng.string a 32 in
+      for i = 0 to 31 do
+        ok := !ok && Char.code s.[i] = Ref64.int r 256
+      done;
+      !ok)
+
+let prop_checksum_differential =
+  QCheck.Test.make ~count:500 ~name:"wire checksum matches Int64 reference"
+    QCheck.(pair (bytes_of_size Gen.(int_range 0 600)) small_int)
+    (fun (b, salt) ->
+      let pos = salt mod 8 mod (Bytes.length b + 1) in
+      let len = Bytes.length b - pos in
+      let init = if salt mod 3 = 0 then salt * 7919 land max_int else 0x5DEECE66D in
+      Msnap_util.Wire.checksum ~init b ~pos ~len
+      = Ref64.checksum ~init b ~pos ~len)
+
+let test_checksum_long () =
+  (* Cover multi-page lengths (beyond qcheck's small payloads) and
+     chained inits, as the WAL uses them. *)
+  let rng = Rng.create 4242 in
+  let b = Rng.bytes rng 16384 in
+  let prev = ref 0x5DEECE66D in
+  List.iter
+    (fun len ->
+      let a = Msnap_util.Wire.checksum ~init:!prev b ~pos:3 ~len in
+      let r = Ref64.checksum ~init:!prev b ~pos:3 ~len in
+      checkb "chained checksum" true (a = r);
+      prev := a)
+    [ 4096; 4097; 8192; 12288; 16381 ]
+
+let test_rng_alloc_free () =
+  let rng = Rng.create 7 in
+  ignore (Rng.int rng 10);
+  let m0 = Gc.minor_words () in
+  for _ = 1 to 1000 do
+    ignore (Rng.int rng 1000)
+  done;
+  checkb "Rng.int allocates nothing" true (Gc.minor_words () -. m0 = 0.0)
+
+(* --- Keyfmt / Intern --- *)
+
+module Keyfmt = Msnap_util.Keyfmt
+module Intern = Msnap_util.Intern
+
+let prop_keyfmt_differential =
+  (* The full driver key grammar, against its sprintf reference. *)
+  QCheck.Test.make ~count:500 ~name:"keyfmt matches sprintf"
+    QCheck.(quad small_nat small_nat small_nat small_nat)
+    (fun (a, b, c, d) ->
+      let render f =
+        let t = Keyfmt.scratch () in
+        f t;
+        Keyfmt.str t
+      in
+      render (fun t -> Keyfmt.dec t ~width:20 a) = Printf.sprintf "%020d" a
+      && render (fun t ->
+             Keyfmt.char t 'w';
+             Keyfmt.dec t ~width:4 a;
+             Keyfmt.lit t "-d";
+             Keyfmt.dec t ~width:2 b;
+             Keyfmt.lit t "-c";
+             Keyfmt.dec t ~width:5 c)
+         = Printf.sprintf "w%04d-d%02d-c%05d" a b c
+      && render (fun t ->
+             Keyfmt.char t 'o';
+             Keyfmt.dec t ~width:9 d;
+             Keyfmt.lit t "-l";
+             Keyfmt.dec t ~width:2 b)
+         = Printf.sprintf "o%09d-l%02d" d b
+      && render (fun t ->
+             Keyfmt.lit t "item=";
+             Keyfmt.dec t ~width:0 a;
+             Keyfmt.lit t " qty=";
+             Keyfmt.dec t ~width:0 b)
+         = Printf.sprintf "item=%d qty=%d" a b
+      && render (fun t ->
+             Keyfmt.lit t "sub";
+             Keyfmt.dec t ~width:8 c)
+         = Printf.sprintf "sub%08d" c)
+
+let prop_keyfmt_negative =
+  QCheck.Test.make ~count:200 ~name:"keyfmt dec handles negatives"
+    QCheck.(pair int (int_range 0 12))
+    (fun (v, width) ->
+      let t = Keyfmt.scratch () in
+      Keyfmt.dec t ~width v;
+      Keyfmt.str t = Printf.sprintf "%0*d" width v)
+
+let test_keyfmt_table () =
+  let t = Keyfmt.table 100 (fun b i -> Keyfmt.dec b ~width:20 i) in
+  for i = 0 to 99 do
+    check Alcotest.string "table entry" (Printf.sprintf "%020d" i) t.(i)
+  done
+
+let prop_intern_content_identity =
+  QCheck.Test.make ~count:200 ~name:"intern fill content identity"
+    QCheck.(pair (int_range 0 300) (int_range 0 255))
+    (fun (n, code) ->
+      let c = Char.chr code in
+      let a = Intern.fill n c in
+      (* content equal to the String.make it replaces, and the repeat
+         call returns the same physical string (no new allocation). *)
+      a = String.make n c && Intern.fill n c == a)
+
+let test_intern_memo () =
+  let calls = ref 0 in
+  let f =
+    Intern.memo ~max:10 (fun i ->
+        incr calls;
+        string_of_int (i * i))
+  in
+  check Alcotest.string "memo value" "49" (f 7);
+  check Alcotest.string "memo repeat" "49" (f 7);
+  checki "rendered once" 1 !calls;
+  checkb "cached physical identity" true (f 7 == f 7);
+  (* out of range falls through, uncached *)
+  check Alcotest.string "out of range" "144" (f 12);
+  check Alcotest.string "out of range repeat" "144" (f 12);
+  checki "uncached calls" 3 !calls
+
 (* --- Dist --- *)
 
 let test_dist_domains () =
@@ -758,6 +943,24 @@ let () =
           tc "uniformity" test_rng_uniformity;
           tc "shuffle permutes" test_rng_shuffle_permutes;
           tc "bytes length" test_rng_bytes_len;
+          tc "int draws allocation-free" test_rng_alloc_free;
+          QCheck_alcotest.to_alcotest prop_rng_differential;
+        ] );
+      ( "wire",
+        [
+          tc "checksum long/chained" test_checksum_long;
+          QCheck_alcotest.to_alcotest prop_checksum_differential;
+        ] );
+      ( "keyfmt",
+        [
+          tc "table" test_keyfmt_table;
+          QCheck_alcotest.to_alcotest prop_keyfmt_differential;
+          QCheck_alcotest.to_alcotest prop_keyfmt_negative;
+        ] );
+      ( "intern",
+        [
+          tc "memo" test_intern_memo;
+          QCheck_alcotest.to_alcotest prop_intern_content_identity;
         ] );
       ( "dist",
         [
