@@ -181,6 +181,8 @@ type hostm = {
   h_major : float;
   h_hits : int;
   h_misses : int;
+  h_sched_ev : int; (* scheduler run-queue events executed *)
+  h_ctx_sw : int; (* pops that handed the CPU to a different thread *)
 }
 
 type frame = {
@@ -189,12 +191,16 @@ type frame = {
   fr_major0 : float;
   fr_hits0 : int;
   fr_misses0 : int;
+  fr_ev0 : int;
+  fr_ctx0 : int;
   (* raw totals of directly-nested frames, to subtract *)
   mutable fr_n_wall : float;
   mutable fr_n_minor : float;
   mutable fr_n_major : float;
   mutable fr_n_hits : int;
   mutable fr_n_misses : int;
+  mutable fr_n_ev : int;
+  mutable fr_n_ctx : int;
   mutable fr_cells : hostm list; (* forced under this frame, reversed *)
 }
 
@@ -210,6 +216,7 @@ let frame_begin () =
      concurrently. *)
   let minor, _, major = Gc.counters () in
   let p = Pool.totals () in
+  let ev0, ctx0, _, _ = Sched.host_counters () in
   let fr =
     {
       fr_t0 = Unix.gettimeofday ();
@@ -217,11 +224,15 @@ let frame_begin () =
       fr_major0 = major;
       fr_hits0 = p.Pool.t_hits;
       fr_misses0 = p.Pool.t_misses;
+      fr_ev0 = ev0;
+      fr_ctx0 = ctx0;
       fr_n_wall = 0.0;
       fr_n_minor = 0.0;
       fr_n_major = 0.0;
       fr_n_hits = 0;
       fr_n_misses = 0;
+      fr_n_ev = 0;
+      fr_n_ctx = 0;
       fr_cells = [];
     }
   in
@@ -238,18 +249,23 @@ let frame_end () =
     slot := rest;
     let minor1, _, major1 = Gc.counters () in
     let p = Pool.totals () in
+    let ev1, ctx1, _, _ = Sched.host_counters () in
     let wall = Unix.gettimeofday () -. fr.fr_t0 in
     let minor = minor1 -. fr.fr_minor0 in
     let major = major1 -. fr.fr_major0 in
     let hits = p.Pool.t_hits - fr.fr_hits0 in
     let misses = p.Pool.t_misses - fr.fr_misses0 in
+    let ev = ev1 - fr.fr_ev0 in
+    let ctx = ctx1 - fr.fr_ctx0 in
     (match rest with
     | parent :: _ ->
       parent.fr_n_wall <- parent.fr_n_wall +. wall;
       parent.fr_n_minor <- parent.fr_n_minor +. minor;
       parent.fr_n_major <- parent.fr_n_major +. major;
       parent.fr_n_hits <- parent.fr_n_hits + hits;
-      parent.fr_n_misses <- parent.fr_n_misses + misses
+      parent.fr_n_misses <- parent.fr_n_misses + misses;
+      parent.fr_n_ev <- parent.fr_n_ev + ev;
+      parent.fr_n_ctx <- parent.fr_n_ctx + ctx
     | [] -> ());
     ( {
         h_wall_s = wall -. fr.fr_n_wall;
@@ -257,6 +273,8 @@ let frame_end () =
         h_major = major -. fr.fr_n_major;
         h_hits = hits - fr.fr_n_hits;
         h_misses = misses - fr.fr_n_misses;
+        h_sched_ev = ev - fr.fr_n_ev;
+        h_ctx_sw = ctx - fr.fr_n_ctx;
       },
       List.rev fr.fr_cells )
 
@@ -314,6 +332,16 @@ let force (p : _ pending) =
    counters, never a simulated value. *)
 
 let warm () =
+  (* The deepest single-run consumer of the 4 KiB class is table2's
+     Aurora breakdown: a 4096-page region plus its CoW shadows and
+     object-store staging, all live at once before anything is
+     recycled. Park that many frames directly — building (and
+     simulating) a machine that size just to throw it away would dwarf
+     the rest of warm(). Alloc-then-recycle of distinct buffers, so
+     the class really retains [page_frames] of them. *)
+  let page_frames = 8 * 1024 in
+  let bufs = Array.init page_frames (fun _ -> Pool.alloc Addr.page_size) in
+  Array.iter Pool.recycle bufs;
   ignore
     (Sched.run (fun () ->
          let _, fs = mk_fs Fs.Ffs in

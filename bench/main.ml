@@ -60,6 +60,8 @@ type timing = {
   t_major_words : float; (* words allocated directly on the major heap *)
   t_pool_hits : int; (* buffer-pool hits during the experiment *)
   t_pool_misses : int; (* buffer-pool misses (fresh major-heap buffers) *)
+  t_sched_events : int; (* scheduler run-queue events executed *)
+  t_ctx_switches : int; (* events that handed the CPU to another thread *)
   t_trace_events : int; (* events exported; 0 when tracing is off *)
   t_trace_dropped : int; (* events past the buffer cap, counted not kept *)
   t_trace_s : float; (* host seconds spent dumping + exporting the trace *)
@@ -130,6 +132,8 @@ let timed ?trace_path name f =
     t_major_words = host.Env.h_major +. sumf (fun c -> c.Env.h_major);
     t_pool_hits = host.Env.h_hits + sumi (fun c -> c.Env.h_hits);
     t_pool_misses = host.Env.h_misses + sumi (fun c -> c.Env.h_misses);
+    t_sched_events = host.Env.h_sched_ev + sumi (fun c -> c.Env.h_sched_ev);
+    t_ctx_switches = host.Env.h_ctx_sw + sumi (fun c -> c.Env.h_ctx_sw);
     t_trace_events = trace_events;
     t_trace_dropped = trace_dropped;
     t_trace_s = trace_s;
@@ -160,6 +164,7 @@ let run_parallel ~trace jobs selected =
     Array.make n
       { t_name = ""; t_wall_s = 0.0; t_minor_words = 0.0; t_major_words = 0.0;
         t_pool_hits = 0; t_pool_misses = 0;
+        t_sched_events = 0; t_ctx_switches = 0;
         t_trace_events = 0; t_trace_dropped = 0; t_trace_s = 0.0;
         t_cell_wall_s = [] }
   in
@@ -192,7 +197,7 @@ let write_timings ~path ~jobs ~total timings =
   let oc = open_out path in
   let p fmt = Printf.fprintf oc fmt in
   p "{\n";
-  p "  \"schema\": \"memsnap-bench-sim/6\",\n";
+  p "  \"schema\": \"memsnap-bench-sim/7\",\n";
   p "  \"jobs\": %d,\n" jobs;
   (* Cells share the experiment pool, so the budgets coincide; the field
      is separate so readers need not infer it from "jobs". *)
@@ -204,12 +209,13 @@ let write_timings ~path ~jobs ~total timings =
       p
         "    { \"name\": %S, \"wall_s\": %.3f, \"minor_words\": %.0f, \
          \"major_words\": %.0f, \"pool_hits\": %d, \"pool_misses\": %d, \
-         \"pool_hit_rate\": %.3f, \"trace_events\": %d, \
+         \"pool_hit_rate\": %.3f, \"sched_events\": %d, \
+         \"ctx_switches\": %d, \"trace_events\": %d, \
          \"trace_dropped\": %d, \"trace_overhead_s\": %.3f, \
          \"cells\": %d, \"cell_wall_s\": [%s] }%s\n"
         t.t_name t.t_wall_s t.t_minor_words t.t_major_words t.t_pool_hits
-        t.t_pool_misses (pool_hit_rate t) t.t_trace_events
-        t.t_trace_dropped t.t_trace_s
+        t.t_pool_misses (pool_hit_rate t) t.t_sched_events t.t_ctx_switches
+        t.t_trace_events t.t_trace_dropped t.t_trace_s
         (List.length t.t_cell_wall_s)
         (String.concat ", "
            (List.map (fun w -> Printf.sprintf "%.3f" w) t.t_cell_wall_s))

@@ -1,3 +1,9 @@
+(* Binary min-heap over (prio, seq): the scheduler's original run queue,
+   kept as the reference implementation for the timing wheel that
+   replaced it (Msnap_util.Twheel — see the differential suite in
+   test/test_util.ml, which pins the wheel to this heap pop for pop).
+   Not on the hot path anymore. *)
+
 type 'a entry = { prio : int; seq : int; value : 'a }
 
 type 'a t = {

@@ -130,16 +130,27 @@ let pool_miss = make Host "pool.miss"
 let pool_recycle = make Host "pool.recycle"
 
 module Bucket = struct
-  type t = string
+  (* Dense ids: the scheduler keeps per-bucket CPU counters in a flat
+     int array indexed by these, so with_bucket enter/exit and the cpu
+     hot path never touch a hash table. "user" must stay id 0 — it is
+     every thread's initial bucket. *)
+  type t = int
 
-  let name b = b
-  let user = "user"
-  let io = "io"
-  let log = "log"
-  let write = "write"
-  let fsync = "fsync"
-  let read = "read"
-  let memsnap = "memsnap"
-  let memsnap_flush = "memsnap flush"
-  let page_faults = "page faults"
+  let names =
+    [| "user"; "io"; "log"; "write"; "fsync"; "read"; "memsnap";
+       "memsnap flush"; "page faults" |]
+
+  let count = Array.length names
+  let id b = b
+  let of_id i = i
+  let name b = names.(b)
+  let user = 0
+  let io = 1
+  let log = 2
+  let write = 3
+  let fsync = 4
+  let read = 5
+  let memsnap = 6
+  let memsnap_flush = 7
+  let page_faults = 8
 end

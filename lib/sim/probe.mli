@@ -139,6 +139,17 @@ module Bucket : sig
 
   val name : t -> string
 
+  val id : t -> int
+  (** Dense id in [0..count-1]; indexes the scheduler's flat per-bucket
+      accounting array. ["user"] is id 0 (every thread's initial
+      bucket). *)
+
+  val of_id : int -> t
+  (** Inverse of {!id}. *)
+
+  val count : int
+  (** Number of buckets. *)
+
   val user : t          (* "user" *)
   val io : t            (* "io" *)
   val log : t           (* "log" *)

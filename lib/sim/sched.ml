@@ -1,3 +1,19 @@
+module Twheel = Msnap_util.Twheel
+
+(* Waker life cycle. A waker is acquired from the engine free list when
+   a thread parks (Suspend) or sleeps (Delay), carries the parked
+   continuation, and is released back to the free list the moment its
+   continuation is resumed — so steady-state parking allocates nothing.
+   Under Msnap_util.Slice.debug_checks the free list is disabled and
+   released wakers are poisoned instead: waking one raises {!Violation},
+   turning use-after-resume bugs into hard failures. *)
+let st_free = 0 (* on the free list *)
+let st_parked = 1 (* suspended; in the parked dlist; wake will fire it *)
+let st_timer = 2 (* carrying a Delay continuation; not wakeable *)
+let st_fired = 3 (* woken; resume scheduled but not yet run *)
+let st_poisoned = 4 (* released under debug_checks; any wake is a bug *)
+let st_nil = 5 (* sentinels *)
+
 type thread = {
   id : int;
   tname : string;
@@ -5,46 +21,88 @@ type thread = {
      span at thread exit. Deterministic state, host-only consumer. *)
   spawned : int;
   mutable finished : bool;
-  mutable joiners : waker list;
-  mutable acct : string;
-  (* Cached counter cell for [acct] in the engine's bucket table, so the
-     [cpu] hot path skips the Hashtbl lookup. [None] until first charge;
-     invalidated whenever [acct] changes (with_bucket enter/exit). *)
-  mutable acct_cell : int ref option;
+  (* Intrusive LIFO stack of joiner wakers linked through [w_qnext],
+     [nil_waker]-terminated — same wake order as the seed's cons list. *)
+  mutable joiners : waker;
+  (* Current CPU-accounting bucket as a dense Probe.Bucket id, indexing
+     the engine's flat [buckets] array: with_bucket enter/exit and the
+     cpu hot path are a plain int store, no hash lookups. *)
+  mutable acct : int;
 }
 
 and waker = {
-  w_thread : thread;
-  mutable fired : bool;
+  mutable w_thread : thread;
+  mutable w_state : int;
   (* The parked continuation lives in the waker itself, making [wake]
-     O(1) instead of scanning an engine-wide association list. *)
-  mutable w_action : (unit -> unit) option;
+     O(1); [dummy_k] while the waker is free. *)
+  mutable w_k : (unit, unit) Effect.Deep.continuation;
   w_engine : engine;
+  (* Preallocated resume closure, pushed on the run queue at wake time.
+     It reads [w_thread]/[w_k] when it runs, so one closure serves every
+     reincarnation of this waker. *)
+  w_resume : unit -> unit;
+  (* Doubly-linked parked list (engine sentinel [parked]) while parked,
+     for O(1) unlink at wake and deadlock reporting; [w_next] doubles as
+     the free-list link while free. *)
+  mutable w_prev : waker;
+  mutable w_next : waker;
+  (* Singly-linked FIFO link for Waitq (sync primitives) and the
+     joiners stack. *)
+  mutable w_qnext : waker;
 }
 
 and engine = {
   mutable clock : int;
-  runq : (unit -> unit) Pq.t;
+  runq : (unit -> unit) Twheel.t;
   mutable live : int;
-  mutable cur : thread option;
+  mutable cur : thread; (* [t_none] when the scheduler itself runs *)
+  t_none : thread;
   mutable next_tid : int;
   mutable failure : exn option;
-  buckets : (string, int ref) Hashtbl.t;
-  (* All currently-parked wakers (most recent first), kept only for
-     deadlock reporting. Fired wakers are pruned lazily, amortized O(1),
-     so the list stays proportional to the number of parked threads. *)
-  mutable parked : waker list;
-  mutable parked_len : int;
-  mutable parked_live : int;
+  (* Per-bucket CPU ns, indexed by Probe.Bucket.id. *)
+  buckets : int array;
+  (* Sentinel of the parked-waker dlist, most recently parked first. *)
+  parked : waker;
+  mutable free_wakers : waker; (* free list, [nil_waker]-terminated *)
+  (* Host-only statistics, flushed to the domain totals at finalize. *)
+  mutable last_tid : int;
+  mutable ev : int; (* run-queue pops *)
+  mutable ctx : int; (* pops that handed the CPU to a different thread *)
+  mutable walloc : int; (* wakers freshly allocated *)
+  mutable wreuse : int; (* wakers reused from the free list *)
 }
 
 type tid = thread
 
 exception Deadlock of string
+exception Violation of string
 
 type _ Effect.t +=
   | Delay : int -> unit Effect.t
   | Suspend : (waker -> unit) -> unit Effect.t
+
+let dummy_k : (unit, unit) Effect.Deep.continuation = Obj.magic 0
+
+(* Global nil sentinel terminating free lists, wait queues and joiner
+   stacks. Shared across engines and domains, so its fields are NEVER
+   written — every list operation checks for it by physical equality
+   before touching links. *)
+let nil_runq : (unit -> unit) Twheel.t = Twheel.create ~initial:2 ()
+
+let rec nil_thread =
+  { id = -1; tname = "scheduler"; spawned = 0; finished = true;
+    joiners = nil_waker; acct = 0 }
+
+and nil_engine =
+  { clock = 0; runq = nil_runq; live = 0; cur = nil_thread;
+    t_none = nil_thread; next_tid = 0; failure = None; buckets = [||];
+    parked = nil_waker; free_wakers = nil_waker; last_tid = 0; ev = 0;
+    ctx = 0; walloc = 0; wreuse = 0 }
+
+and nil_waker =
+  { w_thread = nil_thread; w_state = 5 (* st_nil *); w_k = dummy_k;
+    w_engine = nil_engine; w_resume = ignore; w_prev = nil_waker;
+    w_next = nil_waker; w_qnext = nil_waker }
 
 (* One engine slot per domain: each domain can host an independent
    Sched.run, which is what lets the bench harness fan experiments out
@@ -59,19 +117,36 @@ let engine_slot () = Domain.DLS.get engine_key
    the exported trace instead of overlapping at t=0. Host-only. *)
 let trace_base_key : int ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref 0)
 
+(* Cumulative host-side scheduler statistics per domain (events
+   executed, context switches, waker allocation/reuse). Pure host
+   observability for BENCH_sim.json — deliberately not Metrics
+   counters, so they can never leak into determinism digests. *)
+type host_stats = {
+  mutable hs_events : int;
+  mutable hs_ctx : int;
+  mutable hs_walloc : int;
+  mutable hs_wreuse : int;
+}
+
+let host_stats_key : host_stats Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      { hs_events = 0; hs_ctx = 0; hs_walloc = 0; hs_wreuse = 0 })
+
+let host_counters () =
+  let s = Domain.DLS.get host_stats_key in
+  (s.hs_events, s.hs_ctx, s.hs_walloc, s.hs_wreuse)
+
 let () =
   Trace.set_time_source (fun () ->
       let base = !(Domain.DLS.get trace_base_key) in
       match !(engine_slot ()) with Some e -> base + e.clock | None -> base);
+  (* [cur] is [t_none] (id -1, "scheduler") between threads, so the
+     sources need no option branch. *)
   Trace.set_thread_source
     ~tid:(fun () ->
-      match !(engine_slot ()) with
-      | Some e -> ( match e.cur with Some t -> t.id | None -> -1)
-      | None -> -1)
+      match !(engine_slot ()) with Some e -> e.cur.id | None -> -1)
     ~tname:(fun () ->
-      match !(engine_slot ()) with
-      | Some e -> ( match e.cur with Some t -> t.tname | None -> "scheduler")
-      | None -> "host")
+      match !(engine_slot ()) with Some e -> e.cur.tname | None -> "host")
 
 let engine () =
   match !(engine_slot ()) with
@@ -81,45 +156,138 @@ let engine () =
 let now () = (engine ()).clock
 
 let self () =
-  match (engine ()).cur with
-  | Some t -> t
-  | None -> invalid_arg "Sched.self: no current thread"
+  let e = engine () in
+  if e.cur == e.t_none then invalid_arg "Sched.self: no current thread";
+  e.cur
 
 let tid_int t = t.id
 let name t = t.tname
 
-let schedule e ~at action = Pq.push e.runq ~prio:at action
+let schedule e ~at action = Twheel.push e.runq ~prio:at action
 
-let prune_parked e =
-  if e.parked_len > 64 && e.parked_len > 2 * e.parked_live then begin
-    e.parked <- List.filter (fun w -> not w.fired) e.parked;
-    e.parked_len <- e.parked_live
+(* --- waker pool --- *)
+
+let park_link e w =
+  let s = e.parked in
+  let n = s.w_next in
+  w.w_prev <- s;
+  w.w_next <- n;
+  n.w_prev <- w;
+  s.w_next <- w
+
+let park_unlink w =
+  w.w_prev.w_next <- w.w_next;
+  w.w_next.w_prev <- w.w_prev;
+  w.w_prev <- nil_waker;
+  w.w_next <- nil_waker
+
+let release_waker e w =
+  w.w_k <- dummy_k;
+  w.w_thread <- e.t_none;
+  if !Msnap_util.Slice.debug_checks then w.w_state <- st_poisoned
+  else begin
+    w.w_state <- st_free;
+    w.w_next <- e.free_wakers;
+    e.free_wakers <- w
+  end
+
+let resume_thread e t =
+  if t.id <> e.last_tid then begin
+    e.ctx <- e.ctx + 1;
+    e.last_tid <- t.id
+  end;
+  e.cur <- t
+
+(* Body of every waker's preallocated [w_resume] closure: recycle the
+   waker first (the resumed thread may re-park through it immediately),
+   then hand the CPU to the parked thread. *)
+let run_waker w =
+  let e = w.w_engine in
+  let t = w.w_thread in
+  let k = w.w_k in
+  release_waker e w;
+  resume_thread e t;
+  Effect.Deep.continue k ()
+
+let fresh_waker e t =
+  e.walloc <- e.walloc + 1;
+  let rec w =
+    { w_thread = t; w_state = st_free; w_k = dummy_k; w_engine = e;
+      w_resume = (fun () -> run_waker w); w_prev = nil_waker;
+      w_next = nil_waker; w_qnext = nil_waker }
+  in
+  w
+
+let acquire_waker e t =
+  let w = e.free_wakers in
+  if w == nil_waker then fresh_waker e t
+  else begin
+    e.free_wakers <- w.w_next;
+    w.w_next <- nil_waker;
+    w.w_thread <- t;
+    e.wreuse <- e.wreuse + 1;
+    w
   end
 
 let wake w =
-  if not w.fired then begin
-    w.fired <- true;
+  if w.w_state = st_parked then begin
+    w.w_state <- st_fired;
     let e = w.w_engine in
+    park_unlink w;
     if Trace.verbose () then
       Trace.instant Probe.sched_wake
         ~args:[ ("tid", Trace.I w.w_thread.id); ("thread", Trace.S w.w_thread.tname) ];
-    (match w.w_action with
-    | Some act ->
-      w.w_action <- None;
-      schedule e ~at:e.clock act
-    | None -> ());
-    e.parked_live <- e.parked_live - 1;
-    prune_parked e
+    schedule e ~at:e.clock w.w_resume
   end
+  else if w.w_state <> st_fired && !Msnap_util.Slice.debug_checks then
+    (* Waking after the thread already resumed would (silently) do
+       nothing in release builds because the waker has moved on; under
+       debug_checks the released waker was poisoned so the stale wake is
+       caught here instead. *)
+    raise
+      (Violation
+         (Printf.sprintf "Sched.wake: stale waker (state %d): thread already resumed"
+            w.w_state))
+
+(* --- wait queues (intrusive, allocation-free) --- *)
+
+module Waitq = struct
+  type nonrec t = { mutable head : waker; mutable tail : waker }
+
+  let create () = { head = nil_waker; tail = nil_waker }
+  let is_empty q = q.head == nil_waker
+
+  let add q w =
+    w.w_qnext <- nil_waker;
+    if q.head == nil_waker then begin
+      q.head <- w;
+      q.tail <- w
+    end
+    else begin
+      q.tail.w_qnext <- w;
+      q.tail <- w
+    end
+
+  let take q =
+    let w = q.head in
+    if w == nil_waker then invalid_arg "Sched.Waitq.take: empty";
+    let n = w.w_qnext in
+    q.head <- n;
+    if n == nil_waker then q.tail <- nil_waker;
+    w.w_qnext <- nil_waker;
+    w
+
+  let wake_all q =
+    while not (is_empty q) do
+      wake (take q)
+    done
+end
 
 (* Run [body] as a coroutine belonging to [t]. Each effect performed by the
-   body enqueues its continuation and unwinds to the scheduler loop. *)
+   body parks its continuation in a pooled waker and unwinds to the
+   scheduler loop. *)
 let start_thread e t body =
   let open Effect.Deep in
-  let resume_as t k () =
-    e.cur <- Some t;
-    continue k ()
-  in
   let handler =
     {
       retc =
@@ -129,9 +297,17 @@ let start_thread e t body =
           if Trace.is_on () then
             Trace.complete Probe.sched_thread ~dur:(e.clock - t.spawned)
               ~args:[ ("thread", Trace.S t.tname) ];
+          let rec wake_joiners w =
+            if w != nil_waker then begin
+              let next = w.w_qnext in
+              w.w_qnext <- nil_waker;
+              wake w;
+              wake_joiners next
+            end
+          in
           let js = t.joiners in
-          t.joiners <- [];
-          List.iter wake js);
+          t.joiners <- nil_waker;
+          wake_joiners js);
       exnc =
         (fun exn ->
           t.finished <- true;
@@ -143,20 +319,20 @@ let start_thread e t body =
           | Delay ns ->
             Some
               (fun (k : (a, unit) continuation) ->
-                schedule e ~at:(e.clock + ns) (resume_as t k))
+                let w = acquire_waker e t in
+                w.w_state <- st_timer;
+                w.w_k <- k;
+                schedule e ~at:(e.clock + ns) w.w_resume)
           | Suspend f ->
             Some
               (fun (k : (a, unit) continuation) ->
                 if Trace.verbose () then
                   Trace.instant Probe.sched_block
                     ~args:[ ("thread", Trace.S t.tname) ];
-                let w =
-                  { w_thread = t; fired = false;
-                    w_action = Some (resume_as t k); w_engine = e }
-                in
-                e.parked <- w :: e.parked;
-                e.parked_len <- e.parked_len + 1;
-                e.parked_live <- e.parked_live + 1;
+                let w = acquire_waker e t in
+                w.w_state <- st_parked;
+                w.w_k <- k;
+                park_link e w;
                 f w)
           | _ -> None);
     }
@@ -165,17 +341,18 @@ let start_thread e t body =
 
 let suspend f = Effect.perform (Suspend f)
 
-(* Fast path: when no queued action is scheduled at or before the target
-   time, performing the Delay effect would enqueue our continuation and
-   immediately pop it back (the tie-break seq ordering guarantees we run
-   before anything later queued at the same instant), so advancing the
-   clock inline is semantically identical and skips the continuation
-   capture plus two heap operations. *)
+(* Fast path: when the wheel holds nothing scheduled at or before the
+   target time, performing the Delay effect would park our continuation
+   and immediately pop it back (the tie-break seq ordering guarantees we
+   run before anything later queued at the same instant), so advancing
+   the clock inline is semantically identical and skips the continuation
+   capture plus two wheel operations. [Twheel.min_prio] is a pure O(1)
+   cached-minimum read, so this probe costs what the heap's peek did. *)
 let advance e ns =
   let target = e.clock + ns in
-  match Pq.min_prio e.runq with
-  | Some p when p <= target -> Effect.perform (Delay ns)
-  | _ -> e.clock <- target
+  let p = Twheel.min_prio e.runq in
+  if p >= 0 && p <= target then Effect.perform (Delay ns)
+  else e.clock <- target
 
 let delay ns = if ns > 0 then advance (engine ()) ns
 let yield () = Effect.perform (Delay 0)
@@ -188,9 +365,8 @@ let spawn ?(name = "thread") body =
       tname = name;
       spawned = e.clock;
       finished = false;
-      joiners = [];
-      acct = "user";
-      acct_cell = None;
+      joiners = nil_waker;
+      acct = 0 (* Probe.Bucket.user *);
     }
   in
   e.next_tid <- e.next_tid + 1;
@@ -199,62 +375,43 @@ let spawn ?(name = "thread") body =
     Trace.instant Probe.sched_spawn
       ~args:[ ("tid", Trace.I t.id); ("thread", Trace.S name) ];
   schedule e ~at:e.clock (fun () ->
-      e.cur <- Some t;
+      resume_thread e t;
       start_thread e t body);
   t
 
 let join target =
   if not target.finished then
-    suspend (fun w -> target.joiners <- w :: target.joiners)
+    suspend (fun w ->
+        w.w_qnext <- target.joiners;
+        target.joiners <- w)
 
-let bucket () = (self ()).acct
-
-let bucket_cell e name =
-  match Hashtbl.find_opt e.buckets name with
-  | Some r -> r
-  | None ->
-    let r = ref 0 in
-    Hashtbl.add e.buckets name r;
-    r
+let bucket () = Probe.Bucket.name (Probe.Bucket.of_id (self ()).acct)
 
 let cpu ns =
   if ns > 0 then begin
     let e = engine () in
-    let t =
-      match e.cur with
-      | Some t -> t
-      | None -> invalid_arg "Sched.cpu: no current thread"
-    in
-    let cell =
-      match t.acct_cell with
-      | Some c -> c
-      | None ->
-        let c = bucket_cell e t.acct in
-        t.acct_cell <- Some c;
-        c
-    in
-    cell := !cell + ns;
+    let t = e.cur in
+    if t == e.t_none then invalid_arg "Sched.cpu: no current thread";
+    let b = e.buckets in
+    let i = t.acct in
+    Array.unsafe_set b i (Array.unsafe_get b i + ns);
     advance e ns
   end
 
-let with_bucket_name name f =
+let with_bucket b f =
   let t = self () in
   let saved = t.acct in
-  let saved_cell = t.acct_cell in
-  t.acct <- name;
-  t.acct_cell <- None;
-  Fun.protect
-    ~finally:(fun () ->
-      t.acct <- saved;
-      t.acct_cell <- saved_cell)
-    f
-
-let with_bucket b f = with_bucket_name (Probe.Bucket.name b) f
+  t.acct <- Probe.Bucket.id b;
+  Fun.protect ~finally:(fun () -> t.acct <- saved) f
 
 let account_report () =
   let e = engine () in
-  Hashtbl.fold (fun k v acc -> (k, !v) :: acc) e.buckets []
-  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  let acc = ref [] in
+  for i = Probe.Bucket.count - 1 downto 0 do
+    let v = e.buckets.(i) in
+    if v <> 0 then acc := (Probe.Bucket.name (Probe.Bucket.of_id i), v) :: !acc
+  done;
+  List.sort (fun (a, _) (b, _) -> String.compare a b) !acc
 
 let account_total () =
   List.fold_left (fun acc (_, v) -> acc + v) 0 (account_report ())
@@ -266,19 +423,20 @@ let set_trace_base v = Domain.DLS.get trace_base_key := v
 let run main =
   let slot = engine_slot () in
   if !slot <> None then invalid_arg "Sched.run: nested run";
-  let e =
-    {
-      clock = 0;
-      runq = Pq.create ();
-      live = 0;
-      cur = None;
-      next_tid = 0;
-      failure = None;
-      buckets = Hashtbl.create 17;
-      parked = [];
-      parked_len = 0;
-      parked_live = 0;
-    }
+  let t_none =
+    { id = -1; tname = "scheduler"; spawned = 0; finished = true;
+      joiners = nil_waker; acct = 0 }
+  in
+  let runq = Twheel.create () in
+  let buckets = Array.make Probe.Bucket.count 0 in
+  let rec e =
+    { clock = 0; runq; live = 0; cur = t_none; t_none; next_tid = 0;
+      failure = None; buckets; parked = psent; free_wakers = nil_waker;
+      last_tid = min_int; ev = 0; ctx = 0; walloc = 0; wreuse = 0 }
+  and psent =
+    { w_thread = t_none; w_state = st_nil; w_k = dummy_k; w_engine = e;
+      w_resume = ignore; w_prev = psent; w_next = psent;
+      w_qnext = nil_waker }
   in
   slot := Some e;
   let result = ref None in
@@ -288,31 +446,44 @@ let run main =
        back-to-back runs are visually distinct in the export). *)
     let base = Domain.DLS.get trace_base_key in
     base := !base + e.clock + 1_000;
+    let s = Domain.DLS.get host_stats_key in
+    s.hs_events <- s.hs_events + e.ev;
+    s.hs_ctx <- s.hs_ctx + e.ctx;
+    s.hs_walloc <- s.hs_walloc + e.walloc;
+    s.hs_wreuse <- s.hs_wreuse + e.wreuse;
     slot := None
   in
   let deadlock () =
-    let parked =
-      List.filter_map
-        (fun w -> if w.fired then None else Some w.w_thread.tname)
-        e.parked
+    (* Walk the parked dlist: most recently parked first, same order as
+       the seed's cons list. *)
+    let buf = Buffer.create 64 in
+    let rec go w first =
+      if w != psent then begin
+        if not first then Buffer.add_string buf ", ";
+        Buffer.add_string buf w.w_thread.tname;
+        go w.w_next false
+      end
     in
+    go psent.w_next true;
+    let live = e.live in
+    let names = Buffer.contents buf in
     finalize ();
     raise
       (Deadlock
-         (Printf.sprintf "%d thread(s) blocked forever: %s" e.live
-            (String.concat ", " parked)))
+         (Printf.sprintf "%d thread(s) blocked forever: %s" live names))
   in
   let rec loop () =
     if e.failure <> None then ()
-    else
-      match Pq.min_prio e.runq with
-      | None -> if e.live > 0 then deadlock ()
-      | Some at ->
+    else begin
+      let at = Twheel.min_prio e.runq in
+      if at < 0 then begin if e.live > 0 then deadlock () end
+      else begin
         if at > e.clock then e.clock <- at;
-        (match Pq.pop e.runq with
-        | Some action -> action ()
-        | None -> assert false);
+        e.ev <- e.ev + 1;
+        (Twheel.pop_min e.runq) ();
         loop ()
+      end
+    end
   in
   (try loop ()
    with exn ->

@@ -20,6 +20,14 @@ type tid
 exception Deadlock of string
 (** Raised by {!run} when no thread is runnable but some have not finished. *)
 
+exception Violation of string
+(** Raised (only under [Msnap_util.Slice.debug_checks]) when a stale
+    waker is woken — i.e. after its thread already resumed. With checks
+    off, wakers are recycled through a per-engine free list at resume
+    time, so a stale wake would silently target the wrong parked thread;
+    under checks the free list is disabled, released wakers are
+    poisoned, and the bug surfaces here. *)
+
 val run : (unit -> 'a) -> 'a
 (** [run main] executes [main] as the first thread of a fresh simulation and
     returns its result once every spawned thread has finished. Resets the
@@ -71,8 +79,31 @@ val suspend : (waker -> unit) -> unit
     build mutexes, condition variables and IO completion. *)
 
 val wake : waker -> unit
-(** Make the parked thread runnable at the current virtual time. Calling a
-    waker twice is a no-op. *)
+(** Make the parked thread runnable at the current virtual time. Waking
+    an already-woken waker before its thread resumes is a no-op; waking
+    it after the thread resumed is a bug (wakers are pooled and may
+    already belong to another park), detected under
+    [Msnap_util.Slice.debug_checks] — see {!Violation}. *)
+
+(** Intrusive FIFO queue of parked wakers: the building block for the
+    {!Msnap_sim.Sync} primitives. Links live inside the waker, so
+    enqueue/dequeue allocate nothing. A waker must sit in at most one
+    Waitq at a time, and must be removed (taken) before it is woken. *)
+module Waitq : sig
+  type t
+
+  val create : unit -> t
+  val is_empty : t -> bool
+
+  val add : t -> waker -> unit
+  (** Append (FIFO). *)
+
+  val take : t -> waker
+  (** Remove and return the oldest waker; [Invalid_argument] if empty. *)
+
+  val wake_all : t -> unit
+  (** Drain the queue, waking each waker in FIFO order. *)
+end
 
 (** {2 CPU accounting} *)
 
@@ -88,3 +119,13 @@ val account_report : unit -> (string * int) list
 
 val account_total : unit -> int
 (** Sum across buckets. *)
+
+(** {2 Host-side statistics} *)
+
+val host_counters : unit -> int * int * int * int
+(** [(events, ctx_switches, waker_allocs, waker_reuses)] — cumulative
+    totals for this domain over all completed runs: run-queue events
+    executed, pops that handed the CPU to a different thread, wakers
+    freshly allocated, and wakers recycled from the free list. Host
+    observability only (BENCH_sim.json); deliberately not Metrics
+    counters, so they can never appear in determinism digests. *)

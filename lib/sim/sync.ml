@@ -1,18 +1,24 @@
-module Mutex = struct
-  type t = { mutable locked : bool; waiters : Sched.waker Queue.t }
+(* All primitives park through Sched.Waitq: an intrusive FIFO whose
+   links live inside the (pooled) wakers, so blocking allocates nothing
+   beyond the suspend closure. Wake orders are exactly the seed's:
+   Mutex/Condition/Semaphore/Ivar/Channel all FIFO. *)
 
-  let create () = { locked = false; waiters = Queue.create () }
+module Waitq = Sched.Waitq
+
+module Mutex = struct
+  type t = { mutable locked : bool; waiters : Waitq.t }
+
+  let create () = { locked = false; waiters = Waitq.create () }
 
   let lock t =
     if not t.locked then t.locked <- true
-    else Sched.suspend (fun w -> Queue.add w t.waiters)
+    else Sched.suspend (fun w -> Waitq.add t.waiters w)
   (* Ownership passes directly to the woken waiter: [locked] stays true. *)
 
   let unlock t =
     if not t.locked then invalid_arg "Mutex.unlock: not locked";
-    match Queue.take_opt t.waiters with
-    | Some w -> Sched.wake w
-    | None -> t.locked <- false
+    if Waitq.is_empty t.waiters then t.locked <- false
+    else Sched.wake (Waitq.take t.waiters)
 
   let try_lock t =
     if t.locked then false
@@ -29,45 +35,42 @@ module Mutex = struct
 end
 
 module Condition = struct
-  type t = { waiters : Sched.waker Queue.t }
+  type t = { waiters : Waitq.t }
 
-  let create () = { waiters = Queue.create () }
+  let create () = { waiters = Waitq.create () }
 
   let wait t m =
     (* Park first, then release the mutex, so a signal between unlock and
        park cannot be lost. Sched.suspend registers synchronously. *)
     Sched.suspend (fun w ->
-        Queue.add w t.waiters;
+        Waitq.add t.waiters w;
         Mutex.unlock m);
     Mutex.lock m
 
   let signal t =
-    match Queue.take_opt t.waiters with
-    | Some w -> Sched.wake w
-    | None -> ()
+    if not (Waitq.is_empty t.waiters) then Sched.wake (Waitq.take t.waiters)
 
   let broadcast t =
-    let ws = Queue.to_seq t.waiters |> List.of_seq in
-    Queue.clear t.waiters;
-    List.iter Sched.wake ws
+    (* Waking never runs the woken thread (it only schedules it), so
+       draining in place is equivalent to the seed's snapshot-then-wake. *)
+    Waitq.wake_all t.waiters
 end
 
 module Semaphore = struct
-  type t = { mutable count : int; waiters : Sched.waker Queue.t }
+  type t = { mutable count : int; waiters : Waitq.t }
 
   let create n =
     assert (n >= 0);
-    { count = n; waiters = Queue.create () }
+    { count = n; waiters = Waitq.create () }
 
   let acquire t =
     if t.count > 0 then t.count <- t.count - 1
-    else Sched.suspend (fun w -> Queue.add w t.waiters)
+    else Sched.suspend (fun w -> Waitq.add t.waiters w)
   (* The released permit passes directly to the woken waiter. *)
 
   let release t =
-    match Queue.take_opt t.waiters with
-    | Some w -> Sched.wake w
-    | None -> t.count <- t.count + 1
+    if Waitq.is_empty t.waiters then t.count <- t.count + 1
+    else Sched.wake (Waitq.take t.waiters)
 
   let try_acquire t =
     if t.count > 0 then begin
@@ -80,22 +83,20 @@ module Semaphore = struct
 end
 
 module Ivar = struct
-  type 'a t = { mutable value : 'a option; mutable waiters : Sched.waker list }
+  type 'a t = { mutable value : 'a option; waiters : Waitq.t }
 
-  let create () = { value = None; waiters = [] }
+  let create () = { value = None; waiters = Waitq.create () }
 
   let fill t v =
     if t.value <> None then invalid_arg "Ivar.fill: already filled";
     t.value <- Some v;
-    let ws = List.rev t.waiters in
-    t.waiters <- [];
-    List.iter Sched.wake ws
+    Waitq.wake_all t.waiters
 
   let read t =
     match t.value with
     | Some v -> v
     | None ->
-      Sched.suspend (fun w -> t.waiters <- w :: t.waiters);
+      Sched.suspend (fun w -> Waitq.add t.waiters w);
       (match t.value with
       | Some v -> v
       | None -> assert false)
@@ -108,44 +109,40 @@ module Channel = struct
   type 'a t = {
     items : 'a Queue.t;
     capacity : int;
-    mutable senders : Sched.waker list;
-    mutable receivers : Sched.waker list;
+    senders : Waitq.t;
+    receivers : Waitq.t;
   }
 
   let create ~capacity =
     assert (capacity > 0);
-    { items = Queue.create (); capacity; senders = []; receivers = [] }
+    { items = Queue.create (); capacity;
+      senders = Waitq.create (); receivers = Waitq.create () }
 
-  let wake_one l =
-    match l with
-    | [] -> []
-    | w :: rest ->
-      Sched.wake w;
-      rest
+  let wake_one q = if not (Waitq.is_empty q) then Sched.wake (Waitq.take q)
 
   let rec send t v =
     if Queue.length t.items < t.capacity then begin
       Queue.add v t.items;
-      t.receivers <- wake_one (List.rev t.receivers) |> List.rev
+      wake_one t.receivers
     end
     else begin
-      Sched.suspend (fun w -> t.senders <- w :: t.senders);
+      Sched.suspend (fun w -> Waitq.add t.senders w);
       send t v
     end
 
   let rec recv t =
     match Queue.take_opt t.items with
     | Some v ->
-      t.senders <- wake_one (List.rev t.senders) |> List.rev;
+      wake_one t.senders;
       v
     | None ->
-      Sched.suspend (fun w -> t.receivers <- w :: t.receivers);
+      Sched.suspend (fun w -> Waitq.add t.receivers w);
       recv t
 
   let try_recv t =
     match Queue.take_opt t.items with
     | Some v ->
-      t.senders <- wake_one (List.rev t.senders) |> List.rev;
+      wake_one t.senders;
       Some v
     | None -> None
 

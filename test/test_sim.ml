@@ -499,6 +499,72 @@ let test_delay_fast_path_ordering () =
   in
   checks "order" "a,b" (String.concat "," order)
 
+(* --- waker pooling --- *)
+
+let test_waker_pool_reuse () =
+  (* A channel ping-pong parks thousands of times, but only a handful of
+     threads are ever parked at once: nearly every park must be served
+     from the per-engine waker free list, not a fresh allocation. *)
+  let _, _, al0, re0 = Sched.host_counters () in
+  Sched.run (fun () ->
+      let ch = Sync.Channel.create ~capacity:1 in
+      let a =
+        Sched.spawn ~name:"send" (fun () ->
+            for i = 1 to 2_000 do
+              Sync.Channel.send ch i
+            done)
+      in
+      let b =
+        Sched.spawn ~name:"recv" (fun () ->
+            for _ = 1 to 2_000 do
+              ignore (Sync.Channel.recv ch)
+            done)
+      in
+      Sched.join a;
+      Sched.join b);
+  let _, _, al1, re1 = Sched.host_counters () in
+  checkb "few fresh wakers" true (al1 - al0 <= 8);
+  checkb "parks served from the free list" true (re1 - re0 > 1_000)
+
+let test_host_counters_ev_vs_ctx () =
+  (* A lone thread yielding to itself pops run-queue events that hand the
+     CPU straight back: events tick, context switches must not. *)
+  let e0, c0, _, _ = Sched.host_counters () in
+  Sched.run (fun () ->
+      for _ = 1 to 50 do
+        Sched.yield ()
+      done);
+  let e1, c1, _, _ = Sched.host_counters () in
+  checkb "yields popped as events" true (e1 - e0 >= 50);
+  checkb "self-resumes are not switches" true (c1 - c0 <= 2)
+
+let test_waker_stale_wake_detected () =
+  (* Wakers are recycled when their thread resumes; waking one after that
+     point would target whatever park reused it. Under debug_checks the
+     free list is disabled and released wakers are poisoned, so the
+     stale wake surfaces as Violation. A double wake *before* the
+     resume stays a legal no-op. *)
+  let saved = !Msnap_util.Slice.debug_checks in
+  Msnap_util.Slice.debug_checks := true;
+  Fun.protect
+    ~finally:(fun () -> Msnap_util.Slice.debug_checks := saved)
+    (fun () ->
+      Sched.run (fun () ->
+          let leaked = ref None in
+          let t =
+            Sched.spawn ~name:"parker" (fun () ->
+                Sched.suspend (fun w -> leaked := Some w))
+          in
+          Sched.yield ();
+          let w = Option.get !leaked in
+          Sched.wake w;
+          Sched.wake w;
+          (* still pre-resume: a no-op *)
+          Sched.join t;
+          match Sched.wake w with
+          | () -> Alcotest.fail "stale wake not detected"
+          | exception Sched.Violation _ -> ()))
+
 let test_cpu_charges_across_threads_same_bucket () =
   (* Two threads charging the same bucket: the cached cells must alias the
      same counter. *)
@@ -573,6 +639,12 @@ let () =
         [
           tc "interleaved order" test_pq_order;
           tc "fifo ties" test_pq_fifo_ties;
+        ] );
+      ( "waker",
+        [
+          tc "pool reuse" test_waker_pool_reuse;
+          tc "stale wake detected" test_waker_stale_wake_detected;
+          tc "events vs context switches" test_host_counters_ev_vs_ctx;
         ] );
       ( "sync",
         [

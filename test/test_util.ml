@@ -928,6 +928,184 @@ let prop_tp_model =
           rs = List.map (fun x -> (x, chew x)) xs
           && Atomic.get ran = List.length xs))
 
+(* --- Twheel (vs the reference heap) --- *)
+
+module Twheel = Msnap_util.Twheel
+
+(* Verbatim copy of the scheduler's previous run queue (lib/sim/pq.ml):
+   a binary heap over (prio, seq) with an insertion sequence number for
+   FIFO order among equal priorities. The timing wheel must match it
+   pop for pop. *)
+module Ref_pq = struct
+  type 'a entry = { prio : int; seq : int; value : 'a }
+
+  type 'a t = {
+    mutable data : 'a entry array;
+    mutable size : int;
+    mutable next_seq : int;
+  }
+
+  let dummy_entry : unit entry = { prio = 0; seq = 0; value = () }
+  let dummy () : 'a entry = Obj.magic dummy_entry
+  let create () = { data = [||]; size = 0; next_seq = 0 }
+  let is_empty t = t.size = 0
+
+  let less a b = a.prio < b.prio || (a.prio = b.prio && a.seq < b.seq)
+
+  let grow t =
+    let cap = Array.length t.data in
+    if t.size = cap then begin
+      let ncap = if cap = 0 then 16 else cap * 2 in
+      let nd = Array.make ncap (dummy ()) in
+      Array.blit t.data 0 nd 0 t.size;
+      t.data <- nd
+    end
+
+  let push t ~prio value =
+    let e = { prio; seq = t.next_seq; value } in
+    t.next_seq <- t.next_seq + 1;
+    grow t;
+    let i = ref t.size in
+    t.size <- t.size + 1;
+    t.data.(!i) <- e;
+    let continue_ = ref true in
+    while !continue_ && !i > 0 do
+      let parent = (!i - 1) / 2 in
+      if less t.data.(!i) t.data.(parent) then begin
+        let tmp = t.data.(parent) in
+        t.data.(parent) <- t.data.(!i);
+        t.data.(!i) <- tmp;
+        i := parent
+      end
+      else continue_ := false
+    done
+
+  let pop t =
+    if t.size = 0 then None
+    else begin
+      let top = t.data.(0) in
+      t.size <- t.size - 1;
+      if t.size > 0 then begin
+        t.data.(0) <- t.data.(t.size);
+        t.data.(t.size) <- dummy ();
+        let i = ref 0 in
+        let continue_ = ref true in
+        while !continue_ do
+          let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+          let smallest = ref !i in
+          if l < t.size && less t.data.(l) t.data.(!smallest) then
+            smallest := l;
+          if r < t.size && less t.data.(r) t.data.(!smallest) then
+            smallest := r;
+          if !smallest <> !i then begin
+            let tmp = t.data.(!smallest) in
+            t.data.(!smallest) <- t.data.(!i);
+            t.data.(!i) <- tmp;
+            i := !smallest
+          end
+          else continue_ := false
+        done
+      end
+      else t.data.(0) <- dummy ();
+      Some top.value
+    end
+
+  let min_prio t = if t.size = 0 then None else Some t.data.(0).prio
+end
+
+(* Equal priorities pop in push order, including across an interleaved
+   pop that advances the wheel's "now" between the pushes. *)
+let test_twheel_fifo_ties () =
+  let tw = Twheel.create ~initial:2 () in
+  Twheel.push tw ~prio:10 "a";
+  Twheel.push tw ~prio:10 "b";
+  Twheel.push tw ~prio:5 "x";
+  check Alcotest.string "lowest first" "x" (Twheel.pop_min tw);
+  Twheel.push tw ~prio:10 "c";
+  Twheel.push tw ~prio:7 "y";
+  check Alcotest.string "y" "y" (Twheel.pop_min tw);
+  check Alcotest.string "a" "a" (Twheel.pop_min tw);
+  check Alcotest.string "b" "b" (Twheel.pop_min tw);
+  check Alcotest.string "c" "c" (Twheel.pop_min tw);
+  checkb "empty" true (Twheel.is_empty tw);
+  checki "empty min" (-1) (Twheel.min_prio tw)
+
+(* Far-apart priorities exercise the upper levels and the cascade. *)
+let test_twheel_levels () =
+  let tw = Twheel.create () in
+  let prios = [ 0; 1; 31; 32; 1_000; 32_768; 1_000_000; 1_073_741_824 ] in
+  List.iteri (fun i p -> Twheel.push tw ~prio:p i) prios;
+  List.iteri
+    (fun i p ->
+      checki "min tracks" p (Twheel.min_prio tw);
+      checki "pop order" i (Twheel.pop_min tw))
+    prios
+
+(* Differential property: drive the wheel and the reference heap with an
+   identical monotone op sequence — pushes at now + delta (frequent
+   delta 0 bursts for the equal-priority tie-break, occasional huge
+   deltas for multi-level cascades), pops that advance "now" — and
+   require the same value pop for pop and the same min_prio at every
+   step. The wheel's internal (prio, seq) order audit is armed
+   throughout. *)
+let prop_twheel_differential =
+  let open QCheck in
+  let op =
+    Gen.(
+      frequency
+        [
+          (3, pair (return 0) (return 0)); (* pop *)
+          (3, pair (return 1) (return 0)); (* push, same prio as "now" *)
+          (4, pair (return 2) (int_range 0 200)); (* push, nearby *)
+          (1, pair (return 3) (int_range 0 2_000)); (* push, far: levels *)
+        ])
+  in
+  QCheck.Test.make ~count:500
+    ~name:"twheel matches the reference heap pop for pop"
+    (make Gen.(list_size (int_range 0 400) op))
+    (fun ops ->
+      let saved = !Msnap_util.Slice.debug_checks in
+      Msnap_util.Slice.debug_checks := true;
+      Fun.protect
+        ~finally:(fun () -> Msnap_util.Slice.debug_checks := saved)
+        (fun () ->
+          let tw = Twheel.create ~initial:2 () in
+          let pq = Ref_pq.create () in
+          let now = ref 0 in
+          let next = ref 0 in
+          let mins_agree () =
+            Twheel.min_prio tw
+            = (match Ref_pq.min_prio pq with Some p -> p | None -> -1)
+          in
+          let step (kind, delta) =
+            if kind = 0 then
+              if Ref_pq.is_empty pq then Twheel.is_empty tw
+              else begin
+                now := Twheel.min_prio tw;
+                let v = Twheel.pop_min tw in
+                Some v = Ref_pq.pop pq && mins_agree ()
+              end
+            else begin
+              (* kind 3 spreads pushes across wheel levels *)
+              let prio = !now + (if kind = 3 then delta * 524_287 else delta) in
+              let v = !next in
+              incr next;
+              Twheel.push tw ~prio v;
+              Ref_pq.push pq ~prio v;
+              mins_agree ()
+            end
+          in
+          List.for_all step ops
+          &&
+          (* drain: every remaining entry in identical order *)
+          let rec drain () =
+            if Ref_pq.is_empty pq then Twheel.is_empty tw
+            else
+              Some (Twheel.pop_min tw) = Ref_pq.pop pq
+              && mins_agree () && drain ()
+          in
+          drain ()))
+
 let () =
   let tc name f = Alcotest.test_case name `Quick f in
   Alcotest.run "util"
@@ -1024,6 +1202,13 @@ let () =
           tc "exception propagation" test_tp_exception;
           tc "fork/join nesting" test_tp_nested;
           QCheck_alcotest.to_alcotest prop_tp_model;
+        ] );
+      ( "twheel",
+        [
+          tc "equal-priority FIFO across interleaved pops"
+            test_twheel_fifo_ties;
+          tc "multi-level cascade order" test_twheel_levels;
+          QCheck_alcotest.to_alcotest prop_twheel_differential;
         ] );
       ( "tbl",
         [
